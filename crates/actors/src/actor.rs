@@ -1,0 +1,163 @@
+//! The [`Actor`] trait, typed [`ActorRef`] handles, and the per-actor
+//! [`Context`].
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::fmt;
+use std::sync::{Arc, Weak};
+
+/// Whether the actor keeps running after handling a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Keep processing messages.
+    Continue,
+    /// Stop; the mailbox is dropped and `on_stop` runs.
+    Stop,
+}
+
+/// An actor: sequential handler of a typed message stream.
+///
+/// Actors are driven by the [`crate::system::ActorSystem`]: each runs on
+/// its own thread, pulling messages from its mailbox strictly in order.
+pub trait Actor: Send + 'static {
+    /// The message type this actor consumes.
+    type Msg: Send + 'static;
+
+    /// Handles one message. Returning [`Flow::Stop`] terminates the actor.
+    fn handle(&mut self, msg: Self::Msg, ctx: &mut Context<Self::Msg>) -> Flow;
+
+    /// Called once before the first message.
+    fn on_start(&mut self, _ctx: &mut Context<Self::Msg>) {}
+
+    /// Called when the actor stops normally (not on panic).
+    fn on_stop(&mut self) {}
+}
+
+/// A cheap, cloneable handle for sending messages to an actor.
+pub struct ActorRef<M> {
+    pub(crate) sender: Arc<Sender<M>>,
+    pub(crate) name: String,
+}
+
+impl<M> Clone for ActorRef<M> {
+    fn clone(&self) -> Self {
+        ActorRef {
+            sender: self.sender.clone(),
+            name: self.name.clone(),
+        }
+    }
+}
+
+impl<M> fmt::Debug for ActorRef<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ActorRef({})", self.name)
+    }
+}
+
+/// Error returned when sending to a stopped actor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendError {
+    /// Name of the target actor.
+    pub target: String,
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "actor {} is no longer running", self.target)
+    }
+}
+
+impl std::error::Error for SendError {}
+
+impl<M: Send + 'static> ActorRef<M> {
+    /// Sends a message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] if the actor has stopped.
+    pub fn send(&self, msg: M) -> Result<(), SendError> {
+        self.sender.send(msg).map_err(|_| SendError {
+            target: self.name.clone(),
+        })
+    }
+
+    /// The actor's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Creates a detached reference/mailbox pair without a running actor —
+    /// useful in tests and for adapting external event sources.
+    pub fn detached(name: impl Into<String>) -> (ActorRef<M>, Receiver<M>) {
+        let (tx, rx) = unbounded();
+        (
+            ActorRef {
+                sender: Arc::new(tx),
+                name: name.into(),
+            },
+            rx,
+        )
+    }
+}
+
+/// Per-actor execution context, passed to every `handle` call.
+///
+/// The context holds only a *weak* handle to the actor's own mailbox, so
+/// an idle actor whose external references have all been dropped shuts
+/// down instead of keeping itself alive.
+pub struct Context<M> {
+    pub(crate) self_sender: Weak<Sender<M>>,
+    pub(crate) name: String,
+    pub(crate) system: crate::system::ActorSystem,
+}
+
+impl<M: Send + 'static> Context<M> {
+    /// A reference to the actor itself (for self-sends / registration).
+    /// Returns `None` if every external reference has been dropped (the
+    /// actor is already draining toward shutdown). Note that holding the
+    /// returned reference inside the actor keeps its mailbox open.
+    pub fn self_ref(&self) -> Option<ActorRef<M>> {
+        self.self_sender.upgrade().map(|sender| ActorRef {
+            sender,
+            name: self.name.clone(),
+        })
+    }
+
+    /// The actor system, for spawning further actors ("in response to a
+    /// message, an actor can […] create more actors dynamically").
+    pub fn system(&self) -> &crate::system::ActorSystem {
+        &self.system
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detached_ref_delivers_in_order() {
+        let (r, rx) = ActorRef::<u32>::detached("test");
+        r.send(1).unwrap();
+        r.send(2).unwrap();
+        r.send(3).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert_eq!(rx.try_recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn send_to_dropped_mailbox_errors() {
+        let (r, rx) = ActorRef::<u32>::detached("gone");
+        drop(rx);
+        let err = r.send(1).unwrap_err();
+        assert_eq!(err.target, "gone");
+        assert!(err.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn refs_are_cloneable_and_debuggable() {
+        let (r, _rx) = ActorRef::<()>::detached("a");
+        let r2 = r.clone();
+        assert_eq!(r2.name(), "a");
+        assert!(format!("{r2:?}").contains('a'));
+    }
+}

@@ -1,0 +1,30 @@
+//! `fl-actors` — a small actor runtime (Sec. 4.1 of the paper).
+//!
+//! "The FL server is designed around the Actor Programming Model […].
+//! Actors are universal primitives of concurrent computation which use
+//! message passing as the sole communication mechanism. Each actor handles
+//! a stream of messages/events strictly sequentially, leading to a simple
+//! programming model."
+//!
+//! This crate provides the substrate the FL server's live mode runs on:
+//!
+//! * [`actor::Actor`] + [`actor::ActorRef`] — typed actors with sequential
+//!   mailbox processing (one OS thread per actor, crossbeam channels);
+//! * [`system::ActorSystem`] — spawning, clean shutdown, and death
+//!   notifications;
+//! * [`supervision`] — panic isolation and restart policies ("in all
+//!   failure cases the system will continue to make progress", Sec. 4.4);
+//! * [`registry::LockingService`] — the shared locking service in which
+//!   Coordinators register, guaranteeing "there is always a single owner
+//!   for every FL population" and that respawn "will happen exactly once";
+//! * [`timer`] — deadline-based message scheduling.
+
+pub mod actor;
+pub mod registry;
+pub mod supervision;
+pub mod system;
+pub mod timer;
+
+pub use actor::{Actor, ActorRef, Context, Flow};
+pub use registry::{Lease, LockingService};
+pub use system::ActorSystem;

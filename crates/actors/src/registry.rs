@@ -1,0 +1,190 @@
+//! The shared locking service (Sec. 4.2, Sec. 4.4).
+//!
+//! "A Coordinator registers its address and the FL population it manages
+//! in a shared locking service, so there is always a single owner for
+//! every FL population which is reachable by other actors in the system."
+//! On Coordinator death, "the Selector layer will detect this and respawn
+//! it. Because the Coordinators are registered in a shared locking
+//! service, this will happen exactly once."
+//!
+//! [`LockingService`] provides exactly-once ownership with *fenced leases*:
+//! each successful acquisition gets a monotonically increasing epoch, and
+//! releases must present the matching epoch, so a stale owner (e.g. a
+//! zombie Coordinator) cannot release or overwrite its successor.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Proof of ownership of a name, with a fencing epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lease {
+    /// The locked name.
+    pub name: String,
+    /// Fencing token: strictly increases across successive owners.
+    pub epoch: u64,
+}
+
+struct Entry<T> {
+    epoch: u64,
+    payload: T,
+}
+
+struct Inner<T> {
+    entries: HashMap<String, Entry<T>>,
+    next_epoch: u64,
+}
+
+/// A process-wide locking service mapping names to single owners, each
+/// holding an opaque payload (typically an `ActorRef` address).
+pub struct LockingService<T> {
+    inner: Arc<Mutex<Inner<T>>>,
+}
+
+impl<T> Clone for LockingService<T> {
+    fn clone(&self) -> Self {
+        LockingService {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Default for LockingService<T> {
+    fn default() -> Self {
+        LockingService::new()
+    }
+}
+
+impl<T> LockingService<T> {
+    /// Creates an empty service.
+    pub fn new() -> Self {
+        LockingService {
+            inner: Arc::new(Mutex::new(Inner {
+                entries: HashMap::new(),
+                next_epoch: 1,
+            })),
+        }
+    }
+}
+
+impl<T: Clone> LockingService<T> {
+
+    /// Attempts to acquire `name`, storing `payload` as the owner's
+    /// address. Returns the lease on success, or `None` if already owned —
+    /// this is what makes concurrent respawns resolve to exactly one
+    /// winner.
+    pub fn acquire(&self, name: impl Into<String>, payload: T) -> Option<Lease> {
+        let name = name.into();
+        let mut inner = self.inner.lock();
+        if inner.entries.contains_key(&name) {
+            return None;
+        }
+        let epoch = inner.next_epoch;
+        inner.next_epoch += 1;
+        inner.entries.insert(name.clone(), Entry { epoch, payload });
+        Some(Lease { name, epoch })
+    }
+
+    /// Releases a lease. Returns `false` (and changes nothing) if the
+    /// lease is stale — i.e. the name has since been re-acquired by a
+    /// newer owner.
+    pub fn release(&self, lease: &Lease) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.entries.get(&lease.name) {
+            Some(entry) if entry.epoch == lease.epoch => {
+                inner.entries.remove(&lease.name);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Forcibly evicts whatever owns `name` (used by failure detectors
+    /// that observed the owner die). Returns `true` if an entry existed.
+    pub fn evict(&self, name: &str) -> bool {
+        self.inner.lock().entries.remove(name).is_some()
+    }
+
+    /// Looks up the current owner's payload.
+    pub fn lookup(&self, name: &str) -> Option<T> {
+        self.inner
+            .lock()
+            .entries
+            .get(name)
+            .map(|e| e.payload.clone())
+    }
+
+    /// The current epoch of `name`, if owned.
+    pub fn current_epoch(&self, name: &str) -> Option<u64> {
+        self.inner.lock().entries.get(name).map(|e| e.epoch)
+    }
+
+    /// Names currently owned.
+    pub fn names(&self) -> Vec<String> {
+        self.inner.lock().entries.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_is_exclusive() {
+        let svc = LockingService::new();
+        let lease = svc.acquire("pop/a", "addr-1").unwrap();
+        assert!(svc.acquire("pop/a", "addr-2").is_none());
+        assert_eq!(svc.lookup("pop/a"), Some("addr-1"));
+        assert!(svc.release(&lease));
+        assert!(svc.acquire("pop/a", "addr-2").is_some());
+    }
+
+    #[test]
+    fn stale_release_is_rejected() {
+        let svc = LockingService::new();
+        let old = svc.acquire("pop/a", 1).unwrap();
+        svc.evict("pop/a");
+        let new = svc.acquire("pop/a", 2).unwrap();
+        assert!(new.epoch > old.epoch);
+        // The zombie's release must not evict the new owner.
+        assert!(!svc.release(&old));
+        assert_eq!(svc.lookup("pop/a"), Some(2));
+        assert!(svc.release(&new));
+    }
+
+    #[test]
+    fn concurrent_respawn_races_have_one_winner() {
+        let svc: LockingService<usize> = LockingService::new();
+        let winners: Vec<bool> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..16)
+                .map(|i| {
+                    let svc = svc.clone();
+                    scope.spawn(move || svc.acquire("pop/raced", i).is_some())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(winners.iter().filter(|&&w| w).count(), 1);
+    }
+
+    #[test]
+    fn distinct_names_are_independent() {
+        let svc = LockingService::new();
+        assert!(svc.acquire("a", ()).is_some());
+        assert!(svc.acquire("b", ()).is_some());
+        let mut names = svc.names();
+        names.sort();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn epochs_strictly_increase() {
+        let svc = LockingService::new();
+        let mut last = 0;
+        for i in 0..5 {
+            let lease = svc.acquire(format!("n{i}"), ()).unwrap();
+            assert!(lease.epoch > last);
+            last = lease.epoch;
+        }
+    }
+}

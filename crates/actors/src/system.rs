@@ -1,0 +1,239 @@
+//! The [`ActorSystem`]: spawning, death notification, shutdown.
+
+use crate::actor::{Actor, ActorRef, Context, Flow};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// How an actor's life ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeathReason {
+    /// The actor returned [`Flow::Stop`] or its mailbox closed.
+    Normal,
+    /// The actor's handler panicked; the payload's message if extractable.
+    Panicked(String),
+}
+
+/// A death notice published to the system's obituary channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Obituary {
+    /// Name of the actor that died.
+    pub name: String,
+    /// Why it died.
+    pub reason: DeathReason,
+}
+
+struct Shared {
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    deaths_tx: Sender<Obituary>,
+    deaths_rx: Receiver<Obituary>,
+}
+
+/// A handle to the actor system. Cloning is cheap; all clones refer to the
+/// same system.
+#[derive(Clone)]
+pub struct ActorSystem {
+    shared: Arc<Shared>,
+}
+
+impl Default for ActorSystem {
+    fn default() -> Self {
+        ActorSystem::new()
+    }
+}
+
+impl ActorSystem {
+    /// Creates an empty system.
+    pub fn new() -> Self {
+        let (deaths_tx, deaths_rx) = unbounded();
+        ActorSystem {
+            shared: Arc::new(Shared {
+                handles: Mutex::new(Vec::new()),
+                deaths_tx,
+                deaths_rx,
+            }),
+        }
+    }
+
+    /// Spawns an actor on its own thread and returns its reference.
+    ///
+    /// The actor processes its mailbox strictly sequentially. Panics in
+    /// handlers are caught and published as [`Obituary`] notices rather
+    /// than taking down the process (Sec. 4.4: "in all failure cases the
+    /// system will continue to make progress").
+    pub fn spawn<A: Actor>(&self, name: impl Into<String>, actor: A) -> ActorRef<A::Msg> {
+        let name = name.into();
+        let (tx, rx) = unbounded::<A::Msg>();
+        let sender = std::sync::Arc::new(tx);
+        let actor_ref = ActorRef {
+            sender: sender.clone(),
+            name: name.clone(),
+        };
+        let mut ctx = Context {
+            self_sender: std::sync::Arc::downgrade(&sender),
+            name: name.clone(),
+            system: self.clone(),
+        };
+        drop(sender);
+        let deaths = self.shared.deaths_tx.clone();
+        let thread_name = name.clone();
+        let handle = std::thread::Builder::new()
+            .name(thread_name.clone())
+            .spawn(move || {
+                let mut actor = actor;
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    actor.on_start(&mut ctx);
+                    while let Ok(msg) = rx.recv() {
+                        if actor.handle(msg, &mut ctx) == Flow::Stop {
+                            break;
+                        }
+                    }
+                    actor.on_stop();
+                }));
+                let reason = match result {
+                    Ok(()) => DeathReason::Normal,
+                    Err(payload) => DeathReason::Panicked(panic_message(&*payload)),
+                };
+                // Receiver may be gone during shutdown; ignore.
+                let _ = deaths.send(Obituary {
+                    name: thread_name,
+                    reason,
+                });
+            })
+            .expect("failed to spawn actor thread");
+        self.shared.handles.lock().push(handle);
+        actor_ref
+    }
+
+    /// The obituary channel: every actor that stops (normally or by panic)
+    /// publishes a notice here. Supervisors and the Selector layer's
+    /// Coordinator-respawn logic consume it.
+    pub fn deaths(&self) -> Receiver<Obituary> {
+        self.shared.deaths_rx.clone()
+    }
+
+    /// Waits for all actor threads spawned so far to finish. Call after
+    /// dropping/stopping the actors' references.
+    pub fn join(&self) {
+        // Drain repeatedly: joined actors may themselves have spawned more.
+        loop {
+            let handles: Vec<JoinHandle<()>> = {
+                let mut guard = self.shared.handles.lock();
+                std::mem::take(&mut *guard)
+            };
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+    }
+
+    /// Number of actor threads spawned over the system's lifetime that
+    /// have not yet been joined.
+    pub fn unjoined_actors(&self) -> usize {
+        self.shared.handles.lock().len()
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct Adder {
+        total: Arc<AtomicU64>,
+    }
+
+    impl Actor for Adder {
+        type Msg = u64;
+        fn handle(&mut self, msg: u64, _ctx: &mut Context<u64>) -> Flow {
+            if msg == 0 {
+                return Flow::Stop;
+            }
+            self.total.fetch_add(msg, Ordering::SeqCst);
+            Flow::Continue
+        }
+    }
+
+    #[test]
+    fn actor_processes_messages_sequentially() {
+        let system = ActorSystem::new();
+        let total = Arc::new(AtomicU64::new(0));
+        let r = system.spawn("adder", Adder { total: total.clone() });
+        for i in 1..=100 {
+            r.send(i).unwrap();
+        }
+        r.send(0).unwrap(); // stop
+        system.join();
+        assert_eq!(total.load(Ordering::SeqCst), 5050);
+    }
+
+    #[test]
+    fn mailbox_close_stops_actor() {
+        let system = ActorSystem::new();
+        let total = Arc::new(AtomicU64::new(0));
+        let r = system.spawn("adder", Adder { total: total.clone() });
+        r.send(7).unwrap();
+        drop(r);
+        system.join();
+        assert_eq!(total.load(Ordering::SeqCst), 7);
+        let death = system.deaths().try_recv().unwrap();
+        assert_eq!(death.name, "adder");
+        assert_eq!(death.reason, DeathReason::Normal);
+    }
+
+    struct Bomb;
+    impl Actor for Bomb {
+        type Msg = ();
+        fn handle(&mut self, _msg: (), _ctx: &mut Context<()>) -> Flow {
+            panic!("boom");
+        }
+    }
+
+    #[test]
+    fn panics_become_obituaries_not_aborts() {
+        let system = ActorSystem::new();
+        let r = system.spawn("bomb", Bomb);
+        r.send(()).unwrap();
+        system.join();
+        let death = system.deaths().try_recv().unwrap();
+        assert_eq!(death.name, "bomb");
+        assert_eq!(death.reason, DeathReason::Panicked("boom".into()));
+    }
+
+    struct Spawner;
+    impl Actor for Spawner {
+        type Msg = Arc<AtomicU64>;
+        fn handle(&mut self, total: Arc<AtomicU64>, ctx: &mut Context<Self::Msg>) -> Flow {
+            // Dynamically create a child actor (Sec. 4.1).
+            let child = ctx.system().spawn("child", Adder { total });
+            child.send(42).unwrap();
+            child.send(0).unwrap();
+            Flow::Stop
+        }
+    }
+
+    #[test]
+    fn actors_can_spawn_actors() {
+        let system = ActorSystem::new();
+        let total = Arc::new(AtomicU64::new(0));
+        let r = system.spawn("spawner", Spawner);
+        r.send(total.clone()).unwrap();
+        system.join();
+        assert_eq!(total.load(Ordering::SeqCst), 42);
+    }
+}

@@ -1,0 +1,187 @@
+//! Deadline-based message scheduling.
+//!
+//! Round phases are governed by timeouts (selection timeout, reporting
+//! window, pace-steering reconnect windows). In live mode those are
+//! implemented by scheduling a timeout message to the owning actor via
+//! [`TimerWheel`]; in simulation the virtual clock plays this role.
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+type Callback = Box<dyn FnOnce() + Send + 'static>;
+
+struct Scheduled {
+    due: Instant,
+    seq: u64,
+    callback: Callback,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse order: BinaryHeap is a max-heap and we want earliest-due.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+enum TimerMsg {
+    Schedule(Scheduled),
+    Shutdown,
+}
+
+/// A single background thread executing callbacks at their deadlines.
+pub struct TimerWheel {
+    tx: Sender<TimerMsg>,
+    seq: Arc<Mutex<u64>>,
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Default for TimerWheel {
+    fn default() -> Self {
+        TimerWheel::new()
+    }
+}
+
+impl TimerWheel {
+    /// Starts the timer thread.
+    pub fn new() -> Self {
+        let (tx, rx) = unbounded::<TimerMsg>();
+        let handle = std::thread::Builder::new()
+            .name("timer-wheel".into())
+            .spawn(move || {
+                let mut heap: BinaryHeap<Scheduled> = BinaryHeap::new();
+                loop {
+                    // Fire everything due.
+                    let now = Instant::now();
+                    while heap.peek().is_some_and(|s| s.due <= now) {
+                        let s = heap.pop().unwrap();
+                        (s.callback)();
+                    }
+                    let wait = heap
+                        .peek()
+                        .map(|s| s.due.saturating_duration_since(Instant::now()))
+                        .unwrap_or(Duration::from_secs(3600));
+                    match rx.recv_timeout(wait) {
+                        Ok(TimerMsg::Schedule(s)) => heap.push(s),
+                        Ok(TimerMsg::Shutdown) => break,
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            })
+            .expect("failed to spawn timer thread");
+        TimerWheel {
+            tx,
+            seq: Arc::new(Mutex::new(0)),
+            handle: Mutex::new(Some(handle)),
+        }
+    }
+
+    /// Runs `callback` after `delay`. Callbacks scheduled for the same
+    /// instant run in scheduling order.
+    pub fn schedule(&self, delay: Duration, callback: impl FnOnce() + Send + 'static) {
+        let seq = {
+            let mut s = self.seq.lock();
+            *s += 1;
+            *s
+        };
+        // Ignore failure during shutdown.
+        let _ = self.tx.send(TimerMsg::Schedule(Scheduled {
+            due: Instant::now() + delay,
+            seq,
+            callback: Box::new(callback),
+        }));
+    }
+
+    /// Schedules sending `msg` to an actor after `delay`.
+    pub fn schedule_send<M: Send + 'static>(
+        &self,
+        delay: Duration,
+        target: crate::actor::ActorRef<M>,
+        msg: M,
+    ) {
+        self.schedule(delay, move || {
+            let _ = target.send(msg);
+        });
+    }
+
+    /// Stops the timer thread, discarding pending callbacks.
+    pub fn shutdown(&self) {
+        let _ = self.tx.send(TimerMsg::Shutdown);
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TimerWheel {
+    fn drop(&mut self) {
+        let _ = self.tx.send(TimerMsg::Shutdown);
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::ActorRef;
+
+    #[test]
+    fn callbacks_fire_in_deadline_order() {
+        let wheel = TimerWheel::new();
+        let (tx, rx) = unbounded::<u32>();
+        let t1 = tx.clone();
+        let t2 = tx.clone();
+        let t3 = tx;
+        wheel.schedule(Duration::from_millis(60), move || {
+            let _ = t1.send(3);
+        });
+        wheel.schedule(Duration::from_millis(10), move || {
+            let _ = t2.send(1);
+        });
+        wheel.schedule(Duration::from_millis(30), move || {
+            let _ = t3.send(2);
+        });
+        let collected: Vec<u32> = (0..3)
+            .map(|_| rx.recv_timeout(Duration::from_secs(2)).unwrap())
+            .collect();
+        assert_eq!(collected, vec![1, 2, 3]);
+        wheel.shutdown();
+    }
+
+    #[test]
+    fn schedule_send_delivers_to_actor_ref() {
+        let wheel = TimerWheel::new();
+        let (r, rx) = ActorRef::<&'static str>::detached("sink");
+        wheel.schedule_send(Duration::from_millis(5), r, "timeout");
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), "timeout");
+        wheel.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let wheel = TimerWheel::new();
+        wheel.schedule(Duration::from_secs(30), || {});
+        wheel.shutdown();
+        wheel.shutdown();
+        drop(wheel);
+    }
+}

@@ -1,0 +1,25 @@
+//! `fl-analytics` — the analytics layer (Sec. 5).
+//!
+//! "We rely on analytics to understand what is actually going on in the
+//! field, and monitor devices' health statistics. […] These log entries do
+//! not contain any personally identifiable information. They are
+//! aggregated and presented in dashboards to be analyzed, and fed into
+//! automatic time-series monitors that trigger alerts on substantial
+//! deviations."
+//!
+//! * [`timeseries`] — windowed counters and rate series;
+//! * [`sessions`] — session-shape aggregation (Table 1) from device event
+//!   logs;
+//! * [`monitor`] — deviation monitors (z-score alerts over sliding
+//!   windows);
+//! * [`dashboard`] — ASCII chart rendering for terminal dashboards (the
+//!   `figures` binary uses this to draw Figs. 5–9).
+
+pub mod dashboard;
+pub mod monitor;
+pub mod sessions;
+pub mod timeseries;
+
+pub use monitor::{Alert, DeviationMonitor};
+pub use sessions::SessionShapeTable;
+pub use timeseries::TimeSeries;

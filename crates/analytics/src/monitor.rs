@@ -1,0 +1,162 @@
+//! Deviation monitors (Sec. 5).
+//!
+//! "\[Logs\] are aggregated […] and fed into automatic time-series monitors
+//! that trigger alerts on substantial deviations." The paper credits these
+//! monitors with catching, e.g., "training happening when it shouldn't
+//! have" and "drop out rates of training participants much higher than
+//! expected".
+//!
+//! [`DeviationMonitor`] keeps a sliding baseline window per metric and
+//! alerts when a new observation deviates more than `threshold_sigmas`
+//! from the baseline mean.
+
+use std::collections::VecDeque;
+
+/// An alert raised by a monitor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// The metric that deviated.
+    pub metric: String,
+    /// The observed value.
+    pub observed: f64,
+    /// Baseline mean at alert time.
+    pub baseline_mean: f64,
+    /// How many baseline standard deviations away the observation was.
+    pub sigmas: f64,
+    /// Observation time.
+    pub at_ms: u64,
+}
+
+/// A sliding-window z-score monitor for one metric.
+#[derive(Debug, Clone)]
+pub struct DeviationMonitor {
+    metric: String,
+    window: usize,
+    threshold_sigmas: f64,
+    /// Minimum baseline size before alerting (avoids cold-start noise).
+    warmup: usize,
+    history: VecDeque<f64>,
+}
+
+impl DeviationMonitor {
+    /// Creates a monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `threshold_sigmas <= 0`.
+    pub fn new(metric: impl Into<String>, window: usize, threshold_sigmas: f64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(threshold_sigmas > 0.0, "threshold must be positive");
+        DeviationMonitor {
+            metric: metric.into(),
+            window,
+            threshold_sigmas,
+            warmup: 8.min(window),
+            history: VecDeque::new(),
+        }
+    }
+
+    /// Observes a value; returns an alert if it deviates substantially
+    /// from the baseline. The observation joins the baseline either way
+    /// (so a persistent shift alarms once, then becomes the new normal —
+    /// matching how production monitors re-baseline).
+    pub fn observe(&mut self, now_ms: u64, value: f64) -> Option<Alert> {
+        let alert = if self.history.len() >= self.warmup {
+            let n = self.history.len() as f64;
+            let mean = self.history.iter().sum::<f64>() / n;
+            let var = self
+                .history
+                .iter()
+                .map(|x| (x - mean) * (x - mean))
+                .sum::<f64>()
+                / n;
+            // Floor the deviation so constant baselines still alert
+            // proportionally rather than dividing by zero.
+            let std = var.sqrt().max(1e-9 + mean.abs() * 0.01);
+            let sigmas = (value - mean).abs() / std;
+            (sigmas > self.threshold_sigmas).then(|| Alert {
+                metric: self.metric.clone(),
+                observed: value,
+                baseline_mean: mean,
+                sigmas,
+                at_ms: now_ms,
+            })
+        } else {
+            None
+        };
+        self.history.push_back(value);
+        if self.history.len() > self.window {
+            self.history.pop_front();
+        }
+        alert
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_metric_never_alerts() {
+        let mut m = DeviationMonitor::new("dropout_rate", 50, 4.0);
+        for i in 0..200 {
+            let v = 0.08 + 0.005 * ((i as f64) * 0.7).sin();
+            assert!(m.observe(i, v).is_none(), "alerted at {i}");
+        }
+    }
+
+    #[test]
+    fn spike_alerts_with_details() {
+        let mut m = DeviationMonitor::new("dropout_rate", 50, 4.0);
+        for i in 0..50 {
+            m.observe(i, 0.08 + 0.001 * (i % 5) as f64);
+        }
+        // The paper's incident: "drop out rates much higher than expected".
+        let alert = m.observe(50, 0.5).expect("spike must alert");
+        assert_eq!(alert.metric, "dropout_rate");
+        assert_eq!(alert.observed, 0.5);
+        assert!(alert.sigmas > 4.0);
+        assert!(alert.baseline_mean < 0.1);
+    }
+
+    #[test]
+    fn no_alerts_during_warmup() {
+        let mut m = DeviationMonitor::new("x", 50, 1.0);
+        for i in 0..7 {
+            assert!(m.observe(i, (i * 1000) as f64).is_none());
+        }
+    }
+
+    #[test]
+    fn persistent_shift_rebaselines() {
+        let mut m = DeviationMonitor::new("x", 20, 4.0);
+        for i in 0..20 {
+            m.observe(i, 1.0);
+        }
+        // Shift: alert at least once...
+        let mut alerts = 0;
+        for i in 20..80 {
+            if m.observe(i, 3.0).is_some() {
+                alerts += 1;
+            }
+        }
+        assert!(alerts >= 1);
+        // ...but the new level eventually becomes normal.
+        assert!(m.observe(100, 3.0).is_none());
+    }
+
+    #[test]
+    fn zero_variance_baseline_still_alerts_on_large_jump() {
+        let mut m = DeviationMonitor::new("x", 20, 4.0);
+        for i in 0..20 {
+            m.observe(i, 10.0);
+        }
+        assert!(m.observe(20, 20.0).is_some());
+        // A tiny wiggle on a constant baseline should NOT alert.
+        let mut m2 = DeviationMonitor::new("x", 20, 4.0);
+        for i in 0..20 {
+            m2.observe(i, 10.0);
+        }
+        assert!(m2.observe(20, 10.2).is_none());
+    }
+}

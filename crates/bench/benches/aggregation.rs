@@ -1,0 +1,80 @@
+//! Aggregation-path benchmarks (Sec. 4 scalability claims).
+//!
+//! Measures the streaming FedAvg fold (the per-update server cost), the
+//! hierarchical merge, and Master Aggregator end-to-end throughput at the
+//! paper's model scale (~1.4M parameters).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fl_core::aggregation::FedAvgAccumulator;
+use fl_core::plan::CodecSpec;
+use fl_core::DeviceId;
+use fl_ml::optim::WeightedUpdate;
+use fl_server::aggregator::{AggregationPlan, MasterAggregator};
+use std::hint::black_box;
+
+fn update(dim: usize, seed: usize) -> WeightedUpdate {
+    WeightedUpdate {
+        delta: (0..dim).map(|i| ((i + seed) as f32).sin() * 0.01).collect(),
+        weight: 20,
+    }
+}
+
+fn bench_streaming_fold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_fold");
+    for dim in [10_000usize, 100_000, 1_400_000] {
+        group.throughput(Throughput::Elements(dim as u64));
+        let u = update(dim, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
+            let mut acc = FedAvgAccumulator::new(dim);
+            b.iter(|| acc.accumulate(black_box(u.clone())).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_hierarchical_merge(c: &mut Criterion) {
+    let dim = 1_400_000;
+    let mut shard = FedAvgAccumulator::new(dim);
+    shard.accumulate(update(dim, 2)).unwrap();
+    c.bench_function("merge_1.4M_shard", |b| {
+        let mut master = FedAvgAccumulator::new(dim);
+        b.iter(|| master.merge(black_box(&shard)).unwrap());
+    });
+}
+
+fn bench_master_round(c: &mut Criterion) {
+    let dim = 100_000;
+    let codec = CodecSpec::Identity;
+    let encoded = codec.build().encode(&update(dim, 3).delta);
+    let mut group = c.benchmark_group("master_100_devices");
+    for shard_cap in [10usize, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("shard_cap", shard_cap),
+            &shard_cap,
+            |b, &cap| {
+                b.iter(|| {
+                    let mut master = MasterAggregator::new(
+                        AggregationPlan::plain(dim, cap),
+                        codec,
+                        100,
+                        1,
+                    );
+                    for i in 0..100u64 {
+                        master
+                            .accept(DeviceId(i), black_box(&encoded), 20)
+                            .unwrap();
+                    }
+                    master.finalize(&vec![0.0f32; dim], &[]).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_streaming_fold, bench_hierarchical_merge, bench_master_round
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Update-compression benchmarks (Sec. 11, *Bandwidth*).
+//!
+//! Prices the codecs at the Gboard model scale (~1.4M coordinates) and
+//! reports the ratios that drive Fig. 9's traffic asymmetry.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fl_ml::compress::{
+    IdentityCodec, PipelineCodec, QuantizeCodec, SubsampleCodec, UpdateCodec,
+};
+use fl_ml::rng;
+use std::hint::black_box;
+
+fn sample_update(n: usize) -> Vec<f32> {
+    let mut r = rng::seeded(5);
+    (0..n)
+        .map(|_| rng::normal_with_std(&mut r, 0.02) as f32)
+        .collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let dim = 1_400_000;
+    let update = sample_update(dim);
+    let codecs: Vec<(&str, Box<dyn UpdateCodec>)> = vec![
+        ("identity", Box::new(IdentityCodec)),
+        ("int8", Box::new(QuantizeCodec::new(256))),
+        ("subsample_25", Box::new(SubsampleCodec::new(0.25, 9))),
+        ("pipeline", Box::new(PipelineCodec::new(0.25, 9, 256))),
+    ];
+    let mut group = c.benchmark_group("encode_1.4M");
+    group.throughput(Throughput::Bytes(dim as u64 * 4));
+    group.sample_size(10);
+    for (name, codec) in &codecs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| codec.encode(black_box(&update)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let dim = 1_400_000;
+    let update = sample_update(dim);
+    let codecs: Vec<(&str, Box<dyn UpdateCodec>)> = vec![
+        ("identity", Box::new(IdentityCodec)),
+        ("int8", Box::new(QuantizeCodec::new(256))),
+        ("pipeline", Box::new(PipelineCodec::new(0.25, 9, 256))),
+    ];
+    let mut group = c.benchmark_group("decode_1.4M");
+    group.sample_size(10);
+    for (name, codec) in &codecs {
+        let encoded = codec.encode(&update);
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| codec.decode(black_box(&encoded), dim).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

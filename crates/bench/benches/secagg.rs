@@ -1,0 +1,64 @@
+//! Secure Aggregation cost scaling (Sec. 6).
+//!
+//! The headline systems claim: server costs "grow quadratically with the
+//! number of users", limiting instances to hundreds of devices and
+//! motivating per-Aggregator grouping with parameter `k`. The group-size
+//! sweep makes the growth visible; the dropout benchmark prices the
+//! reconstruction path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fl_secagg::protocol::{run_instance, SecAggConfig};
+use std::hint::black_box;
+
+fn bench_group_size(c: &mut Criterion) {
+    let dim = 512;
+    let mut group = c.benchmark_group("secagg_instance");
+    group.sample_size(10);
+    for n in [8usize, 16, 32, 64] {
+        let config = SecAggConfig::new((2 * n).div_ceil(3).max(2), dim);
+        let inputs: Vec<Vec<u64>> = (0..n).map(|i| vec![i as u64; dim]).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| run_instance(config, black_box(&inputs), &[], &[], 7).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_dropout_reconstruction(c: &mut Criterion) {
+    let dim = 512;
+    let n = 24;
+    let config = SecAggConfig::new(16, dim);
+    let inputs: Vec<Vec<u64>> = (0..n).map(|i| vec![i as u64; dim]).collect();
+    let mut group = c.benchmark_group("secagg_dropout");
+    group.sample_size(10);
+    for dropouts in [0usize, 4, 8] {
+        let dropped: Vec<u32> = (0..dropouts as u32).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(dropouts),
+            &dropouts,
+            |b, _| {
+                b.iter(|| {
+                    run_instance(config, black_box(&inputs), &[], &dropped, 7).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_vector_dim(c: &mut Criterion) {
+    let n = 16;
+    let mut group = c.benchmark_group("secagg_dim");
+    group.sample_size(10);
+    for dim in [256usize, 1_024, 4_096] {
+        let config = SecAggConfig::new(11, dim);
+        let inputs: Vec<Vec<u64>> = (0..n).map(|i| vec![i as u64; dim]).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| run_instance(config, black_box(&inputs), &[], &[], 7).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_group_size, bench_dropout_reconstruction, bench_vector_dim);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Checkpoint and plan serialization benchmarks (Sec. 7).
+//!
+//! Checkpoints at the Gboard scale (~1.4M parameters ≈ 5.6 MB) are
+//! encoded/decoded once per participating device per round, so this path
+//! multiplies across the fleet.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fl_core::plan::{CodecSpec, FlPlan, ModelSpec};
+use fl_core::{FlCheckpoint, RoundId};
+use std::hint::black_box;
+
+fn bench_checkpoint_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint");
+    group.sample_size(10);
+    for params in [100_000usize, 1_400_000] {
+        let ck = FlCheckpoint::new(
+            "gboard/next-word",
+            RoundId(3_000),
+            vec![0.125f32; params],
+        );
+        group.throughput(Throughput::Bytes(ck.encoded_size() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", params), &params, |b, _| {
+            b.iter(|| black_box(ck.to_bytes()));
+        });
+        let bytes = ck.to_bytes();
+        group.bench_with_input(BenchmarkId::new("decode", params), &params, |b, _| {
+            b.iter(|| FlCheckpoint::from_bytes(black_box(&bytes)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_lowering(c: &mut Criterion) {
+    let plan = FlPlan::standard_training(
+        ModelSpec::EmbeddingLm {
+            vocab: 10_000,
+            dim: 64,
+            seed: 0,
+        },
+        5,
+        16,
+        0.5,
+        CodecSpec::Quantize { block: 256 },
+    );
+    c.bench_function("plan_lower_to_v1", |b| {
+        b.iter(|| plan.device.lower_to_version(black_box(1)).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_checkpoint_roundtrip, bench_plan_lowering);
+criterion_main!(benches);

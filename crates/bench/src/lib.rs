@@ -1,0 +1,31 @@
+//! `fl-bench` — benchmark harnesses and figure/table regeneration.
+//!
+//! Each experiment in EXPERIMENTS.md has a function here that produces the
+//! corresponding figure or table as text; the `figures` binary dispatches
+//! to them, and the workspace integration tests assert their qualitative
+//! claims. Criterion micro-benchmarks live in `benches/`.
+
+pub mod fleet_experiments;
+pub mod learning_experiments;
+pub mod protocol_experiments;
+
+/// Scale knob for experiments: `Quick` finishes in seconds (CI/tests),
+/// `Full` approaches the paper's scales (use `--release`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small fleets / few rounds, for tests and smoke runs.
+    Quick,
+    /// Paper-scale parameters.
+    Full,
+}
+
+impl Scale {
+    /// Parses from a CLI flag.
+    pub fn from_flag(quick: bool) -> Self {
+        if quick {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+}

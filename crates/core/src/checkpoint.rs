@@ -1,0 +1,181 @@
+//! FL checkpoints (Sec. 2.1).
+//!
+//! "The server next sends to each participant the current global model
+//! parameters and any other necessary state as an *FL checkpoint*
+//! (essentially the serialized state of a TensorFlow session)."
+//!
+//! Our checkpoint is a named, versioned flat parameter vector with a
+//! compact binary wire format, so download/upload byte counts (Fig. 9) are
+//! measured on real encodings rather than estimates.
+
+use crate::{CoreError, RoundId};
+use serde::{Deserialize, Serialize};
+
+/// Magic bytes identifying the checkpoint wire format.
+const MAGIC: &[u8; 4] = b"FLCK";
+/// Wire-format version.
+const WIRE_VERSION: u8 = 1;
+
+/// The serialized state of the global model, exchanged between server and
+/// devices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlCheckpoint {
+    /// Name of the FL task this checkpoint belongs to.
+    pub task_name: String,
+    /// Round that produced these parameters.
+    pub round: RoundId,
+    /// Flat model parameters.
+    params: Vec<f32>,
+}
+
+impl FlCheckpoint {
+    /// Creates a checkpoint.
+    pub fn new(task_name: impl Into<String>, round: RoundId, params: Vec<f32>) -> Self {
+        FlCheckpoint {
+            task_name: task_name.into(),
+            round,
+            params,
+        }
+    }
+
+    /// The flat parameters.
+    pub fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the checkpoint holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Consumes the checkpoint, returning the parameters.
+    pub fn into_params(self) -> Vec<f32> {
+        self.params
+    }
+
+    /// Encodes to the compact binary wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let name = self.task_name.as_bytes();
+        let mut out = Vec::with_capacity(4 + 1 + 2 + name.len() + 8 + 4 + self.params.len() * 4);
+        out.extend_from_slice(MAGIC);
+        out.push(WIRE_VERSION);
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name);
+        out.extend_from_slice(&self.round.0.to_le_bytes());
+        out.extend_from_slice(&(self.params.len() as u32).to_le_bytes());
+        for p in &self.params {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes from the binary wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MalformedCheckpoint`] on truncation, bad magic,
+    /// unknown wire version, or invalid UTF-8 in the task name.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CoreError> {
+        let bad = |why: &str| CoreError::MalformedCheckpoint(why.to_string());
+        if bytes.len() < 7 {
+            return Err(bad("too short for header"));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err(bad("bad magic"));
+        }
+        if bytes[4] != WIRE_VERSION {
+            return Err(bad("unknown wire version"));
+        }
+        let name_len = u16::from_le_bytes([bytes[5], bytes[6]]) as usize;
+        let mut at = 7;
+        let name_bytes = bytes.get(at..at + name_len).ok_or_else(|| bad("truncated name"))?;
+        let task_name = std::str::from_utf8(name_bytes)
+            .map_err(|_| bad("task name is not UTF-8"))?
+            .to_string();
+        at += name_len;
+        let round_bytes = bytes.get(at..at + 8).ok_or_else(|| bad("truncated round"))?;
+        let round = RoundId(u64::from_le_bytes(round_bytes.try_into().unwrap()));
+        at += 8;
+        let count_bytes = bytes.get(at..at + 4).ok_or_else(|| bad("truncated count"))?;
+        let count = u32::from_le_bytes(count_bytes.try_into().unwrap()) as usize;
+        at += 4;
+        let mut params = Vec::with_capacity(count);
+        for i in 0..count {
+            let p = bytes
+                .get(at + i * 4..at + (i + 1) * 4)
+                .ok_or_else(|| bad("truncated params"))?;
+            params.push(f32::from_le_bytes(p.try_into().unwrap()));
+        }
+        Ok(FlCheckpoint {
+            task_name,
+            round,
+            params,
+        })
+    }
+
+    /// Size of the encoded checkpoint in bytes (without encoding it).
+    pub fn encoded_size(&self) -> usize {
+        4 + 1 + 2 + self.task_name.len() + 8 + 4 + self.params.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let ck = FlCheckpoint::new("nwp-train", RoundId(17), vec![1.0, -2.5, 0.0, 1e-9]);
+        let bytes = ck.to_bytes();
+        assert_eq!(bytes.len(), ck.encoded_size());
+        let back = FlCheckpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn empty_params_round_trip() {
+        let ck = FlCheckpoint::new("t", RoundId(0), vec![]);
+        let back = FlCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.len(), 0);
+    }
+
+    #[test]
+    fn detects_bad_magic() {
+        let mut bytes = FlCheckpoint::new("t", RoundId(0), vec![1.0]).to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            FlCheckpoint::from_bytes(&bytes),
+            Err(CoreError::MalformedCheckpoint(_))
+        ));
+    }
+
+    #[test]
+    fn detects_truncation_at_every_boundary() {
+        let full = FlCheckpoint::new("task", RoundId(3), vec![1.0, 2.0]).to_bytes();
+        for cut in [0, 3, 6, 8, 12, 16, full.len() - 1] {
+            assert!(
+                FlCheckpoint::from_bytes(&full[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_wrong_wire_version() {
+        let mut bytes = FlCheckpoint::new("t", RoundId(0), vec![]).to_bytes();
+        bytes[4] = 99;
+        assert!(FlCheckpoint::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn into_params_moves_data() {
+        let ck = FlCheckpoint::new("t", RoundId(1), vec![3.0, 4.0]);
+        assert_eq!(ck.into_params(), vec![3.0, 4.0]);
+    }
+}

@@ -1,0 +1,96 @@
+//! The shared error type for protocol-level operations.
+
+use std::fmt;
+
+/// Errors produced by `fl-core` operations and re-used by the server and
+/// device crates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A checkpoint byte stream is malformed.
+    MalformedCheckpoint(String),
+    /// An update's dimension does not match the accumulator/model.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Provided dimension.
+        actual: usize,
+    },
+    /// An update with zero weight was submitted.
+    ZeroWeightUpdate,
+    /// A round was finalized without reaching its minimum participant count.
+    InsufficientParticipants {
+        /// Devices that reported in time.
+        reported: usize,
+        /// Minimum required.
+        required: usize,
+    },
+    /// A plan references a runtime version the transform registry cannot
+    /// lower to.
+    UnsupportedVersion {
+        /// The version requested.
+        requested: u32,
+        /// The oldest version reachable through transformations.
+        oldest_supported: u32,
+    },
+    /// A task or population lookup failed.
+    UnknownTask(String),
+    /// Underlying ML error.
+    Ml(fl_ml::MlError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::MalformedCheckpoint(why) => write!(f, "malformed checkpoint: {why}"),
+            CoreError::DimensionMismatch { expected, actual } => {
+                write!(f, "update dimension mismatch: expected {expected}, got {actual}")
+            }
+            CoreError::ZeroWeightUpdate => write!(f, "update has zero weight"),
+            CoreError::InsufficientParticipants { reported, required } => write!(
+                f,
+                "round abandoned: {reported} devices reported, {required} required"
+            ),
+            CoreError::UnsupportedVersion {
+                requested,
+                oldest_supported,
+            } => write!(
+                f,
+                "runtime version {requested} unsupported (oldest reachable: {oldest_supported})"
+            ),
+            CoreError::UnknownTask(name) => write!(f, "unknown task or population: {name}"),
+            CoreError::Ml(e) => write!(f, "ml error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Ml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fl_ml::MlError> for CoreError {
+    fn from(e: fl_ml::MlError) -> Self {
+        CoreError::Ml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = CoreError::InsufficientParticipants {
+            reported: 3,
+            required: 10,
+        };
+        assert!(e.to_string().contains("3 devices"));
+        let e = CoreError::from(fl_ml::MlError::EmptyBatch);
+        assert!(e.to_string().contains("ml error"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

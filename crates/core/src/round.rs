@@ -1,0 +1,190 @@
+//! Round configuration and outcomes (Sec. 2.2, Sec. 9).
+//!
+//! "The selection and reporting phases are specified by a set of parameters
+//! which spawn flexible time windows. For example, for the selection phase
+//! the server considers a device participant goal count, a timeout, and a
+//! minimal percentage of the goal count which is required to run the round."
+//!
+//! Sec. 9 adds the production numbers: "the server typically selects 130%
+//! of the target number of devices to initially participate" to compensate
+//! for 6–10% drop-out and to allow stragglers to be discarded, and device
+//! participation time is capped.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters governing one FL round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundConfig {
+    /// Target number of devices whose updates should be incorporated
+    /// (`K` in Appendix B).
+    pub goal_count: usize,
+    /// Over-selection factor; the server configures
+    /// `goal_count × overselection` devices (1.3 in production).
+    pub overselection: f64,
+    /// Minimum fraction of `goal_count` that must check in before the
+    /// selection timeout for the round to start.
+    pub min_goal_fraction: f64,
+    /// Selection-phase timeout in milliseconds.
+    pub selection_timeout_ms: u64,
+    /// Reporting window in milliseconds; devices reporting later are
+    /// rejected ("upload rejected" in Table 1).
+    pub report_window_ms: u64,
+    /// Cap on a single device's participation time (Fig. 8: "device
+    /// participation time is capped […] to deal with straggler devices").
+    pub device_cap_ms: u64,
+}
+
+impl Default for RoundConfig {
+    fn default() -> Self {
+        RoundConfig {
+            goal_count: 100,
+            overselection: 1.3,
+            min_goal_fraction: 0.8,
+            selection_timeout_ms: 60_000,
+            report_window_ms: 180_000,
+            device_cap_ms: 150_000,
+        }
+    }
+}
+
+impl RoundConfig {
+    /// Number of devices the server tries to configure for the round
+    /// (`⌈goal × overselection⌉`).
+    pub fn selection_target(&self) -> usize {
+        (self.goal_count as f64 * self.overselection).ceil() as usize
+    }
+
+    /// Minimum check-ins needed at selection timeout for the round to start.
+    pub fn min_to_start(&self) -> usize {
+        ((self.goal_count as f64) * self.min_goal_fraction).ceil() as usize
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.goal_count == 0 {
+            return Err("goal_count must be positive".into());
+        }
+        if self.overselection < 1.0 {
+            return Err("overselection must be >= 1.0".into());
+        }
+        if !(0.0..=1.0).contains(&self.min_goal_fraction) {
+            return Err("min_goal_fraction must be in [0, 1]".into());
+        }
+        if self.report_window_ms == 0 || self.selection_timeout_ms == 0 {
+            return Err("time windows must be positive".into());
+        }
+        if self.device_cap_ms > self.report_window_ms {
+            return Err("device cap cannot exceed the reporting window".into());
+        }
+        Ok(())
+    }
+}
+
+/// Why a round ended the way it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoundOutcome {
+    /// Enough devices reported; the global model was updated and committed.
+    Committed {
+        /// Updates incorporated into the global model.
+        incorporated: usize,
+        /// Devices aborted after the goal was reached (Fig. 7's "aborted").
+        aborted: usize,
+        /// Devices that dropped out (computation error, network failure,
+        /// eligibility change).
+        dropped_out: usize,
+    },
+    /// Too few devices checked in before the selection timeout.
+    AbandonedInSelection {
+        /// Devices that had checked in.
+        checked_in: usize,
+        /// Minimum required to start.
+        required: usize,
+    },
+    /// The round started but too few devices reported before the window
+    /// closed.
+    AbandonedInReporting {
+        /// Devices that reported in time.
+        reported: usize,
+        /// Goal count.
+        required: usize,
+    },
+}
+
+impl RoundOutcome {
+    /// Whether the round updated the global model.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, RoundOutcome::Committed { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_numbers() {
+        let c = RoundConfig::default();
+        assert_eq!(c.goal_count, 100);
+        assert!((c.overselection - 1.3).abs() < 1e-9);
+        assert_eq!(c.selection_target(), 130);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn selection_target_rounds_up() {
+        let c = RoundConfig {
+            goal_count: 3,
+            overselection: 1.3,
+            ..Default::default()
+        };
+        assert_eq!(c.selection_target(), 4);
+    }
+
+    #[test]
+    fn min_to_start_uses_fraction() {
+        let c = RoundConfig {
+            goal_count: 100,
+            min_goal_fraction: 0.75,
+            ..Default::default()
+        };
+        assert_eq!(c.min_to_start(), 75);
+    }
+
+    #[test]
+    fn validate_catches_bad_configs() {
+        let bad = RoundConfig {
+            goal_count: 0,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = RoundConfig {
+            overselection: 0.9,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = RoundConfig {
+            device_cap_ms: 999_999_999,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn outcome_commit_flag() {
+        assert!(RoundOutcome::Committed {
+            incorporated: 100,
+            aborted: 20,
+            dropped_out: 10
+        }
+        .is_committed());
+        assert!(!RoundOutcome::AbandonedInSelection {
+            checked_in: 5,
+            required: 80
+        }
+        .is_committed());
+    }
+}

@@ -1,0 +1,4 @@
+//! Seeded synthetic data generators.
+
+pub mod classification;
+pub mod text;

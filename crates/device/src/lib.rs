@@ -1,0 +1,25 @@
+//! `fl-device` — the on-device Federated Learning runtime (Sec. 3).
+//!
+//! The paper's device stack, reproduced without Android:
+//!
+//! * [`conditions`] — device state and the eligibility criteria ("idle,
+//!   charging, and connected to an unmetered network");
+//! * [`scheduler`] — the JobScheduler stand-in: periodic job invocation
+//!   gated on eligibility, with abort-on-change semantics, plus the
+//!   multi-tenant training queue ("a simple worker queue […] we avoid
+//!   running training sessions on-device in parallel", Sec. 11);
+//! * [`attestation`] — simulated device attestation (Sec. 3: devices
+//!   participate anonymously; the server verifies tokens so that "only
+//!   genuine devices and applications participate");
+//! * [`runtime`] — the FL runtime itself: interprets the device portion of
+//!   an FL plan against the app's example store, computes updates and
+//!   metrics, and reports, emitting the session events of Table 1.
+
+pub mod attestation;
+pub mod conditions;
+pub mod runtime;
+pub mod scheduler;
+
+pub use conditions::DeviceConditions;
+pub use runtime::{ExecutionOutcome, FlRuntime, Interruption};
+pub use scheduler::{JobScheduler, TrainingQueue};

@@ -1,0 +1,237 @@
+//! Fixed-point encoding of real vectors into a prime field.
+//!
+//! Secure Aggregation (Sec. 6) sums *field elements*, so real-valued model
+//! updates must be mapped into `Z_p` first: clip to `[-clip, clip]`, scale
+//! to an integer grid, and shift to be non-negative. Summation of up to
+//! `max_summands` encoded vectors is then exact in the field (no wraparound)
+//! and decodes to the sum of the clipped inputs up to grid resolution.
+//!
+//! The field prime is shared with `fl-secagg` (the Mersenne prime 2⁶¹−1).
+
+use std::fmt;
+
+/// The prime modulus shared with `fl-secagg`: the Mersenne prime 2⁶¹ − 1.
+pub const FIELD_PRIME: u64 = (1u64 << 61) - 1;
+
+/// Errors from fixed-point encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FixedPointError {
+    /// Parameters would overflow the field when `max_summands` vectors are added.
+    WouldOverflow {
+        /// Required headroom in field elements.
+        required: u128,
+    },
+    /// Non-finite input value.
+    NonFinite,
+}
+
+impl fmt::Display for FixedPointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixedPointError::WouldOverflow { required } => {
+                write!(f, "encoding would overflow the field (requires {required} elements)")
+            }
+            FixedPointError::NonFinite => write!(f, "input contains a non-finite value"),
+        }
+    }
+}
+
+impl std::error::Error for FixedPointError {}
+
+/// A fixed-point encoder for a known maximum number of summands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedPointEncoder {
+    clip: f64,
+    resolution_bits: u32,
+    max_summands: u64,
+}
+
+impl FixedPointEncoder {
+    /// Creates an encoder.
+    ///
+    /// * `clip` — values are clamped to `[-clip, clip]` before encoding;
+    /// * `resolution_bits` — the grid has `2^resolution_bits` steps per unit;
+    /// * `max_summands` — the number of encoded vectors that may be summed
+    ///   in the field without wrapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedPointError::WouldOverflow`] if
+    /// `max_summands · 2·clip·2^resolution_bits ≥ p`.
+    pub fn new(clip: f64, resolution_bits: u32, max_summands: u64) -> Result<Self, FixedPointError> {
+        assert!(clip > 0.0, "clip must be positive");
+        assert!(max_summands > 0, "max_summands must be positive");
+        let per_value_f = 2.0 * clip * f64::from(2u32).powi(resolution_bits as i32);
+        if !per_value_f.is_finite() || per_value_f >= u64::MAX as f64 {
+            return Err(FixedPointError::WouldOverflow { required: u128::MAX });
+        }
+        let required = per_value_f.ceil() as u128 * u128::from(max_summands);
+        if required >= u128::from(FIELD_PRIME) {
+            return Err(FixedPointError::WouldOverflow { required });
+        }
+        Ok(FixedPointEncoder {
+            clip,
+            resolution_bits,
+            max_summands,
+        })
+    }
+
+    /// A sensible default for FL updates: clip 64.0 (weighted deltas
+    /// `n·(w−w₀)` scale with the local example count), 18 resolution
+    /// bits, up to 2¹⁶ summands. `2·64·2¹⁸·2¹⁶ = 2⁴¹ ≪ 2⁶¹` leaves ample
+    /// field headroom.
+    pub fn default_for_updates() -> Self {
+        FixedPointEncoder::new(64.0, 18, 1 << 16).expect("default parameters fit the field")
+    }
+
+    /// Grid scale factor (`2^resolution_bits`).
+    fn scale(&self) -> f64 {
+        f64::from(2u32).powi(self.resolution_bits as i32)
+    }
+
+    /// Offset added to make encoded values non-negative.
+    fn offset(&self) -> u64 {
+        (self.clip * self.scale()).ceil() as u64
+    }
+
+    /// Maximum summands this encoder supports.
+    pub fn max_summands(&self) -> u64 {
+        self.max_summands
+    }
+
+    /// Encodes one value into the field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedPointError::NonFinite`] for NaN/infinite input.
+    pub fn encode_value(&self, x: f32) -> Result<u64, FixedPointError> {
+        if !x.is_finite() {
+            return Err(FixedPointError::NonFinite);
+        }
+        let clipped = f64::from(x).clamp(-self.clip, self.clip);
+        let scaled = (clipped * self.scale()).round() as i64 + self.offset() as i64;
+        Ok(scaled as u64)
+    }
+
+    /// Encodes a vector into field elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on non-finite inputs.
+    pub fn encode(&self, xs: &[f32]) -> Result<Vec<u64>, FixedPointError> {
+        xs.iter().map(|&x| self.encode_value(x)).collect()
+    }
+
+    /// Decodes a field element that is the sum of `summands` encoded values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `summands` exceeds [`FixedPointEncoder::max_summands`].
+    pub fn decode_sum_value(&self, v: u64, summands: u64) -> f32 {
+        assert!(
+            summands <= self.max_summands,
+            "decode called with more summands than encoder supports"
+        );
+        let shifted = v as i128 - (u128::from(self.offset()) * u128::from(summands)) as i128;
+        (shifted as f64 / self.scale()) as f32
+    }
+
+    /// Decodes a summed vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `summands` exceeds the configured maximum.
+    pub fn decode_sum(&self, vs: &[u64], summands: u64) -> Vec<f32> {
+        vs.iter()
+            .map(|&v| self.decode_sum_value(v, summands))
+            .collect()
+    }
+
+    /// Worst-case absolute decode error per summand (half a grid step).
+    pub fn per_summand_error(&self) -> f64 {
+        0.5 / self.scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_single_values() {
+        let enc = FixedPointEncoder::new(4.0, 16, 100).unwrap();
+        for x in [-3.9f32, -1.0, 0.0, 0.5, 3.9] {
+            let v = enc.encode_value(x).unwrap();
+            let back = enc.decode_sum_value(v, 1);
+            assert!((back - x).abs() < 1e-3, "{x} -> {back}");
+        }
+    }
+
+    #[test]
+    fn clips_out_of_range_values() {
+        let enc = FixedPointEncoder::new(1.0, 16, 10).unwrap();
+        let v = enc.encode_value(100.0).unwrap();
+        assert!((enc.decode_sum_value(v, 1) - 1.0).abs() < 1e-3);
+        let v = enc.encode_value(-100.0).unwrap();
+        assert!((enc.decode_sum_value(v, 1) + 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sums_decode_to_sum_of_inputs() {
+        let enc = FixedPointEncoder::new(4.0, 20, 1000).unwrap();
+        let xs = [0.25f32, -1.5, 3.0, 0.125];
+        let encoded: Vec<u64> = xs.iter().map(|&x| enc.encode_value(x).unwrap()).collect();
+        let field_sum: u64 = encoded.iter().sum(); // no mod needed within headroom
+        let back = enc.decode_sum_value(field_sum, xs.len() as u64);
+        let expect: f32 = xs.iter().sum();
+        assert!((back - expect).abs() < 1e-3, "{back} vs {expect}");
+    }
+
+    #[test]
+    fn rejects_overflowing_parameters() {
+        assert!(matches!(
+            FixedPointEncoder::new(1e12, 32, u64::MAX / 2),
+            Err(FixedPointError::WouldOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let enc = FixedPointEncoder::default_for_updates();
+        assert_eq!(enc.encode_value(f32::NAN), Err(FixedPointError::NonFinite));
+        assert_eq!(
+            enc.encode_value(f32::INFINITY),
+            Err(FixedPointError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn default_encoder_fits_field() {
+        let enc = FixedPointEncoder::default_for_updates();
+        assert!(enc.max_summands() >= 1 << 16);
+        // Encoded max value times max summands stays under the prime.
+        let max_encoded = enc.encode_value(8.0).unwrap();
+        assert!(u128::from(max_encoded) * u128::from(enc.max_summands()) < u128::from(FIELD_PRIME));
+    }
+
+    #[test]
+    fn vector_encode_decode() {
+        let enc = FixedPointEncoder::new(2.0, 18, 4).unwrap();
+        let a = [0.5f32, -0.25, 1.0];
+        let b = [0.1f32, 0.2, -0.9];
+        let ea = enc.encode(&a).unwrap();
+        let eb = enc.encode(&b).unwrap();
+        let sum: Vec<u64> = ea.iter().zip(&eb).map(|(x, y)| x + y).collect();
+        let decoded = enc.decode_sum(&sum, 2);
+        for ((x, y), d) in a.iter().zip(&b).zip(&decoded) {
+            assert!((x + y - d).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more summands")]
+    fn decode_rejects_excess_summands() {
+        let enc = FixedPointEncoder::new(1.0, 8, 2).unwrap();
+        let _ = enc.decode_sum_value(0, 3);
+    }
+}

@@ -1,0 +1,232 @@
+//! Dense linear-algebra kernels on `&[f32]` slices.
+//!
+//! The model implementations in [`crate::models`] keep their parameters in
+//! flat slices and call into these kernels for the hot loops. Matrices are
+//! row-major: an `m × n` matrix stores row `i` at `m[i*n .. (i+1)*n]`.
+
+/// Computes `y = A x` for a row-major `rows × cols` matrix.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `rows × cols`.
+pub fn matvec(a: &[f32], x: &[f32], rows: usize, cols: usize, y: &mut [f32]) {
+    assert_eq!(a.len(), rows * cols, "matrix size mismatch");
+    assert_eq!(x.len(), cols, "input size mismatch");
+    assert_eq!(y.len(), rows, "output size mismatch");
+    for r in 0..rows {
+        let row = &a[r * cols..(r + 1) * cols];
+        let mut acc = 0.0f32;
+        for (av, xv) in row.iter().zip(x) {
+            acc += av * xv;
+        }
+        y[r] = acc;
+    }
+}
+
+/// Computes `y = Aᵀ x` for a row-major `rows × cols` matrix (`y` has `cols` entries).
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent.
+pub fn matvec_transposed(a: &[f32], x: &[f32], rows: usize, cols: usize, y: &mut [f32]) {
+    assert_eq!(a.len(), rows * cols, "matrix size mismatch");
+    assert_eq!(x.len(), rows, "input size mismatch");
+    assert_eq!(y.len(), cols, "output size mismatch");
+    y.fill(0.0);
+    for r in 0..rows {
+        let row = &a[r * cols..(r + 1) * cols];
+        let xv = x[r];
+        if xv == 0.0 {
+            continue;
+        }
+        for (yv, av) in y.iter_mut().zip(row) {
+            *yv += av * xv;
+        }
+    }
+}
+
+/// Accumulates the outer product `G += scale · u vᵀ` into a row-major matrix.
+///
+/// # Panics
+///
+/// Panics if `g.len() != u.len() * v.len()`.
+pub fn outer_accumulate(g: &mut [f32], u: &[f32], v: &[f32], scale: f32) {
+    assert_eq!(g.len(), u.len() * v.len(), "gradient size mismatch");
+    let cols = v.len();
+    for (r, &uv) in u.iter().enumerate() {
+        if uv == 0.0 {
+            continue;
+        }
+        let row = &mut g[r * cols..(r + 1) * cols];
+        let s = uv * scale;
+        for (gv, &vv) in row.iter_mut().zip(v) {
+            *gv += s * vv;
+        }
+    }
+}
+
+/// Adds `scale · b` into `a` element-wise.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn axpy(a: &mut [f32], b: &[f32], scale: f32) {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    for (av, bv) in a.iter_mut().zip(b) {
+        *av += scale * bv;
+    }
+}
+
+/// Returns the dot product of two slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Returns the Euclidean (L2) norm of a slice.
+pub fn l2_norm(a: &[f32]) -> f32 {
+    a.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// Scales a slice in place.
+pub fn scale_in_place(a: &mut [f32], s: f32) {
+    for v in a {
+        *v *= s;
+    }
+}
+
+/// Replaces `logits` with its softmax, computed stably (max-subtracted).
+pub fn softmax_in_place(logits: &mut [f32]) {
+    if logits.is_empty() {
+        return;
+    }
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in logits.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in logits.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// Returns the cross-entropy `-ln p[target]` for a probability vector,
+/// clamped away from zero for numerical safety.
+///
+/// # Panics
+///
+/// Panics if `target` is out of bounds.
+pub fn cross_entropy(probs: &[f32], target: usize) -> f64 {
+    assert!(target < probs.len(), "target {target} out of bounds");
+    -(f64::from(probs[target]).max(1e-12)).ln()
+}
+
+/// Returns the index of the maximum element (first on ties).
+///
+/// Returns `None` for an empty slice.
+pub fn argmax(a: &[f32]) -> Option<usize> {
+    if a.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &v) in a.iter().enumerate().skip(1) {
+        if v > a[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Applies the rectified linear unit in place, returning a mask of active units.
+pub fn relu_in_place(a: &mut [f32]) -> Vec<bool> {
+    a.iter_mut()
+        .map(|v| {
+            if *v > 0.0 {
+                true
+            } else {
+                *v = 0.0;
+                false
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_matches_manual() {
+        // [1 2; 3 4] * [5, 6] = [17, 39]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let x = [5.0, 6.0];
+        let mut y = [0.0; 2];
+        matvec(&a, &x, 2, 2, &mut y);
+        assert_eq!(y, [17.0, 39.0]);
+    }
+
+    #[test]
+    fn matvec_transposed_matches_manual() {
+        // [1 2; 3 4]^T * [5, 6] = [1*5+3*6, 2*5+4*6] = [23, 34]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let x = [5.0, 6.0];
+        let mut y = [0.0; 2];
+        matvec_transposed(&a, &x, 2, 2, &mut y);
+        assert_eq!(y, [23.0, 34.0]);
+    }
+
+    #[test]
+    fn outer_accumulate_matches_manual() {
+        let mut g = [0.0; 6];
+        outer_accumulate(&mut g, &[1.0, 2.0], &[3.0, 4.0, 5.0], 2.0);
+        assert_eq!(g, [6.0, 8.0, 10.0, 12.0, 16.0, 20.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let mut v = [1.0, 2.0, 3.0];
+        softmax_in_place(&mut v);
+        let sum: f32 = v.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(v[2] > v[1] && v[1] > v[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let mut v = [1000.0, 1001.0];
+        softmax_in_place(&mut v);
+        assert!(v.iter().all(|x| x.is_finite()));
+        assert!((v.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_picks_first_max() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn relu_masks_negatives() {
+        let mut v = [-1.0, 0.0, 2.0];
+        let mask = relu_in_place(&mut v);
+        assert_eq!(v, [0.0, 0.0, 2.0]);
+        assert_eq!(mask, vec![false, false, true]);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_of_confident_correct_is_small() {
+        assert!(cross_entropy(&[0.01, 0.99], 1) < 0.02);
+        assert!(cross_entropy(&[0.99, 0.01], 1) > 4.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Concrete model implementations.
+//!
+//! * [`linear`] — linear regression (squared loss),
+//! * [`logistic`] — softmax classification,
+//! * [`mlp`] — one-hidden-layer ReLU network,
+//! * [`embedding_lm`] — CBOW-style next-word predictor, the reproduction's
+//!   stand-in for the Gboard RNN of Sec. 8,
+//! * [`ngram`] — interpolated n-gram language model, the classical baseline
+//!   the paper's FL model is compared against (top-1 recall 13.0% → 16.4%).
+
+pub mod embedding_lm;
+pub mod linear;
+pub mod logistic;
+pub mod mlp;
+pub mod ngram;
+
+pub use embedding_lm::EmbeddingLm;
+pub use linear::LinearRegression;
+pub use logistic::LogisticRegression;
+pub use mlp::Mlp;
+pub use ngram::NgramLm;

@@ -1,0 +1,201 @@
+//! A minimal dense tensor type.
+//!
+//! [`Tensor`] is the unit of model state that flows through FL checkpoints:
+//! named, shaped, row-major `f32` storage. It deliberately supports only the
+//! operations the reproduction needs; it is not a general array library.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error produced by fallible tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    expected: Vec<usize>,
+    actual: Vec<usize>,
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape mismatch: expected {:?}, got {:?}",
+            self.expected, self.actual
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// # Example
+///
+/// ```
+/// use fl_ml::Tensor;
+///
+/// let t = Tensor::zeros(vec![2, 3]);
+/// assert_eq!(t.len(), 6);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros with the given shape.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let len = shape.iter().product();
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `data.len()` does not equal the product of
+    /// the shape dimensions.
+    pub fn from_data(shape: Vec<usize>, data: Vec<f32>) -> Result<Self, ShapeError> {
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(ShapeError {
+                expected: shape,
+                actual: vec![data.len()],
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a 1-D tensor from a vector.
+    pub fn from_vec(data: Vec<f32>) -> Self {
+        Tensor {
+            shape: vec![data.len()],
+            data,
+        }
+    }
+
+    /// Creates a tensor with entries drawn i.i.d. from `N(0, std²)`.
+    pub fn randn<R: rand::Rng>(shape: Vec<usize>, std: f32, rng: &mut R) -> Self {
+        let len = shape.iter().product();
+        let data = (0..len)
+            .map(|_| crate::rng::normal_with_std(rng, f64::from(std)) as f32)
+            .collect();
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the flat data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the flat data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Adds `scale · other` into `self` element-wise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if shapes differ.
+    pub fn add_scaled(&mut self, other: &Tensor, scale: f32) -> Result<(), ShapeError> {
+        if self.shape != other.shape {
+            return Err(ShapeError {
+                expected: self.shape.clone(),
+                actual: other.shape.clone(),
+            });
+        }
+        crate::linalg::axpy(&mut self.data, &other.data, scale);
+        Ok(())
+    }
+
+    /// Multiplies every entry by `s`.
+    pub fn scale(&mut self, s: f32) {
+        crate::linalg::scale_in_place(&mut self.data, s);
+    }
+
+    /// Returns the L2 norm of the flattened tensor.
+    pub fn l2_norm(&self) -> f32 {
+        crate::linalg::l2_norm(&self.data)
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(shape={:?}, |x|={:.4})", self.shape, self.l2_norm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_right_size() {
+        let t = Tensor::zeros(vec![3, 4]);
+        assert_eq!(t.len(), 12);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn from_data_validates_length() {
+        assert!(Tensor::from_data(vec![2, 2], vec![0.0; 4]).is_ok());
+        let err = Tensor::from_data(vec![2, 2], vec![0.0; 3]).unwrap_err();
+        assert!(err.to_string().contains("shape mismatch"));
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = Tensor::from_vec(vec![1.0, 2.0]);
+        let b = Tensor::from_vec(vec![10.0, 20.0]);
+        a.add_scaled(&b, 0.5).unwrap();
+        assert_eq!(a.as_slice(), &[6.0, 12.0]);
+    }
+
+    #[test]
+    fn add_scaled_rejects_shape_mismatch() {
+        let mut a = Tensor::zeros(vec![2]);
+        let b = Tensor::zeros(vec![3]);
+        assert!(a.add_scaled(&b, 1.0).is_err());
+    }
+
+    #[test]
+    fn randn_is_seeded() {
+        let mut r1 = crate::rng::seeded(5);
+        let mut r2 = crate::rng::seeded(5);
+        let a = Tensor::randn(vec![10], 1.0, &mut r1);
+        let b = Tensor::randn(vec![10], 1.0, &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let t = Tensor::zeros(vec![1]);
+        assert!(!format!("{t}").is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! Key agreement and the mask/share PRG.
+//!
+//! Devices advertise two Diffie–Hellman key pairs (Bonawitz et al. 2017):
+//! the `c` pair encrypts Shamir shares in transit; the `s` pair derives the
+//! pairwise mask seeds. The group here is `Z_p^*` with the 61-bit protocol
+//! prime — structurally faithful, cryptographically simulation-grade (see
+//! the crate docs for the security caveat).
+
+use crate::field;
+use fl_ml::rng;
+use rand::RngExt;
+
+/// Generator of (a large subgroup of) `Z_p^*` used for DH.
+pub const GENERATOR: u64 = 3;
+
+/// A Diffie–Hellman key pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyPair {
+    secret: u64,
+    /// Public key `g^secret mod p`.
+    pub public: u64,
+}
+
+impl KeyPair {
+    /// Generates a key pair from the given RNG.
+    pub fn generate<R: rand::Rng>(rng: &mut R) -> Self {
+        // Secret in [1, p-1).
+        let secret = 1 + rng.random_range(0..field::PRIME - 2);
+        KeyPair {
+            secret,
+            public: field::pow(GENERATOR, secret),
+        }
+    }
+
+    /// Reconstructs a key pair from a known secret (used by the server when
+    /// it reconstructs a dropped device's mask key from Shamir shares).
+    pub fn from_secret(secret: u64) -> Self {
+        let secret = field::reduce(secret).max(1);
+        KeyPair {
+            secret,
+            public: field::pow(GENERATOR, secret),
+        }
+    }
+
+    /// The secret exponent. Exposed so it can be Shamir-shared; handle with
+    /// care.
+    pub fn secret(&self) -> u64 {
+        self.secret
+    }
+
+    /// Computes the shared secret with a peer's public key.
+    pub fn agree(&self, peer_public: u64) -> u64 {
+        field::pow(peer_public, self.secret)
+    }
+}
+
+/// Expands a seed into `dim` field elements (the mask PRG).
+pub fn expand_mask(seed: u64, dim: usize) -> Vec<u64> {
+    let mut r = rng::seeded(seed);
+    (0..dim).map(|_| r.random_range(0..field::PRIME)).collect()
+}
+
+/// Expands a seed into a keystream of bytes (the share "encryption").
+pub fn keystream(seed: u64, len: usize) -> Vec<u8> {
+    let mut r = rng::seeded(seed);
+    (0..len).map(|_| r.random::<u8>()).collect()
+}
+
+/// XORs `data` with the keystream derived from `seed` (symmetric: applying
+/// twice restores the plaintext).
+pub fn xor_cipher(seed: u64, data: &[u8]) -> Vec<u8> {
+    data.iter()
+        .zip(keystream(seed, data.len()))
+        .map(|(&d, k)| d ^ k)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fl_ml::rng::seeded;
+
+    #[test]
+    fn dh_agreement_is_symmetric() {
+        let mut rng = seeded(1);
+        let a = KeyPair::generate(&mut rng);
+        let b = KeyPair::generate(&mut rng);
+        assert_eq!(a.agree(b.public), b.agree(a.public));
+    }
+
+    #[test]
+    fn different_pairs_produce_different_secrets() {
+        let mut rng = seeded(2);
+        let a = KeyPair::generate(&mut rng);
+        let b = KeyPair::generate(&mut rng);
+        let c = KeyPair::generate(&mut rng);
+        assert_ne!(a.agree(b.public), a.agree(c.public));
+    }
+
+    #[test]
+    fn from_secret_reproduces_public_key() {
+        let mut rng = seeded(3);
+        let a = KeyPair::generate(&mut rng);
+        let rebuilt = KeyPair::from_secret(a.secret());
+        assert_eq!(rebuilt.public, a.public);
+        let b = KeyPair::generate(&mut rng);
+        assert_eq!(rebuilt.agree(b.public), a.agree(b.public));
+    }
+
+    #[test]
+    fn expand_mask_is_deterministic_and_in_field() {
+        let m1 = expand_mask(42, 100);
+        let m2 = expand_mask(42, 100);
+        assert_eq!(m1, m2);
+        assert!(m1.iter().all(|&v| v < field::PRIME));
+        let m3 = expand_mask(43, 100);
+        assert_ne!(m1, m3);
+    }
+
+    #[test]
+    fn xor_cipher_round_trips() {
+        let plaintext = b"share payload \x00\xff\x01";
+        let ct = xor_cipher(77, plaintext);
+        assert_ne!(&ct, plaintext);
+        assert_eq!(xor_cipher(77, &ct), plaintext);
+    }
+
+    #[test]
+    fn xor_cipher_with_wrong_key_garbles() {
+        let plaintext = b"hello";
+        let ct = xor_cipher(77, plaintext);
+        assert_ne!(xor_cipher(78, &ct), plaintext);
+    }
+}

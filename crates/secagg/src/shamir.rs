@@ -1,0 +1,216 @@
+//! Shamir `t`-of-`n` secret sharing over the protocol field.
+//!
+//! Used in the Prepare phase to share each device's mask secret key and
+//! self-mask seed, so the Finalization phase can reconstruct them for
+//! dropped (key) or committed (seed) devices respectively.
+
+use crate::error::SecAggError;
+use crate::field;
+use rand::RngExt;
+
+/// One Shamir share: the evaluation point `x` (non-zero) and value `y`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Share {
+    /// Evaluation point (participant index + 1; never zero).
+    pub x: u64,
+    /// Polynomial value at `x`.
+    pub y: u64,
+}
+
+/// Splits `secret` into `n` shares with reconstruction threshold `t`.
+///
+/// Share `i` is the degree-`t−1` polynomial evaluated at `x = i + 1`.
+///
+/// # Panics
+///
+/// Panics unless `1 <= t <= n` and `n` fits the field.
+pub fn share<R: rand::Rng>(secret: u64, n: usize, t: usize, rng: &mut R) -> Vec<Share> {
+    assert!(t >= 1 && t <= n, "threshold must satisfy 1 <= t <= n");
+    assert!((n as u64) < field::PRIME, "too many shares for the field");
+    let secret = field::reduce(secret);
+    // coefficients[0] = secret; the rest uniform random.
+    let mut coefficients = Vec::with_capacity(t);
+    coefficients.push(secret);
+    for _ in 1..t {
+        coefficients.push(rng.random_range(0..field::PRIME));
+    }
+    (1..=n as u64)
+        .map(|x| {
+            // Horner evaluation.
+            let mut y = 0u64;
+            for &c in coefficients.iter().rev() {
+                y = field::add(field::mul(y, x), c);
+            }
+            Share { x, y }
+        })
+        .collect()
+}
+
+/// Splits `secret` into shares evaluated at the given non-zero points with
+/// reconstruction threshold `t`.
+///
+/// The protocol uses `x = participant_id + 1` so any `t` surviving
+/// participants can reconstruct, regardless of which ones survive.
+///
+/// # Panics
+///
+/// Panics unless `1 <= t <= points.len()`, points are non-zero, distinct,
+/// and within the field.
+pub fn share_at<R: rand::Rng>(secret: u64, points: &[u64], t: usize, rng: &mut R) -> Vec<Share> {
+    assert!(t >= 1 && t <= points.len(), "threshold must satisfy 1 <= t <= n");
+    for (i, &x) in points.iter().enumerate() {
+        assert!(x != 0 && x < field::PRIME, "points must be non-zero field elements");
+        assert!(!points[..i].contains(&x), "points must be distinct");
+    }
+    let secret = field::reduce(secret);
+    let mut coefficients = Vec::with_capacity(t);
+    coefficients.push(secret);
+    for _ in 1..t {
+        coefficients.push(rng.random_range(0..field::PRIME));
+    }
+    points
+        .iter()
+        .map(|&x| {
+            let mut y = 0u64;
+            for &c in coefficients.iter().rev() {
+                y = field::add(field::mul(y, x), c);
+            }
+            Share { x, y }
+        })
+        .collect()
+}
+
+/// Reconstructs the secret from at least `t` distinct shares via Lagrange
+/// interpolation at `x = 0`.
+///
+/// # Errors
+///
+/// Returns [`SecAggError::ReconstructionFailed`] if fewer than `t` shares
+/// are provided or share points repeat.
+pub fn reconstruct(shares: &[Share], t: usize) -> Result<u64, SecAggError> {
+    if shares.len() < t {
+        return Err(SecAggError::ReconstructionFailed(0));
+    }
+    let pts = &shares[..t];
+    // Distinct x check.
+    for (i, a) in pts.iter().enumerate() {
+        if a.x == 0 {
+            return Err(SecAggError::ReconstructionFailed(0));
+        }
+        for b in &pts[..i] {
+            if a.x == b.x {
+                return Err(SecAggError::ReconstructionFailed(0));
+            }
+        }
+    }
+    let mut secret = 0u64;
+    for (i, si) in pts.iter().enumerate() {
+        // Lagrange basis at 0: Π_{j≠i} x_j / (x_j − x_i).
+        let mut num = 1u64;
+        let mut den = 1u64;
+        for (j, sj) in pts.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            num = field::mul(num, sj.x);
+            den = field::mul(den, field::sub(sj.x, si.x));
+        }
+        let basis = field::mul(num, field::inv(den));
+        secret = field::add(secret, field::mul(si.y, basis));
+    }
+    Ok(secret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fl_ml::rng::seeded;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trips_with_exact_threshold() {
+        let mut rng = seeded(1);
+        let secret = 123_456_789_u64;
+        let shares = share(secret, 5, 3, &mut rng);
+        assert_eq!(shares.len(), 5);
+        assert_eq!(reconstruct(&shares[..3], 3).unwrap(), secret);
+        assert_eq!(reconstruct(&shares[2..], 3).unwrap(), secret);
+    }
+
+    #[test]
+    fn any_t_subset_reconstructs() {
+        let mut rng = seeded(2);
+        let secret = field::PRIME - 17;
+        let shares = share(secret, 6, 4, &mut rng);
+        // All C(6,4) subsets.
+        let idx = [0usize, 1, 2, 3, 4, 5];
+        for a in 0..6 {
+            for b in a + 1..6 {
+                let subset: Vec<Share> = idx
+                    .iter()
+                    .filter(|&&i| i != a && i != b)
+                    .map(|&i| shares[i])
+                    .collect();
+                assert_eq!(reconstruct(&subset, 4).unwrap(), secret);
+            }
+        }
+    }
+
+    #[test]
+    fn below_threshold_fails() {
+        let mut rng = seeded(3);
+        let shares = share(42, 5, 3, &mut rng);
+        assert!(reconstruct(&shares[..2], 3).is_err());
+    }
+
+    #[test]
+    fn duplicate_points_fail() {
+        let mut rng = seeded(4);
+        let shares = share(42, 3, 2, &mut rng);
+        let dup = vec![shares[0], shares[0]];
+        assert!(reconstruct(&dup, 2).is_err());
+    }
+
+    #[test]
+    fn t_minus_one_shares_reveal_nothing_deterministic() {
+        // With t-1 shares, every candidate secret is consistent with SOME
+        // polynomial; spot-check that two different secrets can produce the
+        // same first share values is probabilistically untestable, so we
+        // check instead that shares of the same secret with different
+        // randomness differ (shares are randomized).
+        let mut r1 = seeded(5);
+        let mut r2 = seeded(6);
+        let s1 = share(7, 4, 2, &mut r1);
+        let s2 = share(7, 4, 2, &mut r2);
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn threshold_one_is_replication() {
+        let mut rng = seeded(7);
+        let shares = share(99, 3, 1, &mut rng);
+        for s in &shares {
+            assert_eq!(s.y, 99);
+        }
+        assert_eq!(reconstruct(&shares[..1], 1).unwrap(), 99);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reconstruct_inverts_share(
+            secret in 0u64..field::PRIME,
+            n in 2usize..12,
+            t_off in 0usize..10,
+            seed in 0u64..1000,
+            skip in 0usize..10,
+        ) {
+            let t = 1 + t_off % n;
+            let mut rng = seeded(seed);
+            let shares = share(secret, n, t, &mut rng);
+            // Use a rotated subset of exactly t shares.
+            let start = skip % n;
+            let subset: Vec<Share> = (0..t).map(|i| shares[(start + i) % n]).collect();
+            prop_assert_eq!(reconstruct(&subset, t).unwrap(), secret);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Adaptive round time windows (Sec. 11, *Convergence Time*).
+//!
+//! "The time windows to select devices for training and wait for their
+//! reporting is currently configured statically per FL population. It
+//! should be dynamically adjusted to reduce the drop out rate and
+//! increase round frequency."
+//!
+//! [`WindowTuner`] implements that future-work direction with machinery
+//! the platform already has: it folds every round's device reporting
+//! times into P² quantile sketches (the same approximate order statistics
+//! the metrics layer uses, Sec. 7.4) and retunes the reporting window and
+//! participation cap so that
+//!
+//! * the window covers the observed p95 reporting time plus margin (few
+//!   devices rejected late → lower drop-out/reject rate), and
+//! * it is no longer than necessary (stragglers cut earlier → higher
+//!   round frequency).
+
+use fl_core::round::RoundConfig;
+use fl_ml::metrics::P2Quantile;
+
+/// Bounds and margins for the tuner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunerConfig {
+    /// Multiplicative headroom over the observed p95 reporting time.
+    pub margin: f64,
+    /// Lower bound for the reporting window (ms).
+    pub min_window_ms: u64,
+    /// Upper bound for the reporting window (ms).
+    pub max_window_ms: u64,
+    /// Rounds of data required before the first adjustment.
+    pub warmup_rounds: u64,
+}
+
+impl Default for TunerConfig {
+    fn default() -> Self {
+        TunerConfig {
+            margin: 1.3,
+            min_window_ms: 30_000,
+            max_window_ms: 30 * 60_000,
+            warmup_rounds: 3,
+        }
+    }
+}
+
+/// Online tuner for a task's round time windows.
+#[derive(Debug, Clone)]
+pub struct WindowTuner {
+    config: TunerConfig,
+    p50: P2Quantile,
+    p95: P2Quantile,
+    rounds_observed: u64,
+}
+
+impl WindowTuner {
+    /// Creates a tuner.
+    pub fn new(config: TunerConfig) -> Self {
+        WindowTuner {
+            config,
+            p50: P2Quantile::new(0.5),
+            p95: P2Quantile::new(0.95),
+            rounds_observed: 0,
+        }
+    }
+
+    /// Folds one finished round's per-device participation times in.
+    pub fn observe_round<I: IntoIterator<Item = u64>>(&mut self, participation_times_ms: I) {
+        for t in participation_times_ms {
+            let t = t as f64;
+            self.p50.push(t);
+            self.p95.push(t);
+        }
+        self.rounds_observed += 1;
+    }
+
+    /// Rounds observed so far.
+    pub fn rounds_observed(&self) -> u64 {
+        self.rounds_observed
+    }
+
+    /// Current p95 estimate of device reporting time (ms).
+    pub fn p95_ms(&self) -> Option<f64> {
+        self.p95.estimate()
+    }
+
+    /// Produces the tuned configuration for the next round: the reporting
+    /// window tracks `p95 × margin` (clamped), and the participation cap
+    /// stays just inside the window. Returns the input unchanged during
+    /// warm-up.
+    pub fn tuned(&self, base: &RoundConfig) -> RoundConfig {
+        if self.rounds_observed < self.config.warmup_rounds {
+            return *base;
+        }
+        let Some(p95) = self.p95.estimate() else {
+            return *base;
+        };
+        let window = ((p95 * self.config.margin) as u64)
+            .clamp(self.config.min_window_ms, self.config.max_window_ms);
+        RoundConfig {
+            report_window_ms: window,
+            device_cap_ms: window.saturating_sub(window / 10).max(1),
+            ..*base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> RoundConfig {
+        RoundConfig {
+            goal_count: 100,
+            overselection: 1.3,
+            min_goal_fraction: 0.8,
+            selection_timeout_ms: 60_000,
+            report_window_ms: 10 * 60_000, // static 10 min
+            device_cap_ms: 9 * 60_000,
+            ..RoundConfig::default()
+        }
+    }
+
+    /// Reporting times concentrated around 2 min → the tuner shrinks a
+    /// 10-minute static window toward ~3 min, increasing round frequency.
+    #[test]
+    fn fast_fleet_shrinks_the_window() {
+        let mut tuner = WindowTuner::new(TunerConfig::default());
+        let mut rng = fl_ml::rng::seeded(1);
+        for _ in 0..10 {
+            let times: Vec<u64> = (0..100)
+                .map(|_| (120_000.0 + fl_ml::rng::normal_with_std(&mut rng, 20_000.0)) as u64)
+                .collect();
+            tuner.observe_round(times);
+        }
+        let tuned = tuner.tuned(&base());
+        assert!(
+            tuned.report_window_ms < 5 * 60_000,
+            "window {} ms not shrunk",
+            tuned.report_window_ms
+        );
+        assert!(tuned.report_window_ms >= 30_000);
+        assert!(tuned.device_cap_ms < tuned.report_window_ms);
+        assert!(tuned.validate().is_ok());
+    }
+
+    /// Slow devices (p95 near the static window) → the tuner widens to
+    /// reduce late-upload rejections.
+    #[test]
+    fn slow_fleet_widens_the_window() {
+        let mut tuner = WindowTuner::new(TunerConfig::default());
+        let mut rng = fl_ml::rng::seeded(2);
+        for _ in 0..10 {
+            let times: Vec<u64> = (0..100)
+                .map(|_| (11.0 * 60_000.0 + fl_ml::rng::normal_with_std(&mut rng, 60_000.0)) as u64)
+                .collect();
+            tuner.observe_round(times);
+        }
+        let tuned = tuner.tuned(&base());
+        assert!(
+            tuned.report_window_ms > 10 * 60_000,
+            "window {} ms not widened",
+            tuned.report_window_ms
+        );
+    }
+
+    #[test]
+    fn warmup_leaves_config_untouched() {
+        let mut tuner = WindowTuner::new(TunerConfig::default());
+        tuner.observe_round([1_000, 2_000]);
+        assert_eq!(tuner.tuned(&base()), base());
+        assert_eq!(tuner.rounds_observed(), 1);
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let mut tuner = WindowTuner::new(TunerConfig::default());
+        for _ in 0..5 {
+            tuner.observe_round([1u64; 50]); // absurdly fast
+        }
+        assert_eq!(tuner.tuned(&base()).report_window_ms, 30_000);
+        let mut tuner = WindowTuner::new(TunerConfig::default());
+        for _ in 0..5 {
+            tuner.observe_round([10 * 3_600_000u64; 50]); // absurdly slow
+        }
+        assert_eq!(tuner.tuned(&base()).report_window_ms, 30 * 60_000);
+    }
+
+}

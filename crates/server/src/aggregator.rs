@@ -1,0 +1,565 @@
+//! Aggregators and the Master Aggregator (Sec. 4.2, Sec. 6).
+//!
+//! "Master Aggregators manage the rounds of each FL task. In order to
+//! scale with the number of devices and update size, they make dynamic
+//! decisions to spawn one or more Aggregators to which work is delegated."
+//!
+//! Each [`AggregatorShard`] folds incoming updates into a streaming
+//! [`FedAvgAccumulator`]; nothing per-device is retained. When Secure
+//! Aggregation is enabled, "we run an instance of Secure Aggregation on
+//! each Aggregator actor to aggregate inputs from that Aggregator's
+//! devices into an intermediate sum; FL tasks define a parameter k so that
+//! all updates are securely aggregated over groups of size at least k. The
+//! Master Aggregator then further aggregates the intermediate aggregators'
+//! results into a final aggregate for the round, without Secure
+//! Aggregation."
+
+use fl_core::aggregation::FedAvgAccumulator;
+use fl_core::plan::CodecSpec;
+use fl_core::privacy::DpConfig;
+use fl_core::{CoreError, DeviceId};
+use fl_ml::fixedpoint::FixedPointEncoder;
+use fl_ml::optim::WeightedUpdate;
+use fl_secagg::protocol::{run_instance, SecAggConfig};
+use fl_secagg::SecAggError;
+use std::collections::BTreeMap;
+
+/// How a Master Aggregator shards a round's devices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggregationPlan {
+    /// Update dimension.
+    pub dim: usize,
+    /// Maximum devices handled by one Aggregator shard.
+    pub max_per_shard: usize,
+    /// Secure Aggregation minimum group size `k`; `None` = plain
+    /// aggregation.
+    pub secagg_k: Option<usize>,
+    /// Server-side DP-FedAvg: clip every update at the shard, perturb the
+    /// final sum at the master (Sec. 6, footnote 2).
+    pub dp: Option<DpConfig>,
+}
+
+impl AggregationPlan {
+    /// Plain aggregation with the given shard capacity.
+    pub fn plain(dim: usize, max_per_shard: usize) -> Self {
+        AggregationPlan {
+            dim,
+            max_per_shard,
+            secagg_k: None,
+            dp: None,
+        }
+    }
+
+    /// Adds the DP-FedAvg mechanism to this plan.
+    pub fn with_dp(mut self, dp: DpConfig) -> Self {
+        self.dp = Some(dp);
+        self
+    }
+
+    /// Secure aggregation over groups of at least `k`.
+    pub fn with_secagg(dim: usize, max_per_shard: usize, k: usize) -> Self {
+        AggregationPlan {
+            dim,
+            max_per_shard,
+            secagg_k: Some(k),
+            dp: None,
+        }
+    }
+
+    /// Number of shards the Master Aggregator spawns for `expected`
+    /// devices (dynamic decision, Sec. 4.2). At least one; with SecAgg the
+    /// shard size must stay ≥ k so every group meets the minimum.
+    pub fn shard_count(&self, expected: usize) -> usize {
+        let by_capacity = expected.div_ceil(self.max_per_shard.max(1)).max(1);
+        if let Some(k) = self.secagg_k {
+            // Don't create shards smaller than k.
+            let max_shards = (expected / k.max(1)).max(1);
+            by_capacity.min(max_shards)
+        } else {
+            by_capacity
+        }
+    }
+}
+
+/// One ephemeral Aggregator: a streaming accumulator for its assigned
+/// devices. Plain mode folds decoded updates immediately; SecAgg mode
+/// buffers *fixed-point-encoded masked contributions* via the secagg
+/// protocol run at shard close.
+#[derive(Debug)]
+pub struct AggregatorShard {
+    accumulator: FedAvgAccumulator,
+    codec: CodecSpec,
+    /// L2 clip applied to each decoded update (DP-FedAvg).
+    clip_norm: Option<f32>,
+    /// SecAgg staging: device → (clear update kept only on the device side
+    /// of the simulation; the shard records the *encoded field vector* it
+    /// would receive masked). `None` in plain mode.
+    secagg_inputs: Option<BTreeMap<DeviceId, Vec<u64>>>,
+    encoder: FixedPointEncoder,
+    dim: usize,
+}
+
+impl AggregatorShard {
+    /// Creates a shard.
+    pub fn new(dim: usize, codec: CodecSpec, secagg: bool) -> Self {
+        AggregatorShard::with_clip(dim, codec, secagg, None)
+    }
+
+    /// Creates a shard with an optional DP clip norm.
+    pub fn with_clip(
+        dim: usize,
+        codec: CodecSpec,
+        secagg: bool,
+        clip_norm: Option<f32>,
+    ) -> Self {
+        AggregatorShard {
+            accumulator: FedAvgAccumulator::new(dim),
+            codec,
+            clip_norm,
+            secagg_inputs: secagg.then(BTreeMap::new),
+            encoder: FixedPointEncoder::default_for_updates(),
+            dim,
+        }
+    }
+
+    /// Number of devices folded/staged so far.
+    pub fn contributors(&self) -> usize {
+        match &self.secagg_inputs {
+            Some(staged) => staged.len(),
+            None => self.accumulator.contributors(),
+        }
+    }
+
+    /// Accepts one device's *encoded* update bytes plus its weight.
+    ///
+    /// Plain mode: decode and fold immediately (streaming, in-memory).
+    /// SecAgg mode: fixed-point-encode `update ‖ weight` into the field
+    /// and stage it for the protocol run.
+    ///
+    /// # Errors
+    ///
+    /// Decode failures or dimension mismatches.
+    pub fn accept(
+        &mut self,
+        device: DeviceId,
+        update_bytes: &[u8],
+        weight: u64,
+    ) -> Result<(), CoreError> {
+        let mut delta = self
+            .codec
+            .build()
+            .decode(update_bytes, self.dim)
+            .map_err(|e| CoreError::MalformedCheckpoint(e.to_string()))?;
+        if let Some(clip) = self.clip_norm {
+            // DP-FedAvg: bound each device's contribution before it joins
+            // the (ephemeral) aggregate. Done identically on the SecAgg
+            // path, where the device would clip before masking.
+            fl_core::privacy::clip_l2(&mut delta, clip);
+        }
+        match &mut self.secagg_inputs {
+            None => self.accumulator.accumulate(WeightedUpdate { delta, weight }),
+            Some(staged) => {
+                // Field vector: encoded delta coordinates plus the weight
+                // appended as one extra (integral) coordinate.
+                let mut v = self
+                    .encoder
+                    .encode(&delta)
+                    .map_err(|e| CoreError::MalformedCheckpoint(e.to_string()))?;
+                v.push(weight % fl_secagg::field::PRIME);
+                staged.insert(device, v);
+                Ok(())
+            }
+        }
+    }
+
+    /// Closes the shard and returns its intermediate accumulator.
+    ///
+    /// In SecAgg mode this runs the four-round protocol over the staged
+    /// devices (each a simulated client), with `dropouts` vanishing after
+    /// the share phase, and decodes the unmasked *sum* — the server-side
+    /// code path never touches an individual update.
+    ///
+    /// # Errors
+    ///
+    /// SecAgg protocol failures (e.g. too many drop-outs) surface as
+    /// [`SecAggError`] wrapped in the shard error.
+    pub fn close(
+        self,
+        dropouts: &[DeviceId],
+        secagg_seed: u64,
+    ) -> Result<FedAvgAccumulator, ShardError> {
+        match self.secagg_inputs {
+            None => Ok(self.accumulator),
+            Some(staged) => {
+                let devices: Vec<DeviceId> = staged.keys().copied().collect();
+                let n = devices.len();
+                if n == 0 {
+                    return Ok(self.accumulator);
+                }
+                // Threshold: 2/3 of the group, at least 2 (the paper's
+                // protocol is robust to a significant fraction dropping).
+                let threshold = ((2 * n).div_ceil(3)).max(2).min(n);
+                let config = SecAggConfig::new(threshold, self.dim + 1);
+                let inputs: Vec<Vec<u64>> = devices.iter().map(|d| staged[d].clone()).collect();
+                let drop_ids: Vec<u32> = dropouts
+                    .iter()
+                    .filter_map(|d| devices.iter().position(|x| x == d).map(|i| i as u32))
+                    .collect();
+                let sum = run_instance(config, &inputs, &[], &drop_ids, secagg_seed)
+                    .map_err(ShardError::SecAgg)?;
+                let committed = n - drop_ids.len();
+                let weight_sum = sum[self.dim];
+                let delta_sum = self
+                    .encoder
+                    .decode_sum(&sum[..self.dim], committed as u64);
+                let mut acc = FedAvgAccumulator::new(self.dim);
+                acc.accumulate_presummed(&delta_sum, weight_sum, committed)
+                    .map_err(ShardError::Core)?;
+                Ok(acc)
+            }
+        }
+    }
+}
+
+/// Errors from closing a shard.
+#[derive(Debug)]
+pub enum ShardError {
+    /// The Secure Aggregation protocol failed.
+    SecAgg(SecAggError),
+    /// Aggregation error.
+    Core(CoreError),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::SecAgg(e) => write!(f, "secure aggregation failed: {e}"),
+            ShardError::Core(e) => write!(f, "aggregation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// The Master Aggregator: routes devices to shards, merges intermediate
+/// results, applies the final average.
+#[derive(Debug)]
+pub struct MasterAggregator {
+    plan: AggregationPlan,
+    codec: CodecSpec,
+    shards: Vec<AggregatorShard>,
+    /// device → shard index.
+    routing: BTreeMap<DeviceId, usize>,
+    secagg_seed: u64,
+}
+
+impl MasterAggregator {
+    /// Creates a master for an expected number of devices, spawning shards
+    /// per the plan.
+    pub fn new(plan: AggregationPlan, codec: CodecSpec, expected: usize, secagg_seed: u64) -> Self {
+        let count = plan.shard_count(expected);
+        let clip = plan.dp.map(|dp| dp.clip_norm);
+        let shards = (0..count)
+            .map(|_| AggregatorShard::with_clip(plan.dim, codec, plan.secagg_k.is_some(), clip))
+            .collect();
+        MasterAggregator {
+            plan,
+            codec,
+            shards,
+            routing: BTreeMap::new(),
+            secagg_seed,
+        }
+    }
+
+    /// Number of shards spawned.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Accepts one device report, routing it to the device's shard
+    /// (devices stick to one shard — one SecAgg instance each).
+    ///
+    /// # Errors
+    ///
+    /// Decode/dimension errors from the shard.
+    pub fn accept(
+        &mut self,
+        device: DeviceId,
+        update_bytes: &[u8],
+        weight: u64,
+    ) -> Result<(), CoreError> {
+        let idx = *self
+            .routing
+            .entry(device)
+            .or_insert_with(|| (device.0 % self.shards.len() as u64) as usize);
+        self.shards[idx].accept(device, update_bytes, weight)
+    }
+
+    /// Total devices accepted across shards.
+    pub fn contributors(&self) -> usize {
+        self.shards.iter().map(AggregatorShard::contributors).sum()
+    }
+
+    /// Closes all shards (running SecAgg per shard when enabled), merges
+    /// the intermediate accumulators "without Secure Aggregation", and
+    /// returns the new global parameters.
+    ///
+    /// # Errors
+    ///
+    /// Shard failures, or [`CoreError::ZeroWeightUpdate`] if nothing was
+    /// aggregated.
+    pub fn finalize(
+        self,
+        current_params: &[f32],
+        dropouts: &[DeviceId],
+    ) -> Result<(Vec<f32>, usize), ShardError> {
+        let mut merged = FedAvgAccumulator::new(self.plan.dim);
+        let mut seed = self.secagg_seed;
+        for shard in self.shards {
+            seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let intermediate = shard.close(dropouts, seed)?;
+            if intermediate.contributors() > 0 {
+                merged.merge(&intermediate).map_err(ShardError::Core)?;
+            }
+        }
+        if let Some(dp) = self.plan.dp {
+            // One calibrated Gaussian perturbation of the round's sum.
+            let mut noise_rng = fl_ml::rng::seeded(dp.noise_seed ^ self.secagg_seed);
+            merged.perturb(dp.sigma(), &mut noise_rng);
+        }
+        let contributors = merged.contributors();
+        let params = merged.apply_to(current_params).map_err(ShardError::Core)?;
+        Ok((params, contributors))
+    }
+
+    /// The codec used for updates (needed by callers encoding reports).
+    pub fn codec(&self) -> CodecSpec {
+        self.codec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encode(update: &[f32], codec: CodecSpec) -> Vec<u8> {
+        codec.build().encode(update)
+    }
+
+    #[test]
+    fn shard_count_scales_with_devices() {
+        let plan = AggregationPlan::plain(10, 100);
+        assert_eq!(plan.shard_count(50), 1);
+        assert_eq!(plan.shard_count(100), 1);
+        assert_eq!(plan.shard_count(101), 2);
+        assert_eq!(plan.shard_count(1000), 10);
+    }
+
+    #[test]
+    fn secagg_shards_respect_group_minimum() {
+        let plan = AggregationPlan::with_secagg(10, 100, 50);
+        // 120 devices / capacity 100 → 2 shards of 60 ≥ k=50. OK.
+        assert_eq!(plan.shard_count(120), 2);
+        // 60 devices: capacity would allow 1 shard; k forces ≤ 1 shard.
+        assert_eq!(plan.shard_count(60), 1);
+        // 450 devices, capacity 100 → 5 shards of 90 ≥ 50.
+        assert_eq!(plan.shard_count(450), 5);
+    }
+
+    #[test]
+    fn plain_master_matches_direct_fedavg() {
+        let dim = 8;
+        let codec = CodecSpec::Identity;
+        let mut master =
+            MasterAggregator::new(AggregationPlan::plain(dim, 3), codec, 10, 1);
+        assert!(master.shard_count() > 1);
+        let mut reference = FedAvgAccumulator::new(dim);
+        for i in 0..10u64 {
+            let update: Vec<f32> = (0..dim).map(|d| (i as f32) * 0.1 + d as f32).collect();
+            let weight = i + 1;
+            master
+                .accept(DeviceId(i), &encode(&update, codec), weight)
+                .unwrap();
+            reference
+                .accumulate(WeightedUpdate {
+                    delta: update,
+                    weight,
+                })
+                .unwrap();
+        }
+        let current = vec![1.0f32; dim];
+        let (params, n) = master.finalize(&current, &[]).unwrap();
+        assert_eq!(n, 10);
+        let expected = reference.apply_to(&current).unwrap();
+        for (a, b) in params.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantized_codec_round_trips_through_master() {
+        let dim = 64;
+        let codec = CodecSpec::Quantize { block: 32 };
+        let mut master =
+            MasterAggregator::new(AggregationPlan::plain(dim, 100), codec, 5, 2);
+        for i in 0..5u64 {
+            let update: Vec<f32> = (0..dim).map(|d| ((d + i as usize) as f32).sin() * 0.1).collect();
+            master
+                .accept(DeviceId(i), &encode(&update, codec), 10)
+                .unwrap();
+        }
+        let (params, n) = master.finalize(&vec![0.0; dim], &[]).unwrap();
+        assert_eq!(n, 5);
+        // Quantization error is small relative to update magnitude.
+        assert!(params.iter().all(|p| p.abs() < 0.2));
+        assert!(params.iter().any(|p| p.abs() > 1e-4));
+    }
+
+    #[test]
+    fn secagg_master_sums_match_plain_within_quantization() {
+        let dim = 16;
+        let codec = CodecSpec::Identity;
+        let updates: Vec<Vec<f32>> = (0..8)
+            .map(|i| (0..dim).map(|d| 0.01 * (i * dim + d) as f32).collect())
+            .collect();
+
+        let run = |secagg: bool| -> Vec<f32> {
+            let plan = if secagg {
+                AggregationPlan::with_secagg(dim, 100, 4)
+            } else {
+                AggregationPlan::plain(dim, 100)
+            };
+            let mut master = MasterAggregator::new(plan, codec, 8, 3);
+            for (i, u) in updates.iter().enumerate() {
+                master
+                    .accept(DeviceId(i as u64), &encode(u, codec), 5)
+                    .unwrap();
+            }
+            master.finalize(&vec![0.0; dim], &[]).unwrap().0
+        };
+
+        let plain = run(false);
+        let secure = run(true);
+        for (a, b) in plain.iter().zip(&secure) {
+            assert!((a - b).abs() < 1e-3, "plain {a} vs secagg {b}");
+        }
+    }
+
+    #[test]
+    fn secagg_tolerates_dropouts_below_threshold() {
+        let dim = 4;
+        let codec = CodecSpec::Identity;
+        let plan = AggregationPlan::with_secagg(dim, 100, 4);
+        let mut master = MasterAggregator::new(plan, codec, 9, 7);
+        for i in 0..9u64 {
+            let update = vec![0.5f32; dim];
+            master
+                .accept(DeviceId(i), &encode(&update, codec), 2)
+                .unwrap();
+        }
+        // Two of nine drop after staging (within the 1/3 tolerance).
+        let (params, n) = master
+            .finalize(&vec![0.0; dim], &[DeviceId(3), DeviceId(6)])
+            .unwrap();
+        assert_eq!(n, 7);
+        // Mean delta of survivors is still 0.5/2-weighted: each update is
+        // 0.5 with weight 2, so the average delta = (7*0.5)/(7*2) = 0.25.
+        for p in params {
+            assert!((p - 0.25).abs() < 1e-3, "{p}");
+        }
+    }
+
+    #[test]
+    fn secagg_fails_when_dropouts_exceed_tolerance() {
+        let dim = 4;
+        let codec = CodecSpec::Identity;
+        let plan = AggregationPlan::with_secagg(dim, 100, 4);
+        let mut master = MasterAggregator::new(plan, codec, 6, 7);
+        for i in 0..6u64 {
+            master
+                .accept(DeviceId(i), &encode(&vec![0.1; dim], codec), 1)
+                .unwrap();
+        }
+        // 3 of 6 drop — below the 2/3 threshold.
+        let result = master.finalize(
+            &vec![0.0; dim],
+            &[DeviceId(0), DeviceId(1), DeviceId(2)],
+        );
+        assert!(matches!(result, Err(ShardError::SecAgg(_))));
+    }
+
+    #[test]
+    fn dp_clipping_bounds_each_contribution() {
+        use fl_core::privacy::DpConfig;
+        let dim = 4;
+        let codec = CodecSpec::Identity;
+        let plan =
+            AggregationPlan::plain(dim, 100).with_dp(DpConfig::new(1.0, 0.0, 9));
+        let mut master = MasterAggregator::new(plan, codec, 2, 1);
+        // One enormous update and one tiny one, equal weights.
+        master
+            .accept(DeviceId(0), &encode(&[100.0, 0.0, 0.0, 0.0], codec), 1)
+            .unwrap();
+        master
+            .accept(DeviceId(1), &encode(&[0.0, 0.1, 0.0, 0.0], codec), 1)
+            .unwrap();
+        let (params, _) = master.finalize(&vec![0.0; dim], &[]).unwrap();
+        // The huge update was clipped to L2 norm 1: average[0] = 0.5.
+        assert!((params[0] - 0.5).abs() < 1e-5, "clipped mean {}", params[0]);
+        assert!((params[1] - 0.05).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dp_noise_is_seeded_and_zero_noise_matches_plain() {
+        use fl_core::privacy::DpConfig;
+        let dim = 8;
+        let codec = CodecSpec::Identity;
+        let update = vec![0.1f32; dim];
+        let run = |dp: Option<DpConfig>| -> Vec<f32> {
+            let mut plan = AggregationPlan::plain(dim, 100);
+            if let Some(dp) = dp {
+                plan = plan.with_dp(dp);
+            }
+            let mut master = MasterAggregator::new(plan, codec, 4, 1);
+            for i in 0..4u64 {
+                master
+                    .accept(DeviceId(i), &encode(&update, codec), 5)
+                    .unwrap();
+            }
+            master.finalize(&vec![0.0; dim], &[]).unwrap().0
+        };
+        let plain = run(None);
+        // Huge clip + zero noise: identical to plain aggregation.
+        let dp_zero = run(Some(DpConfig::new(1e6, 0.0, 7)));
+        assert_eq!(plain, dp_zero);
+        // Non-zero noise perturbs, deterministically per seed.
+        let noisy_a = run(Some(DpConfig::new(1e6, 0.5, 7)));
+        let noisy_b = run(Some(DpConfig::new(1e6, 0.5, 7)));
+        let noisy_c = run(Some(DpConfig::new(1e6, 0.5, 8)));
+        assert_eq!(noisy_a, noisy_b);
+        assert_ne!(noisy_a, noisy_c);
+        assert_ne!(noisy_a, plain);
+    }
+
+    #[test]
+    fn malformed_update_bytes_are_rejected() {
+        let mut master = MasterAggregator::new(
+            AggregationPlan::plain(4, 10),
+            CodecSpec::Identity,
+            2,
+            1,
+        );
+        assert!(master.accept(DeviceId(0), &[1, 2, 3], 1).is_err());
+    }
+
+    #[test]
+    fn empty_master_finalize_errors() {
+        let master = MasterAggregator::new(
+            AggregationPlan::plain(4, 10),
+            CodecSpec::Identity,
+            2,
+            1,
+        );
+        assert!(master.finalize(&[0.0; 4], &[]).is_err());
+    }
+}

@@ -1,0 +1,489 @@
+//! Coordinators (Sec. 4.2).
+//!
+//! "Coordinators are the top-level actors which enable global
+//! synchronization and advancing rounds in lockstep. […] each one is
+//! responsible for an FL population of devices. A Coordinator registers
+//! its address and the FL population it manages in a shared locking
+//! service […]. Coordinators spawn Master Aggregators to manage the rounds
+//! of each FL task."
+//!
+//! [`Coordinator`] owns a population's deployed tasks, advances one round
+//! at a time ([`ActiveRound`]), commits fully-aggregated checkpoints to
+//! storage, and accounts traffic. It is deterministic and explicitly
+//! clocked; `fl-sim` and the live actors both drive it.
+
+use crate::aggregator::{AggregationPlan, MasterAggregator};
+use crate::round::{CheckinResponse, ReportResponse, RoundState};
+use crate::storage::CheckpointStore;
+use fl_core::plan::FlPlan;
+use fl_core::population::{TaskGroup, TaskKind};
+use fl_core::traffic::{TrafficCounter, TrafficKind};
+use fl_core::{CoreError, DeviceId, FlCheckpoint, FlTask, PopulationName, RoundId};
+use fl_ml::metrics::MetricSummary;
+use fl_ml::rng;
+use rand::RngExt;
+use std::collections::HashMap;
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// The population this coordinator owns.
+    pub population: PopulationName,
+    /// Max devices per Aggregator shard.
+    pub max_per_shard: usize,
+    /// Master seed for per-round randomness.
+    pub seed: u64,
+}
+
+impl CoordinatorConfig {
+    /// Creates a config with the default shard capacity (256 devices).
+    pub fn new(population: impl Into<PopulationName>, seed: u64) -> Self {
+        CoordinatorConfig {
+            population: population.into(),
+            max_per_shard: 256,
+            seed,
+        }
+    }
+}
+
+/// A deployed task: its plan and (for training tasks) custody of the
+/// global model via the checkpoint store.
+#[derive(Debug, Clone)]
+struct Deployment {
+    plan: FlPlan,
+}
+
+/// The per-population Coordinator.
+pub struct Coordinator<S: CheckpointStore> {
+    config: CoordinatorConfig,
+    group: Option<TaskGroup>,
+    deployments: HashMap<String, Deployment>,
+    store: S,
+    /// Global round counter across the population (drives task selection).
+    round_counter: u64,
+    /// Committed-round ids per task.
+    round_ids: HashMap<String, RoundId>,
+    traffic: TrafficCounter,
+    /// Materialized metrics per task per round (Sec. 7.4).
+    metrics: Vec<(String, RoundId, Vec<MetricSummary>)>,
+}
+
+impl<S: CheckpointStore> Coordinator<S> {
+    /// Creates a coordinator over the given store.
+    pub fn new(config: CoordinatorConfig, store: S) -> Self {
+        Coordinator {
+            config,
+            group: None,
+            deployments: HashMap::new(),
+            store,
+            round_counter: 0,
+            round_ids: HashMap::new(),
+            traffic: TrafficCounter::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Deploys a task group (from the `fl-tools` release pipeline): plans
+    /// plus initial parameters for training tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a plan's expected dimension disagrees with its model, or
+    /// if `initial_params` dimension mismatches.
+    pub fn deploy(&mut self, group: TaskGroup, plans: Vec<FlPlan>, initial_params: Vec<f32>) {
+        assert_eq!(group.tasks().len(), plans.len(), "one plan per task");
+        for (task, plan) in group.tasks().iter().zip(&plans) {
+            assert_eq!(
+                plan.server.expected_dim,
+                plan.device.model.num_params(),
+                "plan dimension mismatch"
+            );
+            assert_eq!(
+                initial_params.len(),
+                plan.server.expected_dim,
+                "initial params dimension mismatch"
+            );
+            self.deployments.insert(
+                task.name.clone(),
+                Deployment { plan: plan.clone() },
+            );
+            // Tasks that read another task's checkpoint (evaluation) do
+            // not get their own model state.
+            if task.checkpoint_source.is_none() {
+                self.store.commit(FlCheckpoint::new(
+                    task.name.clone(),
+                    RoundId(0),
+                    initial_params.clone(),
+                ));
+            }
+            self.round_ids.insert(task.name.clone(), RoundId(0));
+        }
+        self.group = Some(group);
+    }
+
+    /// The population this coordinator owns.
+    pub fn population(&self) -> &PopulationName {
+        &self.config.population
+    }
+
+    /// Read access to traffic accounting.
+    pub fn traffic(&self) -> &TrafficCounter {
+        &self.traffic
+    }
+
+    /// Read access to the checkpoint store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Materialized metrics: `(task, round, summaries)` tuples.
+    pub fn materialized_metrics(&self) -> &[(String, RoundId, Vec<MetricSummary>)] {
+        &self.metrics
+    }
+
+    /// Latest global parameters for a task.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownTask`] if the task was never deployed.
+    pub fn global_params(&self, task_name: &str) -> Result<Vec<f32>, CoreError> {
+        Ok(self.store.latest(task_name)?.into_params())
+    }
+
+    /// Begins the next round at `now_ms`: selects the task (per the
+    /// population's dynamic strategy), reads the latest checkpoint, and
+    /// spawns the Master Aggregator.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownTask`] if nothing is deployed.
+    pub fn begin_round(&mut self, now_ms: u64) -> Result<ActiveRound, CoreError> {
+        let group = self
+            .group
+            .as_ref()
+            .ok_or_else(|| CoreError::UnknownTask("no deployment".into()))?;
+        let task = group.select(self.round_counter).clone();
+        let deployment = self
+            .deployments
+            .get(&task.name)
+            .ok_or_else(|| CoreError::UnknownTask(task.name.clone()))?;
+        let checkpoint_task = task.checkpoint_source.as_deref().unwrap_or(&task.name);
+        let checkpoint = self.store.latest(checkpoint_task)?;
+        let round_id = self.round_ids[&task.name].next();
+        let dim = deployment.plan.server.expected_dim;
+        let mut plan = if let Some(k) = task.secagg_group_size {
+            AggregationPlan::with_secagg(dim, self.config.max_per_shard, k)
+        } else {
+            AggregationPlan::plain(dim, self.config.max_per_shard)
+        };
+        if let Some(dp) = task.dp {
+            plan = plan.with_dp(dp);
+        }
+        let mut seed_rng = rng::seeded_stream(self.config.seed, self.round_counter);
+        let master = MasterAggregator::new(
+            plan,
+            deployment.plan.server.update_codec,
+            task.round.selection_target(),
+            seed_rng.random::<u64>(),
+        );
+        self.round_counter += 1;
+        Ok(ActiveRound {
+            task: task.clone(),
+            plan: deployment.plan.clone(),
+            checkpoint,
+            state: RoundState::begin(round_id, task.round, now_ms),
+            master: Some(master),
+            dropouts: Vec::new(),
+            loss_summary: MetricSummary::new("loss"),
+            accuracy_summary: MetricSummary::new("accuracy"),
+            train_time_summary: MetricSummary::new("participation_ms"),
+            traffic_delta: TrafficCounter::new(),
+        })
+    }
+
+    /// Completes a finished round: commits the new checkpoint (training,
+    /// committed outcomes only), materializes metrics, returns the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the round is not finished or aggregation fails.
+    pub fn complete_round(&mut self, round: ActiveRound) -> Result<fl_core::RoundOutcome, CoreError> {
+        let outcome = round
+            .state
+            .outcome()
+            .ok_or_else(|| CoreError::UnknownTask("round not finished".into()))?;
+        if outcome.is_committed() {
+            if round.task.kind == TaskKind::Training {
+                let master = round.master.expect("training round has a master");
+                let (params, _n) = master
+                    .finalize(round.checkpoint.params(), &round.dropouts)
+                    .map_err(|e| CoreError::MalformedCheckpoint(e.to_string()))?;
+                let new_round = round.checkpoint.round.next();
+                self.store
+                    .commit(FlCheckpoint::new(round.task.name.clone(), new_round, params));
+                self.round_ids.insert(round.task.name.clone(), new_round);
+            }
+            self.metrics.push((
+                round.task.name.clone(),
+                round.state.round,
+                vec![
+                    round.loss_summary,
+                    round.accuracy_summary,
+                    round.train_time_summary,
+                ],
+            ));
+        }
+        self.traffic.merge(&round.traffic_delta);
+        Ok(outcome)
+    }
+}
+
+/// One in-flight round: the state machine plus the aggregation pipeline
+/// and traffic/metrics accounting for its devices.
+pub struct ActiveRound {
+    /// The task being executed.
+    pub task: FlTask,
+    /// The task's plan (device + server parts).
+    pub plan: FlPlan,
+    /// The checkpoint sent to participants.
+    pub checkpoint: FlCheckpoint,
+    /// The phase state machine.
+    pub state: RoundState,
+    master: Option<MasterAggregator>,
+    dropouts: Vec<DeviceId>,
+    loss_summary: MetricSummary,
+    accuracy_summary: MetricSummary,
+    train_time_summary: MetricSummary,
+    /// Traffic accumulated during the round, merged into the coordinator
+    /// at completion.
+    traffic_delta: TrafficCounter,
+}
+
+impl ActiveRound {
+    /// A device checks in; on selection, the plan and checkpoint downloads
+    /// are accounted.
+    pub fn on_checkin(&mut self, device: DeviceId, now_ms: u64) -> CheckinResponse {
+        let response = self.state.on_checkin(device, now_ms);
+        if response == CheckinResponse::Selected {
+            self.traffic_delta
+                .record(TrafficKind::Plan, self.plan.device.encoded_size());
+            self.traffic_delta
+                .record(TrafficKind::Checkpoint, self.checkpoint.encoded_size());
+        }
+        response
+    }
+
+    /// Clock tick (timeouts).
+    pub fn on_tick(&mut self, now_ms: u64) {
+        self.state.on_tick(now_ms);
+    }
+
+    /// A device reports: `update_bytes` is the codec-encoded update
+    /// (empty for evaluation tasks), `weight` its example count, plus its
+    /// local metrics.
+    ///
+    /// # Errors
+    ///
+    /// Aggregation/decode errors for accepted training reports.
+    pub fn on_report(
+        &mut self,
+        device: DeviceId,
+        now_ms: u64,
+        update_bytes: &[u8],
+        weight: u64,
+        loss: f64,
+        accuracy: f64,
+    ) -> Result<ReportResponse, CoreError> {
+        let response = self.state.on_report(device, now_ms);
+        // Upload bandwidth is spent whether or not the server keeps it.
+        if !update_bytes.is_empty() {
+            self.traffic_delta
+                .record(TrafficKind::Update, update_bytes.len());
+        }
+        self.traffic_delta.record(TrafficKind::Metrics, 32);
+        if response == ReportResponse::Accepted {
+            if self.task.kind == TaskKind::Training {
+                self.master
+                    .as_mut()
+                    .expect("training round has a master")
+                    .accept(device, update_bytes, weight)?;
+            }
+            self.loss_summary.push(loss);
+            self.accuracy_summary.push(accuracy);
+        }
+        Ok(response)
+    }
+
+    /// A device dropped out.
+    pub fn on_dropout(&mut self, device: DeviceId, now_ms: u64) {
+        self.state.on_dropout(device, now_ms);
+        self.dropouts.push(device);
+    }
+
+    /// Records participation-time metrics once the round has finished.
+    pub fn record_participation_metrics(&mut self) {
+        let times: Vec<u64> = self
+            .state
+            .participation_times()
+            .iter()
+            .map(|(_, _, t)| *t)
+            .collect();
+        for t in times {
+            self.train_time_summary.push(t as f64);
+        }
+    }
+
+    /// The traffic recorded so far in this round.
+    pub fn traffic(&self) -> &TrafficCounter {
+        &self.traffic_delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::InMemoryCheckpointStore;
+    use fl_core::plan::{CodecSpec, ModelSpec};
+    use fl_core::population::TaskSelectionStrategy;
+    use fl_core::round::RoundConfig;
+
+    fn spec() -> ModelSpec {
+        ModelSpec::Logistic {
+            dim: 4,
+            classes: 2,
+            seed: 0,
+        }
+    }
+
+    fn small_round() -> RoundConfig {
+        RoundConfig {
+            goal_count: 3,
+            overselection: 1.34,
+            min_goal_fraction: 0.67,
+            selection_timeout_ms: 10_000,
+            report_window_ms: 30_000,
+            device_cap_ms: 25_000,
+        }
+    }
+
+    fn deployed_coordinator() -> Coordinator<InMemoryCheckpointStore> {
+        let mut c = Coordinator::new(
+            CoordinatorConfig::new("test/pop", 1),
+            InMemoryCheckpointStore::new(),
+        );
+        let task = FlTask::training("train", "test/pop").with_round(small_round());
+        let plan = FlPlan::standard_training(spec(), 1, 8, 0.1, CodecSpec::Identity);
+        let group = TaskGroup::new(vec![task], TaskSelectionStrategy::Single);
+        let init = vec![0.0f32; spec().num_params()];
+        c.deploy(group, vec![plan], init);
+        c
+    }
+
+    fn run_one_round(c: &mut Coordinator<InMemoryCheckpointStore>) -> fl_core::RoundOutcome {
+        let mut round = c.begin_round(0).unwrap();
+        // 4 devices check in (target = ceil(3 × 1.34) = 5? no: 4.02 → 5).
+        let target = round.task.round.selection_target();
+        for i in 0..target {
+            round.on_checkin(DeviceId(i as u64), 100);
+        }
+        let devices = round.state.participants();
+        let dim = round.plan.server.expected_dim;
+        let update = vec![0.5f32; dim];
+        let bytes = CodecSpec::Identity.build().encode(&update);
+        for d in devices.iter().take(3) {
+            round
+                .on_report(*d, 5_000, &bytes, 10, 0.7, 0.6)
+                .unwrap();
+        }
+        round.on_tick(40_000);
+        round.record_participation_metrics();
+        c.complete_round(round).unwrap()
+    }
+
+    #[test]
+    fn committed_round_updates_checkpoint_once() {
+        let mut c = deployed_coordinator();
+        let writes_before = c.store().write_count();
+        let outcome = run_one_round(&mut c);
+        assert!(outcome.is_committed());
+        // Exactly ONE write per committed round — per-device updates are
+        // never persisted (Sec. 4.2).
+        assert_eq!(c.store().write_count(), writes_before + 1);
+        let params = c.global_params("train").unwrap();
+        // Each update 0.5 with weight 10: mean delta 0.05.
+        for p in params {
+            assert!((p - 0.05).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn round_ids_advance_on_commit() {
+        let mut c = deployed_coordinator();
+        run_one_round(&mut c);
+        assert_eq!(c.store().latest("train").unwrap().round, RoundId(1));
+        run_one_round(&mut c);
+        assert_eq!(c.store().latest("train").unwrap().round, RoundId(2));
+    }
+
+    #[test]
+    fn abandoned_round_commits_nothing() {
+        let mut c = deployed_coordinator();
+        let mut round = c.begin_round(0).unwrap();
+        round.on_checkin(DeviceId(0), 100); // one device only
+        round.on_tick(10_000); // selection timeout, below minimum
+        let outcome = c.complete_round(round).unwrap();
+        assert!(!outcome.is_committed());
+        assert_eq!(c.store().latest("train").unwrap().round, RoundId(0));
+    }
+
+    #[test]
+    fn traffic_shows_download_dominance() {
+        let mut c = deployed_coordinator();
+        run_one_round(&mut c);
+        let t = c.traffic();
+        assert!(t.download_bytes() > 0 && t.upload_bytes() > 0);
+        // Plan ≈ model and both downloaded per device; uploads are one
+        // update per reporting device.
+        assert!(t.asymmetry() > 1.0, "asymmetry {}", t.asymmetry());
+    }
+
+    #[test]
+    fn metrics_are_materialized_per_committed_round() {
+        let mut c = deployed_coordinator();
+        run_one_round(&mut c);
+        let m = c.materialized_metrics();
+        assert_eq!(m.len(), 1);
+        let (task, round, summaries) = &m[0];
+        assert_eq!(task, "train");
+        assert_eq!(*round, RoundId(1));
+        assert_eq!(summaries[0].name, "loss");
+        assert_eq!(summaries[0].moments.count(), 3);
+    }
+
+    #[test]
+    fn alternating_strategy_runs_eval_rounds() {
+        let mut c = Coordinator::new(
+            CoordinatorConfig::new("pop", 2),
+            InMemoryCheckpointStore::new(),
+        );
+        let train = FlTask::training("train", "pop").with_round(small_round());
+        let eval = FlTask::evaluation("eval", "pop").with_round(small_round());
+        let tplan = FlPlan::standard_training(spec(), 1, 8, 0.1, CodecSpec::Identity);
+        let eplan = FlPlan::standard_evaluation(spec());
+        let group = TaskGroup::new(
+            vec![train, eval],
+            TaskSelectionStrategy::AlternateTrainEval { train_rounds: 1 },
+        );
+        c.deploy(group, vec![tplan, eplan], vec![0.0; spec().num_params()]);
+        let r1 = c.begin_round(0).unwrap();
+        assert_eq!(r1.task.kind, TaskKind::Training);
+        c.complete_round_discard(r1);
+        let r2 = c.begin_round(0).unwrap();
+        assert_eq!(r2.task.kind, TaskKind::Evaluation);
+    }
+
+    impl Coordinator<InMemoryCheckpointStore> {
+        /// Test helper: abandon an active round without finishing it.
+        fn complete_round_discard(&mut self, _round: ActiveRound) {}
+    }
+}

@@ -1,0 +1,47 @@
+//! `fl-server` — the Federated Learning server (Sec. 2 and Sec. 4).
+//!
+//! The server side of the protocol, structured exactly as the paper's
+//! actor architecture (Fig. 3), but with the *protocol logic* factored
+//! into deterministic, explicitly-clocked state machines so it can be
+//! driven both by the discrete-event simulator (`fl-sim`) and by the live
+//! threaded actor runtime (`fl-actors`):
+//!
+//! * [`pace`] — pace steering (Sec. 2.3): stateless reconnect-window
+//!   suggestion, rendezvous concentration for small populations,
+//!   thundering-herd avoidance for large ones, diurnal awareness;
+//! * [`selector`] — Selectors (Sec. 4.2): accept/reject device check-ins
+//!   against coordinator-assigned quotas, forward devices by reservoir
+//!   sampling;
+//! * [`round`] — the Selection → Configuration → Reporting state machine
+//!   of one round (Sec. 2.2), with goal counts, timeouts, over-selection,
+//!   straggler discard, and per-device session logs;
+//! * [`aggregator`] — Aggregators and the Master Aggregator (Sec. 4.2,
+//!   Sec. 6): streaming in-memory FedAvg shards, optional per-shard Secure
+//!   Aggregation over groups of size ≥ k, hierarchical merge;
+//! * [`coordinator`] — Coordinators (Sec. 4.2): per-population round
+//!   advancement in lockstep, task selection, global model custody,
+//!   checkpoint commits, locking-service registration;
+//! * [`storage`] — the persistent checkpoint store ("no information for a
+//!   round is written to persistent storage until it is fully aggregated");
+//! * [`pipeline`] — Selection of round *i+1* overlapped with
+//!   Configuration/Reporting of round *i* (Sec. 4.3);
+//! * [`live`] — the threaded actor wiring for all of the above;
+//! * [`adaptive`] — dynamic round-window tuning (the Sec. 11 future-work
+//!   item, built on the P² reporting-time sketches).
+
+pub mod adaptive;
+pub mod aggregator;
+pub mod coordinator;
+pub mod live;
+pub mod pace;
+pub mod pipeline;
+pub mod round;
+pub mod selector;
+pub mod storage;
+
+pub use aggregator::{AggregationPlan, MasterAggregator};
+pub use coordinator::{Coordinator, CoordinatorConfig};
+pub use pace::PaceSteering;
+pub use round::{RoundEvent, RoundState};
+pub use selector::{CheckinDecision, Selector};
+pub use storage::{CheckpointStore, InMemoryCheckpointStore};

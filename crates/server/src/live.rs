@@ -1,0 +1,464 @@
+//! Live mode: the protocol state machines wired onto the `fl-actors`
+//! runtime (Fig. 3's actor topology on real threads).
+//!
+//! Topology: device clients talk to a [`SelectorActor`] (accept/reject +
+//! pace steering); accepted devices are forwarded to the
+//! [`CoordinatorActor`], which owns the [`crate::coordinator::Coordinator`]
+//! state machine, drives rounds, and aggregates via the Master Aggregator.
+//! The Coordinator registers itself in the shared
+//! [`fl_actors::LockingService`]; if it dies, the Selector layer detects
+//! the obituary and respawns it exactly once.
+//!
+//! This module is deliberately thin: all protocol decisions live in the
+//! deterministic state machines; actors only move messages and time.
+
+use crate::coordinator::{ActiveRound, Coordinator, CoordinatorConfig};
+use crate::round::{CheckinResponse, ReportResponse};
+use crate::selector::{CheckinDecision, Selector};
+use crate::storage::InMemoryCheckpointStore;
+use fl_actors::{Actor, ActorRef, ActorSystem, Context, Flow, LockingService};
+use fl_core::plan::FlPlan;
+use fl_core::population::TaskGroup;
+use fl_core::{DeviceId, FlCheckpoint, RoundOutcome};
+use crossbeam::channel::Sender;
+use std::time::Instant;
+
+/// Reply sent back to a device client.
+#[derive(Debug, Clone)]
+pub enum DeviceReply {
+    /// Rejected at the selector; retry at the given time.
+    ComeBackLater {
+        /// Suggested absolute reconnect time (ms since server start).
+        retry_at_ms: u64,
+    },
+    /// Selected: here are the plan and global checkpoint.
+    Configured {
+        /// The device portion metadata (full plan travels by value).
+        plan: Box<FlPlan>,
+        /// The current global model.
+        checkpoint: Box<FlCheckpoint>,
+    },
+    /// The device's report was accepted.
+    ReportAccepted,
+    /// The device's report was discarded (goal already met or too late).
+    ReportDiscarded,
+}
+
+/// Messages understood by the [`CoordinatorActor`].
+#[derive(Debug)]
+pub enum CoordMsg {
+    /// A selector forwards an accepted device.
+    DeviceForwarded {
+        /// The device.
+        device: DeviceId,
+        /// Where to send replies for this device.
+        reply: Sender<DeviceReply>,
+    },
+    /// A device reports its update.
+    DeviceReport {
+        /// The device.
+        device: DeviceId,
+        /// Codec-encoded update bytes.
+        update_bytes: Vec<u8>,
+        /// Update weight (local example count).
+        weight: u64,
+        /// Local loss metric.
+        loss: f64,
+        /// Local accuracy metric.
+        accuracy: f64,
+        /// Reply channel.
+        reply: Sender<DeviceReply>,
+    },
+    /// Periodic clock tick.
+    Tick,
+    /// Finish the current round if it is done; reply with the outcome.
+    TryCompleteRound {
+        /// Outcome reply channel (None = round still running).
+        reply: Sender<Option<RoundOutcome>>,
+    },
+    /// Stop the actor.
+    Shutdown,
+}
+
+/// The Coordinator as an actor: wraps the deterministic state machine,
+/// stamping messages with elapsed wall time.
+pub struct CoordinatorActor {
+    coordinator: Coordinator<InMemoryCheckpointStore>,
+    active: Option<ActiveRound>,
+    device_replies: std::collections::HashMap<DeviceId, Sender<DeviceReply>>,
+    epoch: Instant,
+    lease_name: String,
+    locks: LockingService<String>,
+}
+
+impl CoordinatorActor {
+    /// Creates the actor, deploying the task group, and registers it in
+    /// the locking service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is already registered (exactly-once
+    /// ownership violated).
+    pub fn new(
+        config: CoordinatorConfig,
+        group: TaskGroup,
+        plans: Vec<FlPlan>,
+        initial_params: Vec<f32>,
+        locks: LockingService<String>,
+    ) -> Self {
+        let lease_name = format!("coordinator/{}", config.population);
+        locks
+            .acquire(lease_name.clone(), lease_name.clone())
+            .expect("population already owned by another coordinator");
+        let mut coordinator =
+            Coordinator::new(config, InMemoryCheckpointStore::new());
+        coordinator.deploy(group, plans, initial_params);
+        CoordinatorActor {
+            coordinator,
+            active: None,
+            device_replies: std::collections::HashMap::new(),
+            epoch: Instant::now(),
+            lease_name,
+            locks,
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn ensure_round(&mut self) {
+        if self.active.is_none() {
+            let now = self.now_ms();
+            self.active = self.coordinator.begin_round(now).ok();
+        }
+    }
+
+    /// Send configuration to every participant once the round enters
+    /// Reporting.
+    fn push_configuration(&mut self) {
+        let Some(round) = &self.active else { return };
+        if round.state.phase() != crate::round::Phase::Reporting {
+            return;
+        }
+        let plan = round.plan.clone();
+        let checkpoint = round.checkpoint.clone();
+        for d in round.state.participants() {
+            if let Some(reply) = self.device_replies.get(&d) {
+                let _ = reply.send(DeviceReply::Configured {
+                    plan: Box::new(plan.clone()),
+                    checkpoint: Box::new(checkpoint.clone()),
+                });
+            }
+        }
+    }
+}
+
+impl Actor for CoordinatorActor {
+    type Msg = CoordMsg;
+
+    fn handle(&mut self, msg: CoordMsg, _ctx: &mut Context<CoordMsg>) -> Flow {
+        match msg {
+            CoordMsg::DeviceForwarded { device, reply } => {
+                self.ensure_round();
+                let now = self.now_ms();
+                if let Some(round) = &mut self.active {
+                    let was_selecting =
+                        round.state.phase() == crate::round::Phase::Selection;
+                    let response = round.on_checkin(device, now);
+                    if response == CheckinResponse::Selected {
+                        self.device_replies.insert(device, reply);
+                        if was_selecting {
+                            self.push_configuration();
+                        }
+                    } else {
+                        let _ = reply.send(DeviceReply::ComeBackLater {
+                            retry_at_ms: now + 1_000,
+                        });
+                    }
+                }
+                Flow::Continue
+            }
+            CoordMsg::DeviceReport {
+                device,
+                update_bytes,
+                weight,
+                loss,
+                accuracy,
+                reply,
+            } => {
+                let now = self.now_ms();
+                if let Some(round) = &mut self.active {
+                    match round.on_report(device, now, &update_bytes, weight, loss, accuracy) {
+                        Ok(ReportResponse::Accepted) => {
+                            let _ = reply.send(DeviceReply::ReportAccepted);
+                        }
+                        _ => {
+                            let _ = reply.send(DeviceReply::ReportDiscarded);
+                        }
+                    }
+                } else {
+                    let _ = reply.send(DeviceReply::ReportDiscarded);
+                }
+                Flow::Continue
+            }
+            CoordMsg::Tick => {
+                let now = self.now_ms();
+                let newly_configured = if let Some(round) = &mut self.active {
+                    let before = round.state.phase();
+                    round.on_tick(now);
+                    before == crate::round::Phase::Selection
+                        && round.state.phase() == crate::round::Phase::Reporting
+                } else {
+                    false
+                };
+                if newly_configured {
+                    self.push_configuration();
+                }
+                Flow::Continue
+            }
+            CoordMsg::TryCompleteRound { reply } => {
+                let finished = self
+                    .active
+                    .as_ref()
+                    .is_some_and(|r| r.state.outcome().is_some());
+                if finished {
+                    let mut round = self.active.take().expect("checked above");
+                    round.record_participation_metrics();
+                    let outcome = self.coordinator.complete_round(round).ok();
+                    let _ = reply.send(outcome);
+                } else {
+                    let _ = reply.send(None);
+                }
+                Flow::Continue
+            }
+            CoordMsg::Shutdown => Flow::Stop,
+        }
+    }
+
+    fn on_stop(&mut self) {
+        // Release population ownership so a successor can acquire it.
+        self.locks.evict(&self.lease_name);
+    }
+}
+
+/// Messages understood by the [`SelectorActor`].
+#[derive(Debug)]
+pub enum SelectorMsg {
+    /// A device checks in from the field.
+    Checkin {
+        /// The device.
+        device: DeviceId,
+        /// Reply channel for accept/reject.
+        reply: Sender<DeviceReply>,
+    },
+    /// Coordinator quota instruction.
+    SetQuota(usize),
+    /// Stop the actor.
+    Shutdown,
+}
+
+/// A Selector as an actor: applies quota + pace steering, forwards
+/// accepted devices to the Coordinator.
+pub struct SelectorActor {
+    selector: Selector,
+    coordinator: ActorRef<CoordMsg>,
+    epoch: Instant,
+}
+
+impl SelectorActor {
+    /// Creates the actor.
+    pub fn new(selector: Selector, coordinator: ActorRef<CoordMsg>) -> Self {
+        SelectorActor {
+            selector,
+            coordinator,
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Actor for SelectorActor {
+    type Msg = SelectorMsg;
+
+    fn handle(&mut self, msg: SelectorMsg, _ctx: &mut Context<SelectorMsg>) -> Flow {
+        match msg {
+            SelectorMsg::Checkin { device, reply } => {
+                let now = self.epoch.elapsed().as_millis() as u64;
+                match self.selector.on_checkin(device, now, 1.0) {
+                    CheckinDecision::Accept => {
+                        // Forward to the Aggregator/Coordinator layer; the
+                        // selector releases the device from its own set.
+                        self.selector.on_disconnect(device);
+                        let _ = self.coordinator.send(CoordMsg::DeviceForwarded {
+                            device,
+                            reply,
+                        });
+                    }
+                    CheckinDecision::Reject { retry_at_ms } => {
+                        let _ = reply.send(DeviceReply::ComeBackLater { retry_at_ms });
+                    }
+                }
+                Flow::Continue
+            }
+            SelectorMsg::SetQuota(q) => {
+                self.selector.set_quota(q);
+                Flow::Continue
+            }
+            SelectorMsg::Shutdown => Flow::Stop,
+        }
+    }
+}
+
+/// Spawns the full live topology: one coordinator, `selectors` selectors.
+/// Returns the actor refs (selectors first) for device clients to target.
+pub fn spawn_topology(
+    system: &ActorSystem,
+    coordinator: CoordinatorActor,
+    selectors: Vec<Selector>,
+) -> (Vec<ActorRef<SelectorMsg>>, ActorRef<CoordMsg>) {
+    let coord_ref = system.spawn("coordinator", coordinator);
+    let selector_refs = selectors
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| system.spawn(format!("selector-{i}"), SelectorActor::new(s, coord_ref.clone())))
+        .collect();
+    (selector_refs, coord_ref)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pace::PaceSteering;
+    use fl_core::plan::{CodecSpec, ModelSpec};
+    use fl_core::population::{FlTask, TaskSelectionStrategy};
+    use fl_core::round::RoundConfig;
+    use crossbeam::channel::unbounded;
+    use std::time::Duration;
+
+    fn spec() -> ModelSpec {
+        ModelSpec::Logistic {
+            dim: 4,
+            classes: 2,
+            seed: 0,
+        }
+    }
+
+    fn quick_round(goal: usize) -> RoundConfig {
+        RoundConfig {
+            goal_count: goal,
+            overselection: 1.0,
+            min_goal_fraction: 1.0,
+            selection_timeout_ms: 5_000,
+            report_window_ms: 10_000,
+            device_cap_ms: 10_000,
+        }
+    }
+
+    #[test]
+    fn live_round_commits_over_real_threads() {
+        let system = ActorSystem::new();
+        let locks = LockingService::new();
+        let task = FlTask::training("t", "pop").with_round(quick_round(4));
+        let plan = FlPlan::standard_training(spec(), 1, 8, 0.1, CodecSpec::Identity);
+        let group = TaskGroup::new(vec![task], TaskSelectionStrategy::Single);
+        let coordinator = CoordinatorActor::new(
+            CoordinatorConfig::new("pop", 7),
+            group,
+            vec![plan],
+            vec![0.0; spec().num_params()],
+            locks.clone(),
+        );
+        let mut selector = Selector::new(PaceSteering::new(1_000, 10), 100, 1);
+        selector.set_quota(10);
+        let (selector_refs, coord_ref) = spawn_topology(&system, coordinator, vec![selector]);
+        assert!(locks.lookup("coordinator/pop").is_some());
+
+        // Four device clients, each on its own thread.
+        let handles: Vec<_> = (0..4u64)
+            .map(|i| {
+                let sel = selector_refs[0].clone();
+                let coord = coord_ref.clone();
+                std::thread::spawn(move || {
+                    let (tx, rx) = unbounded();
+                    sel.send(SelectorMsg::Checkin {
+                        device: DeviceId(i),
+                        reply: tx.clone(),
+                    })
+                    .unwrap();
+                    // Wait to be configured.
+                    loop {
+                        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+                            DeviceReply::Configured { plan, checkpoint } => {
+                                let dim = plan.server.expected_dim;
+                                assert_eq!(checkpoint.len(), dim);
+                                let update = vec![0.25f32; dim];
+                                let bytes = CodecSpec::Identity.build().encode(&update);
+                                coord
+                                    .send(CoordMsg::DeviceReport {
+                                        device: DeviceId(i),
+                                        update_bytes: bytes,
+                                        weight: 4,
+                                        loss: 0.5,
+                                        accuracy: 0.8,
+                                        reply: tx.clone(),
+                                    })
+                                    .unwrap();
+                            }
+                            DeviceReply::ReportAccepted => return true,
+                            DeviceReply::ReportDiscarded => return false,
+                            DeviceReply::ComeBackLater { .. } => return false,
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let accepted = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&ok| ok)
+            .count();
+        assert_eq!(accepted, 4);
+
+        // Poll for round completion.
+        let outcome = loop {
+            let (tx, rx) = unbounded();
+            coord_ref
+                .send(CoordMsg::TryCompleteRound { reply: tx })
+                .unwrap();
+            if let Some(outcome) = rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+                break outcome;
+            }
+            coord_ref.send(CoordMsg::Tick).unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        assert!(outcome.is_committed());
+
+        for s in &selector_refs {
+            s.send(SelectorMsg::Shutdown).unwrap();
+        }
+        coord_ref.send(CoordMsg::Shutdown).unwrap();
+        system.join();
+        // Lease released on clean shutdown.
+        assert!(locks.lookup("coordinator/pop").is_none());
+    }
+
+    #[test]
+    fn second_coordinator_for_same_population_is_refused() {
+        let locks = LockingService::new();
+        let task = FlTask::training("t", "pop2").with_round(quick_round(2));
+        let plan = FlPlan::standard_training(spec(), 1, 8, 0.1, CodecSpec::Identity);
+        let make = || {
+            CoordinatorActor::new(
+                CoordinatorConfig::new("pop2", 1),
+                TaskGroup::new(vec![task.clone()], TaskSelectionStrategy::Single),
+                vec![plan.clone()],
+                vec![0.0; spec().num_params()],
+                locks.clone(),
+            )
+        };
+        let _first = make();
+        let second = std::panic::catch_unwind(std::panic::AssertUnwindSafe(make));
+        assert!(second.is_err(), "duplicate coordinator must be refused");
+    }
+}

@@ -1,0 +1,163 @@
+//! Pipelining of Selection with Configuration/Reporting (Sec. 4.3).
+//!
+//! "While Selection, Configuration and Reporting phases of a round are
+//! sequential, the Selection phase doesn't depend on any input from a
+//! previous round. This enables latency optimization by running the
+//! Selection phase of the next round of the protocol in parallel with the
+//! Configuration/Reporting phases of a previous round. Our system
+//! architecture enables such pipelining without adding extra complexity,
+//! as parallelism is achieved simply by the virtue of Selector actors
+//! running the selection process continuously."
+//!
+//! The mechanism here is the [`SelectionPool`]: a continuously-filled
+//! buffer of checked-in devices, decoupled from any specific round.
+//! When a round finishes, the next round drains the pool instantly instead
+//! of waiting a full selection window. [`estimate_wallclock`] captures the
+//! analytic latency model; `fl-sim` exercises the real overlapped
+//! execution.
+
+use fl_core::DeviceId;
+use std::collections::VecDeque;
+
+/// A continuously-filled pool of devices waiting for the next round —
+/// the Selector layer's contribution to pipelining.
+#[derive(Debug, Default)]
+pub struct SelectionPool {
+    /// (device, checked_in_at_ms), FIFO.
+    waiting: VecDeque<(DeviceId, u64)>,
+    /// Devices whose check-in is older than this are considered stale
+    /// (likely no longer idle/charging) and dropped at drain time.
+    staleness_ms: u64,
+}
+
+impl SelectionPool {
+    /// Creates a pool with the given staleness bound.
+    pub fn new(staleness_ms: u64) -> Self {
+        SelectionPool {
+            waiting: VecDeque::new(),
+            staleness_ms,
+        }
+    }
+
+    /// A device checks in while some round is mid-flight.
+    pub fn add(&mut self, device: DeviceId, now_ms: u64) {
+        self.waiting.push_back((device, now_ms));
+    }
+
+    /// Number of devices currently pooled (stale ones included until the
+    /// next drain).
+    pub fn len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.waiting.is_empty()
+    }
+
+    /// Drains up to `k` fresh devices for the next round, discarding stale
+    /// entries.
+    pub fn drain_fresh(&mut self, k: usize, now_ms: u64) -> Vec<DeviceId> {
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            match self.waiting.pop_front() {
+                Some((d, t)) => {
+                    if now_ms.saturating_sub(t) <= self.staleness_ms {
+                        out.push(d);
+                    }
+                    // Stale devices are silently dropped: they would have
+                    // disconnected or lost eligibility by now.
+                }
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+/// Analytic wall-clock model for `rounds` rounds: selection takes
+/// `selection_ms` (time to gather the target at the ambient check-in
+/// rate), configuration + reporting take `reporting_ms`.
+///
+/// Sequential: every round pays both phases. Pipelined: only the first
+/// round pays a full selection window; afterwards selection for round
+/// *i+1* hides entirely under round *i*'s reporting (when
+/// `selection_ms ≤ reporting_ms`; any excess spills over).
+pub fn estimate_wallclock(
+    rounds: u64,
+    selection_ms: u64,
+    reporting_ms: u64,
+    pipelined: bool,
+) -> u64 {
+    if rounds == 0 {
+        return 0;
+    }
+    if !pipelined {
+        rounds * (selection_ms + reporting_ms)
+    } else {
+        // Steady state: each round is gated by the slower of (its own
+        // reporting) and (the next round's selection running underneath).
+        selection_ms + rounds * reporting_ms.max(selection_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_drains_in_fifo_order() {
+        let mut pool = SelectionPool::new(1_000);
+        for i in 0..5 {
+            pool.add(DeviceId(i), 100);
+        }
+        assert_eq!(pool.len(), 5);
+        let drained = pool.drain_fresh(3, 200);
+        assert_eq!(drained, vec![DeviceId(0), DeviceId(1), DeviceId(2)]);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn stale_devices_are_dropped() {
+        let mut pool = SelectionPool::new(1_000);
+        pool.add(DeviceId(0), 0); // will be stale
+        pool.add(DeviceId(1), 5_000); // fresh
+        let drained = pool.drain_fresh(5, 5_500);
+        assert_eq!(drained, vec![DeviceId(1)]);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn drain_caps_at_k() {
+        let mut pool = SelectionPool::new(1_000);
+        for i in 0..10 {
+            pool.add(DeviceId(i), 100);
+        }
+        assert_eq!(pool.drain_fresh(4, 100).len(), 4);
+        assert_eq!(pool.len(), 6);
+    }
+
+    #[test]
+    fn pipelining_hides_selection_latency() {
+        // 60s selection, 120s reporting, 100 rounds.
+        let sequential = estimate_wallclock(100, 60_000, 120_000, false);
+        let pipelined = estimate_wallclock(100, 60_000, 120_000, true);
+        assert_eq!(sequential, 100 * 180_000);
+        assert_eq!(pipelined, 60_000 + 100 * 120_000);
+        // One-third latency saving, as selection fully hides.
+        assert!((pipelined as f64) < sequential as f64 * 0.7);
+    }
+
+    #[test]
+    fn pipelining_bounded_by_slowest_phase() {
+        // Selection slower than reporting: throughput limited by selection.
+        let pipelined = estimate_wallclock(10, 100_000, 50_000, true);
+        assert_eq!(pipelined, 100_000 + 10 * 100_000);
+    }
+
+    #[test]
+    fn zero_rounds_cost_nothing() {
+        assert_eq!(estimate_wallclock(0, 1, 1, true), 0);
+        assert_eq!(estimate_wallclock(0, 1, 1, false), 0);
+    }
+}

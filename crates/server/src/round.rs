@@ -1,0 +1,667 @@
+//! The per-round phase state machine (Sec. 2.2, Fig. 1).
+//!
+//! A round advances through **Selection** (devices check in until the
+//! over-selected target is reached or the selection window times out),
+//! **Configuration** (plan + checkpoint pushed to the selected devices —
+//! modeled as the instant of transition, with traffic recorded), and
+//! **Reporting** (updates accepted until the goal count is reached, then
+//! remaining devices are aborted; late reporters are rejected; the window
+//! ends the round).
+//!
+//! The machine is purely deterministic and explicitly clocked: every
+//! mutation takes `now_ms`. `fl-sim` drives it with virtual time; the live
+//! actor server drives it with the timer wheel.
+
+use fl_core::round::{RoundConfig, RoundOutcome};
+use fl_core::{DeviceId, RoundId};
+use std::collections::BTreeMap;
+
+/// Current phase of the round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Waiting for devices to check in.
+    Selection,
+    /// Waiting for participants to report updates.
+    Reporting,
+    /// Terminal: the round committed.
+    Committed,
+    /// Terminal: the round was abandoned.
+    Abandoned,
+}
+
+/// Response to a device checking in during Selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckinResponse {
+    /// The device participates in this round.
+    Selected,
+    /// The round is not selecting (full or not in Selection).
+    NotSelecting,
+}
+
+/// Response to a device report during Reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportResponse {
+    /// The update was accepted into the aggregate.
+    Accepted,
+    /// The goal was already reached; the device's work is discarded and
+    /// the device is told to abort ("aborted" in Fig. 7).
+    Aborted,
+    /// The reporting window has closed ("upload rejected", `#` in Table 1).
+    RejectedLate,
+    /// The device was not a participant of this round.
+    NotParticipant,
+}
+
+/// Observable state transitions, consumed by analytics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoundEvent {
+    /// The round moved from Selection to Reporting (devices configured).
+    Configured {
+        /// Time of the transition.
+        at_ms: u64,
+        /// Number of devices configured.
+        participants: usize,
+    },
+    /// The round reached a terminal state.
+    Finished {
+        /// Time of the transition.
+        at_ms: u64,
+        /// Outcome with counts.
+        outcome: RoundOutcome,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ParticipantState {
+    Configured { at_ms: u64 },
+    Reported { participation_ms: u64 },
+    Aborted { participation_ms: u64 },
+    RejectedLate { participation_ms: u64 },
+    DroppedOut { participation_ms: u64 },
+}
+
+/// One round's state machine.
+#[derive(Debug, Clone)]
+pub struct RoundState {
+    /// Which round this is.
+    pub round: RoundId,
+    config: RoundConfig,
+    phase: Phase,
+    started_at_ms: u64,
+    configured_at_ms: Option<u64>,
+    finished_at_ms: Option<u64>,
+    checked_in: Vec<DeviceId>,
+    participants: BTreeMap<DeviceId, ParticipantState>,
+    reported: usize,
+    aborted: usize,
+    dropped: usize,
+    rejected_late: usize,
+    events: Vec<RoundEvent>,
+}
+
+impl RoundState {
+    /// Opens the Selection phase at `now_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`RoundConfig::validate`]).
+    pub fn begin(round: RoundId, config: RoundConfig, now_ms: u64) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|why| panic!("invalid round config: {why}"));
+        RoundState {
+            round,
+            config,
+            phase: Phase::Selection,
+            started_at_ms: now_ms,
+            configured_at_ms: None,
+            finished_at_ms: None,
+            checked_in: Vec::new(),
+            participants: BTreeMap::new(),
+            reported: 0,
+            aborted: 0,
+            dropped: 0,
+            rejected_late: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The round configuration.
+    pub fn config(&self) -> &RoundConfig {
+        &self.config
+    }
+
+    /// Devices configured into the round (empty during Selection).
+    pub fn participants(&self) -> Vec<DeviceId> {
+        self.participants.keys().copied().collect()
+    }
+
+    /// Events emitted so far (drained by the caller).
+    pub fn drain_events(&mut self) -> Vec<RoundEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// A device checks in during Selection.
+    pub fn on_checkin(&mut self, device: DeviceId, now_ms: u64) -> CheckinResponse {
+        if self.phase != Phase::Selection {
+            return CheckinResponse::NotSelecting;
+        }
+        if self.checked_in.contains(&device) {
+            return CheckinResponse::NotSelecting;
+        }
+        self.checked_in.push(device);
+        if self.checked_in.len() >= self.config.selection_target() {
+            self.configure(now_ms);
+        }
+        CheckinResponse::Selected
+    }
+
+    /// Clock tick: applies selection/reporting timeouts.
+    pub fn on_tick(&mut self, now_ms: u64) {
+        match self.phase {
+            Phase::Selection => {
+                if now_ms >= self.started_at_ms + self.config.selection_timeout_ms {
+                    if self.checked_in.len() >= self.config.min_to_start() {
+                        self.configure(now_ms);
+                    } else {
+                        self.finish(
+                            now_ms,
+                            RoundOutcome::AbandonedInSelection {
+                                checked_in: self.checked_in.len(),
+                                required: self.config.min_to_start(),
+                            },
+                        );
+                    }
+                }
+            }
+            Phase::Reporting => {
+                let deadline = self.configured_at_ms.expect("configured") + self.config.report_window_ms;
+                if now_ms >= deadline {
+                    self.close_reporting(now_ms);
+                }
+            }
+            Phase::Committed | Phase::Abandoned => {}
+        }
+    }
+
+    /// A participant reports its update at `now_ms`.
+    pub fn on_report(&mut self, device: DeviceId, now_ms: u64) -> ReportResponse {
+        if self.phase != Phase::Reporting {
+            // After the window closed (or before configuration) reports are
+            // late/ignored.
+            return match self.participants.get(&device) {
+                Some(ParticipantState::Configured { at_ms }) => {
+                    let participation = now_ms.saturating_sub(*at_ms);
+                    self.participants.insert(
+                        device,
+                        ParticipantState::RejectedLate {
+                            participation_ms: participation,
+                        },
+                    );
+                    self.rejected_late += 1;
+                    ReportResponse::RejectedLate
+                }
+                // A device the server already aborted/dropped may still
+                // attempt its upload; the server rejects it (Table 1 `#`).
+                Some(_) => ReportResponse::RejectedLate,
+                None => ReportResponse::NotParticipant,
+            };
+        }
+        match self.participants.get(&device) {
+            Some(ParticipantState::Configured { at_ms }) => {
+                let participation = now_ms.saturating_sub(*at_ms);
+                if self.reported < self.config.goal_count {
+                    self.participants.insert(
+                        device,
+                        ParticipantState::Reported {
+                            participation_ms: participation,
+                        },
+                    );
+                    self.reported += 1;
+                    if self.reported >= self.config.goal_count {
+                        self.close_reporting(now_ms);
+                    }
+                    ReportResponse::Accepted
+                } else {
+                    self.participants.insert(
+                        device,
+                        ParticipantState::Aborted {
+                            participation_ms: participation,
+                        },
+                    );
+                    self.aborted += 1;
+                    ReportResponse::Aborted
+                }
+            }
+            Some(_) => ReportResponse::NotParticipant, // already terminal
+            None => ReportResponse::NotParticipant,
+        }
+    }
+
+    /// A participant dropped out (error, network failure, eligibility
+    /// change) at `now_ms`.
+    pub fn on_dropout(&mut self, device: DeviceId, now_ms: u64) {
+        if let Some(ParticipantState::Configured { at_ms }) = self.participants.get(&device) {
+            let participation = now_ms.saturating_sub(*at_ms);
+            self.participants.insert(
+                device,
+                ParticipantState::DroppedOut {
+                    participation_ms: participation,
+                },
+            );
+            self.dropped += 1;
+        }
+    }
+
+    fn configure(&mut self, now_ms: u64) {
+        self.phase = Phase::Reporting;
+        self.configured_at_ms = Some(now_ms);
+        for d in &self.checked_in {
+            self.participants
+                .insert(*d, ParticipantState::Configured { at_ms: now_ms });
+        }
+        self.events.push(RoundEvent::Configured {
+            at_ms: now_ms,
+            participants: self.participants.len(),
+        });
+    }
+
+    fn close_reporting(&mut self, now_ms: u64) {
+        // Outstanding devices are aborted by the server (participation time
+        // capped, Fig. 8).
+        let outstanding: Vec<DeviceId> = self
+            .participants
+            .iter()
+            .filter_map(|(d, s)| matches!(s, ParticipantState::Configured { .. }).then_some(*d))
+            .collect();
+        for d in outstanding {
+            if let Some(ParticipantState::Configured { at_ms }) = self.participants.get(&d) {
+                let participation =
+                    now_ms.saturating_sub(*at_ms).min(self.config.device_cap_ms);
+                self.participants.insert(
+                    d,
+                    ParticipantState::Aborted {
+                        participation_ms: participation,
+                    },
+                );
+                self.aborted += 1;
+            }
+        }
+        let outcome = if self.reported >= self.config.goal_count
+            || self.reported >= self.config.min_to_start()
+        {
+            RoundOutcome::Committed {
+                incorporated: self.reported,
+                aborted: self.aborted,
+                dropped_out: self.dropped,
+            }
+        } else {
+            RoundOutcome::AbandonedInReporting {
+                reported: self.reported,
+                required: self.config.min_to_start(),
+            }
+        };
+        self.finish(now_ms, outcome);
+    }
+
+    fn finish(&mut self, now_ms: u64, outcome: RoundOutcome) {
+        self.phase = if outcome.is_committed() {
+            Phase::Committed
+        } else {
+            Phase::Abandoned
+        };
+        self.finished_at_ms = Some(now_ms);
+        self.events.push(RoundEvent::Finished {
+            at_ms: now_ms,
+            outcome,
+        });
+    }
+
+    /// The outcome, if the round is finished.
+    pub fn outcome(&self) -> Option<RoundOutcome> {
+        self.events.iter().rev().find_map(|e| match e {
+            RoundEvent::Finished { outcome, .. } => Some(*outcome),
+            _ => None,
+        })
+    }
+
+    /// Wall-clock duration of the round so far / total (Fig. 8's "round
+    /// execution time": configuration → finish).
+    pub fn run_time_ms(&self) -> Option<u64> {
+        match (self.configured_at_ms, self.finished_at_ms) {
+            (Some(s), Some(e)) => Some(e.saturating_sub(s)),
+            _ => None,
+        }
+    }
+
+    /// Per-device participation times with their final states, for the
+    /// Fig. 8 distribution.
+    pub fn participation_times(&self) -> Vec<(DeviceId, &'static str, u64)> {
+        self.participants
+            .iter()
+            .filter_map(|(d, s)| match s {
+                ParticipantState::Reported { participation_ms } => {
+                    Some((*d, "completed", *participation_ms))
+                }
+                ParticipantState::Aborted { participation_ms } => {
+                    Some((*d, "aborted", *participation_ms))
+                }
+                ParticipantState::DroppedOut { participation_ms } => {
+                    Some((*d, "dropped", *participation_ms))
+                }
+                ParticipantState::RejectedLate { participation_ms } => {
+                    Some((*d, "rejected", *participation_ms))
+                }
+                ParticipantState::Configured { .. } => None,
+            })
+            .collect()
+    }
+
+    /// Counters: (reported, aborted, dropped, rejected-late).
+    pub fn counters(&self) -> (usize, usize, usize, usize) {
+        (self.reported, self.aborted, self.dropped, self.rejected_late)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(goal: usize) -> RoundConfig {
+        RoundConfig {
+            goal_count: goal,
+            overselection: 1.3,
+            min_goal_fraction: 0.8,
+            selection_timeout_ms: 10_000,
+            report_window_ms: 30_000,
+            device_cap_ms: 25_000,
+        }
+    }
+
+    fn fill_selection(r: &mut RoundState, n: usize, t: u64) {
+        for i in 0..n {
+            assert_eq!(
+                r.on_checkin(DeviceId(i as u64), t),
+                CheckinResponse::Selected
+            );
+        }
+    }
+
+    #[test]
+    fn reaching_target_configures_immediately() {
+        let mut r = RoundState::begin(RoundId(1), config(10), 0);
+        fill_selection(&mut r, 13, 100); // 1.3 × 10
+        assert_eq!(r.phase(), Phase::Reporting);
+        assert_eq!(r.participants().len(), 13);
+        let events = r.drain_events();
+        assert!(matches!(
+            events[0],
+            RoundEvent::Configured { participants: 13, .. }
+        ));
+    }
+
+    #[test]
+    fn selection_timeout_with_enough_starts_round() {
+        let mut r = RoundState::begin(RoundId(1), config(10), 0);
+        fill_selection(&mut r, 9, 100); // ≥ 8 (min fraction 0.8)
+        assert_eq!(r.phase(), Phase::Selection);
+        r.on_tick(10_000);
+        assert_eq!(r.phase(), Phase::Reporting);
+        assert_eq!(r.participants().len(), 9);
+    }
+
+    #[test]
+    fn selection_timeout_without_enough_abandons() {
+        let mut r = RoundState::begin(RoundId(1), config(10), 0);
+        fill_selection(&mut r, 3, 100);
+        r.on_tick(10_000);
+        assert_eq!(r.phase(), Phase::Abandoned);
+        assert_eq!(
+            r.outcome(),
+            Some(RoundOutcome::AbandonedInSelection {
+                checked_in: 3,
+                required: 8
+            })
+        );
+    }
+
+    #[test]
+    fn goal_reached_commits_and_aborts_stragglers() {
+        let mut r = RoundState::begin(RoundId(1), config(4), 0);
+        fill_selection(&mut r, 6, 100); // target ⌈5.2⌉ = 6
+        assert_eq!(r.phase(), Phase::Reporting);
+        let devices = r.participants();
+        // 4 devices report (goal) — the rest get aborted.
+        for d in devices.iter().take(3) {
+            assert_eq!(r.on_report(*d, 5_000), ReportResponse::Accepted);
+        }
+        assert_eq!(r.phase(), Phase::Reporting);
+        assert_eq!(r.on_report(devices[3], 6_000), ReportResponse::Accepted);
+        assert_eq!(r.phase(), Phase::Committed);
+        assert_eq!(
+            r.outcome(),
+            Some(RoundOutcome::Committed {
+                incorporated: 4,
+                aborted: 2,
+                dropped_out: 0
+            })
+        );
+        // A straggler reporting after commit is rejected late.
+        assert_eq!(r.on_report(devices[4], 7_000), ReportResponse::RejectedLate);
+    }
+
+    #[test]
+    fn report_window_timeout_commits_if_min_reached() {
+        let mut r = RoundState::begin(RoundId(1), config(10), 0);
+        fill_selection(&mut r, 13, 100);
+        let devices = r.participants();
+        for d in devices.iter().take(8) {
+            // exactly min_to_start
+            r.on_report(*d, 5_000);
+        }
+        r.on_tick(100 + 30_000);
+        assert!(matches!(
+            r.outcome(),
+            Some(RoundOutcome::Committed {
+                incorporated: 8,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn report_window_timeout_abandons_if_too_few() {
+        let mut r = RoundState::begin(RoundId(1), config(10), 0);
+        fill_selection(&mut r, 13, 100);
+        let devices = r.participants();
+        for d in devices.iter().take(3) {
+            r.on_report(*d, 5_000);
+        }
+        r.on_tick(100 + 30_000);
+        assert_eq!(
+            r.outcome(),
+            Some(RoundOutcome::AbandonedInReporting {
+                reported: 3,
+                required: 8
+            })
+        );
+    }
+
+    #[test]
+    fn dropouts_are_counted() {
+        let mut r = RoundState::begin(RoundId(1), config(4), 0);
+        fill_selection(&mut r, 6, 100);
+        let devices = r.participants();
+        r.on_dropout(devices[0], 2_000);
+        r.on_dropout(devices[1], 3_000);
+        for d in devices.iter().skip(2) {
+            r.on_report(*d, 5_000);
+        }
+        assert_eq!(
+            r.outcome(),
+            Some(RoundOutcome::Committed {
+                incorporated: 4,
+                aborted: 0,
+                dropped_out: 2
+            })
+        );
+    }
+
+    #[test]
+    fn participation_times_are_capped_for_aborted() {
+        let mut r = RoundState::begin(RoundId(1), config(4), 0);
+        fill_selection(&mut r, 6, 0);
+        let devices = r.participants();
+        for d in devices.iter().take(3) {
+            r.on_report(*d, 5_000);
+        }
+        // Window closes; 3 outstanding are aborted with capped times.
+        r.on_tick(30_000);
+        for (_, state, t) in r.participation_times() {
+            if state == "aborted" {
+                assert!(t <= 25_000, "participation {t} exceeds cap");
+            }
+        }
+    }
+
+    #[test]
+    fn checkins_after_configuration_are_turned_away() {
+        let mut r = RoundState::begin(RoundId(1), config(4), 0);
+        fill_selection(&mut r, 6, 0);
+        assert_eq!(
+            r.on_checkin(DeviceId(999), 200),
+            CheckinResponse::NotSelecting
+        );
+    }
+
+    #[test]
+    fn duplicate_checkin_rejected() {
+        let mut r = RoundState::begin(RoundId(1), config(10), 0);
+        assert_eq!(r.on_checkin(DeviceId(1), 0), CheckinResponse::Selected);
+        assert_eq!(r.on_checkin(DeviceId(1), 0), CheckinResponse::NotSelecting);
+    }
+
+    #[test]
+    fn non_participant_report_is_flagged() {
+        let mut r = RoundState::begin(RoundId(1), config(4), 0);
+        fill_selection(&mut r, 6, 0);
+        assert_eq!(
+            r.on_report(DeviceId(999), 1_000),
+            ReportResponse::NotParticipant
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            Checkin(u8),
+            Report(u8),
+            Dropout(u8),
+            Tick(u32),
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (0u8..40).prop_map(Op::Checkin),
+                (0u8..40).prop_map(Op::Report),
+                (0u8..40).prop_map(Op::Dropout),
+                (0u32..60_000).prop_map(Op::Tick),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// Under ANY event sequence: counters never exceed the
+            /// participant count, terminal phases are absorbing, and a
+            /// committed outcome's parts sum to at most the participants.
+            #[test]
+            fn invariants_hold_under_arbitrary_event_sequences(
+                ops in proptest::collection::vec(op_strategy(), 1..120),
+            ) {
+                let mut r = RoundState::begin(RoundId(1), config(5), 0);
+                let mut now = 0u64;
+                let mut finished_phase: Option<Phase> = None;
+                for op in ops {
+                    match op {
+                        Op::Checkin(d) => {
+                            let _ = r.on_checkin(DeviceId(u64::from(d)), now);
+                        }
+                        Op::Report(d) => {
+                            let _ = r.on_report(DeviceId(u64::from(d)), now);
+                        }
+                        Op::Dropout(d) => r.on_dropout(DeviceId(u64::from(d)), now),
+                        Op::Tick(dt) => {
+                            now += u64::from(dt);
+                            r.on_tick(now);
+                        }
+                    }
+                    let participants = r.participants().len();
+                    let (reported, aborted, dropped, rejected) = r.counters();
+                    prop_assert!(reported + aborted + dropped <= participants.max(0) + rejected + participants,
+                        "counter overflow");
+                    prop_assert!(reported <= participants || participants == 0);
+                    match finished_phase {
+                        Some(p) => prop_assert_eq!(r.phase(), p, "terminal phase changed"),
+                        None => {
+                            if matches!(r.phase(), Phase::Committed | Phase::Abandoned) {
+                                finished_phase = Some(r.phase());
+                            }
+                        }
+                    }
+                }
+                if let Some(RoundOutcome::Committed { incorporated, aborted, dropped_out }) = r.outcome() {
+                    let participants = r.participants().len();
+                    prop_assert!(incorporated + aborted + dropped_out <= participants);
+                    prop_assert!(incorporated >= r.config().min_to_start()
+                        || incorporated >= r.config().goal_count);
+                }
+            }
+
+            /// Participation times never exceed the device cap for
+            /// aborted devices, under any sequence.
+            #[test]
+            fn aborted_participation_respects_cap(
+                ops in proptest::collection::vec(op_strategy(), 1..120),
+            ) {
+                let mut r = RoundState::begin(RoundId(1), config(5), 0);
+                let mut now = 0u64;
+                for op in ops {
+                    match op {
+                        Op::Checkin(d) => { let _ = r.on_checkin(DeviceId(u64::from(d)), now); }
+                        Op::Report(d) => { let _ = r.on_report(DeviceId(u64::from(d)), now); }
+                        Op::Dropout(d) => r.on_dropout(DeviceId(u64::from(d)), now),
+                        Op::Tick(dt) => { now += u64::from(dt); r.on_tick(now); }
+                    }
+                }
+                if r.outcome().is_some() {
+                    for (_, state, t) in r.participation_times() {
+                        if state == "aborted" {
+                            prop_assert!(t <= r.config().device_cap_ms);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_time_spans_configuration_to_finish() {
+        let mut r = RoundState::begin(RoundId(1), config(4), 0);
+        fill_selection(&mut r, 6, 1_000);
+        let devices = r.participants();
+        for d in devices.iter().take(4) {
+            r.on_report(*d, 9_000);
+        }
+        assert_eq!(r.run_time_ms(), Some(8_000));
+    }
+}

@@ -1,0 +1,230 @@
+//! Selectors (Sec. 4.2).
+//!
+//! "Selectors are responsible for accepting and forwarding device
+//! connections. They periodically receive information from the Coordinator
+//! about how many devices are needed for each FL population, which they
+//! use to make local decisions about whether or not to accept each device.
+//! After the Master Aggregator and set of Aggregators are spawned, the
+//! Coordinator instructs the Selectors to forward a subset of its
+//! connected devices to the Aggregators."
+//!
+//! Selection among connected devices uses reservoir sampling, per the
+//! paper's footnote 1 ("selection is done by simple reservoir sampling").
+
+use crate::pace::PaceSteering;
+use fl_core::DeviceId;
+use fl_ml::rng;
+use rand::rngs::StdRng;
+use std::collections::BTreeSet;
+
+/// Decision returned to a checking-in device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckinDecision {
+    /// The device is accepted and held on the bidirectional stream.
+    Accept,
+    /// "Come back later": rejected with a pace-steered reconnect time.
+    Reject {
+        /// Absolute suggested reconnect time (ms).
+        retry_at_ms: u64,
+    },
+}
+
+/// A Selector: accepts or rejects device check-ins against a quota and
+/// forwards sampled subsets toward Aggregators on request.
+#[derive(Debug)]
+pub struct Selector {
+    /// Quota of devices this selector may hold, set by the Coordinator.
+    quota: usize,
+    connected: BTreeSet<DeviceId>,
+    pace: PaceSteering,
+    population_estimate: u64,
+    accepted_total: u64,
+    rejected_total: u64,
+    rng: StdRng,
+}
+
+impl Selector {
+    /// Creates a selector with an initial quota of zero (nothing accepted
+    /// until the Coordinator assigns one).
+    pub fn new(pace: PaceSteering, population_estimate: u64, seed: u64) -> Self {
+        Selector {
+            quota: 0,
+            connected: BTreeSet::new(),
+            pace,
+            population_estimate,
+            accepted_total: 0,
+            rejected_total: 0,
+            rng: rng::seeded(seed),
+        }
+    }
+
+    /// Coordinator instruction: how many devices to hold.
+    pub fn set_quota(&mut self, quota: usize) {
+        self.quota = quota;
+    }
+
+    /// Updates the population-size estimate used for pace steering.
+    pub fn set_population_estimate(&mut self, estimate: u64) {
+        self.population_estimate = estimate;
+    }
+
+    /// Handles a device check-in at `now_ms` with the given diurnal
+    /// activity factor.
+    pub fn on_checkin(
+        &mut self,
+        device: DeviceId,
+        now_ms: u64,
+        activity_factor: f64,
+    ) -> CheckinDecision {
+        if self.connected.len() < self.quota && !self.connected.contains(&device) {
+            self.connected.insert(device);
+            self.accepted_total += 1;
+            CheckinDecision::Accept
+        } else {
+            self.rejected_total += 1;
+            CheckinDecision::Reject {
+                retry_at_ms: self.pace.suggest_reconnect(
+                    now_ms,
+                    self.population_estimate,
+                    activity_factor,
+                    &mut self.rng,
+                ),
+            }
+        }
+    }
+
+    /// A connected device disconnected (eligibility change, network loss).
+    pub fn on_disconnect(&mut self, device: DeviceId) {
+        self.connected.remove(&device);
+    }
+
+    /// Number of devices currently connected (reported to the Coordinator).
+    pub fn connected_count(&self) -> usize {
+        self.connected.len()
+    }
+
+    /// Total accepted/rejected counters (for analytics).
+    pub fn counters(&self) -> (u64, u64) {
+        (self.accepted_total, self.rejected_total)
+    }
+
+    /// Coordinator instruction: forward up to `k` connected devices to the
+    /// Aggregator layer. The forwarded devices are sampled uniformly
+    /// (reservoir sampling) and removed from this selector's connected set.
+    pub fn forward_devices(&mut self, k: usize) -> Vec<DeviceId> {
+        let pool: Vec<DeviceId> = self.connected.iter().copied().collect();
+        if pool.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let take = k.min(pool.len());
+        let picked = rng::reservoir_sample(&mut self.rng, pool.len(), take);
+        let mut out = Vec::with_capacity(take);
+        for idx in picked {
+            let d = pool[idx];
+            self.connected.remove(&d);
+            out.push(d);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn selector(quota: usize) -> Selector {
+        let mut s = Selector::new(PaceSteering::new(60_000, 100), 500, 42);
+        s.set_quota(quota);
+        s
+    }
+
+    #[test]
+    fn accepts_up_to_quota_then_rejects() {
+        let mut s = selector(3);
+        for i in 0..3 {
+            assert_eq!(
+                s.on_checkin(DeviceId(i), 1000, 1.0),
+                CheckinDecision::Accept
+            );
+        }
+        match s.on_checkin(DeviceId(99), 1000, 1.0) {
+            CheckinDecision::Reject { retry_at_ms } => assert!(retry_at_ms > 1000),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert_eq!(s.connected_count(), 3);
+        assert_eq!(s.counters(), (3, 1));
+    }
+
+    #[test]
+    fn duplicate_checkin_is_rejected() {
+        let mut s = selector(5);
+        assert_eq!(s.on_checkin(DeviceId(1), 0, 1.0), CheckinDecision::Accept);
+        assert!(matches!(
+            s.on_checkin(DeviceId(1), 0, 1.0),
+            CheckinDecision::Reject { .. }
+        ));
+        assert_eq!(s.connected_count(), 1);
+    }
+
+    #[test]
+    fn disconnect_frees_capacity() {
+        let mut s = selector(1);
+        assert_eq!(s.on_checkin(DeviceId(1), 0, 1.0), CheckinDecision::Accept);
+        s.on_disconnect(DeviceId(1));
+        assert_eq!(s.on_checkin(DeviceId(2), 0, 1.0), CheckinDecision::Accept);
+    }
+
+    #[test]
+    fn forward_removes_and_returns_distinct_devices() {
+        let mut s = selector(10);
+        for i in 0..10 {
+            s.on_checkin(DeviceId(i), 0, 1.0);
+        }
+        let forwarded = s.forward_devices(4);
+        assert_eq!(forwarded.len(), 4);
+        assert_eq!(s.connected_count(), 6);
+        let set: BTreeSet<DeviceId> = forwarded.iter().copied().collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn forward_caps_at_connected_count() {
+        let mut s = selector(3);
+        for i in 0..3 {
+            s.on_checkin(DeviceId(i), 0, 1.0);
+        }
+        assert_eq!(s.forward_devices(100).len(), 3);
+        assert_eq!(s.connected_count(), 0);
+        assert!(s.forward_devices(1).is_empty());
+    }
+
+    #[test]
+    fn forwarding_is_roughly_uniform() {
+        // Forward 1 of 10 many times; each device should win ~10%.
+        let mut wins = vec![0u32; 10];
+        for trial in 0..4000 {
+            let mut s = Selector::new(PaceSteering::new(60_000, 100), 500, trial);
+            s.set_quota(10);
+            for i in 0..10 {
+                s.on_checkin(DeviceId(i), 0, 1.0);
+            }
+            let f = s.forward_devices(1);
+            wins[f[0].0 as usize] += 1;
+        }
+        for (i, &w) in wins.iter().enumerate() {
+            assert!(
+                (w as f64 - 400.0).abs() < 100.0,
+                "device {i} won {w} of 4000"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_quota_rejects_everything() {
+        let mut s = selector(0);
+        assert!(matches!(
+            s.on_checkin(DeviceId(0), 0, 1.0),
+            CheckinDecision::Reject { .. }
+        ));
+    }
+}

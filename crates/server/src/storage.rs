@@ -1,0 +1,112 @@
+//! Persistent checkpoint storage (Sec. 4.2, Fig. 1 steps 2 and 6).
+//!
+//! "Server reads model checkpoint from persistent storage" at round start
+//! and "writes global model checkpoint into persistent storage" only after
+//! full aggregation. The store's write counter lets tests assert the
+//! paper's key property: *per-device updates are never persisted* — one
+//! write per committed round, nothing else.
+
+use fl_core::{CoreError, FlCheckpoint};
+use std::collections::HashMap;
+
+/// Abstract checkpoint storage.
+pub trait CheckpointStore {
+    /// Commits a round's fully-aggregated checkpoint.
+    fn commit(&mut self, checkpoint: FlCheckpoint);
+
+    /// Loads the latest committed checkpoint for a task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownTask`] if nothing was ever committed.
+    fn latest(&self, task_name: &str) -> Result<FlCheckpoint, CoreError>;
+
+    /// Number of commit operations performed (the audit counter).
+    fn write_count(&self) -> u64;
+}
+
+/// In-memory store keeping the latest checkpoint per task plus history
+/// length, standing in for the production system's distributed storage.
+#[derive(Debug, Default)]
+pub struct InMemoryCheckpointStore {
+    latest: HashMap<String, FlCheckpoint>,
+    writes: u64,
+    history_len: HashMap<String, u64>,
+}
+
+impl InMemoryCheckpointStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of committed rounds for a task.
+    pub fn rounds_committed(&self, task_name: &str) -> u64 {
+        self.history_len.get(task_name).copied().unwrap_or(0)
+    }
+}
+
+impl CheckpointStore for InMemoryCheckpointStore {
+    fn commit(&mut self, checkpoint: FlCheckpoint) {
+        self.writes += 1;
+        *self
+            .history_len
+            .entry(checkpoint.task_name.clone())
+            .or_insert(0) += 1;
+        self.latest.insert(checkpoint.task_name.clone(), checkpoint);
+    }
+
+    fn latest(&self, task_name: &str) -> Result<FlCheckpoint, CoreError> {
+        self.latest
+            .get(task_name)
+            .cloned()
+            .ok_or_else(|| CoreError::UnknownTask(task_name.to_string()))
+    }
+
+    fn write_count(&self) -> u64 {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fl_core::RoundId;
+
+    #[test]
+    fn commit_then_latest_round_trips() {
+        let mut store = InMemoryCheckpointStore::new();
+        let ck = FlCheckpoint::new("t", RoundId(3), vec![1.0, 2.0]);
+        store.commit(ck.clone());
+        assert_eq!(store.latest("t").unwrap(), ck);
+        assert_eq!(store.write_count(), 1);
+        assert_eq!(store.rounds_committed("t"), 1);
+    }
+
+    #[test]
+    fn latest_returns_most_recent() {
+        let mut store = InMemoryCheckpointStore::new();
+        store.commit(FlCheckpoint::new("t", RoundId(1), vec![1.0]));
+        store.commit(FlCheckpoint::new("t", RoundId(2), vec![2.0]));
+        assert_eq!(store.latest("t").unwrap().round, RoundId(2));
+        assert_eq!(store.rounds_committed("t"), 2);
+    }
+
+    #[test]
+    fn unknown_task_errors() {
+        let store = InMemoryCheckpointStore::new();
+        assert!(matches!(
+            store.latest("nope"),
+            Err(CoreError::UnknownTask(_))
+        ));
+    }
+
+    #[test]
+    fn tasks_are_isolated() {
+        let mut store = InMemoryCheckpointStore::new();
+        store.commit(FlCheckpoint::new("a", RoundId(1), vec![1.0]));
+        store.commit(FlCheckpoint::new("b", RoundId(9), vec![2.0]));
+        assert_eq!(store.latest("a").unwrap().round, RoundId(1));
+        assert_eq!(store.latest("b").unwrap().round, RoundId(9));
+    }
+}

@@ -1,0 +1,255 @@
+//! Diurnal device availability (Sec. 9, Fig. 5, Appendix A).
+//!
+//! "Devices are more likely idle and charging at night, and hence more
+//! likely to participate. We have observed a 4× difference between low
+//! and high numbers of participating devices over a 24 hours period for a
+//! US-centric population."
+//!
+//! Model: each device charges overnight (a window whose start and length
+//! vary per device per day) and may get a short daytime charging bout.
+//! Eligibility = inside a window. The model is deterministic per
+//! `(seed, device, day)`, so the simulator can query eligibility at any
+//! time and also enumerate window *edges* — a device whose window ends
+//! mid-round drops out with an eligibility change, which is exactly the
+//! paper's daytime-drop-out mechanism ("higher probability of the device
+//! eligibility criteria changes due interaction with a device", Fig. 7).
+
+use crate::{DAY_MS, HOUR_MS};
+use fl_ml::rng;
+use rand::RngExt;
+
+/// One eligibility window in absolute simulation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Window start (ms).
+    pub start_ms: u64,
+    /// Window end (ms).
+    pub end_ms: u64,
+}
+
+impl Window {
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t_ms: u64) -> bool {
+        t_ms >= self.start_ms && t_ms < self.end_ms
+    }
+}
+
+/// Parameters of the diurnal model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalConfig {
+    /// Mean overnight plug-in hour (fractional, local time; 22.5 ≈ 22:30).
+    pub night_start_hour: f64,
+    /// Std-dev of the plug-in hour across devices/days.
+    pub night_start_std: f64,
+    /// Mean overnight charging duration in hours.
+    pub night_duration_hours: f64,
+    /// Std-dev of the duration.
+    pub night_duration_std: f64,
+    /// Probability of an additional short daytime charging bout.
+    pub daytime_bout_probability: f64,
+    /// Mean daytime bout duration in hours.
+    pub daytime_bout_hours: f64,
+    /// Timezone spread across the population in hours (devices get a
+    /// fixed offset uniform in ±spread/2 — the paper's population is
+    /// "US-centric", spanning several timezones).
+    pub timezone_spread_hours: f64,
+}
+
+impl Default for DiurnalConfig {
+    fn default() -> Self {
+        DiurnalConfig {
+            night_start_hour: 22.5,
+            night_start_std: 1.5,
+            night_duration_hours: 8.5,
+            night_duration_std: 1.5,
+            daytime_bout_probability: 0.5,
+            daytime_bout_hours: 1.5,
+            timezone_spread_hours: 5.0,
+        }
+    }
+}
+
+/// The fleet-wide availability model.
+#[derive(Debug, Clone)]
+pub struct DiurnalAvailability {
+    config: DiurnalConfig,
+    seed: u64,
+}
+
+impl DiurnalAvailability {
+    /// Creates the model.
+    pub fn new(config: DiurnalConfig, seed: u64) -> Self {
+        DiurnalAvailability { config, seed }
+    }
+
+    /// A US-centric population with the default parameters.
+    pub fn us_centric(seed: u64) -> Self {
+        DiurnalAvailability::new(DiurnalConfig::default(), seed)
+    }
+
+    /// The eligibility windows of `device` on `day` (0-based).
+    ///
+    /// A night window starting late (e.g. 23:00 for 9 h) spills into the
+    /// next day; callers interested in time `t` should check day
+    /// `t/DAY` and day `t/DAY − 1`.
+    pub fn windows(&self, device: u64, day: u64) -> Vec<Window> {
+        let mut r = rng::seeded(rng::derive_seed(
+            self.seed,
+            device.wrapping_mul(100_003).wrapping_add(day),
+        ));
+        // Fixed per-device timezone offset (not per-day).
+        let mut tz_rng = rng::seeded(rng::derive_seed(self.seed ^ 0x72, device));
+        let tz_offset_h = (tz_rng.random::<f64>() - 0.5) * self.config.timezone_spread_hours;
+        let mut out = Vec::with_capacity(2);
+        // Overnight window.
+        let start_h = (self.config.night_start_hour
+            + tz_offset_h
+            + rng::normal_with_std(&mut r, self.config.night_start_std))
+        .clamp(15.0, 30.0);
+        let dur_h = (self.config.night_duration_hours
+            + rng::normal_with_std(&mut r, self.config.night_duration_std))
+        .clamp(2.0, 14.0);
+        let start = day * DAY_MS + (start_h * HOUR_MS as f64) as u64;
+        out.push(Window {
+            start_ms: start,
+            end_ms: start + (dur_h * HOUR_MS as f64) as u64,
+        });
+        // Optional daytime bout (e.g. desk charging around midday).
+        if r.random::<f64>() < self.config.daytime_bout_probability {
+            let bout_start_h = 9.0 + tz_offset_h.max(-2.0) + r.random::<f64>() * 9.0; // ~09:00–18:00 local
+            let bout_dur_h = (self.config.daytime_bout_hours
+                + rng::normal_with_std(&mut r, 0.5))
+            .clamp(0.2, 3.0);
+            let bstart = day * DAY_MS + (bout_start_h * HOUR_MS as f64) as u64;
+            out.push(Window {
+                start_ms: bstart,
+                end_ms: bstart + (bout_dur_h * HOUR_MS as f64) as u64,
+            });
+        }
+        out
+    }
+
+    /// Whether `device` is eligible at absolute time `t_ms`.
+    pub fn is_eligible(&self, device: u64, t_ms: u64) -> bool {
+        self.current_window(device, t_ms).is_some()
+    }
+
+    /// The window containing `t_ms`, if any (used to predict the
+    /// eligibility-change drop-out time of a selected device).
+    pub fn current_window(&self, device: u64, t_ms: u64) -> Option<Window> {
+        let day = t_ms / DAY_MS;
+        for d in [day.saturating_sub(1), day] {
+            for w in self.windows(device, d) {
+                if w.contains(t_ms) {
+                    return Some(w);
+                }
+            }
+        }
+        None
+    }
+
+    /// The next time ≥ `t_ms` at which the device becomes eligible
+    /// (returns `t_ms` itself if already eligible). Searches up to two
+    /// days ahead.
+    pub fn next_eligible_at(&self, device: u64, t_ms: u64) -> Option<u64> {
+        if self.is_eligible(device, t_ms) {
+            return Some(t_ms);
+        }
+        let day = t_ms / DAY_MS;
+        let mut best: Option<u64> = None;
+        for d in day..=day + 2 {
+            for w in self.windows(device, d) {
+                if w.start_ms >= t_ms {
+                    best = Some(best.map_or(w.start_ms, |b| b.min(w.start_ms)));
+                }
+            }
+        }
+        best
+    }
+
+    /// Fraction of a fleet of `n` devices eligible at `t_ms` (exact count).
+    pub fn eligible_fraction(&self, n: u64, t_ms: u64) -> f64 {
+        let count = (0..n).filter(|&d| self.is_eligible(d, t_ms)).count();
+        count as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn night_availability_dominates_day() {
+        let model = DiurnalAvailability::us_centric(7);
+        let n = 2_000;
+        // 03:00 on day 1 (inside most overnight windows started day 0).
+        let night = model.eligible_fraction(n, DAY_MS + 3 * HOUR_MS);
+        // 15:00 on day 1 (only daytime bouts).
+        let day = model.eligible_fraction(n, DAY_MS + 15 * HOUR_MS);
+        assert!(night > 0.45, "night fraction {night}");
+        assert!(day < 0.25, "day fraction {day}");
+        // The paper reports a ~4× swing for a US-centric population.
+        let swing = night / day.max(1e-9);
+        assert!((2.5..12.0).contains(&swing), "swing {swing}");
+    }
+
+    #[test]
+    fn windows_are_deterministic() {
+        let model = DiurnalAvailability::us_centric(9);
+        assert_eq!(model.windows(5, 2), model.windows(5, 2));
+        assert_ne!(model.windows(5, 2), model.windows(6, 2));
+    }
+
+    #[test]
+    fn current_window_spans_midnight() {
+        let model = DiurnalAvailability::us_centric(11);
+        // Find a device eligible at 02:00 on day 1; its window must have
+        // started on day 0 and contain the query time.
+        let t = DAY_MS + 2 * HOUR_MS;
+        let device = (0..500)
+            .find(|&d| model.is_eligible(d, t))
+            .expect("someone is charging at 2am");
+        let w = model.current_window(device, t).unwrap();
+        assert!(w.contains(t));
+        assert!(w.start_ms < DAY_MS, "window started the previous day");
+    }
+
+    #[test]
+    fn next_eligible_at_finds_the_upcoming_window() {
+        let model = DiurnalAvailability::us_centric(13);
+        // 17:30 (most devices ineligible): the next window must start
+        // within ~12 hours for almost everyone.
+        let t = DAY_MS + 17 * HOUR_MS + 30 * 60_000;
+        for device in 0..50 {
+            if model.is_eligible(device, t) {
+                assert_eq!(model.next_eligible_at(device, t), Some(t));
+                continue;
+            }
+            let next = model.next_eligible_at(device, t).expect("has a window");
+            assert!(next > t);
+            assert!(next - t < 20 * HOUR_MS, "device {device} waits too long");
+            assert!(model.is_eligible(device, next));
+        }
+    }
+
+    #[test]
+    fn daytime_windows_are_short() {
+        // Daytime eligibility comes from short bouts → devices selected
+        // then are more likely to hit a window edge (daytime drop-outs).
+        let model = DiurnalAvailability::us_centric(17);
+        let t = DAY_MS + 13 * HOUR_MS;
+        let mut remaining: Vec<u64> = Vec::new();
+        for device in 0..3_000 {
+            if let Some(w) = model.current_window(device, t) {
+                remaining.push(w.end_ms - t);
+            }
+        }
+        assert!(!remaining.is_empty());
+        let mean_remaining_h =
+            remaining.iter().sum::<u64>() as f64 / remaining.len() as f64 / HOUR_MS as f64;
+        assert!(
+            mean_remaining_h < 3.5,
+            "daytime windows should be short, mean {mean_remaining_h}h"
+        );
+    }
+}

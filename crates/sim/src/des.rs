@@ -1,0 +1,167 @@
+//! The discrete-event engine: a virtual clock plus an ordered event queue.
+
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a virtual time. Ties break by insertion order,
+/// making runs fully deterministic.
+struct Scheduled<E> {
+    at_ms: u64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_ms == other.at_ms && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by (time, seq): BinaryHeap is max, so reverse.
+        other
+            .at_ms
+            .cmp(&self.at_ms)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic event queue with a virtual clock.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now_ms: u64,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now_ms: 0,
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Schedules an event at an absolute virtual time. Events scheduled in
+    /// the past fire "now" (time never goes backwards).
+    pub fn schedule_at(&mut self, at_ms: u64, event: E) {
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            at_ms: at_ms.max(self.now_ms),
+            seq: self.seq,
+            event,
+        });
+    }
+
+    /// Schedules an event after a delay.
+    pub fn schedule_in(&mut self, delay_ms: u64, event: E) {
+        self.schedule_at(self.now_ms + delay_ms, event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn next(&mut self) -> Option<(u64, E)> {
+        let s = self.heap.pop()?;
+        self.now_ms = s.at_ms;
+        self.processed += 1;
+        Some((s.at_ms, s.event))
+    }
+
+    /// Pops the next event only if it is due at or before `horizon_ms`.
+    pub fn next_before(&mut self, horizon_ms: u64) -> Option<(u64, E)> {
+        if self.heap.peek().is_some_and(|s| s.at_ms <= horizon_ms) {
+            self.next()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(30, "c");
+        q.schedule_at(10, "a");
+        q.schedule_at(20, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.next().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10, 1);
+        q.schedule_at(10, 2);
+        q.schedule_at(10, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.next().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, ());
+        let _ = q.next();
+        assert_eq!(q.now_ms(), 100);
+        // Scheduling in the past clamps to now.
+        q.schedule_at(50, ());
+        let (t, _) = q.next().unwrap();
+        assert_eq!(t, 100);
+        assert_eq!(q.now_ms(), 100);
+    }
+
+    #[test]
+    fn next_before_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, "x");
+        assert!(q.next_before(99).is_none());
+        assert_eq!(q.next_before(100).unwrap().1, "x");
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, "first");
+        let _ = q.next();
+        q.schedule_in(50, "second");
+        assert_eq!(q.next().unwrap().0, 150);
+        assert_eq!(q.processed(), 2);
+    }
+}

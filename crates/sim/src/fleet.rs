@@ -1,0 +1,641 @@
+//! Fleet-dynamics simulation: Figs. 5–9 and Table 1.
+//!
+//! Drives the real `fl-server` round state machine and pace steering with
+//! an event-driven fleet of simulated devices under the diurnal
+//! availability model ([`crate::availability`]) and heterogeneous
+//! network/compute profiles ([`crate::network`]). No actual ML runs here —
+//! payload sizes and per-device work are parameters — which is what lets a
+//! 20k-device, multi-day simulation finish in seconds while the *protocol
+//! dynamics* (selection, over-selection, straggler discard, drop-outs,
+//! pace steering back-pressure) are all real code paths.
+
+use crate::availability::DiurnalAvailability;
+use crate::des::EventQueue;
+use crate::network::NetworkModel;
+use crate::{DAY_MS, HOUR_MS};
+use fl_analytics::sessions::SessionShapeTable;
+use fl_analytics::timeseries::TimeSeries;
+use fl_core::events::DeviceEvent;
+use fl_core::round::{RoundConfig, RoundOutcome};
+use fl_core::traffic::{TrafficCounter, TrafficKind};
+use fl_core::{DeviceId, RoundId, SessionLog};
+use fl_ml::rng;
+use fl_server::pace::PaceSteering;
+use fl_server::round::{CheckinResponse, Phase, ReportResponse, RoundEvent, RoundState};
+use rand::RngExt;
+
+/// Fleet simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Number of devices in the fleet.
+    pub devices: u64,
+    /// Simulated duration in days.
+    pub days: u64,
+    /// Round configuration (goal count, over-selection, windows).
+    pub round: RoundConfig,
+    /// Encoded FL-plan size in bytes (paper: comparable to the model).
+    pub plan_bytes: usize,
+    /// Encoded checkpoint size in bytes.
+    pub checkpoint_bytes: usize,
+    /// Encoded (compressed) update size in bytes.
+    pub update_bytes: usize,
+    /// Training examples processed per device per round (sets compute
+    /// time through the device's speed profile).
+    pub work_units: u64,
+    /// Base check-in period while eligible (pace steering stretches it).
+    pub checkin_period_ms: u64,
+    /// Transient failure probability per participation.
+    pub failure_probability: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            devices: 20_000,
+            days: 3,
+            round: RoundConfig::default(),
+            plan_bytes: 5_600_000,       // ~1.4M params ≈ 5.6 MB graph
+            checkpoint_bytes: 5_600_000, // ~1.4M f32 params
+            update_bytes: 1_400_000,     // ~4× compressed update
+            work_units: 60_000,          // ≈2 min median compute ("each round takes about 2–3 minutes")
+            checkin_period_ms: 60_000,
+            failure_probability: 0.03,
+            seed: 42,
+        }
+    }
+}
+
+/// Per-round statistics (Fig. 7 rows).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundStats {
+    /// Round sequence number.
+    pub seq: u64,
+    /// Virtual time the round finished.
+    pub finished_at_ms: u64,
+    /// Outcome with counters.
+    pub outcome: RoundOutcome,
+    /// Configuration → finish duration.
+    pub run_time_ms: u64,
+    /// Hour-of-day (0–23) at finish.
+    pub hour_of_day: u64,
+}
+
+/// Everything the fleet simulation measures.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The configuration that produced this report.
+    pub config: FleetConfig,
+    /// Participating devices (in-flight in a round), sampled gauge.
+    pub participating: TimeSeries,
+    /// Eligible-but-waiting devices, sampled gauge (Fig. 6).
+    pub waiting: TimeSeries,
+    /// Devices entering participation per bucket (the paper's
+    /// "participating devices over a 24 hours period" count).
+    pub participating_starts: TimeSeries,
+    /// Successful round completions per bucket (Figs. 5–6 bottom).
+    pub completions: TimeSeries,
+    /// Per-round stats (Fig. 7).
+    pub rounds: Vec<RoundStats>,
+    /// Participation times of completed devices (Fig. 8).
+    pub participation_completed_ms: Vec<u64>,
+    /// Participation times of aborted devices (Fig. 8).
+    pub participation_aborted_ms: Vec<u64>,
+    /// Round run times (Fig. 8).
+    pub round_run_times_ms: Vec<u64>,
+    /// Session-shape distribution (Table 1).
+    pub sessions: SessionShapeTable,
+    /// Server traffic (Fig. 9).
+    pub traffic: TrafficCounter,
+    /// Total check-ins accepted/rejected at the selector layer.
+    pub checkins: (u64, u64),
+    /// Device drop-out events per bucket (device-side view, independent of
+    /// whether the round was still open when the drop-out fired).
+    pub dropout_events: TimeSeries,
+}
+
+impl FleetReport {
+    /// Overall drop-out fraction among configured devices (paper: 6–10%).
+    pub fn dropout_rate(&self) -> f64 {
+        let (mut dropped, mut total) = (0usize, 0usize);
+        for r in &self.rounds {
+            if let RoundOutcome::Committed {
+                incorporated,
+                aborted,
+                dropped_out,
+            } = r.outcome
+            {
+                dropped += dropped_out;
+                total += incorporated + aborted + dropped_out;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            dropped as f64 / total as f64
+        }
+    }
+
+    /// Mean drop-out counts by day/night (Fig. 7's diurnal correlation).
+    /// Day = 09:00–21:00 local.
+    pub fn dropout_by_daypart(&self) -> (f64, f64) {
+        let mut day = (0u64, 0u64); // (dropped, rounds)
+        let mut night = (0u64, 0u64);
+        for r in &self.rounds {
+            if let RoundOutcome::Committed { dropped_out, .. } = r.outcome {
+                let slot = if (9..21).contains(&r.hour_of_day) {
+                    &mut day
+                } else {
+                    &mut night
+                };
+                slot.0 += dropped_out as u64;
+                slot.1 += 1;
+            }
+        }
+        (
+            day.0 as f64 / day.1.max(1) as f64,
+            night.0 as f64 / night.1.max(1) as f64,
+        )
+    }
+
+    /// Device-side drop-out *rate* (drop-outs per participating device)
+    /// split by day (09:00–21:00) and night, from the event streams —
+    /// the measurement behind Fig. 7's "drop out rate is higher during
+    /// the day time".
+    pub fn dropout_rate_by_daypart(&self) -> (f64, f64) {
+        let buckets_per_day = (crate::DAY_MS / self.dropout_events.bucket_ms()) as usize;
+        let drops = self.dropout_events.sums();
+        let starts = self.participating_starts.sums();
+        let mut day = (0.0f64, 0.0f64); // (dropouts, starts)
+        let mut night = (0.0f64, 0.0f64);
+        for i in 0..drops.len().max(starts.len()) {
+            let hour = (i % buckets_per_day) * 24 / buckets_per_day;
+            let slot = if (9..21).contains(&hour) { &mut day } else { &mut night };
+            slot.0 += drops.get(i).copied().unwrap_or(0.0);
+            slot.1 += starts.get(i).copied().unwrap_or(0.0);
+        }
+        (day.0 / day.1.max(1.0), night.0 / night.1.max(1.0))
+    }
+
+    /// Committed rounds count.
+    pub fn committed_rounds(&self) -> usize {
+        self.rounds.iter().filter(|r| r.outcome.is_committed()).count()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A device wakes up and attempts a check-in.
+    Checkin { device: u64 },
+    /// A selected device finishes training + upload.
+    Report { device: u64, round_seq: u64 },
+    /// A selected device drops out (eligibility change or failure).
+    Dropout {
+        device: u64,
+        round_seq: u64,
+        reason: DropReason,
+    },
+    /// Round phase timeout check.
+    RoundTick { round_seq: u64 },
+    /// Periodic gauge sampling.
+    Sample,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DropReason {
+    EligibilityChange,
+    TransientFailure,
+}
+
+struct ActiveRound {
+    seq: u64,
+    state: RoundState,
+    /// Check-in times of participants (for session logs).
+    checkin_times: Vec<(DeviceId, u64)>,
+}
+
+/// Runs the fleet simulation.
+pub fn run(config: &FleetConfig) -> FleetReport {
+    let availability = DiurnalAvailability::us_centric(config.seed);
+    let network = NetworkModel::new(config.seed ^ 0xBEEF, config.failure_probability);
+    let pace = PaceSteering::new(
+        config.checkin_period_ms,
+        config.round.selection_target() as u64,
+    );
+    let mut rng = rng::seeded(config.seed ^ 0xF1EE7);
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let horizon = config.days * DAY_MS;
+
+    let bucket = 30 * 60_000; // 30-minute buckets for the time series
+    let mut report = FleetReport {
+        config: *config,
+        participating: TimeSeries::new("participating", bucket, 0),
+        waiting: TimeSeries::new("waiting", bucket, 0),
+        participating_starts: TimeSeries::new("participating starts", bucket, 0),
+        completions: TimeSeries::new("round completions", bucket, 0),
+        rounds: Vec::new(),
+        participation_completed_ms: Vec::new(),
+        participation_aborted_ms: Vec::new(),
+        round_run_times_ms: Vec::new(),
+        sessions: SessionShapeTable::new(),
+        traffic: TrafficCounter::new(),
+        checkins: (0, 0),
+        dropout_events: TimeSeries::new("dropouts", bucket, 0),
+    };
+
+    // Bootstrap: every device schedules its first wake-up inside its first
+    // eligibility window (uniformly within the first day's window).
+    for device in 0..config.devices {
+        if let Some(t) = availability.next_eligible_at(device, 0) {
+            let jitter = rng.random_range(0..config.checkin_period_ms * 4);
+            queue.schedule_at(t + jitter, Event::Checkin { device });
+        }
+    }
+    queue.schedule_at(0, Event::Sample);
+
+    // The first round opens immediately.
+    let mut round_seq: u64 = 0;
+    let mut active = ActiveRound {
+        seq: 0,
+        state: RoundState::begin(RoundId(1), config.round, 0),
+        checkin_times: Vec::new(),
+    };
+    queue.schedule_at(config.round.selection_timeout_ms, Event::RoundTick { round_seq: 0 });
+
+    // In-flight device count (the "participating" gauge).
+    let mut in_flight: u64 = 0;
+    // Subsample for the eligibility gauge (full fleet would be O(n) per
+    // sample; 1k devices give ±3% accuracy).
+    let gauge_sample: u64 = config.devices.min(1_000);
+
+    let download_bytes = config.plan_bytes + config.checkpoint_bytes;
+
+    // Helper closures are avoided (borrow discipline); the loop handles
+    // everything inline.
+    while let Some((now, event)) = queue.next_before(horizon) {
+        match event {
+            Event::Sample => {
+                let eligible_frac =
+                    availability.eligible_fraction(gauge_sample, now);
+                let eligible_total = eligible_frac * config.devices as f64;
+                report.participating.record(now, in_flight as f64);
+                report
+                    .waiting
+                    .record(now, (eligible_total - in_flight as f64).max(0.0));
+                queue.schedule_in(10 * 60_000, Event::Sample);
+            }
+            Event::Checkin { device } => {
+                if !availability.is_eligible(device, now) {
+                    // Missed its window; wake at the next one.
+                    if let Some(t) = availability.next_eligible_at(device, now + 1) {
+                        let jitter = rng.random_range(0..config.checkin_period_ms);
+                        queue.schedule_at(t + jitter, Event::Checkin { device });
+                    }
+                    continue;
+                }
+                let response = active.state.on_checkin(DeviceId(device), now);
+                match response {
+                    CheckinResponse::Selected => {
+                        report.checkins.0 += 1;
+                        active.checkin_times.push((DeviceId(device), now));
+                        in_flight += 1;
+                    }
+                    CheckinResponse::NotSelecting => {
+                        report.checkins.1 += 1;
+                        // Pace steering: come back later.
+                        let retry = pace.suggest_reconnect(
+                            now,
+                            config.devices,
+                            1.0,
+                            &mut rng,
+                        );
+                        queue.schedule_at(retry, Event::Checkin { device });
+                    }
+                }
+            }
+            Event::Report { device, round_seq: seq } => {
+                if seq != active.seq {
+                    // Round long gone; treat as a late upload against the
+                    // already-closed round: rejected, Table 1 `#`.
+                    report.sessions.record_shape("-v[]+#");
+                    report.traffic.record(TrafficKind::Update, config.update_bytes);
+                    in_flight = in_flight.saturating_sub(1);
+                    schedule_next_checkin(
+                        &mut queue,
+                        &availability,
+                        device,
+                        now,
+                        config.checkin_period_ms,
+                        &mut rng,
+                    );
+                    continue;
+                }
+                let response = active.state.on_report(DeviceId(device), now);
+                report.traffic.record(TrafficKind::Update, config.update_bytes);
+                report.traffic.record(TrafficKind::Metrics, 64);
+                in_flight = in_flight.saturating_sub(1);
+                let shape_tail = match response {
+                    ReportResponse::Accepted => DeviceEvent::UploadCompleted,
+                    _ => DeviceEvent::UploadRejected,
+                };
+                let mut log = SessionLog::new();
+                let checkin_t = active
+                    .checkin_times
+                    .iter()
+                    .find(|(d, _)| *d == DeviceId(device))
+                    .map(|(_, t)| *t)
+                    .unwrap_or(now);
+                log.record(checkin_t, DeviceEvent::CheckIn);
+                log.record(checkin_t, DeviceEvent::PlanDownloaded);
+                log.record(checkin_t, DeviceEvent::TrainingStarted);
+                log.record(now, DeviceEvent::TrainingCompleted);
+                log.record(now, DeviceEvent::UploadStarted);
+                log.record(now, shape_tail);
+                report.sessions.record(&log);
+                schedule_next_checkin(
+                    &mut queue,
+                    &availability,
+                    device,
+                    now,
+                    config.checkin_period_ms,
+                    &mut rng,
+                );
+            }
+            Event::Dropout { device, round_seq: seq, reason } => {
+                if seq == active.seq {
+                    active.state.on_dropout(DeviceId(device), now);
+                }
+                report.dropout_events.increment(now);
+                in_flight = in_flight.saturating_sub(1);
+                report.sessions.record_shape(match reason {
+                    DropReason::EligibilityChange => "-v[!",
+                    DropReason::TransientFailure => "-v[*",
+                });
+                schedule_next_checkin(
+                    &mut queue,
+                    &availability,
+                    device,
+                    now,
+                    config.checkin_period_ms,
+                    &mut rng,
+                );
+            }
+            Event::RoundTick { round_seq: seq } => {
+                if seq == active.seq {
+                    active.state.on_tick(now);
+                    // Keep ticking through the reporting window.
+                    if active.state.phase() == Phase::Reporting {
+                        queue.schedule_in(
+                            config.round.report_window_ms.min(10_000),
+                            Event::RoundTick { round_seq: seq },
+                        );
+                    } else if active.state.phase() == Phase::Selection {
+                        queue.schedule_in(
+                            config.round.selection_timeout_ms,
+                            Event::RoundTick { round_seq: seq },
+                        );
+                    }
+                }
+            }
+        }
+
+        // Process round transitions after every event.
+        for round_event in active.state.drain_events() {
+            match round_event {
+                RoundEvent::Configured { at_ms, participants } => {
+                    report
+                        .participating_starts
+                        .record(at_ms, participants as f64);
+                    // Configuration: every participant downloads plan +
+                    // checkpoint, then trains; schedule each one's fate.
+                    for (d, _) in active.checkin_times.clone() {
+                        report.traffic.record(TrafficKind::Plan, config.plan_bytes);
+                        report
+                            .traffic
+                            .record(TrafficKind::Checkpoint, config.checkpoint_bytes);
+                        let latency = network.round_latency_ms(
+                            d.0,
+                            download_bytes,
+                            config.work_units,
+                            config.update_bytes,
+                        );
+                        let done_at = at_ms + latency;
+                        if network.attempt_fails(d.0, active.seq) {
+                            // Transient failure partway through.
+                            let frac = 0.2 + 0.6 * rng.random::<f64>();
+                            queue.schedule_at(
+                                at_ms + (latency as f64 * frac) as u64,
+                                Event::Dropout {
+                                    device: d.0,
+                                    round_seq: active.seq,
+                                    reason: DropReason::TransientFailure,
+                                },
+                            );
+                        } else if let Some(w) = availability.current_window(d.0, at_ms) {
+                            if w.end_ms < done_at {
+                                // Eligibility ends mid-training: the
+                                // daytime drop-out mechanism.
+                                queue.schedule_at(
+                                    w.end_ms,
+                                    Event::Dropout {
+                                        device: d.0,
+                                        round_seq: active.seq,
+                                        reason: DropReason::EligibilityChange,
+                                    },
+                                );
+                            } else {
+                                queue.schedule_at(
+                                    done_at,
+                                    Event::Report {
+                                        device: d.0,
+                                        round_seq: active.seq,
+                                    },
+                                );
+                            }
+                        } else {
+                            // Window already over at configuration time.
+                            queue.schedule_at(
+                                at_ms + 1,
+                                Event::Dropout {
+                                    device: d.0,
+                                    round_seq: active.seq,
+                                    reason: DropReason::EligibilityChange,
+                                },
+                            );
+                        }
+                    }
+                    debug_assert_eq!(participants, active.checkin_times.len());
+                    // First reporting tick.
+                    queue.schedule_in(10_000, Event::RoundTick { round_seq: active.seq });
+                }
+                RoundEvent::Finished { at_ms, outcome } => {
+                    if let Some(run) = active.state.run_time_ms() {
+                        report.round_run_times_ms.push(run);
+                    }
+                    for (_, state, t) in active.state.participation_times() {
+                        match state {
+                            "completed" => report.participation_completed_ms.push(t),
+                            "aborted" => report.participation_aborted_ms.push(t),
+                            _ => {}
+                        }
+                    }
+                    if outcome.is_committed() {
+                        report.completions.increment(at_ms);
+                    }
+                    report.rounds.push(RoundStats {
+                        seq: active.seq,
+                        finished_at_ms: at_ms,
+                        outcome,
+                        run_time_ms: active.state.run_time_ms().unwrap_or(0),
+                        hour_of_day: (at_ms / HOUR_MS) % 24,
+                    });
+                    // Devices still in flight will find the round gone.
+                    in_flight = 0;
+                    // Open the next round immediately (selection is
+                    // continuous — Sec. 4.3 pipelining).
+                    round_seq += 1;
+                    let round_id = RoundId(round_seq + 1);
+                    active = ActiveRound {
+                        seq: round_seq,
+                        state: RoundState::begin(round_id, config.round, at_ms),
+                        checkin_times: Vec::new(),
+                    };
+                    queue.schedule_at(
+                        at_ms + config.round.selection_timeout_ms,
+                        Event::RoundTick { round_seq },
+                    );
+                }
+            }
+        }
+    }
+
+    report
+}
+
+fn schedule_next_checkin(
+    queue: &mut EventQueue<Event>,
+    availability: &DiurnalAvailability,
+    device: u64,
+    now: u64,
+    period_ms: u64,
+    rng: &mut rand::rngs::StdRng,
+) {
+    let jitter = rng.random_range(0..period_ms.max(1));
+    let target = now + period_ms + jitter;
+    if availability.is_eligible(device, target) {
+        queue.schedule_at(target, Event::Checkin { device });
+    } else if let Some(t) = availability.next_eligible_at(device, target) {
+        queue.schedule_at(t + jitter, Event::Checkin { device });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> FleetConfig {
+        FleetConfig {
+            devices: 1_500,
+            days: 1,
+            round: RoundConfig {
+                goal_count: 30,
+                overselection: 1.3,
+                min_goal_fraction: 0.7,
+                selection_timeout_ms: 20 * 60_000,
+                report_window_ms: 10 * 60_000,
+                device_cap_ms: 8 * 60_000,
+            },
+            plan_bytes: 100_000,
+            checkpoint_bytes: 100_000,
+            update_bytes: 25_000,
+            work_units: 300,
+            checkin_period_ms: 60_000,
+            failure_probability: 0.05,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn fleet_completes_rounds() {
+        let report = run(&small_config());
+        assert!(
+            report.committed_rounds() >= 5,
+            "only {} rounds committed",
+            report.committed_rounds()
+        );
+        assert!(report.checkins.0 > 0 && report.checkins.1 > 0);
+    }
+
+    #[test]
+    fn dropout_rate_is_in_paper_band() {
+        let report = run(&small_config());
+        let rate = report.dropout_rate();
+        // The paper reports 6–10%; with our 5% transient failures plus
+        // eligibility-change drop-outs we should land in a loose band.
+        assert!(
+            (0.02..0.25).contains(&rate),
+            "dropout rate {rate} out of plausible band"
+        );
+    }
+
+    #[test]
+    fn sessions_are_dominated_by_success() {
+        let report = run(&small_config());
+        assert!(report.sessions.total() > 100);
+        let ok = report.sessions.fraction("-v[]+^");
+        assert!(ok > 0.5, "success fraction {ok}");
+    }
+
+    #[test]
+    fn traffic_is_download_dominated() {
+        let report = run(&small_config());
+        let ratio = report.traffic.asymmetry();
+        assert!(ratio > 2.0, "asymmetry {ratio}");
+    }
+
+    #[test]
+    fn diurnal_oscillation_is_visible() {
+        let mut config = small_config();
+        config.days = 2;
+        let report = run(&config);
+        // Hourly participating-device counts swing by a factor of a few
+        // between night peak and day trough (paper: ~4x).
+        let swing = report.participating_starts.peak_to_trough();
+        assert!(
+            swing.is_some_and(|s| s > 2.0),
+            "participating swing {swing:?}"
+        );
+    }
+
+    #[test]
+    fn daytime_dropout_rate_exceeds_night() {
+        let mut config = small_config();
+        config.days = 2;
+        let report = run(&config);
+        let (day, night) = report.dropout_rate_by_daypart();
+        assert!(
+            day > night,
+            "expected higher daytime drop-out rate: day {day:.4}, night {night:.4}"
+        );
+    }
+
+    #[test]
+    fn participation_times_are_capped() {
+        let report = run(&small_config());
+        let cap = small_config().round.device_cap_ms;
+        for &t in &report.participation_aborted_ms {
+            assert!(t <= cap);
+        }
+        assert!(!report.participation_completed_ms.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(&small_config());
+        let b = run(&small_config());
+        assert_eq!(a.committed_rounds(), b.committed_rounds());
+        assert_eq!(a.checkins, b.checkins);
+        assert_eq!(a.sessions.total(), b.sessions.total());
+    }
+}

@@ -1,0 +1,34 @@
+//! `fl-sim` — the discrete-event fleet simulator.
+//!
+//! The paper's operational data (Sec. 9 and Appendix A) comes from a
+//! production fleet of ~10M devices that this reproduction cannot have.
+//! `fl-sim` replaces it with the closest synthetic equivalent: an
+//! event-driven simulation of a device fleet with
+//!
+//! * [`availability`] — a diurnal eligibility model (devices are idle,
+//!   charging, and on WiFi mostly at night; Fig. 5's "4× difference
+//!   between low and high numbers of participating devices"),
+//! * [`network`] — per-device latency/bandwidth/failure models,
+//! * [`des`] — the virtual-clock event queue,
+//! * [`fleet`] — the fleet-dynamics scenario driving the real
+//!   `fl-server` round state machines with tens of thousands of simulated
+//!   devices over simulated days (regenerates Figs. 5–9 and Table 1),
+//! * [`training`] — the convergence scenario running *real* on-device
+//!   training (`fl-device` runtime over `fl-data` stores) through the real
+//!   `fl-server` Coordinator (regenerates the Sec. 8 next-word-prediction
+//!   experiment and clients-per-round sweeps).
+
+pub mod availability;
+pub mod des;
+pub mod fleet;
+pub mod network;
+pub mod training;
+
+pub use availability::DiurnalAvailability;
+pub use fleet::{FleetConfig, FleetReport};
+pub use training::{TrainingRunConfig, TrainingRunReport};
+
+/// Milliseconds per hour, used throughout the simulator.
+pub const HOUR_MS: u64 = 3_600_000;
+/// Milliseconds per day.
+pub const DAY_MS: u64 = 24 * HOUR_MS;

@@ -1,0 +1,125 @@
+//! Per-device network and compute models.
+//!
+//! The paper notes performance "depends on the device and network speed
+//! (which can vary by region)". Devices here draw a persistent speed tier
+//! (compute ms per training example, network throughput, RTT) from a
+//! heavy-tailed distribution, plus a transient failure probability —
+//! drop-outs from "computation errors \[or\] network failures" (Sec. 9).
+
+use fl_ml::rng;
+use rand::RngExt;
+
+/// A device's persistent performance profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceProfile {
+    /// Compute cost: milliseconds per training example.
+    pub ms_per_example: f64,
+    /// Downlink throughput in bytes/ms.
+    pub down_bytes_per_ms: f64,
+    /// Uplink throughput in bytes/ms.
+    pub up_bytes_per_ms: f64,
+    /// Round-trip latency in ms.
+    pub rtt_ms: u64,
+    /// Probability that a given round attempt fails with a transient
+    /// network/compute error.
+    pub failure_probability: f64,
+}
+
+/// Fleet-wide network/compute model.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkModel {
+    seed: u64,
+    /// Base per-round transient failure probability.
+    pub base_failure_probability: f64,
+}
+
+impl NetworkModel {
+    /// Creates the model.
+    pub fn new(seed: u64, base_failure_probability: f64) -> Self {
+        assert!((0.0..1.0).contains(&base_failure_probability));
+        NetworkModel {
+            seed,
+            base_failure_probability,
+        }
+    }
+
+    /// The persistent profile of a device (deterministic per device).
+    pub fn profile(&self, device: u64) -> DeviceProfile {
+        let mut r = rng::seeded(rng::derive_seed(self.seed, device));
+        // Log-normal-ish speed tiers: most devices fast, a heavy slow tail.
+        let compute_tier = (rng::normal(&mut r) * 0.6).exp(); // median 1
+        let net_tier = (rng::normal(&mut r) * 0.8).exp();
+        DeviceProfile {
+            ms_per_example: 2.0 * compute_tier,
+            down_bytes_per_ms: (2_000.0 / net_tier).max(50.0), // ~2 MB/s median
+            up_bytes_per_ms: (800.0 / net_tier).max(20.0),     // ~0.8 MB/s median
+            rtt_ms: (50.0 * net_tier).clamp(10.0, 2_000.0) as u64,
+            failure_probability: self.base_failure_probability,
+        }
+    }
+
+    /// Total on-device round latency: download plan+model, compute, upload
+    /// update.
+    pub fn round_latency_ms(
+        &self,
+        device: u64,
+        download_bytes: usize,
+        work_units: u64,
+        upload_bytes: usize,
+    ) -> u64 {
+        let p = self.profile(device);
+        let down = download_bytes as f64 / p.down_bytes_per_ms;
+        let compute = work_units as f64 * p.ms_per_example;
+        let up = upload_bytes as f64 / p.up_bytes_per_ms;
+        2 * p.rtt_ms + (down + compute + up) as u64
+    }
+
+    /// Whether this round attempt hits a transient failure (deterministic
+    /// per (device, attempt)).
+    pub fn attempt_fails(&self, device: u64, attempt: u64) -> bool {
+        let mut r = rng::seeded(rng::derive_seed(
+            self.seed ^ 0xFA11,
+            device.wrapping_mul(1_000_003).wrapping_add(attempt),
+        ));
+        r.random::<f64>() < self.base_failure_probability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_deterministic_and_heterogeneous() {
+        let model = NetworkModel::new(1, 0.05);
+        assert_eq!(model.profile(3), model.profile(3));
+        let speeds: Vec<f64> = (0..100).map(|d| model.profile(d).ms_per_example).collect();
+        let min = speeds.iter().cloned().fold(f64::MAX, f64::min);
+        let max = speeds.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max / min > 3.0, "expected heterogeneity, got {min}..{max}");
+    }
+
+    #[test]
+    fn latency_scales_with_payload_and_work() {
+        let model = NetworkModel::new(2, 0.0);
+        let small = model.round_latency_ms(0, 10_000, 10, 1_000);
+        let big = model.round_latency_ms(0, 10_000_000, 1_000, 1_000_000);
+        assert!(big > small * 5);
+    }
+
+    #[test]
+    fn failure_rate_matches_configuration() {
+        let model = NetworkModel::new(3, 0.08);
+        let fails = (0..10_000)
+            .filter(|&i| model.attempt_fails(i % 100, i / 100))
+            .count();
+        let rate = fails as f64 / 10_000.0;
+        assert!((rate - 0.08).abs() < 0.015, "rate {rate}");
+    }
+
+    #[test]
+    fn zero_failure_probability_never_fails() {
+        let model = NetworkModel::new(4, 0.0);
+        assert!((0..1000).all(|i| !model.attempt_fails(i, 0)));
+    }
+}

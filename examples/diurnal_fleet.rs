@@ -1,0 +1,55 @@
+//! Fleet dynamics over simulated days (Sec. 9 / Appendix A).
+//!
+//! ```text
+//! cargo run --release --example diurnal_fleet
+//! ```
+//!
+//! Simulates a US-centric fleet for two days: diurnal availability, pace
+//! steering, over-selection, drop-outs, and straggler discard — then
+//! prints the reproduction's versions of Figs. 5–9 and Table 1.
+
+use federated::core::round::RoundConfig;
+use federated::sim::fleet::{run, FleetConfig};
+use fl_bench::fleet_experiments as figs;
+
+fn main() {
+    let config = FleetConfig {
+        devices: 5_000,
+        days: 2,
+        round: RoundConfig {
+            goal_count: 50,
+            overselection: 1.3,
+            min_goal_fraction: 0.7,
+            selection_timeout_ms: 20 * 60_000,
+            report_window_ms: 10 * 60_000,
+            device_cap_ms: 8 * 60_000,
+        },
+        plan_bytes: 5_600_000,
+        checkpoint_bytes: 5_600_000,
+        update_bytes: 1_400_000,
+        work_units: 40_000,
+        checkin_period_ms: 60_000,
+        failure_probability: 0.04,
+        seed: 42,
+    };
+    eprintln!(
+        "simulating {} devices for {} days…",
+        config.devices, config.days
+    );
+    let report = run(&config);
+
+    println!("{}", figs::fig5(&report));
+    println!("{}", figs::fig6(&report));
+    println!("{}", figs::fig7(&report));
+    println!("{}", figs::fig8(&report));
+    println!("{}", figs::fig9(&report));
+    println!("{}", figs::table1(&report));
+
+    println!(
+        "summary: {} committed rounds, {:.1}% drop-out, {} accepted / {} rejected check-ins",
+        report.committed_rounds(),
+        report.dropout_rate() * 100.0,
+        report.checkins.0,
+        report.checkins.1
+    );
+}

@@ -1,0 +1,187 @@
+//! The live actor server (Sec. 4): real threads, real message passing.
+//!
+//! ```text
+//! cargo run --release --example live_server
+//! ```
+//!
+//! Spawns the Fig. 3 topology on the `fl-actors` runtime — Selector actors
+//! in front of a Coordinator actor that owns the population via the shared
+//! locking service — then runs a fleet of device client threads through
+//! two full rounds, exercising check-in, rejection, configuration,
+//! on-device training (the real `fl-device` runtime), reporting, and
+//! checkpoint commits. Finally it kills the Coordinator and shows the
+//! exactly-once respawn through the locking service.
+
+use crossbeam::channel::unbounded;
+use federated::actors::{ActorSystem, LockingService};
+use federated::core::plan::{CodecSpec, FlPlan, ModelSpec};
+use federated::core::population::{FlTask, TaskGroup, TaskSelectionStrategy};
+use federated::core::round::RoundConfig;
+use federated::core::DeviceId;
+use federated::data::store::{InMemoryStore, StoreConfig};
+use federated::data::synth::classification::{generate, ClassificationConfig};
+use federated::device::runtime::{ExecutionOutcome, FlRuntime};
+use federated::ml::Example;
+use federated::server::live::{
+    spawn_topology, CoordMsg, CoordinatorActor, DeviceReply, SelectorMsg,
+};
+use federated::server::pace::PaceSteering;
+use federated::server::selector::Selector;
+use federated::server::CoordinatorConfig;
+use std::time::Duration;
+
+fn device_thread(
+    id: u64,
+    data: Vec<Example>,
+    selector: federated::actors::ActorRef<SelectorMsg>,
+    coordinator: federated::actors::ActorRef<CoordMsg>,
+) -> std::thread::JoinHandle<bool> {
+    std::thread::spawn(move || {
+        let store = InMemoryStore::with_examples(StoreConfig::default(), data, 0);
+        let runtime = FlRuntime::new(3);
+        let (tx, rx) = unbounded();
+        loop {
+            if selector
+                .send(SelectorMsg::Checkin {
+                    device: DeviceId(id),
+                    reply: tx.clone(),
+                })
+                .is_err()
+            {
+                return false;
+            }
+            match rx.recv_timeout(Duration::from_secs(10)) {
+                Ok(DeviceReply::Configured { plan, checkpoint }) => {
+                    // Real on-device plan execution.
+                    let outcome = runtime
+                        .execute(&plan.device, &checkpoint, &store, None)
+                        .expect("plan executes");
+                    if let ExecutionOutcome::Completed {
+                        update_bytes,
+                        weight,
+                        loss,
+                        accuracy,
+                        ..
+                    } = outcome
+                    {
+                        coordinator
+                            .send(CoordMsg::DeviceReport {
+                                device: DeviceId(id),
+                                update_bytes: update_bytes.unwrap_or_default(),
+                                weight,
+                                loss: if loss.is_nan() { 0.0 } else { loss },
+                                accuracy: if accuracy.is_nan() { 0.0 } else { accuracy },
+                                reply: tx.clone(),
+                            })
+                            .ok();
+                    }
+                }
+                Ok(DeviceReply::ReportAccepted) => return true,
+                Ok(DeviceReply::ReportDiscarded) => return false,
+                Ok(DeviceReply::ComeBackLater { .. }) => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(_) => return false,
+            }
+        }
+    })
+}
+
+fn main() {
+    let data = generate(&ClassificationConfig {
+        users: 16,
+        examples_per_user: 40,
+        ..Default::default()
+    });
+    let model = ModelSpec::Logistic {
+        dim: 16,
+        classes: 4,
+        seed: 1,
+    };
+    let round = RoundConfig {
+        goal_count: 8,
+        overselection: 1.25,
+        min_goal_fraction: 0.75,
+        selection_timeout_ms: 5_000,
+        report_window_ms: 30_000,
+        device_cap_ms: 30_000,
+    };
+    let task = FlTask::training("live/train", "live-pop").with_round(round);
+    let plan = FlPlan::standard_training(model, 1, 16, 0.2, CodecSpec::Identity);
+    let group = TaskGroup::new(vec![task], TaskSelectionStrategy::Single);
+
+    let system = ActorSystem::new();
+    let locks: LockingService<String> = LockingService::new();
+    let coordinator = CoordinatorActor::new(
+        CoordinatorConfig::new("live-pop", 77),
+        group,
+        vec![plan],
+        vec![0.0; model.num_params()],
+        locks.clone(),
+    );
+    let mut selector = Selector::new(PaceSteering::new(1_000, 10), 16, 3);
+    selector.set_quota(16);
+    let (selectors, coord_ref) = spawn_topology(&system, coordinator, vec![selector]);
+    println!(
+        "topology up: coordinator owns {:?} via the locking service",
+        locks.names()
+    );
+
+    for round_no in 1..=2 {
+        println!("\n--- round {round_no} ---");
+        let handles: Vec<_> = (0..10u64)
+            .map(|i| {
+                device_thread(
+                    i,
+                    data.users[i as usize].clone(),
+                    selectors[0].clone(),
+                    coord_ref.clone(),
+                )
+            })
+            .collect();
+        let accepted = handles
+            .into_iter()
+            .filter_map(|h| h.join().ok())
+            .filter(|&ok| ok)
+            .count();
+        println!("devices with accepted reports: {accepted}");
+
+        // Drive ticks until the round completes.
+        let outcome = loop {
+            let (tx, rx) = unbounded();
+            coord_ref
+                .send(CoordMsg::TryCompleteRound { reply: tx })
+                .unwrap();
+            if let Some(outcome) = rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+                break outcome;
+            }
+            coord_ref.send(CoordMsg::Tick).unwrap();
+            std::thread::sleep(Duration::from_millis(25));
+        };
+        println!("outcome: {outcome:?}");
+    }
+
+    // Failure handling: kill the coordinator, then respawn exactly once.
+    println!("\n--- failure drill: coordinator shutdown + respawn ---");
+    coord_ref.send(CoordMsg::Shutdown).unwrap();
+    // Wait for the lease to clear.
+    while locks.lookup("coordinator/live-pop").is_some() {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    println!("lease released; selector layer may respawn the coordinator");
+    let winners = (0..4)
+        .map(|i| {
+            locks
+                .acquire("coordinator/live-pop", format!("respawn-candidate-{i}"))
+                .is_some()
+        })
+        .filter(|&won| won)
+        .count();
+    println!("respawn races won: {winners} (exactly once, as Sec. 4.4 requires)");
+
+    for s in &selectors {
+        let _ = s.send(SelectorMsg::Shutdown);
+    }
+    system.join();
+    println!("\nclean shutdown");
+}

@@ -1,0 +1,200 @@
+//! Failure-mode integration tests (Sec. 4.4): "In all failure cases the
+//! system will continue to make progress, either by completing the
+//! current round or restarting from the results of the previously
+//! committed round."
+
+use federated::actors::{ActorSystem, LockingService};
+use federated::core::plan::{CodecSpec, FlPlan, ModelSpec};
+use federated::core::population::{FlTask, TaskGroup, TaskSelectionStrategy};
+use federated::core::round::RoundConfig;
+use federated::core::{DeviceId, RoundId};
+use federated::server::coordinator::{Coordinator, CoordinatorConfig};
+use federated::server::live::{CoordMsg, CoordinatorActor};
+use federated::server::storage::{CheckpointStore, InMemoryCheckpointStore};
+use crossbeam::channel::unbounded;
+use std::time::Duration;
+
+fn spec() -> ModelSpec {
+    ModelSpec::Logistic {
+        dim: 4,
+        classes: 2,
+        seed: 0,
+    }
+}
+
+fn quick_round(goal: usize) -> RoundConfig {
+    RoundConfig {
+        goal_count: goal,
+        overselection: 1.0,
+        min_goal_fraction: 1.0,
+        selection_timeout_ms: 10_000,
+        report_window_ms: 60_000,
+        device_cap_ms: 60_000,
+    }
+}
+
+fn deployed(population: &str) -> Coordinator<InMemoryCheckpointStore> {
+    let task = FlTask::training("t", population).with_round(quick_round(3));
+    let plan = FlPlan::standard_training(spec(), 1, 8, 0.1, CodecSpec::Identity);
+    let mut c = Coordinator::new(
+        CoordinatorConfig::new(population, 1),
+        InMemoryCheckpointStore::new(),
+    );
+    c.deploy(
+        TaskGroup::new(vec![task], TaskSelectionStrategy::Single),
+        vec![plan],
+        vec![0.0; spec().num_params()],
+    );
+    c
+}
+
+/// Master Aggregator failure: "the current round of the FL task it
+/// manages will fail, but will then be restarted by the Coordinator" —
+/// dropping an in-flight round loses nothing durable; the next round
+/// restarts from the previously committed checkpoint.
+#[test]
+fn master_failure_restarts_from_committed_checkpoint() {
+    let mut c = deployed("pop-master-fail");
+
+    // Round 1 commits normally.
+    let mut r1 = c.begin_round(0).unwrap();
+    for i in 0..3u64 {
+        r1.on_checkin(DeviceId(i), 10);
+    }
+    let update = CodecSpec::Identity.build().encode(&[1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+    for d in r1.state.participants() {
+        r1.on_report(d, 100, &update, 10, 0.5, 0.5).unwrap();
+    }
+    c.complete_round(r1).unwrap();
+    let committed = c.global_params("t").unwrap();
+    assert_eq!(c.store().latest("t").unwrap().round, RoundId(1));
+
+    // Round 2's master "crashes": the ActiveRound is simply dropped
+    // mid-flight (ephemeral, in-memory — nothing was persisted).
+    let mut r2 = c.begin_round(1_000).unwrap();
+    for i in 0..3u64 {
+        r2.on_checkin(DeviceId(10 + i), 1_010);
+    }
+    let d = r2.state.participants()[0];
+    r2.on_report(d, 1_100, &update, 10, 0.5, 0.5).unwrap();
+    drop(r2); // crash: partial aggregate vanishes
+
+    // Storage is untouched; the restarted round reads round 1's result.
+    assert_eq!(c.store().latest("t").unwrap().round, RoundId(1));
+    assert_eq!(c.global_params("t").unwrap(), committed);
+
+    // Round 3 (the restart) proceeds to commit from that checkpoint.
+    let mut r3 = c.begin_round(2_000).unwrap();
+    assert_eq!(r3.checkpoint.params(), committed.as_slice());
+    for i in 0..3u64 {
+        r3.on_checkin(DeviceId(20 + i), 2_010);
+    }
+    for d in r3.state.participants() {
+        r3.on_report(d, 2_100, &update, 10, 0.5, 0.5).unwrap();
+    }
+    let outcome = c.complete_round(r3).unwrap();
+    assert!(outcome.is_committed());
+    assert_eq!(c.store().latest("t").unwrap().round, RoundId(2));
+}
+
+/// Coordinator death: the Selector layer detects it (via the obituary
+/// channel) and respawns it; the locking service guarantees exactly one
+/// respawn even when multiple selectors race.
+#[test]
+fn coordinator_death_triggers_exactly_one_respawn() {
+    let system = ActorSystem::new();
+    let locks: LockingService<String> = LockingService::new();
+    let task = FlTask::training("t", "pop-respawn").with_round(quick_round(2));
+    let plan = FlPlan::standard_training(spec(), 1, 8, 0.1, CodecSpec::Identity);
+
+    let make_actor = |locks: LockingService<String>| {
+        CoordinatorActor::new(
+            CoordinatorConfig::new("pop-respawn", 9),
+            TaskGroup::new(vec![task.clone()], TaskSelectionStrategy::Single),
+            vec![plan.clone()],
+            vec![0.0; spec().num_params()],
+            locks,
+        )
+    };
+
+    let coord = system.spawn("coordinator", make_actor(locks.clone()));
+    assert!(locks.lookup("coordinator/pop-respawn").is_some());
+
+    // Kill it.
+    coord.send(CoordMsg::Shutdown).unwrap();
+    let deaths = system.deaths();
+    let obit = deaths.recv_timeout(Duration::from_secs(5)).unwrap();
+    assert_eq!(obit.name, "coordinator");
+
+    // The lease must be gone (released in on_stop) so a successor can own
+    // the population.
+    assert!(locks.lookup("coordinator/pop-respawn").is_none());
+
+    // Multiple selectors race to respawn; the locking service admits one.
+    let results: Vec<bool> = std::thread::scope(|scope| {
+        (0..8)
+            .map(|_| {
+                let locks = locks.clone();
+                scope.spawn(move || locks.acquire("coordinator/pop-respawn", "new".into()).is_some())
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    assert_eq!(results.iter().filter(|&&w| w).count(), 1);
+
+    // The winner actually spawns the replacement (it must not re-acquire).
+    locks.evict("coordinator/pop-respawn");
+    let replacement = system.spawn("coordinator-2", make_actor(locks.clone()));
+    let (tx, rx) = unbounded();
+    replacement
+        .send(CoordMsg::TryCompleteRound { reply: tx })
+        .unwrap();
+    // It answers (None — no active round yet), proving it is live.
+    assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), None);
+
+    replacement.send(CoordMsg::Shutdown).unwrap();
+    system.join();
+}
+
+/// A panicking actor produces an obituary instead of tearing the process
+/// down, and unrelated actors keep running (Sec. 4.4: "the loss of an
+/// actor will not prevent the round from succeeding").
+#[test]
+fn actor_panic_is_isolated() {
+    use federated::actors::{Actor, Context, Flow};
+
+    struct Healthy;
+    impl Actor for Healthy {
+        type Msg = u32;
+        fn handle(&mut self, msg: u32, _ctx: &mut Context<u32>) -> Flow {
+            if msg == 0 {
+                Flow::Stop
+            } else {
+                Flow::Continue
+            }
+        }
+    }
+    struct Faulty;
+    impl Actor for Faulty {
+        type Msg = ();
+        fn handle(&mut self, _msg: (), _ctx: &mut Context<()>) -> Flow {
+            panic!("aggregator shard crashed");
+        }
+    }
+
+    let system = ActorSystem::new();
+    let healthy = system.spawn("healthy", Healthy);
+    let faulty = system.spawn("faulty", Faulty);
+    faulty.send(()).unwrap();
+    // The healthy actor continues to process messages after the crash.
+    for i in 1..=100 {
+        healthy.send(i).unwrap();
+    }
+    healthy.send(0).unwrap();
+    system.join();
+    let mut names: Vec<String> = system.deaths().try_iter().map(|o| o.name).collect();
+    names.sort();
+    assert_eq!(names, vec!["faulty", "healthy"]);
+}

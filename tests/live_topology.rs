@@ -1,0 +1,181 @@
+//! Live actor topology with multiple Selectors (Fig. 3 shows Selectors as
+//! a globally-distributed layer in front of one Coordinator).
+
+use federated::actors::{ActorSystem, LockingService};
+use federated::core::plan::{CodecSpec, FlPlan, ModelSpec};
+use federated::core::population::{FlTask, TaskGroup, TaskSelectionStrategy};
+use federated::core::round::RoundConfig;
+use federated::core::DeviceId;
+use federated::server::live::{spawn_topology, CoordMsg, CoordinatorActor, DeviceReply, SelectorMsg};
+use federated::server::pace::PaceSteering;
+use federated::server::selector::Selector;
+use federated::server::CoordinatorConfig;
+use crossbeam::channel::unbounded;
+use std::time::Duration;
+
+fn spec() -> ModelSpec {
+    ModelSpec::Logistic {
+        dim: 4,
+        classes: 2,
+        seed: 0,
+    }
+}
+
+#[test]
+fn round_commits_across_three_selectors() {
+    let system = ActorSystem::new();
+    let locks: LockingService<String> = LockingService::new();
+    let round = RoundConfig {
+        goal_count: 6,
+        overselection: 1.0,
+        min_goal_fraction: 1.0,
+        selection_timeout_ms: 5_000,
+        report_window_ms: 30_000,
+        device_cap_ms: 30_000,
+    };
+    let task = FlTask::training("t", "multi-sel").with_round(round);
+    let plan = FlPlan::standard_training(spec(), 1, 8, 0.1, CodecSpec::Identity);
+    let coordinator = CoordinatorActor::new(
+        CoordinatorConfig::new("multi-sel", 3),
+        TaskGroup::new(vec![task], TaskSelectionStrategy::Single),
+        vec![plan],
+        vec![0.0; spec().num_params()],
+        locks.clone(),
+    );
+    // Three selectors, each with its own quota — as if serving three
+    // geographic regions.
+    let selectors: Vec<Selector> = (0..3)
+        .map(|i| {
+            let mut s = Selector::new(PaceSteering::new(1_000, 2), 100, i);
+            s.set_quota(2);
+            s
+        })
+        .collect();
+    let (selector_refs, coord_ref) = spawn_topology(&system, coordinator, selectors);
+    assert_eq!(selector_refs.len(), 3);
+
+    // Six devices, two per selector, each on its own thread.
+    let handles: Vec<_> = (0..6u64)
+        .map(|i| {
+            let sel = selector_refs[(i % 3) as usize].clone();
+            let coord = coord_ref.clone();
+            std::thread::spawn(move || {
+                let (tx, rx) = unbounded();
+                sel.send(SelectorMsg::Checkin {
+                    device: DeviceId(i),
+                    reply: tx.clone(),
+                })
+                .unwrap();
+                loop {
+                    match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
+                        DeviceReply::Configured { plan, .. } => {
+                            let dim = plan.server.expected_dim;
+                            let bytes =
+                                CodecSpec::Identity.build().encode(&vec![0.5f32; dim]);
+                            coord
+                                .send(CoordMsg::DeviceReport {
+                                    device: DeviceId(i),
+                                    update_bytes: bytes,
+                                    weight: 3,
+                                    loss: 0.4,
+                                    accuracy: 0.9,
+                                    reply: tx.clone(),
+                                })
+                                .unwrap();
+                        }
+                        DeviceReply::ReportAccepted => return true,
+                        _ => return false,
+                    }
+                }
+            })
+        })
+        .collect();
+    let accepted = handles
+        .into_iter()
+        .filter(|_| true)
+        .map(|h| h.join().unwrap())
+        .filter(|&ok| ok)
+        .count();
+    assert_eq!(accepted, 6, "all six devices contribute through their selectors");
+
+    let outcome = loop {
+        let (tx, rx) = unbounded();
+        coord_ref
+            .send(CoordMsg::TryCompleteRound { reply: tx })
+            .unwrap();
+        if let Some(outcome) = rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            break outcome;
+        }
+        coord_ref.send(CoordMsg::Tick).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(outcome.is_committed());
+
+    for s in &selector_refs {
+        s.send(SelectorMsg::Shutdown).unwrap();
+    }
+    coord_ref.send(CoordMsg::Shutdown).unwrap();
+    system.join();
+    assert!(locks.lookup("coordinator/multi-sel").is_none());
+}
+
+/// A selector at quota pace-steers the excess devices away rather than
+/// forwarding them (the "come back later" path over real threads).
+#[test]
+fn over_quota_devices_are_pace_steered() {
+    let system = ActorSystem::new();
+    let locks: LockingService<String> = LockingService::new();
+    let round = RoundConfig {
+        goal_count: 2,
+        overselection: 1.0,
+        min_goal_fraction: 1.0,
+        selection_timeout_ms: 5_000,
+        report_window_ms: 10_000,
+        device_cap_ms: 10_000,
+    };
+    let task = FlTask::training("t", "quota-pop").with_round(round);
+    let plan = FlPlan::standard_training(spec(), 1, 8, 0.1, CodecSpec::Identity);
+    let coordinator = CoordinatorActor::new(
+        CoordinatorConfig::new("quota-pop", 1),
+        TaskGroup::new(vec![task], TaskSelectionStrategy::Single),
+        vec![plan],
+        vec![0.0; spec().num_params()],
+        locks,
+    );
+    let mut selector = Selector::new(PaceSteering::new(1_000, 2), 1_000_000, 9);
+    selector.set_quota(2);
+    let (selector_refs, coord_ref) = spawn_topology(&system, coordinator, vec![selector]);
+
+    // Send all check-ins first (the round only configures — and replies —
+    // once its selection target of 2 is met), then collect replies.
+    let receivers: Vec<_> = (0..5u64)
+        .map(|i| {
+            let (tx, rx) = unbounded();
+            selector_refs[0]
+                .send(SelectorMsg::Checkin {
+                    device: DeviceId(i),
+                    reply: tx,
+                })
+                .unwrap();
+            rx
+        })
+        .collect();
+    let mut rejected = 0;
+    let mut accepted = 0;
+    for rx in &receivers {
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            DeviceReply::ComeBackLater { retry_at_ms } => {
+                assert!(retry_at_ms > 0);
+                rejected += 1;
+            }
+            DeviceReply::Configured { .. } => accepted += 1,
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert_eq!(accepted, 2);
+    assert_eq!(rejected, 3);
+
+    selector_refs[0].send(SelectorMsg::Shutdown).unwrap();
+    coord_ref.send(CoordMsg::Shutdown).unwrap();
+    system.join();
+}
