@@ -58,6 +58,8 @@ where
     W: FnMut(ActorRef<A::Msg>),
 {
     let deaths_rx = system.deaths();
+    // fl-lint: allow(wall-clock): supervision deadlines bound real elapsed
+    // time in the live runtime; the sim supervises via its virtual clock.
     let started = std::time::Instant::now();
     let mut report = SupervisionReport {
         deaths: Vec::new(),
@@ -135,16 +137,17 @@ mod tests {
         let current2 = current.clone();
         let ff = fail_first.clone();
         let h = handled.clone();
-        let feeder_current = current.clone();
-        // Feed messages from another thread so restarts have work to do.
-        let feeder = std::thread::spawn(move || {
-            for i in 0..60u32 {
-                if let Some(r) = feeder_current.lock().clone() {
+        // Feed messages on the timer wheel so restarts have work to do:
+        // one send every 2ms, the last one a Stop.
+        let wheel = crate::timer::TimerWheel::new();
+        for i in 0..60u32 {
+            let fc = current.clone();
+            wheel.schedule(Duration::from_millis(2 * u64::from(i) + 2), move || {
+                if let Some(r) = fc.lock().clone() {
                     let _ = r.send(if i == 59 { 0 } else { 1 });
                 }
-                std::thread::sleep(Duration::from_millis(2));
-            }
-        });
+            });
+        }
         let report = supervise(
             &system,
             "flaky",
@@ -158,7 +161,7 @@ mod tests {
             },
             Duration::from_secs(5),
         );
-        feeder.join().unwrap();
+        wheel.shutdown();
         assert_eq!(report.restarts, 2, "deaths: {:?}", report.deaths);
         assert!(handled.load(Ordering::SeqCst) > 0);
         // Final death is normal (msg 0 → Stop).
@@ -179,8 +182,8 @@ mod tests {
         let ff = fail_first.clone();
         let h = handled.clone();
         let rs2 = refslot.clone();
-        let feeder = std::thread::spawn(move || {
-            std::thread::sleep(Duration::from_millis(20));
+        let wheel = crate::timer::TimerWheel::new();
+        wheel.schedule(Duration::from_millis(20), move || {
             if let Some(r) = rs2.lock().clone() {
                 let _ = r.send(1);
             }
@@ -196,7 +199,7 @@ mod tests {
             move |r| *rs.lock() = Some(r),
             Duration::from_secs(2),
         );
-        feeder.join().unwrap();
+        wheel.shutdown();
         assert_eq!(report.restarts, 0);
         assert_eq!(report.deaths.len(), 1);
         system.join();
@@ -216,15 +219,24 @@ mod tests {
         let rs2 = refslot.clone();
         let done2 = done.clone();
         // Feed the crash-looping actor until supervision gives up, so the
-        // test is immune to scheduling speed.
-        let feeder = std::thread::spawn(move || {
-            while !done2.load(Ordering::SeqCst) {
-                if let Some(r) = rs2.lock().clone() {
-                    let _ = r.send(1);
-                }
-                std::thread::sleep(Duration::from_millis(2));
+        // test is immune to scheduling speed: a self-rearming timer
+        // callback sends one message every 2ms.
+        fn feed(
+            wheel: &Arc<crate::timer::TimerWheel>,
+            slot: Arc<Mutex<Option<ActorRef<u32>>>>,
+            done: Arc<AtomicBool>,
+        ) {
+            if done.load(Ordering::SeqCst) {
+                return;
             }
-        });
+            if let Some(r) = slot.lock().clone() {
+                let _ = r.send(1);
+            }
+            let rearm = Arc::clone(wheel);
+            wheel.schedule(Duration::from_millis(2), move || feed(&rearm, slot, done));
+        }
+        let wheel = Arc::new(crate::timer::TimerWheel::new());
+        feed(&wheel, rs2, done2);
         let report = supervise(
             &system,
             "hopeless",
@@ -237,7 +249,7 @@ mod tests {
             Duration::from_secs(20),
         );
         done.store(true, Ordering::SeqCst);
-        feeder.join().unwrap();
+        wheel.shutdown();
         assert_eq!(report.restarts, 3);
         assert_eq!(report.deaths.len(), 4); // initial + 3 restarts, all dead
         // Drop the slot's reference so the last (stopped) actor's mailbox

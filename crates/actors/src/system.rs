@@ -102,6 +102,8 @@ impl ActorSystem {
                     reason,
                 });
             })
+            // fl-lint: allow(unwrap): spawn failure here means the OS refused a
+            // thread; the actor system cannot degrade further, so abort loudly.
             .expect("failed to spawn actor thread");
         self.shared.handles.lock().push(handle);
         actor_ref

@@ -67,14 +67,18 @@ impl TimerWheel {
             .spawn(move || {
                 let mut heap: BinaryHeap<Scheduled> = BinaryHeap::new();
                 loop {
-                    // Fire everything due.
+                    // Fire everything due. The wheel is the live runtime's
+                    // clock authority; the sim path never constructs one.
+                    // fl-lint: allow(wall-clock): the timer wheel IS the live clock source
                     let now = Instant::now();
                     while heap.peek().is_some_and(|s| s.due <= now) {
-                        let s = heap.pop().unwrap();
-                        (s.callback)();
+                        if let Some(s) = heap.pop() {
+                            (s.callback)();
+                        }
                     }
                     let wait = heap
                         .peek()
+                        // fl-lint: allow(wall-clock): live-mode sleep horizon
                         .map(|s| s.due.saturating_duration_since(Instant::now()))
                         .unwrap_or(Duration::from_secs(3600));
                     match rx.recv_timeout(wait) {
@@ -85,6 +89,8 @@ impl TimerWheel {
                     }
                 }
             })
+            // fl-lint: allow(unwrap): construction-time spawn failure means the
+            // process cannot host a live runtime at all; nothing to recover.
             .expect("failed to spawn timer thread");
         TimerWheel {
             tx,
@@ -103,6 +109,7 @@ impl TimerWheel {
         };
         // Ignore failure during shutdown.
         let _ = self.tx.send(TimerMsg::Schedule(Scheduled {
+            // fl-lint: allow(wall-clock): deadlines are relative to the live clock
             due: Instant::now() + delay,
             seq,
             callback: Box::new(callback),

@@ -34,6 +34,10 @@ pub enum CoreError {
     },
     /// A task or population lookup failed.
     UnknownTask(String),
+    /// An internal invariant was violated. Surfaced as an error (the
+    /// round is abandoned and its resources reclaimed, Sec. 2.2) rather
+    /// than a panic, so a bad round cannot take down the control plane.
+    InvariantViolated(String),
     /// Underlying ML error.
     Ml(fl_ml::MlError),
 }
@@ -58,6 +62,7 @@ impl fmt::Display for CoreError {
                 "runtime version {requested} unsupported (oldest reachable: {oldest_supported})"
             ),
             CoreError::UnknownTask(name) => write!(f, "unknown task or population: {name}"),
+            CoreError::InvariantViolated(what) => write!(f, "invariant violated: {what}"),
             CoreError::Ml(e) => write!(f, "ml error: {e}"),
         }
     }

@@ -24,14 +24,26 @@
 //! * [`traffic`] — download/upload byte accounting (Fig. 9);
 //! * [`error`] — the shared error type.
 
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
+
+/// Streaming, in-memory Federated Averaging accumulation (Sec. 4.2).
 pub mod aggregation;
+/// FL checkpoints: serialized global model state (Sec. 7.2).
 pub mod checkpoint;
+/// The shared error type for protocol-vocabulary operations.
 pub mod error;
+/// Device phase events and analytics session shapes (Table 1).
 pub mod events;
+/// FL plans: device and server halves, with versioning (Sec. 7.2–7.3).
 pub mod plan;
+/// FL populations, tasks, and task-selection strategies (Sec. 7.1).
 pub mod population;
+/// DP-FedAvg clipping and noise configuration (Sec. 6).
 pub mod privacy;
+/// Round configuration (goals, timeouts, over-selection) and outcomes.
 pub mod round;
+/// Download/upload byte accounting by direction and category (Fig. 9).
 pub mod traffic;
 
 pub use checkpoint::FlCheckpoint;

@@ -59,6 +59,8 @@ pub fn partition(
                 .iter()
                 .map(|ex| match ex.label() {
                     Label::Class(c) => c + 1,
+                    // fl-lint: allow(panic): documented precondition of sim-side
+                    // dataset prep; never reachable from the control plane.
                     _ => panic!("label-skew partitioning requires classification examples"),
                 })
                 .max()
@@ -100,6 +102,8 @@ pub fn label_divergence(parts: &[Vec<Example>]) -> f64 {
         for ex in p {
             match ex.label() {
                 Label::Class(c) => classes = classes.max(c + 1),
+                // fl-lint: allow(panic): documented in the `# Panics` section;
+                // analysis helper for sim datasets, not control-plane code.
                 _ => panic!("label divergence requires classification examples"),
             }
         }

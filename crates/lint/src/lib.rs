@@ -1,0 +1,49 @@
+//! `fl-lint`: the workspace's static-analysis release gate.
+//!
+//! The paper (Sec. 7) gates every plan release behind automated test
+//! predicates before it may touch real devices; `crates/tools`'s
+//! release pipeline models the runtime half of that gate. This crate
+//! is the code half: a dependency-free lexical analyzer that walks the
+//! workspace and enforces the determinism, panic-safety, and
+//! concurrency invariants the rest of the system is built on.
+//!
+//! Architecture:
+//! - [`tokens`]: a comment/string-aware Rust tokenizer, so rule
+//!   patterns never fire inside doc comments or string literals.
+//! - [`rules`]: the rule set — each rule is a pure token-stream
+//!   checker plus path scoping and a fix hint.
+//! - [`engine`]: file walking, `#[cfg(test)]` span detection, the
+//!   `// fl-lint: allow(<rule>): why` escape hatch, and finding
+//!   assembly.
+//!
+//! Run it as `cargo run -p fl-lint` (non-zero exit on violations) or
+//! via the integration test that makes it part of tier-1 `cargo test`.
+//! `scripts/check.sh` chains build, tests, and this gate.
+
+pub mod engine;
+pub mod rules;
+pub mod tokens;
+
+pub use engine::{lint_source, lint_workspace, Finding};
+
+use std::path::PathBuf;
+
+/// Locates the workspace root: walks up from this crate's manifest dir
+/// (compile-time) looking for the directory whose `Cargo.toml` defines
+/// the `[workspace]`.
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut dir = manifest.clone();
+    while let Some(parent) = dir.parent() {
+        let candidate = parent.join("Cargo.toml");
+        if candidate.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&candidate) {
+                if text.contains("[workspace]") {
+                    return parent.to_path_buf();
+                }
+            }
+        }
+        dir = parent.to_path_buf();
+    }
+    manifest
+}

@@ -1,0 +1,20 @@
+//! Negative: guard scopes never overlap.
+use parking_lot::Mutex;
+
+pub fn transfer(from: &Mutex<u64>, to: &Mutex<u64>, amount: u64) {
+    let taken = {
+        let mut a = from.lock();
+        *a -= amount;
+        amount
+    };
+    let mut b = to.lock();
+    *b += taken;
+}
+
+pub fn with_explicit_drop(from: &Mutex<u64>, to: &Mutex<u64>) {
+    let a = from.lock();
+    let snapshot = *a;
+    drop(a);
+    let mut b = to.lock();
+    *b = snapshot;
+}

@@ -1,0 +1,9 @@
+//! Positive: acquiring a second lock while a guard is live.
+use parking_lot::Mutex;
+
+pub fn transfer(from: &Mutex<u64>, to: &Mutex<u64>, amount: u64) {
+    let mut a = from.lock();
+    let mut b = to.lock();
+    *a -= amount;
+    *b += amount;
+}

@@ -1,0 +1,17 @@
+//! Crate-level docs.
+
+/// A documented struct.
+pub struct Documented {
+    /// Nested fields are out of scope for the root-item rule.
+    pub field: u64,
+}
+
+/// A documented function.
+pub fn documented() {}
+
+/// A documented module.
+pub mod named;
+
+pub use self::named as renamed;
+
+pub(crate) fn internal() {}

@@ -1,0 +1,9 @@
+//! Crate-level docs do not document the items below.
+
+pub struct Undocumented {
+    pub field: u64,
+}
+
+pub fn also_undocumented() {}
+
+pub mod nameless;

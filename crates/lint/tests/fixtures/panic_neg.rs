@@ -1,0 +1,25 @@
+//! Negative: errors propagate; panics live only in tests or behind allow.
+pub fn explode(kind: u8) -> Result<(), String> {
+    if kind == 0 {
+        return Err("kind must be nonzero".to_string());
+    }
+    Ok(())
+}
+
+pub fn checked_precondition(threshold: usize) {
+    // fl-lint: allow(panic): documented `# Panics` precondition
+    assert!(threshold >= 2, "threshold must be at least 2");
+    if threshold == usize::MAX {
+        // fl-lint: allow(panic): unreachable by construction
+        panic!("impossible");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[should_panic]
+    fn panics_in_tests_are_fine() {
+        panic!("expected");
+    }
+}

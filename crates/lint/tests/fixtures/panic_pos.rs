@@ -1,0 +1,14 @@
+//! Positive: aborting macros in non-test code.
+pub fn explode(kind: u8) {
+    if kind == 0 {
+        panic!("kind must be nonzero");
+    }
+}
+
+pub fn later() {
+    todo!()
+}
+
+pub fn never() {
+    unimplemented!()
+}

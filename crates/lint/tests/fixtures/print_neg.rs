@@ -1,0 +1,13 @@
+//! Negative: structured events; prints only in tests or strings.
+pub fn report(events: &mut Vec<String>, loss: f64) {
+    events.push(format!("loss = {loss}"));
+    let _ = "println! in a string must not fire";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_in_tests_are_fine() {
+        println!("debugging a test is fine");
+    }
+}

@@ -1,0 +1,5 @@
+//! Positive: stdout/stderr output in library code.
+pub fn report(loss: f64) {
+    println!("loss = {loss}");
+    eprintln!("warning: high loss");
+}

@@ -1,0 +1,14 @@
+//! Negative: interruptible waits.
+use std::time::Duration;
+
+pub fn handle_message(rx: &crossbeam::channel::Receiver<u32>) -> Option<u32> {
+    rx.recv_timeout(Duration::from_millis(20)).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sleep_in_tests_is_exempt() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,6 @@
+//! Positive: blocking the actor thread.
+use std::time::Duration;
+
+pub fn handle_message() {
+    std::thread::sleep(Duration::from_millis(20));
+}

@@ -1,0 +1,15 @@
+//! Negative: parking_lot guards and non-lock std::sync items.
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+pub struct Shared {
+    pub slot: Arc<Mutex<u64>>,
+    pub table: RwLock<Vec<u64>>,
+    pub count: AtomicU64,
+}
+
+pub fn mentions() {
+    // std::sync::Mutex in a comment must not fire,
+    let _ = "nor std::sync::Mutex in a string";
+}

@@ -1,0 +1,7 @@
+//! Positive: std::sync lock types, full-path and grouped-import forms.
+use std::sync::{Arc, Mutex};
+
+pub struct Shared {
+    pub slot: Arc<Mutex<u64>>,
+    pub table: std::sync::RwLock<Vec<u64>>,
+}

@@ -1,0 +1,20 @@
+//! Negative: propagated errors, an allow, and test-code exemption.
+pub fn read_config(raw: Option<u32>) -> Result<u32, String> {
+    raw.ok_or_else(|| "missing".to_string())
+}
+
+pub fn spawn_or_die() {
+    std::thread::Builder::new()
+        .spawn(|| {})
+        // fl-lint: allow(unwrap): spawn failure at wiring time is fatal
+        .expect("no threads available");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Positive: panicking result handling in a recovery-critical crate.
+pub fn read_config(raw: Option<u32>) -> u32 {
+    raw.unwrap()
+}
+
+pub fn decode(raw: Result<u32, String>) -> u32 {
+    raw.expect("decode failed")
+}

@@ -1,0 +1,16 @@
+//! Negative: injected time, plus one justified allow.
+use std::time::Instant;
+
+pub fn deadline(now_ms: u64, window_ms: u64) -> u64 {
+    now_ms + window_ms
+}
+
+pub fn live_epoch() -> Instant {
+    // fl-lint: allow(wall-clock): live-mode epoch, never on the sim path
+    Instant::now()
+}
+
+pub fn mentions_in_comment() {
+    // A comment saying Instant::now() must not fire, nor "Instant::now()"
+    let _ = "in a string: Instant::now()";
+}

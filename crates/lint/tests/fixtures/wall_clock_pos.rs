@@ -1,0 +1,11 @@
+//! Positive: wall-clock reads in a deterministic path.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn epoch_secs() -> u64 {
+    let t = SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+}

@@ -6,7 +6,6 @@
 //! the property the paper relies on when it notes the platform "contains no
 //! explicit mentioning of any ML logic" (Sec. 11, *Federated Computation*).
 
-use rand::RngExt;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 

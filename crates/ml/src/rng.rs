@@ -7,7 +7,6 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rand::RngExt;
 
 /// Creates a [`StdRng`] from a `u64` seed.
 ///

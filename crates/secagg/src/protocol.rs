@@ -298,8 +298,9 @@ impl SecAggClient {
             if plaintext.len() != 16 {
                 return Err(SecAggError::BadShare);
             }
-            let key_y = u64::from_le_bytes(plaintext[..8].try_into().unwrap());
-            let seed_y = u64::from_le_bytes(plaintext[8..].try_into().unwrap());
+            let (key_bytes, seed_bytes) = plaintext.split_at(8);
+            let key_y = u64::from_le_bytes(key_bytes.try_into().map_err(|_| SecAggError::BadShare)?);
+            let seed_y = u64::from_le_bytes(seed_bytes.try_into().map_err(|_| SecAggError::BadShare)?);
             if key_y >= field::PRIME || seed_y >= field::PRIME {
                 return Err(SecAggError::BadShare);
             }
@@ -469,7 +470,7 @@ impl SecAggServer {
         }
     }
 
-    fn expect(&self, state: ServerState, attempted: &'static str) -> Result<(), SecAggError> {
+    fn expect_state(&self, state: ServerState, attempted: &'static str) -> Result<(), SecAggError> {
         if self.state != state {
             return Err(SecAggError::OutOfOrder {
                 state: self.state.name(),
@@ -485,7 +486,7 @@ impl SecAggServer {
     ///
     /// [`SecAggError::DuplicateMessage`] or [`SecAggError::OutOfOrder`].
     pub fn collect_advertisement(&mut self, adv: KeyAdvertisement) -> Result<(), SecAggError> {
-        self.expect(ServerState::CollectingAdvertisements, "collect_advertisement")?;
+        self.expect_state(ServerState::CollectingAdvertisements, "collect_advertisement")?;
         if self.advertisements.insert(adv.id, adv).is_some() {
             return Err(SecAggError::DuplicateMessage(adv.id));
         }
@@ -498,7 +499,7 @@ impl SecAggServer {
     ///
     /// [`SecAggError::BelowThreshold`] if too few devices advertised.
     pub fn finish_advertising(&mut self) -> Result<Vec<KeyAdvertisement>, SecAggError> {
-        self.expect(ServerState::CollectingAdvertisements, "finish_advertising")?;
+        self.expect_state(ServerState::CollectingAdvertisements, "finish_advertising")?;
         if self.advertisements.len() < self.config.threshold {
             return Err(SecAggError::BelowThreshold {
                 alive: self.advertisements.len(),
@@ -516,7 +517,7 @@ impl SecAggServer {
     /// [`SecAggError::UnknownParticipant`], [`SecAggError::DuplicateMessage`],
     /// or [`SecAggError::OutOfOrder`].
     pub fn collect_shares(&mut self, shares: EncryptedShares) -> Result<(), SecAggError> {
-        self.expect(ServerState::CollectingShares, "collect_shares")?;
+        self.expect_state(ServerState::CollectingShares, "collect_shares")?;
         if !self.advertisements.contains_key(&shares.from) {
             return Err(SecAggError::UnknownParticipant(shares.from));
         }
@@ -542,7 +543,7 @@ impl SecAggServer {
     ///
     /// [`SecAggError::BelowThreshold`] if U₂ is smaller than the threshold.
     pub fn finish_sharing(&mut self) -> Result<HashMap<u32, Vec<(u32, Vec<u8>)>>, SecAggError> {
-        self.expect(ServerState::CollectingShares, "finish_sharing")?;
+        self.expect_state(ServerState::CollectingShares, "finish_sharing")?;
         if self.shared.len() < self.config.threshold {
             return Err(SecAggError::BelowThreshold {
                 alive: self.shared.len(),
@@ -577,7 +578,7 @@ impl SecAggServer {
     /// [`SecAggError::DuplicateMessage`], [`SecAggError::DimensionMismatch`],
     /// or [`SecAggError::OutOfOrder`].
     pub fn collect_masked(&mut self, input: MaskedInput) -> Result<(), SecAggError> {
-        self.expect(ServerState::CollectingMasked, "collect_masked")?;
+        self.expect_state(ServerState::CollectingMasked, "collect_masked")?;
         if !self.shared.contains(&input.id) {
             return Err(SecAggError::UnknownParticipant(input.id));
         }
@@ -602,7 +603,7 @@ impl SecAggServer {
     /// [`SecAggError::BelowThreshold`] if fewer than `threshold` devices
     /// committed.
     pub fn finish_commit(&mut self) -> Result<UnmaskingRequest, SecAggError> {
-        self.expect(ServerState::CollectingMasked, "finish_commit")?;
+        self.expect_state(ServerState::CollectingMasked, "finish_commit")?;
         if self.committed.len() < self.config.threshold {
             return Err(SecAggError::BelowThreshold {
                 alive: self.committed.len(),
@@ -627,7 +628,7 @@ impl SecAggServer {
     /// [`SecAggError::DuplicateMessage`], [`SecAggError::UnknownParticipant`],
     /// or [`SecAggError::OutOfOrder`].
     pub fn collect_reveals(&mut self, reveals: RevealedShares) -> Result<(), SecAggError> {
-        self.expect(ServerState::CollectingReveals, "collect_reveals")?;
+        self.expect_state(ServerState::CollectingReveals, "collect_reveals")?;
         if !self.committed.contains(&reveals.from) {
             return Err(SecAggError::UnknownParticipant(reveals.from));
         }
@@ -657,7 +658,7 @@ impl SecAggServer {
     /// [`SecAggError::ReconstructionFailed`] if shares are insufficient or
     /// inconsistent with the advertised public keys.
     pub fn finalize(&mut self) -> Result<Vec<u64>, SecAggError> {
-        self.expect(ServerState::CollectingReveals, "finalize")?;
+        self.expect_state(ServerState::CollectingReveals, "finalize")?;
         if self.revealers.len() < self.config.threshold {
             return Err(SecAggError::BelowThreshold {
                 alive: self.revealers.len(),

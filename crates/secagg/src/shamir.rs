@@ -6,7 +6,6 @@
 
 use crate::error::SecAggError;
 use crate::field;
-use rand::RngExt;
 
 /// One Shamir share: the evaluation point `x` (non-zero) and value `y`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -55,6 +55,7 @@ struct Deployment {
 
 /// The per-population Coordinator.
 pub struct Coordinator<S: CheckpointStore> {
+    // Manual Debug below: `S` need not implement it.
     config: CoordinatorConfig,
     group: Option<TaskGroup>,
     deployments: HashMap<String, Deployment>,
@@ -66,6 +67,17 @@ pub struct Coordinator<S: CheckpointStore> {
     traffic: TrafficCounter,
     /// Materialized metrics per task per round (Sec. 7.4).
     metrics: Vec<(String, RoundId, Vec<MetricSummary>)>,
+}
+
+impl<S: CheckpointStore> std::fmt::Debug for Coordinator<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("config", &self.config)
+            .field("group", &self.group)
+            .field("round_counter", &self.round_counter)
+            .field("round_ids", &self.round_ids)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<S: CheckpointStore> Coordinator<S> {
@@ -214,7 +226,9 @@ impl<S: CheckpointStore> Coordinator<S> {
             .ok_or_else(|| CoreError::UnknownTask("round not finished".into()))?;
         if outcome.is_committed() {
             if round.task.kind == TaskKind::Training {
-                let master = round.master.expect("training round has a master");
+                let master = round.master.ok_or_else(|| {
+                    CoreError::InvariantViolated("training round has no aggregator".into())
+                })?;
                 let (params, _n) = master
                     .finalize(round.checkpoint.params(), &round.dropouts)
                     .map_err(|e| CoreError::MalformedCheckpoint(e.to_string()))?;
@@ -240,6 +254,7 @@ impl<S: CheckpointStore> Coordinator<S> {
 
 /// One in-flight round: the state machine plus the aggregation pipeline
 /// and traffic/metrics accounting for its devices.
+#[derive(Debug)]
 pub struct ActiveRound {
     /// The task being executed.
     pub task: FlTask,
@@ -305,7 +320,9 @@ impl ActiveRound {
             if self.task.kind == TaskKind::Training {
                 self.master
                     .as_mut()
-                    .expect("training round has a master")
+                    .ok_or_else(|| {
+                        CoreError::InvariantViolated("training round has no aggregator".into())
+                    })?
                     .accept(device, update_bytes, weight)?;
             }
             self.loss_summary.push(loss);

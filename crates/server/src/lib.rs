@@ -29,14 +29,27 @@
 //! * [`adaptive`] — dynamic round-window tuning (the Sec. 11 future-work
 //!   item, built on the P² reporting-time sketches).
 
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
+
+/// Dynamic round-window tuning from P² reporting-time sketches.
 pub mod adaptive;
+/// Aggregators and the Master Aggregator: streaming FedAvg shards,
+/// optional per-shard Secure Aggregation, hierarchical merge.
 pub mod aggregator;
+/// Coordinators: round advancement, task selection, model custody.
 pub mod coordinator;
+/// Threaded actor wiring for the live (wall-clock) server topology.
 pub mod live;
+/// Pace steering: reconnect windows, rendezvous, herd avoidance.
 pub mod pace;
+/// Round-overlap pipelining: Selection of round *i+1* during round *i*.
 pub mod pipeline;
+/// The Selection → Configuration → Reporting round state machine.
 pub mod round;
+/// Selectors: check-in admission against coordinator quotas.
 pub mod selector;
+/// Persistent checkpoint storage with aggregate-before-write semantics.
 pub mod storage;
 
 pub use aggregator::{AggregationPlan, MasterAggregator};

@@ -91,6 +91,15 @@ pub struct CoordinatorActor {
     locks: LockingService<String>,
 }
 
+impl std::fmt::Debug for CoordinatorActor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoordinatorActor")
+            .field("coordinator", &self.coordinator)
+            .field("lease_name", &self.lease_name)
+            .finish_non_exhaustive()
+    }
+}
+
 impl CoordinatorActor {
     /// Creates the actor, deploying the task group, and registers it in
     /// the locking service.
@@ -109,6 +118,10 @@ impl CoordinatorActor {
         let lease_name = format!("coordinator/{}", config.population);
         locks
             .acquire(lease_name.clone(), lease_name.clone())
+            // fl-lint: allow(unwrap): documented `# Panics` contract —
+            // double ownership of a population breaks the exactly-once
+            // guarantee (Sec. 4.2) and must fail loudly at wiring time,
+            // before any device traffic exists.
             .expect("population already owned by another coordinator");
         let mut coordinator =
             Coordinator::new(config, InMemoryCheckpointStore::new());
@@ -117,6 +130,9 @@ impl CoordinatorActor {
             coordinator,
             active: None,
             device_replies: std::collections::HashMap::new(),
+            // fl-lint: allow(wall-clock): the live topology stamps protocol
+            // events with real elapsed time; the deterministic state
+            // machines only ever see the derived `now_ms` offsets.
             epoch: Instant::now(),
             lease_name,
             locks,
@@ -222,8 +238,7 @@ impl Actor for CoordinatorActor {
                     .active
                     .as_ref()
                     .is_some_and(|r| r.state.outcome().is_some());
-                if finished {
-                    let mut round = self.active.take().expect("checked above");
+                if let Some(mut round) = if finished { self.active.take() } else { None } {
                     round.record_participation_metrics();
                     let outcome = self.coordinator.complete_round(round).ok();
                     let _ = reply.send(outcome);
@@ -266,12 +281,21 @@ pub struct SelectorActor {
     epoch: Instant,
 }
 
+impl std::fmt::Debug for SelectorActor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SelectorActor")
+            .field("selector", &self.selector)
+            .finish_non_exhaustive()
+    }
+}
+
 impl SelectorActor {
     /// Creates the actor.
     pub fn new(selector: Selector, coordinator: ActorRef<CoordMsg>) -> Self {
         SelectorActor {
             selector,
             coordinator,
+            // fl-lint: allow(wall-clock): live-mode event timestamps only.
             epoch: Instant::now(),
         }
     }
@@ -420,7 +444,9 @@ mod tests {
             .count();
         assert_eq!(accepted, 4);
 
-        // Poll for round completion.
+        // Poll for round completion, pacing the polls off the timer wheel
+        // rather than blocking the test thread with a raw sleep.
+        let wheel = fl_actors::timer::TimerWheel::new();
         let outcome = loop {
             let (tx, rx) = unbounded();
             coord_ref
@@ -430,8 +456,13 @@ mod tests {
                 break outcome;
             }
             coord_ref.send(CoordMsg::Tick).unwrap();
-            std::thread::sleep(Duration::from_millis(20));
+            let (poll_tx, poll_rx) = unbounded::<()>();
+            wheel.schedule(Duration::from_millis(20), move || {
+                let _ = poll_tx.send(());
+            });
+            let _ = poll_rx.recv();
         };
+        wheel.shutdown();
         assert!(outcome.is_committed());
 
         for s in &selector_refs {

@@ -22,7 +22,6 @@
 //! Diurnal awareness (the paper's third property) scales the window by the
 //! expected active-device factor so peak hours are not over-solicited.
 
-use rand::RngExt;
 
 /// Population-size regime boundary: below this, concentrate; above, spread.
 const SMALL_POPULATION: u64 = 1_000;

@@ -109,6 +109,10 @@ impl RoundState {
     pub fn begin(round: RoundId, config: RoundConfig, now_ms: u64) -> Self {
         config
             .validate()
+            // fl-lint: allow(panic): documented `# Panics` precondition —
+            // configs are validated when authored (RoundConfig::validate);
+            // an invalid one reaching `begin` is a programming error, not
+            // a runtime condition a round could recover from.
             .unwrap_or_else(|why| panic!("invalid round config: {why}"));
         RoundState {
             round,
@@ -181,8 +185,12 @@ impl RoundState {
                 }
             }
             Phase::Reporting => {
-                let deadline = self.configured_at_ms.expect("configured") + self.config.report_window_ms;
-                if now_ms >= deadline {
+                // Reporting is only entered from Configuration, which
+                // stamps `configured_at_ms`; if the stamp is somehow
+                // missing, fall back to the round start so the window
+                // still closes instead of panicking or hanging forever.
+                let configured = self.configured_at_ms.unwrap_or(self.started_at_ms);
+                if now_ms >= configured + self.config.report_window_ms {
                     self.close_reporting(now_ms);
                 }
             }

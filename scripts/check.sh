@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Release gate: build, test, and static-analysis pass (DESIGN.md Sec. 7).
+# Everything must be green before a change ships.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo run -p fl-lint"
+cargo run -q -p fl-lint
+
+echo "release gate: all checks passed"

@@ -1,0 +1,28 @@
+//! The static-analysis release gate as a tier-1 test: the workspace
+//! must be clean under every `fl-lint` rule. The paper (Sec. 7) gates
+//! plan releases behind automated predicates before they may touch
+//! real devices; this is the code-side predicate. A failure here means
+//! a determinism, panic-safety, or concurrency invariant regressed —
+//! fix the site or, where the behaviour is deliberate, annotate it
+//! with `// fl-lint: allow(<rule>): <justification>`.
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = fl_lint::workspace_root();
+    let (findings, scanned) = fl_lint::lint_workspace(&root);
+    assert!(
+        scanned > 50,
+        "walked only {scanned} files from {} — wrong workspace root?",
+        root.display()
+    );
+    assert!(
+        findings.is_empty(),
+        "fl-lint found {} violation(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

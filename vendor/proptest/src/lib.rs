@@ -1,0 +1,666 @@
+//! Offline, deterministic stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property
+//! tests use: the `proptest!` macro with an optional
+//! `#![proptest_config(..)]` header, range and `any::<T>()` strategies,
+//! `prop_map`, `prop_oneof!`, `collection::vec`, and the
+//! `prop_assert*` macros. Unlike real proptest there is no shrinking
+//! and no persisted failure seeds: every test function derives its RNG
+//! seed from its source location, so failures are exactly reproducible
+//! from the test name alone — in keeping with the workspace-wide
+//! determinism invariant.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Value`. Mirrors
+    /// `proptest::strategy::Strategy` minus shrinking.
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value (proptest's
+    /// `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed strategies; built by `prop_oneof!`.
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `options`; panics if empty.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].sample(rng)
+        }
+    }
+
+    impl<T> std::fmt::Debug for Union<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Union({} options)", self.options.len())
+        }
+    }
+
+    // Proptest treats a string literal as a regex that generates
+    // matching strings. This supports the subset the workspace uses:
+    // literals, classes `[a-z]`, groups, alternation, and the
+    // `? * + {n} {m,n}` quantifiers (unbounded repeats capped at 8).
+    impl Strategy for str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let chars: Vec<char> = self.chars().collect();
+            let mut pos = 0usize;
+            let out = regex::sample_alt(&chars, &mut pos, rng);
+            assert!(
+                pos == chars.len(),
+                "unsupported regex strategy: {self:?} (stopped at {pos})"
+            );
+            out
+        }
+    }
+
+    mod regex {
+        use crate::test_runner::TestRng;
+
+        pub fn sample_alt(chars: &[char], pos: &mut usize, rng: &mut TestRng) -> String {
+            // Generating from an alternation means picking a branch
+            // first, but parsing is linear: walk every branch,
+            // generating all, keep a uniformly chosen one.
+            let mut branches = vec![sample_seq(chars, pos, rng)];
+            while *pos < chars.len() && chars[*pos] == '|' {
+                *pos += 1;
+                branches.push(sample_seq(chars, pos, rng));
+            }
+            let idx = rng.below(branches.len() as u64) as usize;
+            branches.swap_remove(idx)
+        }
+
+        fn sample_seq(chars: &[char], pos: &mut usize, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            while *pos < chars.len() && chars[*pos] != '|' && chars[*pos] != ')' {
+                let piece_start = *pos;
+                let piece: Box<dyn Fn(&mut usize, &mut TestRng) -> String> = match chars[*pos] {
+                    '(' => {
+                        *pos += 1;
+                        let _ = sample_alt(chars, pos, rng); // advance past the group
+                        assert!(*pos < chars.len() && chars[*pos] == ')', "unclosed group");
+                        *pos += 1;
+                        let end = *pos;
+                        Box::new(move |p: &mut usize, r: &mut TestRng| {
+                            *p = piece_start + 1;
+                            let s = sample_alt(chars, p, r);
+                            *p = end;
+                            s
+                        })
+                    }
+                    '[' => {
+                        let set = parse_class(chars, pos);
+                        Box::new(move |_p: &mut usize, r: &mut TestRng| {
+                            set[r.below(set.len() as u64) as usize].to_string()
+                        })
+                    }
+                    '\\' => {
+                        *pos += 1;
+                        let c = chars[*pos];
+                        *pos += 1;
+                        Box::new(move |_p, _r| c.to_string())
+                    }
+                    c => {
+                        *pos += 1;
+                        Box::new(move |_p, _r| c.to_string())
+                    }
+                };
+                let (min, max) = parse_quantifier(chars, pos);
+                let count = min + rng.below((max - min + 1) as u64) as usize;
+                let after = *pos;
+                for _ in 0..count {
+                    let mut p = piece_start;
+                    out.push_str(&piece(&mut p, rng));
+                }
+                *pos = after;
+            }
+            out
+        }
+
+        fn parse_class(chars: &[char], pos: &mut usize) -> Vec<char> {
+            debug_assert_eq!(chars[*pos], '[');
+            *pos += 1;
+            let mut set = Vec::new();
+            while *pos < chars.len() && chars[*pos] != ']' {
+                if *pos + 2 < chars.len() && chars[*pos + 1] == '-' && chars[*pos + 2] != ']' {
+                    let (lo, hi) = (chars[*pos], chars[*pos + 2]);
+                    set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                    *pos += 3;
+                } else {
+                    set.push(chars[*pos]);
+                    *pos += 1;
+                }
+            }
+            assert!(*pos < chars.len(), "unclosed character class");
+            *pos += 1;
+            assert!(!set.is_empty(), "empty character class");
+            set
+        }
+
+        fn parse_quantifier(chars: &[char], pos: &mut usize) -> (usize, usize) {
+            if *pos >= chars.len() {
+                return (1, 1);
+            }
+            match chars[*pos] {
+                '?' => {
+                    *pos += 1;
+                    (0, 1)
+                }
+                '*' => {
+                    *pos += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    *pos += 1;
+                    (1, 8)
+                }
+                '{' => {
+                    *pos += 1;
+                    let mut min = 0usize;
+                    while chars[*pos].is_ascii_digit() {
+                        min = min * 10 + chars[*pos].to_digit(10).unwrap_or(0) as usize;
+                        *pos += 1;
+                    }
+                    let max = if chars[*pos] == ',' {
+                        *pos += 1;
+                        let mut m = 0usize;
+                        let mut saw_digit = false;
+                        while chars[*pos].is_ascii_digit() {
+                            m = m * 10 + chars[*pos].to_digit(10).unwrap_or(0) as usize;
+                            *pos += 1;
+                            saw_digit = true;
+                        }
+                        if saw_digit { m } else { min + 8 }
+                    } else {
+                        min
+                    };
+                    assert_eq!(chars[*pos], '}', "unclosed quantifier");
+                    *pos += 1;
+                    (min, max)
+                }
+                _ => (1, 1),
+            }
+        }
+    }
+
+    macro_rules! impl_range_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128) - (self.start as u128);
+                    let off = ((rng.next_u64() as u128 * span) >> 64) as u64;
+                    self.start + off as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as u128) - (start as u128) + 1;
+                    let off = ((rng.next_u64() as u128 * span) >> 64) as u64;
+                    start + off as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_range_strategy_float {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + rng.unit() as $t * (self.end - self.start)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    start + rng.unit() as $t * (end - start)
+                }
+            }
+        )*};
+    }
+    impl_range_strategy_float!(f32, f64);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy returned by [`any`](crate::arbitrary::any).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    /// Returns the canonical strategy for `T` (proptest's `any::<T>()`).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    // Floats: uniform over a wide finite range. Real proptest also
+    // emits NaN/infinities; the workspace's round-trip assertions
+    // compare with `==`, so finite values keep those tests meaningful.
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            (rng.unit() as f32 - 0.5) * 2.0e6
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            (rng.unit() - 0.5) * 2.0e12
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length specifications accepted by [`vec`]: an exact `usize`, a
+    /// half-open range, or an inclusive range.
+    pub trait IntoSizeRange {
+        /// Returns the `(min, max)` inclusive length bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    /// Strategy produced by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.min == self.max {
+                self.min
+            } else {
+                self.min + rng.below((self.max - self.min + 1) as u64) as usize
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use std::hash::{Hash, Hasher};
+
+    /// Per-test configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic per-test RNG (SplitMix64). Seeded from the test's
+    /// source location so failures reproduce without persisted seeds.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Derives a seed from the test's file/line.
+        pub fn for_test(file: &str, line: u32) -> Self {
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            file.hash(&mut hasher);
+            line.hash(&mut hasher);
+            TestRng {
+                state: hasher.finish() | 1,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// The common imports property tests expect.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property test functions. Supports an optional
+/// `#![proptest_config(expr)]` header followed by any number of
+/// `#[test] fn name(binding in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr); ) => {};
+    (cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(file!(), line!());
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                let __outcome: ::core::result::Result<(), ::std::string::String> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(__msg) = __outcome {
+                    panic!(
+                        "proptest property `{}` failed on case {}/{}:\n{}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __msg
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(Box::new($strat) as Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// Asserts within a `proptest!` body; failures abort the case with a
+/// message instead of unwinding mid-generator.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion within a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), __l, __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::core::result::Result::Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), __l, __r
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion within a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left), stringify!($right), __l
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            n in 4usize..9,
+            flag in any::<bool>(),
+            xs in crate::collection::vec(0u64..100, 2..5),
+        ) {
+            prop_assert!(n >= 4 && n < 9);
+            prop_assert!(flag || !flag);
+            prop_assert!(xs.len() >= 2 && xs.len() < 5);
+            for x in &xs {
+                prop_assert!(*x < 100, "value {} out of range", x);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            v in prop_oneof![
+                (0u8..10).prop_map(|x| u32::from(x)),
+                (100u8..110).prop_map(|x| u32::from(x)),
+            ],
+        ) {
+            prop_assert!(v < 10 || (100u32..110).contains(&v));
+        }
+    }
+
+    #[test]
+    fn regex_strategy_generates_matching_strings() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::TestRng::for_test("regex.rs", 1);
+        for _ in 0..200 {
+            let s = "[a-z]{1,20}(/[a-z]{1,10})?".sample(&mut rng);
+            let (head, tail) = match s.split_once('/') {
+                Some((h, t)) => (h, Some(t)),
+                None => (s.as_str(), None),
+            };
+            assert!(
+                (1..=20).contains(&head.len())
+                    && head.chars().all(|c| c.is_ascii_lowercase()),
+                "bad head in {s:?}"
+            );
+            if let Some(t) = tail {
+                assert!(
+                    (1..=10).contains(&t.len())
+                        && t.chars().all(|c| c.is_ascii_lowercase()),
+                    "bad tail in {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::for_test("x.rs", 1);
+        let mut b = crate::test_runner::TestRng::for_test("x.rs", 1);
+        let s = 0u64..1000;
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}

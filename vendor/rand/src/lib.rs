@@ -1,0 +1,245 @@
+//! Offline, deterministic, std-only stand-in for the `rand` crate.
+//!
+//! The workspace builds in a network-isolated container, so registry
+//! crates cannot be fetched. This vendored shim implements exactly the
+//! API subset the workspace uses (`Rng`/`RngExt` with `random` and
+//! `random_range`, `SeedableRng::seed_from_u64`, `rngs::StdRng`) on top
+//! of a fixed xoshiro256++ generator. It is wired in via
+//! `[patch.crates-io]` in the workspace `Cargo.toml`.
+//!
+//! Design notes:
+//! - Everything is deterministic given the seed; there is no OS
+//!   entropy source. That matches the repo-wide determinism invariant
+//!   (see `DESIGN.md`, "Invariants & release gates").
+//! - `random_range` uses Lemire-style rejection-free widening multiply
+//!   for integers, so distributions are unbiased enough for simulation
+//!   workloads without a rejection loop.
+
+/// Core RNG interface: a source of uniformly distributed `u64`s plus
+/// convenience samplers. Mirrors the subset of `rand::Rng` the
+/// workspace calls.
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` from its standard distribution
+    /// (uniform over the type's range; `[0, 1)` for floats).
+    fn random<T: StandardUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random::<f64>() < p
+    }
+}
+
+// `rand` 0.9+ split the inherent sampler methods into an extension
+// trait; the workspace imports both names. They are the same trait
+// here, re-exported under the second name.
+pub use crate::Rng as RngExt;
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from their full range (or
+/// `[0, 1)` for floats) — the "standard" distribution.
+pub trait StandardUniform: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardUniform for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardUniform for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges that `Rng::random_range` accepts.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one value uniformly from the range. Panics if empty.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128) - (self.start as u128);
+                // Widening multiply maps next_u64 onto [0, span).
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u128) - (start as u128) + 1;
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as u64;
+                start + hi as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = <$t as StandardUniform>::sample(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                let unit = <$t as StandardUniform>::sample(rng);
+                start + unit * (end - start)
+            }
+        }
+    )*};
+}
+impl_sample_range_float!(f32, f64);
+
+/// Construction of RNGs from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG from a 64-bit seed, expanding it into the full
+    /// internal state with SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator standing in for
+    /// `rand::rngs::StdRng`. Not cryptographically secure; the
+    /// workspace's SecAgg layer models the protocol, not production
+    /// key material.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 state expansion, per the xoshiro authors'
+            // recommendation for seeding from a single word.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = rng.random_range(3u64..17);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(0usize..=4);
+            assert!(w <= 4);
+            let f = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_u64_range_samplable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let _ = rng.random_range(0u64..u64::MAX);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as a
+//! marker (wire formats are hand-rolled in `fl-core::checkpoint` and
+//! friends); nothing bounds on or calls the serde traits. This shim
+//! re-exports no-op derive macros from the vendored `serde_derive` so
+//! the derive syntax keeps compiling in the network-isolated build.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` as type
+//! markers — no code path serializes through serde (wire formats are
+//! hand-rolled in `fl-core`). These derive macros therefore expand to
+//! nothing, which keeps the derive syntax compiling without pulling
+//! `syn`/`quote` into the offline build.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; accepts and ignores `#[serde(...)]`
+/// attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; accepts and ignores `#[serde(...)]`
+/// attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
