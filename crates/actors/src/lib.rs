@@ -27,4 +27,4 @@ pub mod timer;
 
 pub use actor::{Actor, ActorRef, Context, Flow};
 pub use registry::{Lease, LockingService};
-pub use system::ActorSystem;
+pub use system::{ActorSystem, DeathReason, FaultAction, FaultInjector, Obituary, ScriptedFaults};

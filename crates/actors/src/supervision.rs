@@ -57,6 +57,11 @@ where
     F: FnMut() -> A,
     W: FnMut(ActorRef<A::Msg>),
 {
+    // Each supervisor gets its own private obituary subscription
+    // (replay + live). Concurrent `supervise` loops therefore all see the
+    // full death stream: skipping another actor's obituary below only
+    // skips it in *this* subscriber's copy instead of stealing it from
+    // the supervisor it belongs to.
     let deaths_rx = system.deaths();
     // fl-lint: allow(wall-clock): supervision deadlines bound real elapsed
     // time in the live runtime; the sim supervises via its virtual clock.
@@ -202,6 +207,77 @@ mod tests {
         wheel.shutdown();
         assert_eq!(report.restarts, 0);
         assert_eq!(report.deaths.len(), 1);
+        system.join();
+    }
+
+    /// Regression (satellite 1): two concurrent `supervise` loops must not
+    /// steal each other's obituaries. Pre-fix, `ActorSystem::deaths()`
+    /// cloned one shared crossbeam receiver, so when "left" died its
+    /// obituary could be consumed — and discarded via `continue; // not
+    /// ours` — by "right"'s supervisor, and the robbed supervisor blocked
+    /// until its deadline with zero restarts. Post-fix every subscriber
+    /// gets a private copy of the full death stream, so both supervisors
+    /// observe both interleaved deaths and each restarts its own actor.
+    #[test]
+    fn concurrent_supervisors_do_not_steal_obituaries() {
+        let system = ActorSystem::new();
+        let wheel = Arc::new(crate::timer::TimerWheel::new());
+
+        let mut joins = Vec::new();
+        for (idx, name) in ["left", "right"].into_iter().enumerate() {
+            let fail_first = Arc::new(AtomicUsize::new(1)); // one crash each
+            let handled = Arc::new(AtomicUsize::new(0));
+            let slot: Arc<Mutex<Option<ActorRef<u32>>>> = Arc::new(Mutex::new(None));
+            // Stagger the two actors' message streams so the deaths
+            // interleave: left crashes, then right crashes, then both
+            // recover and stop.
+            for i in 0..40u32 {
+                let fc = slot.clone();
+                let at = 5 + 2 * u64::from(i) + idx as u64;
+                wheel.schedule(Duration::from_millis(at), move || {
+                    if let Some(r) = fc.lock().clone() {
+                        let _ = r.send(if i == 39 { 0 } else { 1 });
+                    }
+                });
+            }
+            let sys = system.clone();
+            let handled2 = handled.clone();
+            joins.push(std::thread::spawn(move || {
+                let ff = fail_first.clone();
+                let slot2 = slot.clone();
+                let report = supervise(
+                    &sys,
+                    name,
+                    RestartPolicy::OnPanic { max_restarts: 3 },
+                    move || Flaky {
+                        fail_first: ff.clone(),
+                        handled: handled2.clone(),
+                    },
+                    move |r| *slot2.lock() = Some(r),
+                    Duration::from_secs(5),
+                );
+                (name, report, handled)
+            }));
+        }
+        for j in joins {
+            let (name, report, handled) = j.join().expect("supervisor thread");
+            assert_eq!(
+                report.restarts, 1,
+                "supervisor {name} was robbed of its obituary: {:?}",
+                report.deaths
+            );
+            assert!(
+                report.deaths.iter().all(|o| o.name == name),
+                "supervisor {name} recorded a foreign obituary: {:?}",
+                report.deaths
+            );
+            assert!(handled.load(Ordering::SeqCst) > 0);
+            assert!(matches!(
+                report.deaths.last().unwrap().reason,
+                DeathReason::Normal
+            ));
+        }
+        wheel.shutdown();
         system.join();
     }
 

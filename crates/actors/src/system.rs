@@ -1,4 +1,5 @@
-//! The [`ActorSystem`]: spawning, death notification, shutdown.
+//! The [`ActorSystem`]: spawning, death notification, shutdown, and
+//! deterministic fault injection.
 
 use crate::actor::{Actor, ActorRef, Context, Flow};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -25,10 +26,94 @@ pub struct Obituary {
     pub reason: DeathReason,
 }
 
+/// What the fault injector tells the mailbox dispatcher to do with one
+/// message delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver the message normally (the default).
+    Deliver,
+    /// Silently drop the message (models a lost network packet).
+    Drop,
+    /// Re-enqueue the message at the back of the mailbox (models a
+    /// delayed/reordered packet). If the mailbox has no live external
+    /// sender, the message is dropped instead.
+    Delay,
+    /// Crash the actor via the real panic-recovery path, producing an
+    /// [`Obituary`] with [`DeathReason::Panicked`].
+    Crash,
+}
+
+/// A deterministic fault source consulted by the mailbox dispatcher
+/// before every message delivery.
+///
+/// `seq` is the 1-based count of messages pulled from the actor's mailbox
+/// so far (including dropped/delayed/crashing ones), so a scripted plan
+/// like "crash `coordinator` on its 3rd message" replays identically on
+/// every run. Implementations must be deterministic: no wall-clock, no
+/// unseeded randomness.
+pub trait FaultInjector: Send + Sync {
+    /// Decides the fate of the `seq`-th message delivered to `actor`.
+    fn on_deliver(&self, actor: &str, seq: u64) -> FaultAction;
+}
+
+/// A scripted, replayable fault plan for live actors: maps
+/// `(actor name, message sequence number)` to an action. Anything not
+/// scripted is delivered normally.
+#[derive(Debug, Default)]
+pub struct ScriptedFaults {
+    script: std::collections::HashMap<(String, u64), FaultAction>,
+}
+
+impl ScriptedFaults {
+    /// Creates an empty script (everything delivers).
+    pub fn new() -> Self {
+        ScriptedFaults::default()
+    }
+
+    /// Adds one scripted action: the `nth` (1-based) message delivered to
+    /// `actor` gets `action`.
+    #[must_use]
+    pub fn with(mut self, actor: impl Into<String>, nth: u64, action: FaultAction) -> Self {
+        self.script.insert((actor.into(), nth), action);
+        self
+    }
+}
+
+impl FaultInjector for ScriptedFaults {
+    fn on_deliver(&self, actor: &str, seq: u64) -> FaultAction {
+        self.script
+            .get(&(actor.to_string(), seq))
+            .copied()
+            .unwrap_or(FaultAction::Deliver)
+    }
+}
+
 struct Shared {
     handles: Mutex<Vec<JoinHandle<()>>>,
-    deaths_tx: Sender<Obituary>,
-    deaths_rx: Receiver<Obituary>,
+    /// Every obituary ever published, in publication order. Late
+    /// subscribers receive a replay, so post-mortem inspection
+    /// (`deaths()` after `join()`) still works.
+    obituary_log: Mutex<Vec<Obituary>>,
+    /// Live subscriber channels. Each subscriber owns a private channel,
+    /// so concurrent consumers (e.g. two `supervise` loops) can never
+    /// steal each other's notices.
+    subscribers: Mutex<Vec<Sender<Obituary>>>,
+    injector: Mutex<Option<Arc<dyn FaultInjector>>>,
+}
+
+impl Shared {
+    fn publish(&self, obit: Obituary) {
+        // Lock order: obituary_log, then subscribers (same in `deaths`).
+        // Holding both makes append+fanout atomic with respect to
+        // subscription, so a racing subscriber sees the obituary exactly
+        // once — in the replay or live, never both, never neither.
+        let mut log = self.obituary_log.lock();
+        log.push(obit.clone());
+        // fl-lint: allow(lock-order): fixed log→subscribers order, matched
+        // by the only other two-lock site (`ActorSystem::deaths`).
+        let mut subs = self.subscribers.lock();
+        subs.retain(|tx| tx.send(obit.clone()).is_ok());
+    }
 }
 
 /// A handle to the actor system. Cloning is cheap; all clones refer to the
@@ -47,14 +132,26 @@ impl Default for ActorSystem {
 impl ActorSystem {
     /// Creates an empty system.
     pub fn new() -> Self {
-        let (deaths_tx, deaths_rx) = unbounded();
         ActorSystem {
             shared: Arc::new(Shared {
                 handles: Mutex::new(Vec::new()),
-                deaths_tx,
-                deaths_rx,
+                obituary_log: Mutex::new(Vec::new()),
+                subscribers: Mutex::new(Vec::new()),
+                injector: Mutex::new(None),
             }),
         }
+    }
+
+    /// Installs a fault injector consulted before every message delivery
+    /// on every actor in this system (including actors spawned earlier).
+    /// Passing a new injector replaces the previous one.
+    pub fn install_fault_injector(&self, injector: Arc<dyn FaultInjector>) {
+        *self.shared.injector.lock() = Some(injector);
+    }
+
+    /// Removes the installed fault injector, restoring normal delivery.
+    pub fn clear_fault_injector(&self) {
+        *self.shared.injector.lock() = None;
     }
 
     /// Spawns an actor on its own thread and returns its reference.
@@ -77,15 +174,41 @@ impl ActorSystem {
             system: self.clone(),
         };
         drop(sender);
-        let deaths = self.shared.deaths_tx.clone();
+        let shared = Arc::clone(&self.shared);
         let thread_name = name.clone();
         let handle = std::thread::Builder::new()
             .name(thread_name.clone())
             .spawn(move || {
                 let mut actor = actor;
+                let mut seq: u64 = 0;
                 let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
                     actor.on_start(&mut ctx);
                     while let Ok(msg) = rx.recv() {
+                        seq += 1;
+                        let injector = shared.injector.lock().clone();
+                        let action = injector
+                            .map(|i| i.on_deliver(&thread_name, seq))
+                            .unwrap_or(FaultAction::Deliver);
+                        match action {
+                            FaultAction::Deliver => {}
+                            FaultAction::Drop => continue,
+                            FaultAction::Delay => {
+                                // Push the message to the back of the
+                                // mailbox; if no external sender is left
+                                // the message is dropped (the actor is
+                                // draining toward shutdown anyway).
+                                if let Some(tx) = ctx.self_sender.upgrade() {
+                                    let _ = tx.send(msg);
+                                }
+                                continue;
+                            }
+                            FaultAction::Crash => {
+                                // fl-lint: allow(panic): chaos injection must
+                                // exercise the real panic-recovery path the
+                                // supervisors are built to absorb.
+                                panic!("chaos: injected crash");
+                            }
+                        }
                         if actor.handle(msg, &mut ctx) == Flow::Stop {
                             break;
                         }
@@ -96,8 +219,7 @@ impl ActorSystem {
                     Ok(()) => DeathReason::Normal,
                     Err(payload) => DeathReason::Panicked(panic_message(&*payload)),
                 };
-                // Receiver may be gone during shutdown; ignore.
-                let _ = deaths.send(Obituary {
+                shared.publish(Obituary {
                     name: thread_name,
                     reason,
                 });
@@ -109,11 +231,26 @@ impl ActorSystem {
         actor_ref
     }
 
-    /// The obituary channel: every actor that stops (normally or by panic)
-    /// publishes a notice here. Supervisors and the Selector layer's
-    /// Coordinator-respawn logic consume it.
+    /// Subscribes to obituaries: every actor that stops (normally or by
+    /// panic) publishes a notice. Each call returns a **private** channel
+    /// that first replays all past obituaries, then receives future ones —
+    /// concurrent subscribers (e.g. two `supervise` loops) each see the
+    /// full stream and can never steal notices from one another.
     pub fn deaths(&self) -> Receiver<Obituary> {
-        self.shared.deaths_rx.clone()
+        let (tx, rx) = unbounded();
+        // Lock order: obituary_log, then subscribers (same as `publish`).
+        // Registration happens while the log lock is held, so a death
+        // racing with subscription is either replayed or delivered live,
+        // never lost and never duplicated.
+        let log = self.shared.obituary_log.lock();
+        for obit in log.iter() {
+            let _ = tx.send(obit.clone());
+        }
+        // fl-lint: allow(lock-order): fixed log→subscribers order, matched
+        // by the only other two-lock site (`Shared::publish`).
+        self.shared.subscribers.lock().push(tx);
+        drop(log);
+        rx
     }
 
     /// Waits for all actor threads spawned so far to finish. Call after
@@ -237,5 +374,94 @@ mod tests {
         r.send(total.clone()).unwrap();
         system.join();
         assert_eq!(total.load(Ordering::SeqCst), 42);
+    }
+
+    #[test]
+    fn every_subscriber_sees_every_obituary() {
+        let system = ActorSystem::new();
+        // Two subscribers registered before any deaths.
+        let sub_a = system.deaths();
+        let sub_b = system.deaths();
+        let r1 = system.spawn("one", Bomb);
+        let r2 = system.spawn("two", Bomb);
+        r1.send(()).unwrap();
+        r2.send(()).unwrap();
+        system.join();
+        for sub in [&sub_a, &sub_b] {
+            let mut names: Vec<String> = sub.try_iter().map(|o| o.name).collect();
+            names.sort();
+            assert_eq!(names, vec!["one", "two"]);
+        }
+        // A late subscriber gets the replay.
+        let late = system.deaths();
+        assert_eq!(late.try_iter().count(), 2);
+    }
+
+    #[test]
+    fn injected_crash_on_nth_message_is_deterministic() {
+        let system = ActorSystem::new();
+        system.install_fault_injector(Arc::new(
+            ScriptedFaults::new().with("victim", 3, FaultAction::Crash),
+        ));
+        let total = Arc::new(AtomicU64::new(0));
+        let r = system.spawn("victim", Adder { total: total.clone() });
+        for i in 1..=5 {
+            r.send(i).unwrap();
+        }
+        drop(r);
+        system.join();
+        // Messages 1 and 2 were handled; 3 crashed the actor.
+        assert_eq!(total.load(Ordering::SeqCst), 3);
+        let obit = system.deaths().try_recv().unwrap();
+        assert_eq!(obit.name, "victim");
+        assert!(matches!(obit.reason, DeathReason::Panicked(_)));
+    }
+
+    #[test]
+    fn injected_drop_loses_exactly_that_message() {
+        let system = ActorSystem::new();
+        system.install_fault_injector(Arc::new(
+            ScriptedFaults::new().with("lossy", 2, FaultAction::Drop),
+        ));
+        let total = Arc::new(AtomicU64::new(0));
+        let r = system.spawn("lossy", Adder { total: total.clone() });
+        for i in [10u64, 100, 1] {
+            r.send(i).unwrap();
+        }
+        r.send(0).unwrap();
+        system.join();
+        // The 2nd message (100) was dropped.
+        assert_eq!(total.load(Ordering::SeqCst), 11);
+    }
+
+    #[test]
+    fn injected_delay_requeues_message() {
+        let system = ActorSystem::new();
+        // Delay the 1st message: it is re-enqueued behind the others.
+        system.install_fault_injector(Arc::new(
+            ScriptedFaults::new().with("slow", 1, FaultAction::Delay),
+        ));
+        let order: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Recorder {
+            order: Arc<Mutex<Vec<u64>>>,
+        }
+        impl Actor for Recorder {
+            type Msg = u64;
+            fn handle(&mut self, msg: u64, _ctx: &mut Context<u64>) -> Flow {
+                if msg == 0 {
+                    return Flow::Stop;
+                }
+                self.order.lock().push(msg);
+                Flow::Continue
+            }
+        }
+        let r = system.spawn("slow", Recorder { order: order.clone() });
+        r.send(7).unwrap();
+        r.send(8).unwrap();
+        r.send(0).unwrap();
+        system.join();
+        // Message 7 was delayed behind 8 and 0; the stop fires before the
+        // requeued 7 is handled, so only 8 is recorded.
+        assert_eq!(order.lock().clone(), vec![8]);
     }
 }

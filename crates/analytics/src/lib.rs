@@ -13,13 +13,17 @@
 //! * [`monitor`] — deviation monitors (z-score alerts over sliding
 //!   windows);
 //! * [`dashboard`] — ASCII chart rendering for terminal dashboards (the
-//!   `figures` binary uses this to draw Figs. 5–9).
+//!   `figures` binary uses this to draw Figs. 5–9);
+//! * [`faultlog`] — the deterministic fault/recovery event log written by
+//!   the chaos harness (replayable byte-for-byte from a seed).
 
 pub mod dashboard;
+pub mod faultlog;
 pub mod monitor;
 pub mod sessions;
 pub mod timeseries;
 
+pub use faultlog::{FaultLog, FaultLogEntry};
 pub use monitor::{Alert, DeviationMonitor};
 pub use sessions::SessionShapeTable;
 pub use timeseries::TimeSeries;

@@ -34,6 +34,10 @@ pub enum CoreError {
     },
     /// A task or population lookup failed.
     UnknownTask(String),
+    /// A persistent-storage write failed (Sec. 4.2: the round's result is
+    /// lost but the previously committed checkpoint remains authoritative;
+    /// the coordinator must not advance round state past the failure).
+    StorageFailure(String),
     /// An internal invariant was violated. Surfaced as an error (the
     /// round is abandoned and its resources reclaimed, Sec. 2.2) rather
     /// than a panic, so a bad round cannot take down the control plane.
@@ -62,6 +66,7 @@ impl fmt::Display for CoreError {
                 "runtime version {requested} unsupported (oldest reachable: {oldest_supported})"
             ),
             CoreError::UnknownTask(name) => write!(f, "unknown task or population: {name}"),
+            CoreError::StorageFailure(why) => write!(f, "checkpoint storage failure: {why}"),
             CoreError::InvariantViolated(what) => write!(f, "invariant violated: {what}"),
             CoreError::Ml(e) => write!(f, "ml error: {e}"),
         }

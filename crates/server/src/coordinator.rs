@@ -98,11 +98,28 @@ impl<S: CheckpointStore> Coordinator<S> {
     /// Deploys a task group (from the `fl-tools` release pipeline): plans
     /// plus initial parameters for training tasks.
     ///
+    /// Deployment is **resume-aware**: if the store already holds a
+    /// committed checkpoint for a task (i.e. this coordinator is a respawn
+    /// picking up an existing population, Sec. 4.2/4.4), the trained model
+    /// is kept and its round id adopted — the initial parameters are only
+    /// written for genuinely new tasks. This keeps `write_count()` at one
+    /// write per committed round across coordinator restarts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::StorageFailure`] if the initial checkpoint
+    /// write fails; the task is then not deployed.
+    ///
     /// # Panics
     ///
     /// Panics if a plan's expected dimension disagrees with its model, or
     /// if `initial_params` dimension mismatches.
-    pub fn deploy(&mut self, group: TaskGroup, plans: Vec<FlPlan>, initial_params: Vec<f32>) {
+    pub fn deploy(
+        &mut self,
+        group: TaskGroup,
+        plans: Vec<FlPlan>,
+        initial_params: Vec<f32>,
+    ) -> Result<(), CoreError> {
         assert_eq!(group.tasks().len(), plans.len(), "one plan per task");
         for (task, plan) in group.tasks().iter().zip(&plans) {
             assert_eq!(
@@ -115,22 +132,32 @@ impl<S: CheckpointStore> Coordinator<S> {
                 plan.server.expected_dim,
                 "initial params dimension mismatch"
             );
-            self.deployments.insert(
-                task.name.clone(),
-                Deployment { plan: plan.clone() },
-            );
             // Tasks that read another task's checkpoint (evaluation) do
             // not get their own model state.
-            if task.checkpoint_source.is_none() {
-                self.store.commit(FlCheckpoint::new(
-                    task.name.clone(),
-                    RoundId(0),
-                    initial_params.clone(),
-                ));
-            }
-            self.round_ids.insert(task.name.clone(), RoundId(0));
+            let round_id = if task.checkpoint_source.is_none() {
+                match self.store.latest(&task.name) {
+                    // Respawn: resume from the committed model rather than
+                    // clobbering it with the initial parameters.
+                    Ok(existing) => existing.round,
+                    Err(CoreError::UnknownTask(_)) => {
+                        self.store.commit(FlCheckpoint::new(
+                            task.name.clone(),
+                            RoundId(0),
+                            initial_params.clone(),
+                        ))?;
+                        RoundId(0)
+                    }
+                    Err(e) => return Err(e),
+                }
+            } else {
+                RoundId(0)
+            };
+            self.deployments
+                .insert(task.name.clone(), Deployment { plan: plan.clone() });
+            self.round_ids.insert(task.name.clone(), round_id);
         }
         self.group = Some(group);
+        Ok(())
     }
 
     /// The population this coordinator owns.
@@ -219,11 +246,17 @@ impl<S: CheckpointStore> Coordinator<S> {
     /// # Errors
     ///
     /// Returns an error if the round is not finished or aggregation fails.
+    /// On [`CoreError::StorageFailure`] the round's result is lost but the
+    /// coordinator stays consistent: round ids and metrics are not
+    /// advanced, so the next `begin_round` retries from the last
+    /// *successfully* committed checkpoint (Sec. 4.2).
     pub fn complete_round(&mut self, round: ActiveRound) -> Result<fl_core::RoundOutcome, CoreError> {
         let outcome = round
             .state
             .outcome()
             .ok_or_else(|| CoreError::UnknownTask("round not finished".into()))?;
+        // The bandwidth was spent whether or not the commit below lands.
+        self.traffic.merge(&round.traffic_delta);
         if outcome.is_committed() {
             if round.task.kind == TaskKind::Training {
                 let master = round.master.ok_or_else(|| {
@@ -234,7 +267,7 @@ impl<S: CheckpointStore> Coordinator<S> {
                     .map_err(|e| CoreError::MalformedCheckpoint(e.to_string()))?;
                 let new_round = round.checkpoint.round.next();
                 self.store
-                    .commit(FlCheckpoint::new(round.task.name.clone(), new_round, params));
+                    .commit(FlCheckpoint::new(round.task.name.clone(), new_round, params))?;
                 self.round_ids.insert(round.task.name.clone(), new_round);
             }
             self.metrics.push((
@@ -247,8 +280,13 @@ impl<S: CheckpointStore> Coordinator<S> {
                 ],
             ));
         }
-        self.traffic.merge(&round.traffic_delta);
         Ok(outcome)
+    }
+
+    /// Consumes the coordinator, returning its checkpoint store (used by
+    /// the chaos harness to audit writes after tearing the topology down).
+    pub fn into_store(self) -> S {
+        self.store
     }
 }
 
@@ -392,7 +430,7 @@ mod tests {
         let plan = FlPlan::standard_training(spec(), 1, 8, 0.1, CodecSpec::Identity);
         let group = TaskGroup::new(vec![task], TaskSelectionStrategy::Single);
         let init = vec![0.0f32; spec().num_params()];
-        c.deploy(group, vec![plan], init);
+        c.deploy(group, vec![plan], init).unwrap();
         c
     }
 
@@ -491,7 +529,8 @@ mod tests {
             vec![train, eval],
             TaskSelectionStrategy::AlternateTrainEval { train_rounds: 1 },
         );
-        c.deploy(group, vec![tplan, eplan], vec![0.0; spec().num_params()]);
+        c.deploy(group, vec![tplan, eplan], vec![0.0; spec().num_params()])
+            .unwrap();
         let r1 = c.begin_round(0).unwrap();
         assert_eq!(r1.task.kind, TaskKind::Training);
         c.complete_round_discard(r1);
@@ -502,5 +541,90 @@ mod tests {
     impl Coordinator<InMemoryCheckpointStore> {
         /// Test helper: abandon an active round without finishing it.
         fn complete_round_discard(&mut self, _round: ActiveRound) {}
+    }
+
+    /// Regression: a respawned coordinator re-deploying the same task must
+    /// resume from the committed model, not clobber it with the initial
+    /// parameters (pre-fix, `deploy` unconditionally committed RoundId(0)
+    /// with the init params, losing the trained model and inflating the
+    /// write counter).
+    #[test]
+    fn redeploy_resumes_from_committed_checkpoint() {
+        let mut c = deployed_coordinator();
+        run_one_round(&mut c);
+        let trained = c.global_params("train").unwrap();
+        assert_eq!(c.store().latest("train").unwrap().round, RoundId(1));
+        let store = c.into_store();
+        let writes_before = store.write_count();
+
+        // Respawn: a fresh Coordinator over the surviving store.
+        let mut c2 = Coordinator::new(CoordinatorConfig::new("test/pop", 1), store);
+        let task = FlTask::training("train", "test/pop").with_round(small_round());
+        let plan = FlPlan::standard_training(spec(), 1, 8, 0.1, CodecSpec::Identity);
+        let group = TaskGroup::new(vec![task], TaskSelectionStrategy::Single);
+        c2.deploy(group, vec![plan], vec![0.0f32; spec().num_params()])
+            .unwrap();
+        // No extra write; the trained model and round id survive.
+        assert_eq!(c2.store().write_count(), writes_before);
+        assert_eq!(c2.global_params("train").unwrap(), trained);
+        assert_eq!(c2.store().latest("train").unwrap().round, RoundId(1));
+        // The next round builds on the trained model.
+        let round = c2.begin_round(0).unwrap();
+        assert_eq!(round.checkpoint.round, RoundId(1));
+        assert_eq!(round.state.round, RoundId(2));
+    }
+
+    fn deployed_faulty_coordinator(
+        fail_on: impl IntoIterator<Item = u64>,
+    ) -> Coordinator<crate::storage::FaultyCheckpointStore<InMemoryCheckpointStore>> {
+        let mut c = Coordinator::new(
+            CoordinatorConfig::new("test/pop", 1),
+            crate::storage::FaultyCheckpointStore::new(InMemoryCheckpointStore::new(), fail_on),
+        );
+        let task = FlTask::training("train", "test/pop").with_round(small_round());
+        let plan = FlPlan::standard_training(spec(), 1, 8, 0.1, CodecSpec::Identity);
+        let group = TaskGroup::new(vec![task], TaskSelectionStrategy::Single);
+        c.deploy(group, vec![plan], vec![0.0f32; spec().num_params()])
+            .unwrap();
+        c
+    }
+
+    /// Sec. 4.2: a failed checkpoint write loses the round's result but
+    /// must not corrupt coordinator state — round ids and metrics stay
+    /// put, and the next round retries from the last good checkpoint.
+    #[test]
+    fn storage_failure_loses_round_but_keeps_state_consistent() {
+        // Attempt 1 is deploy's initial write; attempt 2 (first round
+        // commit) fails.
+        let mut c = deployed_faulty_coordinator([2]);
+
+        let run = |c: &mut Coordinator<_>| -> Result<fl_core::RoundOutcome, CoreError> {
+            let mut round = c.begin_round(0)?;
+            let target = round.task.round.selection_target();
+            for i in 0..target {
+                round.on_checkin(DeviceId(i as u64), 100);
+            }
+            let devices = round.state.participants();
+            let dim = round.plan.server.expected_dim;
+            let bytes = CodecSpec::Identity.build().encode(&vec![0.5f32; dim]);
+            for d in devices.iter().take(3) {
+                round.on_report(*d, 5_000, &bytes, 10, 0.7, 0.6)?;
+            }
+            round.on_tick(40_000);
+            c.complete_round(round)
+        };
+
+        let err = run(&mut c).unwrap_err();
+        assert!(matches!(err, CoreError::StorageFailure(_)));
+        // The round is lost: nothing advanced, no metrics materialized.
+        assert_eq!(c.store().latest("train").unwrap().round, RoundId(0));
+        assert_eq!(c.store().write_count(), 1);
+        assert!(c.materialized_metrics().is_empty());
+        // The retry (attempt 3, unscripted) succeeds from checkpoint 0.
+        let outcome = run(&mut c).unwrap();
+        assert!(outcome.is_committed());
+        assert_eq!(c.store().latest("train").unwrap().round, RoundId(1));
+        assert_eq!(c.store().write_count(), 2);
+        assert_eq!(c.materialized_metrics().len(), 1);
     }
 }

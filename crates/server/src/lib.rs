@@ -57,4 +57,6 @@ pub use coordinator::{Coordinator, CoordinatorConfig};
 pub use pace::PaceSteering;
 pub use round::{RoundEvent, RoundState};
 pub use selector::{CheckinDecision, Selector};
-pub use storage::{CheckpointStore, InMemoryCheckpointStore};
+pub use storage::{
+    CheckpointStore, FaultyCheckpointStore, InMemoryCheckpointStore, SharedCheckpointStore,
+};

@@ -15,13 +15,13 @@
 use crate::coordinator::{ActiveRound, Coordinator, CoordinatorConfig};
 use crate::round::{CheckinResponse, ReportResponse};
 use crate::selector::{CheckinDecision, Selector};
-use crate::storage::InMemoryCheckpointStore;
-use fl_actors::{Actor, ActorRef, ActorSystem, Context, Flow, LockingService};
+use crate::storage::{CheckpointStore, InMemoryCheckpointStore};
+use fl_actors::{Actor, ActorRef, ActorSystem, Context, Flow, Lease, LockingService};
 use fl_core::plan::FlPlan;
 use fl_core::population::TaskGroup;
 use fl_core::{DeviceId, FlCheckpoint, RoundOutcome};
 use crossbeam::channel::Sender;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Reply sent back to a device client.
 #[derive(Debug, Clone)]
@@ -81,33 +81,42 @@ pub enum CoordMsg {
 }
 
 /// The Coordinator as an actor: wraps the deterministic state machine,
-/// stamping messages with elapsed wall time.
-pub struct CoordinatorActor {
-    coordinator: Coordinator<InMemoryCheckpointStore>,
+/// stamping messages with elapsed wall time. Generic over the checkpoint
+/// store so a respawned incarnation can reattach to the storage layer
+/// that survived its predecessor (see
+/// [`crate::storage::SharedCheckpointStore`]).
+pub struct CoordinatorActor<S: CheckpointStore + Send + 'static = InMemoryCheckpointStore> {
+    coordinator: Coordinator<S>,
     active: Option<ActiveRound>,
     device_replies: std::collections::HashMap<DeviceId, Sender<DeviceReply>>,
     epoch: Instant,
-    lease_name: String,
+    lease: Lease,
     locks: LockingService<String>,
 }
 
-impl std::fmt::Debug for CoordinatorActor {
+impl<S: CheckpointStore + Send + 'static> std::fmt::Debug for CoordinatorActor<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CoordinatorActor")
             .field("coordinator", &self.coordinator)
-            .field("lease_name", &self.lease_name)
+            .field("lease", &self.lease)
             .finish_non_exhaustive()
     }
 }
 
-impl CoordinatorActor {
+/// The locking-service name under which a population's coordinator
+/// registers (Sec. 4.2).
+pub fn coordinator_lease_name(population: &fl_core::PopulationName) -> String {
+    format!("coordinator/{population}")
+}
+
+impl CoordinatorActor<InMemoryCheckpointStore> {
     /// Creates the actor, deploying the task group, and registers it in
     /// the locking service.
     ///
     /// # Panics
     ///
     /// Panics if the population is already registered (exactly-once
-    /// ownership violated).
+    /// ownership violated) or the initial checkpoint write fails.
     pub fn new(
         config: CoordinatorConfig,
         group: TaskGroup,
@@ -115,17 +124,52 @@ impl CoordinatorActor {
         initial_params: Vec<f32>,
         locks: LockingService<String>,
     ) -> Self {
-        let lease_name = format!("coordinator/{}", config.population);
-        locks
-            .acquire(lease_name.clone(), lease_name.clone())
+        let lease_name = coordinator_lease_name(&config.population);
+        let lease = locks
+            .acquire(lease_name.clone(), lease_name)
             // fl-lint: allow(unwrap): documented `# Panics` contract —
             // double ownership of a population breaks the exactly-once
             // guarantee (Sec. 4.2) and must fail loudly at wiring time,
             // before any device traffic exists.
             .expect("population already owned by another coordinator");
-        let mut coordinator =
-            Coordinator::new(config, InMemoryCheckpointStore::new());
-        coordinator.deploy(group, plans, initial_params);
+        Self::with_store(
+            config,
+            group,
+            plans,
+            initial_params,
+            locks,
+            lease,
+            InMemoryCheckpointStore::new(),
+        )
+    }
+}
+
+impl<S: CheckpointStore + Send + 'static> CoordinatorActor<S> {
+    /// Creates the actor over an explicit store and an *already-acquired*
+    /// lease — the respawn path: the watcher that won re-acquisition
+    /// passes the new lease plus the storage handle that survived the
+    /// previous incarnation, and `deploy`'s resume-awareness picks up the
+    /// committed model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initial checkpoint write fails at wiring time.
+    pub fn with_store(
+        config: CoordinatorConfig,
+        group: TaskGroup,
+        plans: Vec<FlPlan>,
+        initial_params: Vec<f32>,
+        locks: LockingService<String>,
+        lease: Lease,
+        store: S,
+    ) -> Self {
+        let mut coordinator = Coordinator::new(config, store);
+        coordinator
+            .deploy(group, plans, initial_params)
+            // fl-lint: allow(unwrap): documented `# Panics` contract — a
+            // storage failure during wiring (before any device traffic)
+            // leaves nothing to recover; fail loudly.
+            .expect("initial deployment failed");
         CoordinatorActor {
             coordinator,
             active: None,
@@ -134,9 +178,14 @@ impl CoordinatorActor {
             // events with real elapsed time; the deterministic state
             // machines only ever see the derived `now_ms` offsets.
             epoch: Instant::now(),
-            lease_name,
+            lease,
             locks,
         }
+    }
+
+    /// The fenced lease this incarnation holds.
+    pub fn lease(&self) -> &Lease {
+        &self.lease
     }
 
     fn now_ms(&self) -> u64 {
@@ -170,7 +219,7 @@ impl CoordinatorActor {
     }
 }
 
-impl Actor for CoordinatorActor {
+impl<S: CheckpointStore + Send + 'static> Actor for CoordinatorActor<S> {
     type Msg = CoordMsg;
 
     fn handle(&mut self, msg: CoordMsg, _ctx: &mut Context<CoordMsg>) -> Flow {
@@ -181,16 +230,34 @@ impl Actor for CoordinatorActor {
                 if let Some(round) = &mut self.active {
                     let was_selecting =
                         round.state.phase() == crate::round::Phase::Selection;
-                    let response = round.on_checkin(device, now);
-                    if response == CheckinResponse::Selected {
-                        self.device_replies.insert(device, reply);
-                        if was_selecting {
-                            self.push_configuration();
+                    match round.on_checkin(device, now) {
+                        CheckinResponse::Selected => {
+                            self.device_replies.insert(device, reply);
+                            if was_selecting {
+                                self.push_configuration();
+                            }
                         }
-                    } else {
-                        let _ = reply.send(DeviceReply::ComeBackLater {
-                            retry_at_ms: now + 1_000,
-                        });
+                        CheckinResponse::AlreadySelected => {
+                            // A retrying participant keeps its slot; route
+                            // replies to its fresh channel and re-send the
+                            // configuration if the round already has one.
+                            self.device_replies.insert(device, reply);
+                            if round.state.phase() == crate::round::Phase::Reporting {
+                                let plan = round.plan.clone();
+                                let checkpoint = round.checkpoint.clone();
+                                if let Some(r) = self.device_replies.get(&device) {
+                                    let _ = r.send(DeviceReply::Configured {
+                                        plan: Box::new(plan),
+                                        checkpoint: Box::new(checkpoint),
+                                    });
+                                }
+                            }
+                        }
+                        CheckinResponse::NotSelecting => {
+                            let _ = reply.send(DeviceReply::ComeBackLater {
+                                retry_at_ms: now + 1_000,
+                            });
+                        }
                     }
                 }
                 Flow::Continue
@@ -253,7 +320,9 @@ impl Actor for CoordinatorActor {
 
     fn on_stop(&mut self) {
         // Release population ownership so a successor can acquire it.
-        self.locks.evict(&self.lease_name);
+        // Fenced: a zombie incarnation stopping late cannot evict a
+        // successor that re-acquired the name at a higher epoch.
+        self.locks.release(&self.lease);
     }
 }
 
@@ -269,6 +338,10 @@ pub enum SelectorMsg {
     },
     /// Coordinator quota instruction.
     SetQuota(usize),
+    /// Retarget this selector at a (respawned) coordinator. Sec. 4.4:
+    /// after the Selector layer respawns a dead Coordinator, traffic must
+    /// flow to the replacement, not the corpse.
+    Rewire(ActorRef<CoordMsg>),
     /// Stop the actor.
     Shutdown,
 }
@@ -328,6 +401,10 @@ impl Actor for SelectorActor {
                 self.selector.set_quota(q);
                 Flow::Continue
             }
+            SelectorMsg::Rewire(coordinator) => {
+                self.coordinator = coordinator;
+                Flow::Continue
+            }
             SelectorMsg::Shutdown => Flow::Stop,
         }
     }
@@ -335,9 +412,9 @@ impl Actor for SelectorActor {
 
 /// Spawns the full live topology: one coordinator, `selectors` selectors.
 /// Returns the actor refs (selectors first) for device clients to target.
-pub fn spawn_topology(
+pub fn spawn_topology<S: CheckpointStore + Send + 'static>(
     system: &ActorSystem,
-    coordinator: CoordinatorActor,
+    coordinator: CoordinatorActor<S>,
     selectors: Vec<Selector>,
 ) -> (Vec<ActorRef<SelectorMsg>>, ActorRef<CoordMsg>) {
     let coord_ref = system.spawn("coordinator", coordinator);
@@ -347,6 +424,105 @@ pub fn spawn_topology(
         .map(|(i, s)| system.spawn(format!("selector-{i}"), SelectorActor::new(s, coord_ref.clone())))
         .collect();
     (selector_refs, coord_ref)
+}
+
+/// Outcome of one [`watch_and_respawn`] watcher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RespawnReport {
+    /// Obituaries of the watched coordinator observed, in order.
+    pub deaths: Vec<fl_actors::Obituary>,
+    /// Respawns performed by *this* watcher. Across all concurrent
+    /// watchers the locking service guarantees at most one respawn per
+    /// death (Sec. 4.4: "this will happen exactly once").
+    pub respawns: usize,
+}
+
+/// Watches a population's coordinator actor and respawns it on panic —
+/// exactly once per death even with many concurrent watchers.
+///
+/// This is the Selector layer's recovery loop from Sec. 4.4: "the
+/// Selector layer will detect this and respawn it. Because the
+/// Coordinators are registered in a shared locking service, this will
+/// happen exactly once." A panicked coordinator never runs `on_stop`, so
+/// its lease is still held; each watcher evicts it *with the fencing
+/// epoch of the incarnation it saw die* (a stale watcher cannot evict a
+/// successor) and races to re-acquire. The winner builds the replacement
+/// via `make_actor(lease)` — typically [`CoordinatorActor::with_store`]
+/// over a [`crate::storage::SharedCheckpointStore`], so resume-aware
+/// deployment picks up the committed model — spawns it under
+/// `actor_name`, and announces it through `wire` (e.g. a
+/// [`SelectorMsg::Rewire`] fan-out).
+///
+/// Returns when the coordinator dies without panicking (clean shutdown),
+/// the deadline passes, or a respawn budget of `max_respawns` is spent.
+pub fn watch_and_respawn<S, F, W>(
+    system: &ActorSystem,
+    locks: &LockingService<String>,
+    actor_name: &str,
+    lease_name: &str,
+    mut known_epoch: u64,
+    max_respawns: usize,
+    mut make_actor: F,
+    mut wire: W,
+    deadline: Duration,
+) -> RespawnReport
+where
+    S: CheckpointStore + Send + 'static,
+    F: FnMut(Lease) -> CoordinatorActor<S>,
+    W: FnMut(ActorRef<CoordMsg>),
+{
+    let deaths_rx = system.deaths();
+    // fl-lint: allow(wall-clock): the live watcher bounds real elapsed
+    // time; the sim exercises recovery via its virtual clock instead.
+    let started = Instant::now();
+    let mut report = RespawnReport {
+        deaths: Vec::new(),
+        respawns: 0,
+    };
+    loop {
+        let remaining = deadline.saturating_sub(started.elapsed());
+        if remaining.is_zero() {
+            return report;
+        }
+        let obit = match deaths_rx.recv_timeout(remaining) {
+            Ok(o) => o,
+            Err(_) => return report,
+        };
+        if obit.name != actor_name {
+            continue;
+        }
+        let panicked = matches!(obit.reason, fl_actors::DeathReason::Panicked(_));
+        report.deaths.push(obit);
+        if !panicked {
+            // Clean shutdown released the lease itself; nothing to do.
+            return report;
+        }
+        if report.respawns >= max_respawns {
+            return report;
+        }
+        // The dead incarnation never ran `on_stop`: its lease is stale.
+        // Atomic fenced takeover picks exactly one winner among
+        // concurrent watchers — and, unlike an evict-then-acquire pair,
+        // cannot grab the name after a *successor* released it cleanly
+        // (a laggard watcher still digesting the original obituary must
+        // not respawn a second coordinator).
+        match locks.replace_stale(lease_name, known_epoch, lease_name.to_string()) {
+            Some(lease) => {
+                known_epoch = lease.epoch;
+                report.respawns += 1;
+                let replacement = system.spawn(actor_name.to_string(), make_actor(lease));
+                wire(replacement);
+            }
+            None => {
+                // Another watcher won the race; track the successor's
+                // epoch so a later death of *that* incarnation can still
+                // be evicted by us.
+                if let Some(epoch) = locks.current_epoch(lease_name) {
+                    known_epoch = epoch;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

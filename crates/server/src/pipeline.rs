@@ -45,9 +45,23 @@ impl SelectionPool {
     }
 
     /// Number of devices currently pooled (stale ones included until the
-    /// next drain).
+    /// next drain). For capacity/pipelining decisions use
+    /// [`fresh_len`](SelectionPool::fresh_len): this raw count
+    /// overestimates available devices once entries age past the
+    /// staleness bound.
     pub fn len(&self) -> usize {
         self.waiting.len()
+    }
+
+    /// Number of devices that would actually survive a drain at `now_ms`
+    /// — the count capacity and pipelining decisions must use, since
+    /// stale entries still sit in the queue until the next drain but
+    /// contribute no participants.
+    pub fn fresh_len(&self, now_ms: u64) -> usize {
+        self.waiting
+            .iter()
+            .filter(|(_, t)| now_ms.saturating_sub(*t) <= self.staleness_ms)
+            .count()
     }
 
     /// Whether the pool is empty.
@@ -125,6 +139,23 @@ mod tests {
         let drained = pool.drain_fresh(5, 5_500);
         assert_eq!(drained, vec![DeviceId(1)]);
         assert!(pool.is_empty());
+    }
+
+    /// Regression (satellite 3): `len()` counts stale entries until the
+    /// next drain, so decisions based on it overestimate available
+    /// devices; `fresh_len(now_ms)` reports what a drain would actually
+    /// yield.
+    #[test]
+    fn fresh_len_excludes_stale_entries() {
+        let mut pool = SelectionPool::new(1_000);
+        pool.add(DeviceId(0), 0); // stale by t=5_500
+        pool.add(DeviceId(1), 5_000);
+        pool.add(DeviceId(2), 5_400);
+        assert_eq!(pool.len(), 3); // raw count still includes the stale one
+        assert_eq!(pool.fresh_len(5_500), 2);
+        // fresh_len predicts exactly what drain_fresh yields.
+        assert_eq!(pool.drain_fresh(10, 5_500).len(), 2);
+        assert_eq!(pool.fresh_len(5_500), 0);
     }
 
     #[test]

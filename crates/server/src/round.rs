@@ -14,7 +14,7 @@
 
 use fl_core::round::{RoundConfig, RoundOutcome};
 use fl_core::{DeviceId, RoundId};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Current phase of the round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +34,11 @@ pub enum Phase {
 pub enum CheckinResponse {
     /// The device participates in this round.
     Selected,
+    /// The device is *already* a participant of this round (duplicate
+    /// check-in, e.g. a retry after a dropped response). Idempotent: the
+    /// device keeps its slot and should proceed with the configuration it
+    /// was (or is being re-) sent, rather than being pace-steered away.
+    AlreadySelected,
     /// The round is not selecting (full or not in Selection).
     NotSelecting,
 }
@@ -90,7 +95,7 @@ pub struct RoundState {
     started_at_ms: u64,
     configured_at_ms: Option<u64>,
     finished_at_ms: Option<u64>,
-    checked_in: Vec<DeviceId>,
+    checked_in: BTreeSet<DeviceId>,
     participants: BTreeMap<DeviceId, ParticipantState>,
     reported: usize,
     aborted: usize,
@@ -121,7 +126,7 @@ impl RoundState {
             started_at_ms: now_ms,
             configured_at_ms: None,
             finished_at_ms: None,
-            checked_in: Vec::new(),
+            checked_in: BTreeSet::new(),
             participants: BTreeMap::new(),
             reported: 0,
             aborted: 0,
@@ -151,19 +156,38 @@ impl RoundState {
         std::mem::take(&mut self.events)
     }
 
-    /// A device checks in during Selection.
+    /// A device checks in during Selection. Duplicate check-ins (retries)
+    /// are idempotent: an already-selected device is answered
+    /// [`CheckinResponse::AlreadySelected`] — while its slot is still live
+    /// — instead of being pace-steered away from a round it belongs to.
     pub fn on_checkin(&mut self, device: DeviceId, now_ms: u64) -> CheckinResponse {
-        if self.phase != Phase::Selection {
-            return CheckinResponse::NotSelecting;
+        match self.phase {
+            Phase::Selection => {
+                // BTreeSet: O(log n) membership instead of the former O(n)
+                // `Vec::contains` scan on every check-in.
+                if !self.checked_in.insert(device) {
+                    return CheckinResponse::AlreadySelected;
+                }
+                if self.checked_in.len() >= self.config.selection_target() {
+                    self.configure(now_ms);
+                }
+                CheckinResponse::Selected
+            }
+            Phase::Reporting => {
+                // A retrying participant whose slot is still open keeps it
+                // (the caller re-sends the configuration); one in a
+                // terminal per-device state gets nothing new.
+                if matches!(
+                    self.participants.get(&device),
+                    Some(ParticipantState::Configured { .. })
+                ) {
+                    CheckinResponse::AlreadySelected
+                } else {
+                    CheckinResponse::NotSelecting
+                }
+            }
+            Phase::Committed | Phase::Abandoned => CheckinResponse::NotSelecting,
         }
-        if self.checked_in.contains(&device) {
-            return CheckinResponse::NotSelecting;
-        }
-        self.checked_in.push(device);
-        if self.checked_in.len() >= self.config.selection_target() {
-            self.configure(now_ms);
-        }
-        CheckinResponse::Selected
     }
 
     /// Clock tick: applies selection/reporting timeouts.
@@ -548,11 +572,41 @@ mod tests {
         );
     }
 
+    /// Regression (satellite 2): a duplicate check-in from an
+    /// already-selected device — a retry after a lost response — must be
+    /// answered idempotently, not `NotSelecting` (which pace-steered the
+    /// participant away from a round it belongs to).
     #[test]
-    fn duplicate_checkin_rejected() {
+    fn duplicate_checkin_is_idempotent() {
         let mut r = RoundState::begin(RoundId(1), config(10), 0);
         assert_eq!(r.on_checkin(DeviceId(1), 0), CheckinResponse::Selected);
-        assert_eq!(r.on_checkin(DeviceId(1), 0), CheckinResponse::NotSelecting);
+        assert_eq!(
+            r.on_checkin(DeviceId(1), 0),
+            CheckinResponse::AlreadySelected
+        );
+        // The duplicate did not consume a second selection slot.
+        assert_eq!(r.checked_in.len(), 1);
+    }
+
+    /// Regression (satellite 2, Reporting phase): a participant retrying
+    /// its check-in after configuration keeps its slot while it is live,
+    /// and is turned away once its per-device state is terminal.
+    #[test]
+    fn duplicate_checkin_during_reporting_keeps_slot() {
+        let mut r = RoundState::begin(RoundId(1), config(4), 0);
+        fill_selection(&mut r, 6, 100);
+        assert_eq!(r.phase(), Phase::Reporting);
+        let devices = r.participants();
+        // Still configured → idempotent re-admission.
+        assert_eq!(
+            r.on_checkin(devices[0], 200),
+            CheckinResponse::AlreadySelected
+        );
+        // After it reports, its slot is spent.
+        assert_eq!(r.on_report(devices[0], 5_000), ReportResponse::Accepted);
+        assert_eq!(r.on_checkin(devices[0], 6_000), CheckinResponse::NotSelecting);
+        // A stranger is still turned away.
+        assert_eq!(r.on_checkin(DeviceId(999), 200), CheckinResponse::NotSelecting);
     }
 
     #[test]

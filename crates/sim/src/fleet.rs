@@ -301,6 +301,9 @@ pub fn run(config: &FleetConfig) -> FleetReport {
                         active.checkin_times.push((DeviceId(device), now));
                         in_flight += 1;
                     }
+                    // Idempotent duplicate: the device already holds a
+                    // slot; nothing new to count or schedule.
+                    CheckinResponse::AlreadySelected => {}
                     CheckinResponse::NotSelecting => {
                         report.checkins.1 += 1;
                         // Pace steering: come back later.

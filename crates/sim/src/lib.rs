@@ -10,6 +10,8 @@
 //!   between low and high numbers of participating devices"),
 //! * [`network`] — per-device latency/bandwidth/failure models,
 //! * [`des`] — the virtual-clock event queue,
+//! * [`chaos`] — seeded, replayable fault injection against the real
+//!   server stack, auditing the Sec. 4.2/4.4 recovery guarantees,
 //! * [`fleet`] — the fleet-dynamics scenario driving the real
 //!   `fl-server` round state machines with tens of thousands of simulated
 //!   devices over simulated days (regenerates Figs. 5–9 and Table 1),
@@ -19,12 +21,14 @@
 //!   experiment and clients-per-round sweeps).
 
 pub mod availability;
+pub mod chaos;
 pub mod des;
 pub mod fleet;
 pub mod network;
 pub mod training;
 
 pub use availability::DiurnalAvailability;
+pub use chaos::{ChaosConfig, ChaosReport, Fault, FaultPlan};
 pub use fleet::{FleetConfig, FleetReport};
 pub use training::{TrainingRunConfig, TrainingRunReport};
 

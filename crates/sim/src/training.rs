@@ -176,7 +176,7 @@ pub fn run_federated(
         TaskGroup::new(vec![task], TaskSelectionStrategy::Single),
         vec![plan],
         initial,
-    );
+    )?;
 
     let runtime = FlRuntime::new(fl_core::plan::CURRENT_RUNTIME_VERSION);
     let mut driver_rng = rng::seeded(config.seed);

@@ -13,4 +13,7 @@ cargo test -q
 echo "==> cargo run -p fl-lint"
 cargo run -q -p fl-lint
 
+echo "==> chaos sweep (fixed seeds)"
+cargo test -q --test chaos_sweep
+
 echo "release gate: all checks passed"

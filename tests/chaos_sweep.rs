@@ -1,0 +1,216 @@
+//! Chaos sweep (the tentpole of the fault-injection PR): seeded,
+//! replayable fault schedules driven against the real Coordinator /
+//! storage / locking stack, asserting the paper's recovery guarantees
+//! (Sec. 4.2, 4.4) per failure mode and as properties over random plans.
+
+use federated::sim::chaos::{
+    default_seeds, run_chaos, sweep, ChaosConfig, Fault, FaultPlan,
+};
+use proptest::prelude::*;
+
+/// The fixed-seed sweep `scripts/check.sh` runs as a release gate: every
+/// seed must hold every recovery guarantee.
+#[test]
+fn fixed_seed_sweep_is_clean() {
+    let config = ChaosConfig::default();
+    let reports = sweep(&default_seeds(), &config);
+    assert_eq!(reports.len(), default_seeds().len());
+    for report in &reports {
+        assert!(
+            report.is_clean(),
+            "seed {} violated recovery guarantees:\n{}",
+            report.seed,
+            report.render()
+        );
+        // "The system will continue to make progress" (Sec. 4.4).
+        assert!(
+            report.committed >= 1,
+            "seed {} never committed a round:\n{}",
+            report.seed,
+            report.render()
+        );
+    }
+    // The sweep must actually exercise faults, not coast fault-free.
+    let injected: usize = reports
+        .iter()
+        .map(|r| r.log.with_prefix("inject.").count())
+        .sum();
+    assert!(injected >= 10, "sweep injected only {injected} faults");
+}
+
+/// Determinism is the whole point: the same seed must reproduce the same
+/// run byte-for-byte, so a failing seed is a replayable bug report.
+#[test]
+fn replay_of_a_seed_is_byte_identical() {
+    let config = ChaosConfig::default();
+    for seed in default_seeds() {
+        let first = run_chaos(&FaultPlan::generate(seed, config.horizon_ms), &config).render();
+        let second = run_chaos(&FaultPlan::generate(seed, config.horizon_ms), &config).render();
+        assert_eq!(first, second, "seed {seed} diverged between replays");
+    }
+}
+
+fn one_fault_run(fault: Fault) -> federated::sim::chaos::ChaosReport {
+    let config = ChaosConfig::default();
+    let plan = FaultPlan {
+        seed: 1,
+        faults: vec![fault],
+    };
+    run_chaos(&plan, &config)
+}
+
+/// Aggregator loss: "If an Aggregator […] fails, only the round […] will
+/// fail" at worst — here the round loses that shard's devices and still
+/// commits on the survivors (Sec. 4.2).
+#[test]
+fn aggregator_loss_costs_only_its_shard() {
+    let report = one_fault_run(Fault::AggregatorCrash {
+        at_ms: 12_000,
+        shard: 0,
+    });
+    assert!(report.is_clean(), "{}", report.render());
+    assert!(report.committed >= 1, "{}", report.render());
+    assert_eq!(report.log.with_prefix("inject.aggregator-crash").count(), 1);
+    assert_eq!(report.final_write_count, 1 + report.committed);
+}
+
+/// Selector loss: its devices vanish for a few check-in periods, then
+/// re-route; training continues.
+#[test]
+fn selector_loss_reroutes_devices() {
+    let report = one_fault_run(Fault::SelectorCrash {
+        at_ms: 12_000,
+        selector: 0,
+    });
+    assert!(report.is_clean(), "{}", report.render());
+    assert!(report.committed >= 1, "{}", report.render());
+    assert_eq!(report.log.with_prefix("inject.selector-crash").count(), 1);
+}
+
+/// Master Aggregator loss: "the current round of the FL task it manages
+/// will fail, but will then be restarted by the Coordinator" — and
+/// nothing from the dead round reaches storage (Sec. 4.2).
+#[test]
+fn master_loss_fails_round_then_restarts() {
+    let report = one_fault_run(Fault::MasterCrash { at_ms: 12_000 });
+    assert!(report.is_clean(), "{}", report.render());
+    assert_eq!(report.master_restarts, 1, "{}", report.render());
+    assert!(report.committed >= 1, "{}", report.render());
+    assert_eq!(report.final_write_count, 1 + report.committed);
+    assert_eq!(report.log.with_prefix("recover.round-restart").count(), 1);
+}
+
+/// Coordinator loss: the locking-service race admits exactly one
+/// respawn, and the respawned incarnation resumes the committed model
+/// without an extra checkpoint write (Sec. 4.2: "this will happen
+/// exactly once").
+#[test]
+fn coordinator_loss_respawns_exactly_once() {
+    let report = one_fault_run(Fault::CoordinatorCrash { at_ms: 15_000 });
+    assert!(report.is_clean(), "{}", report.render());
+    assert_eq!(report.respawns, 1, "{}", report.render());
+    assert!(report.committed >= 1, "{}", report.render());
+    assert_eq!(report.log.with_prefix("recover.respawn").count(), 1);
+    // The respawn audit (no extra write, model intact) is part of the
+    // harness's violation checks; clean report == guarantees held.
+    assert_eq!(report.final_write_count, 1 + report.committed);
+}
+
+/// Lease loss: the coordinator re-registers at the next tick and keeps
+/// training.
+#[test]
+fn lease_loss_is_reacquired() {
+    let report = one_fault_run(Fault::LeaseLoss { at_ms: 10_000 });
+    assert!(report.is_clean(), "{}", report.render());
+    assert_eq!(report.lease_reacquisitions, 1, "{}", report.render());
+    assert!(report.committed >= 1, "{}", report.render());
+}
+
+/// Storage write failure: the round's aggregate is lost, the previously
+/// committed checkpoint stays authoritative, and the next round retries
+/// from it ("no information for a round is written to persistent storage
+/// until it is fully aggregated").
+#[test]
+fn storage_failure_loses_round_but_not_state() {
+    let report = one_fault_run(Fault::StorageWriteFailure { attempt: 2 });
+    assert!(report.is_clean(), "{}", report.render());
+    assert_eq!(report.lost_to_storage, 1, "{}", report.render());
+    assert!(report.committed >= 1, "{}", report.render());
+    assert_eq!(report.final_write_count, 1 + report.committed);
+}
+
+/// Device drop-out burst: over-selection absorbs it, or the round is
+/// abandoned cleanly — either way no hang and no stray writes.
+#[test]
+fn dropout_burst_never_wedges_a_round() {
+    let report = one_fault_run(Fault::DropoutBurst {
+        at_ms: 12_000,
+        per_mille: 400,
+    });
+    assert!(report.is_clean(), "{}", report.render());
+    assert_eq!(report.log.with_prefix("inject.dropout-burst").count(), 1);
+    assert_eq!(report.final_write_count, 1 + report.committed);
+}
+
+/// Compound schedule: every failure mode in one run, in a deliberately
+/// nasty order (coordinator dies while a storage failure is pending and
+/// devices are dropping). The system must still make progress.
+#[test]
+fn compound_fault_schedule_still_makes_progress() {
+    let config = ChaosConfig::default();
+    let plan = FaultPlan {
+        seed: 2,
+        faults: vec![
+            Fault::DropoutBurst {
+                at_ms: 8_000,
+                per_mille: 250,
+            },
+            Fault::MasterCrash { at_ms: 40_000 },
+            Fault::CoordinatorCrash { at_ms: 70_000 },
+            Fault::LeaseLoss { at_ms: 100_000 },
+            Fault::SelectorCrash {
+                at_ms: 120_000,
+                selector: 1,
+            },
+            Fault::AggregatorCrash {
+                at_ms: 140_000,
+                shard: 2,
+            },
+            Fault::StorageWriteFailure { attempt: 3 },
+        ],
+    };
+    let report = run_chaos(&plan, &config);
+    assert!(report.is_clean(), "{}", report.render());
+    assert!(report.committed >= 1, "{}", report.render());
+    assert_eq!(report.respawns, 1);
+    assert_eq!(report.master_restarts, 1);
+    assert_eq!(report.lost_to_storage, 1);
+    assert_eq!(report.final_write_count, 1 + report.committed);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property over *random* fault schedules (satellite 4): whatever the
+    /// plan, the system never hangs (every round reaches a terminal
+    /// phase — hangs surface as violations), never double-commits
+    /// (`write_count == 1 + committed`), and always reaches terminal
+    /// round outcomes.
+    #[test]
+    fn random_fault_schedules_never_hang_or_double_commit(seed in 0u64..10_000) {
+        let config = ChaosConfig::default();
+        let plan = FaultPlan::generate(seed, config.horizon_ms);
+        let report = run_chaos(&plan, &config);
+        prop_assert!(
+            report.is_clean(),
+            "seed {} violated guarantees:\n{}",
+            seed,
+            report.render()
+        );
+        prop_assert_eq!(report.final_write_count, 1 + report.committed);
+        prop_assert!(
+            report.committed + report.abandoned + report.lost_to_storage + report.master_restarts
+                >= 1
+        );
+    }
+}

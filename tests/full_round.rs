@@ -61,7 +61,7 @@ fn manual_round_with_selector_devices_and_analytics() {
         TaskGroup::new(vec![task], TaskSelectionStrategy::Single),
         vec![plan],
         spec().instantiate().params().to_vec(),
-    );
+    ).unwrap();
     let writes_before = coordinator.store().write_count();
 
     // Selector layer: 30 devices check in, quota 13 (1.3 × 10).
@@ -211,7 +211,7 @@ fn secagg_round_matches_plain_round() {
             TaskGroup::new(vec![task], TaskSelectionStrategy::Single),
             vec![plan],
             spec().instantiate().params().to_vec(),
-        );
+        ).unwrap();
         let mut round = coordinator.begin_round(0).unwrap();
         for i in 0..11u64 {
             round.on_checkin(DeviceId(i), 10);

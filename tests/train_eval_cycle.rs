@@ -53,7 +53,7 @@ fn train_eval_alternation_trains_then_measures() {
         CoordinatorConfig::new("cycle-pop", 11),
         InMemoryCheckpointStore::new(),
     );
-    coordinator.deploy(group, plans, spec.instantiate().params().to_vec());
+    coordinator.deploy(group, plans, spec.instantiate().params().to_vec()).unwrap();
 
     let runtime = FlRuntime::new(3);
     let mut eval_accuracies: Vec<f64> = Vec::new();
