@@ -12,6 +12,9 @@
 //!   logs;
 //! * [`monitor`] — deviation monitors (z-score alerts over sliding
 //!   windows);
+//! * [`overload`] — accept/shed/retry telemetry for the flow-control loop
+//!   (Sec. 2.3), with deviation and absolute-ceiling alerts on the
+//!   per-bucket shed fraction;
 //! * [`dashboard`] — ASCII chart rendering for terminal dashboards (the
 //!   `figures` binary uses this to draw Figs. 5–9);
 //! * [`faultlog`] — the deterministic fault/recovery event log written by
@@ -20,10 +23,12 @@
 pub mod dashboard;
 pub mod faultlog;
 pub mod monitor;
+pub mod overload;
 pub mod sessions;
 pub mod timeseries;
 
 pub use faultlog::{FaultLog, FaultLogEntry};
 pub use monitor::{Alert, DeviationMonitor};
+pub use overload::{OverloadMetrics, OverloadMonitorConfig};
 pub use sessions::SessionShapeTable;
 pub use timeseries::TimeSeries;

@@ -1,0 +1,272 @@
+//! Overload telemetry (Sec. 5 applied to the Sec. 2.3 flow-control loop).
+//!
+//! The paper's monitoring pipeline ("aggregated […] and fed into automatic
+//! time-series monitors that trigger alerts on substantial deviations")
+//! pointed at the overload-protection stack: accepted check-ins, shed
+//! check-ins, and device retries are bucketed into [`TimeSeries`], and the
+//! per-bucket *shed fraction* — the share of offered check-ins the
+//! admission layer turned away — feeds both a sliding-window
+//! [`DeviationMonitor`] (a sudden shift in shed rate is the signature of a
+//! flash crowd or a capacity regression) and an absolute ceiling (sustained
+//! shedding above the ceiling means pace steering has lost control of the
+//! arrival rate, not merely smoothed a burst).
+
+use crate::monitor::{Alert, DeviationMonitor};
+use crate::timeseries::TimeSeries;
+
+/// Thresholds for the overload monitors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadMonitorConfig {
+    /// Bucket width for the accept/shed/retry series (ms).
+    pub bucket_ms: u64,
+    /// Sliding baseline window (buckets) for the shed-fraction monitor.
+    pub baseline_window: usize,
+    /// Z-score threshold for the shed-fraction deviation monitor.
+    pub threshold_sigmas: f64,
+    /// Absolute shed-fraction ceiling: any closed bucket above this
+    /// alerts regardless of baseline.
+    pub max_shed_fraction: f64,
+}
+
+impl Default for OverloadMonitorConfig {
+    fn default() -> Self {
+        OverloadMonitorConfig {
+            bucket_ms: 60_000,
+            baseline_window: 32,
+            threshold_sigmas: 4.0,
+            max_shed_fraction: 0.9,
+        }
+    }
+}
+
+/// Accept/shed/retry telemetry with alerting, fed by the Selector layer
+/// (live or simulated).
+#[derive(Debug, Clone)]
+pub struct OverloadMetrics {
+    config: OverloadMonitorConfig,
+    origin_ms: u64,
+    accepts: TimeSeries,
+    sheds: TimeSeries,
+    retries: TimeSeries,
+    monitor: DeviationMonitor,
+    /// Index of the bucket currently accumulating.
+    open_bucket: usize,
+    open_accepts: u64,
+    open_sheds: u64,
+    /// Shed fraction of every closed bucket, in order.
+    closed_fractions: Vec<f64>,
+    alerts: Vec<Alert>,
+}
+
+impl OverloadMetrics {
+    /// Creates the metric set with buckets anchored at `origin_ms`.
+    pub fn new(config: OverloadMonitorConfig, origin_ms: u64) -> Self {
+        OverloadMetrics {
+            config,
+            origin_ms,
+            accepts: TimeSeries::new("selector.accepts", config.bucket_ms, origin_ms),
+            sheds: TimeSeries::new("selector.sheds", config.bucket_ms, origin_ms),
+            retries: TimeSeries::new("device.retries", config.bucket_ms, origin_ms),
+            monitor: DeviationMonitor::new(
+                "selector.shed_fraction",
+                config.baseline_window,
+                config.threshold_sigmas,
+            ),
+            open_bucket: 0,
+            open_accepts: 0,
+            open_sheds: 0,
+            closed_fractions: Vec::new(),
+            alerts: Vec::new(),
+        }
+    }
+
+    fn bucket_index(&self, now_ms: u64) -> usize {
+        (now_ms.saturating_sub(self.origin_ms) / self.config.bucket_ms) as usize
+    }
+
+    /// Closes every bucket strictly before `now_ms`'s bucket, feeding each
+    /// closed bucket's shed fraction to the monitors. Quiet buckets count
+    /// as fraction 0 — silence after a storm is itself signal.
+    fn roll(&mut self, now_ms: u64) {
+        let current = self.bucket_index(now_ms);
+        while self.open_bucket < current {
+            let offered = self.open_accepts + self.open_sheds;
+            let fraction = if offered == 0 {
+                0.0
+            } else {
+                self.open_sheds as f64 / offered as f64
+            };
+            let close_at =
+                self.origin_ms + (self.open_bucket as u64 + 1) * self.config.bucket_ms;
+            if let Some(alert) = self.monitor.observe(close_at, fraction) {
+                self.alerts.push(alert);
+            }
+            if fraction > self.config.max_shed_fraction {
+                self.alerts.push(Alert {
+                    metric: "selector.shed_fraction.ceiling".into(),
+                    observed: fraction,
+                    baseline_mean: self.config.max_shed_fraction,
+                    sigmas: (fraction - self.config.max_shed_fraction)
+                        / self.config.max_shed_fraction.max(1e-9),
+                    at_ms: close_at,
+                });
+            }
+            self.closed_fractions.push(fraction);
+            self.open_accepts = 0;
+            self.open_sheds = 0;
+            self.open_bucket += 1;
+        }
+    }
+
+    /// Records an accepted check-in.
+    pub fn record_accept(&mut self, now_ms: u64) {
+        self.roll(now_ms);
+        self.accepts.increment(now_ms);
+        self.open_accepts += 1;
+    }
+
+    /// Records a shed (admission-rejected) check-in.
+    pub fn record_shed(&mut self, now_ms: u64) {
+        self.roll(now_ms);
+        self.sheds.increment(now_ms);
+        self.open_sheds += 1;
+    }
+
+    /// Records a device-side retry attempt.
+    pub fn record_retry(&mut self, now_ms: u64) {
+        self.roll(now_ms);
+        self.retries.increment(now_ms);
+    }
+
+    /// Closes every fully-elapsed bucket as of `now_ms` (end of run /
+    /// dashboard flush). The bucket containing `now_ms` stays open — a
+    /// partial bucket would read as an artificial lull.
+    pub fn finalize(&mut self, now_ms: u64) {
+        self.roll(now_ms);
+    }
+
+    /// Shed fraction of each closed bucket, in time order.
+    pub fn shed_fractions(&self) -> &[f64] {
+        &self.closed_fractions
+    }
+
+    /// Alerts raised so far (deviation and ceiling).
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// The accepted-check-ins series.
+    pub fn accepts(&self) -> &TimeSeries {
+        &self.accepts
+    }
+
+    /// The shed-check-ins series.
+    pub fn sheds(&self) -> &TimeSeries {
+        &self.sheds
+    }
+
+    /// The device-retries series.
+    pub fn retries(&self) -> &TimeSeries {
+        &self.retries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> OverloadMonitorConfig {
+        OverloadMonitorConfig {
+            bucket_ms: 1_000,
+            baseline_window: 16,
+            threshold_sigmas: 4.0,
+            max_shed_fraction: 0.9,
+        }
+    }
+
+    #[test]
+    fn steady_shedding_raises_no_alerts() {
+        let mut m = OverloadMetrics::new(config(), 0);
+        // 20 buckets of 10% shed.
+        for b in 0..20u64 {
+            for i in 0..9 {
+                m.record_accept(b * 1_000 + i * 10);
+            }
+            m.record_shed(b * 1_000 + 990);
+        }
+        m.finalize(20_000);
+        assert!(m.alerts().is_empty(), "{:?}", m.alerts());
+        assert_eq!(m.shed_fractions().len(), 20);
+        assert!((m.shed_fractions()[5] - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flash_crowd_shift_trips_the_deviation_monitor() {
+        let mut m = OverloadMetrics::new(config(), 0);
+        for b in 0..16u64 {
+            for i in 0..10 {
+                m.record_accept(b * 1_000 + i * 10);
+            }
+        }
+        // Flash crowd: shedding jumps to 80%.
+        for b in 16..20u64 {
+            for i in 0..2 {
+                m.record_accept(b * 1_000 + i * 10);
+            }
+            for i in 0..8 {
+                m.record_shed(b * 1_000 + 500 + i * 10);
+            }
+        }
+        m.finalize(20_000);
+        assert!(
+            m.alerts()
+                .iter()
+                .any(|a| a.metric == "selector.shed_fraction"),
+            "no deviation alert: {:?}",
+            m.alerts()
+        );
+    }
+
+    #[test]
+    fn sustained_ceiling_breach_alerts_absolutely() {
+        let mut m = OverloadMetrics::new(config(), 0);
+        // Shedding ~95% from the very first bucket: the deviation monitor
+        // may rebaseline, the ceiling must still fire.
+        for b in 0..12u64 {
+            m.record_accept(b * 1_000);
+            for i in 0..19 {
+                m.record_shed(b * 1_000 + 10 + i * 10);
+            }
+        }
+        m.finalize(12_000);
+        let ceiling: Vec<_> = m
+            .alerts()
+            .iter()
+            .filter(|a| a.metric == "selector.shed_fraction.ceiling")
+            .collect();
+        assert!(ceiling.len() >= 10, "only {} ceiling alerts", ceiling.len());
+        assert!(ceiling[0].observed > 0.9);
+    }
+
+    #[test]
+    fn quiet_buckets_close_as_zero() {
+        let mut m = OverloadMetrics::new(config(), 0);
+        m.record_shed(100);
+        // Nothing for 5 buckets, then an accept.
+        m.record_accept(6_500);
+        m.finalize(7_100);
+        assert_eq!(m.shed_fractions(), &[1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn series_record_everything() {
+        let mut m = OverloadMetrics::new(config(), 0);
+        m.record_accept(0);
+        m.record_shed(10);
+        m.record_retry(20);
+        m.record_retry(1_500);
+        assert_eq!(m.accepts().sums(), vec![1.0]);
+        assert_eq!(m.sheds().sums(), vec![1.0]);
+        assert_eq!(m.retries().sums(), vec![1.0, 1.0]);
+    }
+}

@@ -21,6 +21,9 @@
 //!   persisted individually);
 //! * [`privacy`] — simplified DP-FedAvg clipping/noise configuration
 //!   (Sec. 6, footnote 2);
+//! * [`retry`] — the device-side reconnect discipline (jittered backoff,
+//!   per-task retry budgets) that makes pace steering (Sec. 2.3)
+//!   cooperative rather than advisory;
 //! * [`traffic`] — download/upload byte accounting (Fig. 9);
 //! * [`error`] — the shared error type.
 
@@ -41,6 +44,8 @@ pub mod plan;
 pub mod population;
 /// DP-FedAvg clipping and noise configuration (Sec. 6).
 pub mod privacy;
+/// Device-side retry discipline: backoff and retry budgets (Sec. 2.3).
+pub mod retry;
 /// Round configuration (goals, timeouts, over-selection) and outcomes.
 pub mod round;
 /// Download/upload byte accounting by direction and category (Fig. 9).
@@ -51,6 +56,7 @@ pub use error::CoreError;
 pub use events::{DeviceEvent, SessionLog};
 pub use plan::FlPlan;
 pub use population::{FlTask, PopulationName, TaskKind};
+pub use retry::RetryPolicy;
 pub use round::{RoundConfig, RoundOutcome};
 
 /// Identifies a device across the protocol. Devices are anonymous (Sec. 3,

@@ -8,6 +8,9 @@
 //!   gated on eligibility, with abort-on-change semantics, plus the
 //!   multi-tenant training queue ("a simple worker queue […] we avoid
 //!   running training sessions on-device in parallel", Sec. 11);
+//! * [`connectivity`] — the device half of pace steering (Sec. 2.3):
+//!   jittered exponential backoff, per-task retry budgets, and honoring of
+//!   server-suggested reconnect windows through the scheduler;
 //! * [`attestation`] — simulated device attestation (Sec. 3: devices
 //!   participate anonymously; the server verifies tokens so that "only
 //!   genuine devices and applications participate");
@@ -17,9 +20,11 @@
 
 pub mod attestation;
 pub mod conditions;
+pub mod connectivity;
 pub mod runtime;
 pub mod scheduler;
 
 pub use conditions::DeviceConditions;
+pub use connectivity::{ConnectivityManager, RetryDecision};
 pub use runtime::{ExecutionOutcome, FlRuntime, Interruption};
 pub use scheduler::{JobScheduler, TrainingQueue};

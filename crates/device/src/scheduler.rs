@@ -146,6 +146,44 @@ mod tests {
         assert!(s.poll(5_000, DeviceConditions::eligible()));
     }
 
+    /// Regression: a pace-steering defer whose due time lands inside an
+    /// ineligibility stretch (screen on, off charger…) must not starve the
+    /// task forever — the slot stays armed and fires at the first eligible
+    /// poll after the deferral, then the normal cadence resumes.
+    #[test]
+    fn defer_past_eligibility_window_does_not_starve() {
+        let mut s = JobScheduler::new(1_000);
+        s.defer_until(10_000);
+        // Deferred: eligible polls before the window do nothing.
+        assert!(!s.poll(500, DeviceConditions::eligible()));
+        assert!(!s.poll(9_999, DeviceConditions::eligible()));
+        // The window opens while the device is in use — slot not consumed.
+        assert!(!s.poll(10_000, DeviceConditions::in_use()));
+        assert!(!s.poll(14_000, DeviceConditions::in_use()));
+        // First eligible poll after the stretch fires immediately.
+        assert!(s.poll(25_000, DeviceConditions::eligible()));
+        // And the periodic cadence resumes from there, not from 10_000.
+        assert!(!s.poll(25_500, DeviceConditions::eligible()));
+        assert!(s.poll(26_000, DeviceConditions::eligible()));
+    }
+
+    /// Stacked defers (several "come back later" replies in a row) keep
+    /// only the latest window, and eligibility churn across all of them
+    /// still cannot lose the job.
+    #[test]
+    fn repeated_defers_with_eligibility_churn_keep_the_job_alive() {
+        let mut s = JobScheduler::new(1_000);
+        s.defer_until(5_000);
+        s.defer_until(3_000); // earlier suggestion must not pull it back
+        assert_eq!(s.next_due_ms(), 5_000);
+        assert!(!s.poll(4_000, DeviceConditions::eligible()));
+        s.defer_until(8_000);
+        // Alternating ineligible/eligible polls around the window.
+        assert!(!s.poll(8_000, DeviceConditions::in_use()));
+        assert!(!s.poll(8_500, DeviceConditions::in_use()));
+        assert!(s.poll(9_000, DeviceConditions::eligible()));
+    }
+
     #[test]
     fn queue_runs_one_session_at_a_time() {
         let mut q = TrainingQueue::new();

@@ -12,6 +12,10 @@
 //! * [`selector`] — Selectors (Sec. 4.2): accept/reject device check-ins
 //!   against coordinator-assigned quotas, forward devices by reservoir
 //!   sampling;
+//! * [`shedding`] — overload protection for the Selector layer: a
+//!   token-bucket + bounded-queue admission controller with deterministic
+//!   shed decisions, and closed-loop pace steering that folds observed
+//!   check-in arrival rates back into reconnect-window sizing;
 //! * [`round`] — the Selection → Configuration → Reporting state machine
 //!   of one round (Sec. 2.2), with goal counts, timeouts, over-selection,
 //!   straggler discard, and per-device session logs;
@@ -49,6 +53,8 @@ pub mod pipeline;
 pub mod round;
 /// Selectors: check-in admission against coordinator quotas.
 pub mod selector;
+/// Overload protection: admission control and closed-loop pace steering.
+pub mod shedding;
 /// Persistent checkpoint storage with aggregate-before-write semantics.
 pub mod storage;
 
@@ -57,6 +63,10 @@ pub use coordinator::{Coordinator, CoordinatorConfig};
 pub use pace::PaceSteering;
 pub use round::{RoundEvent, RoundState};
 pub use selector::{CheckinDecision, Selector};
+pub use shedding::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, PaceController,
+    PaceControllerConfig, ShedReason,
+};
 pub use storage::{
     CheckpointStore, FaultyCheckpointStore, InMemoryCheckpointStore, SharedCheckpointStore,
 };

@@ -71,6 +71,9 @@ pub enum CoordMsg {
     },
     /// Periodic clock tick.
     Tick,
+    /// Census update: how many devices the population is believed to
+    /// have. Sizes the pace-steering horizon for `NotSelecting` rejects.
+    SetPopulationEstimate(u64),
     /// Finish the current round if it is done; reply with the outcome.
     TryCompleteRound {
         /// Outcome reply channel (None = round still running).
@@ -92,6 +95,13 @@ pub struct CoordinatorActor<S: CheckpointStore + Send + 'static = InMemoryCheckp
     epoch: Instant,
     lease: Lease,
     locks: LockingService<String>,
+    /// Pace steering for devices that arrive while no round is selecting:
+    /// a `NotSelecting` reject must carry a real reconnect suggestion
+    /// (aimed at the next selection-period tick), not a magic constant
+    /// that defeats Sec. 2.3's flow control.
+    pace: crate::pace::PaceSteering,
+    pace_rng: rand::rngs::StdRng,
+    population_estimate: u64,
 }
 
 impl<S: CheckpointStore + Send + 'static> std::fmt::Debug for CoordinatorActor<S> {
@@ -163,6 +173,15 @@ impl<S: CheckpointStore + Send + 'static> CoordinatorActor<S> {
         lease: Lease,
         store: S,
     ) -> Self {
+        // NotSelecting rejects rendezvous on the selection-period tick:
+        // rejected devices should return together just as the next round
+        // opens (small-population concentration, Sec. 2.3).
+        let round = group.tasks().first().map(|t| t.round).unwrap_or_default();
+        let pace = crate::pace::PaceSteering::new(
+            round.selection_timeout_ms.max(1),
+            (round.selection_target() as u64).max(1),
+        );
+        let pace_rng = fl_ml::rng::seeded(config.seed ^ 0x9ACE);
         let mut coordinator = Coordinator::new(config, store);
         coordinator
             .deploy(group, plans, initial_params)
@@ -180,6 +199,9 @@ impl<S: CheckpointStore + Send + 'static> CoordinatorActor<S> {
             epoch: Instant::now(),
             lease,
             locks,
+            pace,
+            pace_rng,
+            population_estimate: 0,
         }
     }
 
@@ -254,9 +276,17 @@ impl<S: CheckpointStore + Send + 'static> Actor for CoordinatorActor<S> {
                             }
                         }
                         CheckinResponse::NotSelecting => {
-                            let _ = reply.send(DeviceReply::ComeBackLater {
-                                retry_at_ms: now + 1_000,
-                            });
+                            // Pace-steered rejection: suggest the next
+                            // selection-period rendezvous (or a spread
+                            // window for large populations) instead of a
+                            // fixed 1-second hammer interval.
+                            let retry_at_ms = self.pace.suggest_reconnect(
+                                now,
+                                self.population_estimate,
+                                1.0,
+                                &mut self.pace_rng,
+                            );
+                            let _ = reply.send(DeviceReply::ComeBackLater { retry_at_ms });
                         }
                     }
                 }
@@ -283,6 +313,10 @@ impl<S: CheckpointStore + Send + 'static> Actor for CoordinatorActor<S> {
                 } else {
                     let _ = reply.send(DeviceReply::ReportDiscarded);
                 }
+                Flow::Continue
+            }
+            CoordMsg::SetPopulationEstimate(estimate) => {
+                self.population_estimate = estimate;
                 Flow::Continue
             }
             CoordMsg::Tick => {
@@ -338,6 +372,9 @@ pub enum SelectorMsg {
     },
     /// Coordinator quota instruction.
     SetQuota(usize),
+    /// Coordinator census update: seeds the selector's closed-loop pace
+    /// controller with a fresh population estimate.
+    SetPopulationEstimate(u64),
     /// Retarget this selector at a (respawned) coordinator. Sec. 4.4:
     /// after the Selector layer respawns a dead Coordinator, traffic must
     /// flow to the replacement, not the corpse.
@@ -399,6 +436,10 @@ impl Actor for SelectorActor {
             }
             SelectorMsg::SetQuota(q) => {
                 self.selector.set_quota(q);
+                Flow::Continue
+            }
+            SelectorMsg::SetPopulationEstimate(estimate) => {
+                self.selector.set_population_estimate(estimate);
                 Flow::Continue
             }
             SelectorMsg::Rewire(coordinator) => {
@@ -648,6 +689,71 @@ mod tests {
         system.join();
         // Lease released on clean shutdown.
         assert!(locks.lookup("coordinator/pop").is_none());
+    }
+
+    /// Regression: a device arriving while the round is already in
+    /// Reporting used to get a hardcoded `now + 1_000` retry — a 1 s
+    /// hammer interval that defeats pace steering. The reject must now
+    /// rendezvous on the next selection-period tick (≥ the selection
+    /// timeout), so rejected devices return when a round can actually
+    /// take them.
+    #[test]
+    fn not_selecting_reject_is_pace_steered() {
+        let system = ActorSystem::new();
+        let locks = LockingService::new();
+        let task = FlTask::training("t", "pop3").with_round(quick_round(1));
+        let plan = FlPlan::standard_training(spec(), 1, 8, 0.1, CodecSpec::Identity);
+        let group = TaskGroup::new(vec![task], TaskSelectionStrategy::Single);
+        let coordinator = CoordinatorActor::new(
+            CoordinatorConfig::new("pop3", 7),
+            group,
+            vec![plan],
+            vec![0.0; spec().num_params()],
+            locks.clone(),
+        );
+        let mut selector = Selector::new(PaceSteering::new(1_000, 10), 100, 1);
+        selector.set_quota(10);
+        let (selector_refs, coord_ref) = spawn_topology(&system, coordinator, vec![selector]);
+
+        // First device fills the goal; the round enters Reporting.
+        let (tx, rx) = unbounded();
+        selector_refs[0]
+            .send(SelectorMsg::Checkin {
+                device: DeviceId(0),
+                reply: tx,
+            })
+            .unwrap();
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            DeviceReply::Configured { .. }
+        ));
+
+        // Second device finds the round NotSelecting.
+        let (tx2, rx2) = unbounded();
+        selector_refs[0]
+            .send(SelectorMsg::Checkin {
+                device: DeviceId(1),
+                reply: tx2,
+            })
+            .unwrap();
+        match rx2.recv_timeout(Duration::from_secs(5)).unwrap() {
+            DeviceReply::ComeBackLater { retry_at_ms } => {
+                // quick_round(1).selection_timeout_ms == 5_000: the next
+                // rendezvous tick lies at or beyond it, far beyond the old
+                // `now + 1_000` constant (the test runs well inside 4 s).
+                assert!(
+                    retry_at_ms >= 5_000,
+                    "retry {retry_at_ms} ms is not pace-steered"
+                );
+            }
+            other => panic!("expected ComeBackLater, got {other:?}"),
+        }
+
+        for s in &selector_refs {
+            s.send(SelectorMsg::Shutdown).unwrap();
+        }
+        coord_ref.send(CoordMsg::Shutdown).unwrap();
+        system.join();
     }
 
     #[test]

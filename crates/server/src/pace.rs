@@ -24,7 +24,7 @@
 
 
 /// Population-size regime boundary: below this, concentrate; above, spread.
-const SMALL_POPULATION: u64 = 1_000;
+pub const SMALL_POPULATION: u64 = 1_000;
 
 /// Stateless pace-steering policy. All methods are pure functions of their
 /// arguments plus the caller's RNG — the server keeps no per-device state,

@@ -10,12 +10,23 @@
 //!
 //! Selection among connected devices uses reservoir sampling, per the
 //! paper's footnote 1 ("selection is done by simple reservoir sampling").
+//!
+//! Overload protection (this reproduction's Sec. 2.3/4.2 closing of the
+//! loop) is layered in front of the quota check: an optional
+//! [`AdmissionController`] sheds check-ins when the sustained accept rate
+//! or the held-connection queue hits its bound, and a [`PaceController`]
+//! sizes every "come back later" suggestion from the *observed* check-in
+//! arrival rate instead of a static population estimate.
 
 use crate::pace::PaceSteering;
+use crate::shedding::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, PaceController,
+    PaceControllerConfig,
+};
 use fl_core::DeviceId;
 use fl_ml::rng;
 use rand::rngs::StdRng;
-use std::collections::BTreeSet;
+use std::collections::BTreeMap;
 
 /// Decision returned to a checking-in device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,33 +40,63 @@ pub enum CheckinDecision {
     },
 }
 
-/// A Selector: accepts or rejects device check-ins against a quota and
-/// forwards sampled subsets toward Aggregators on request.
+/// A Selector: accepts or rejects device check-ins against a quota and an
+/// optional admission controller, and forwards sampled subsets toward
+/// Aggregators on request.
 #[derive(Debug)]
 pub struct Selector {
     /// Quota of devices this selector may hold, set by the Coordinator.
     quota: usize,
-    connected: BTreeSet<DeviceId>,
-    pace: PaceSteering,
-    population_estimate: u64,
+    /// Held connections with their last-seen times.
+    connected: BTreeMap<DeviceId, u64>,
+    /// Held connections idle longer than this are considered disconnected
+    /// and evicted before quota/admission checks. `None` disables
+    /// eviction (a caller that forwards immediately never holds state
+    /// long enough to go stale).
+    stale_after_ms: Option<u64>,
+    pace: PaceController,
+    admission: Option<AdmissionController>,
     accepted_total: u64,
     rejected_total: u64,
+    shed_total: u64,
+    evicted_total: u64,
     rng: StdRng,
 }
 
 impl Selector {
     /// Creates a selector with an initial quota of zero (nothing accepted
-    /// until the Coordinator assigns one).
+    /// until the Coordinator assigns one). The closed-loop pace controller
+    /// starts from `population_estimate` and adjusts from observed
+    /// arrivals.
     pub fn new(pace: PaceSteering, population_estimate: u64, seed: u64) -> Self {
+        let controller_config = PaceControllerConfig::for_pace(&pace);
         Selector {
             quota: 0,
-            connected: BTreeSet::new(),
-            pace,
-            population_estimate,
+            connected: BTreeMap::new(),
+            stale_after_ms: None,
+            pace: PaceController::new(pace, population_estimate, controller_config),
+            admission: None,
             accepted_total: 0,
             rejected_total: 0,
+            shed_total: 0,
+            evicted_total: 0,
             rng: rng::seeded(seed),
         }
+    }
+
+    /// Enables admission control (token-bucket accept rate + bounded
+    /// held-connection queue) in front of the quota check.
+    pub fn with_admission(mut self, config: AdmissionConfig) -> Self {
+        self.admission = Some(AdmissionController::new(config));
+        self
+    }
+
+    /// Enables stale-connection eviction: devices not seen for
+    /// `stale_after_ms` are dropped from the connected set before quota
+    /// and admission checks, so ghosts cannot pin capacity.
+    pub fn with_staleness(mut self, stale_after_ms: u64) -> Self {
+        self.stale_after_ms = Some(stale_after_ms);
+        self
     }
 
     /// Coordinator instruction: how many devices to hold.
@@ -63,9 +104,35 @@ impl Selector {
         self.quota = quota;
     }
 
-    /// Updates the population-size estimate used for pace steering.
+    /// Seeds/overrides the population-size estimate used for pace
+    /// steering; the closed loop keeps adjusting from the new value.
     pub fn set_population_estimate(&mut self, estimate: u64) {
-        self.population_estimate = estimate;
+        self.pace.set_population_estimate(estimate);
+    }
+
+    /// The closed-loop pace controller (observed-rate population estimate
+    /// and arrival sketches).
+    pub fn pace_controller(&self) -> &PaceController {
+        &self.pace
+    }
+
+    /// The admission controller, if admission control is enabled.
+    pub fn admission_controller(&self) -> Option<&AdmissionController> {
+        self.admission.as_ref()
+    }
+
+    /// Drops held connections not seen since `now_ms − stale_after_ms`.
+    /// Returns how many were evicted. No-op when eviction is disabled.
+    pub fn evict_stale(&mut self, now_ms: u64) -> usize {
+        let Some(ttl) = self.stale_after_ms else {
+            return 0;
+        };
+        let before = self.connected.len();
+        self.connected
+            .retain(|_, last_seen| now_ms.saturating_sub(*last_seen) < ttl);
+        let evicted = before - self.connected.len();
+        self.evicted_total += evicted as u64;
+        evicted
     }
 
     /// Handles a device check-in at `now_ms` with the given diurnal
@@ -76,20 +143,38 @@ impl Selector {
         now_ms: u64,
         activity_factor: f64,
     ) -> CheckinDecision {
-        if self.connected.len() < self.quota && !self.connected.contains(&device) {
-            self.connected.insert(device);
+        // Every arrival feeds the closed loop, whatever its fate.
+        self.pace.on_arrival(now_ms);
+        // Evict ghosts before they count against quota or the queue bound
+        // (mirror of the selection pool's fresh-length fix).
+        self.evict_stale(now_ms);
+
+        if let Some(admission) = &mut self.admission {
+            if let AdmissionDecision::Shed(_) = admission.offer(now_ms, self.connected.len()) {
+                self.shed_total += 1;
+                return self.reject(now_ms, activity_factor);
+            }
+        }
+
+        if self.connected.len() < self.quota && !self.connected.contains_key(&device) {
+            self.connected.insert(device, now_ms);
             self.accepted_total += 1;
             CheckinDecision::Accept
         } else {
-            self.rejected_total += 1;
-            CheckinDecision::Reject {
-                retry_at_ms: self.pace.suggest_reconnect(
-                    now_ms,
-                    self.population_estimate,
-                    activity_factor,
-                    &mut self.rng,
-                ),
+            // A duplicate check-in still proves the device is alive.
+            if let Some(last_seen) = self.connected.get_mut(&device) {
+                *last_seen = now_ms;
             }
+            self.reject(now_ms, activity_factor)
+        }
+    }
+
+    fn reject(&mut self, now_ms: u64, activity_factor: f64) -> CheckinDecision {
+        self.rejected_total += 1;
+        CheckinDecision::Reject {
+            retry_at_ms: self
+                .pace
+                .suggest_reconnect(now_ms, activity_factor, &mut self.rng),
         }
     }
 
@@ -98,21 +183,44 @@ impl Selector {
         self.connected.remove(&device);
     }
 
-    /// Number of devices currently connected (reported to the Coordinator).
+    /// Number of devices currently connected (reported to the
+    /// Coordinator). May include devices that would be evicted as stale at
+    /// the next check-in; call [`evict_stale`](Selector::evict_stale)
+    /// first for a fresh count.
     pub fn connected_count(&self) -> usize {
         self.connected.len()
     }
 
-    /// Total accepted/rejected counters (for analytics).
+    /// Total accepted/rejected counters (for analytics). Rejections
+    /// include shed check-ins.
     pub fn counters(&self) -> (u64, u64) {
         (self.accepted_total, self.rejected_total)
     }
 
+    /// Total check-ins shed by the admission controller.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_total
+    }
+
+    /// Total stale connections evicted.
+    pub fn evicted_total(&self) -> u64 {
+        self.evicted_total
+    }
+
     /// Coordinator instruction: forward up to `k` connected devices to the
-    /// Aggregator layer. The forwarded devices are sampled uniformly
-    /// (reservoir sampling) and removed from this selector's connected set.
+    /// Aggregator layer. Stale connections are evicted first (forwarding a
+    /// ghost wastes an Aggregator slot); the forwarded devices are sampled
+    /// uniformly (reservoir sampling) and removed from this selector's
+    /// connected set.
+    pub fn forward_devices_at(&mut self, k: usize, now_ms: u64) -> Vec<DeviceId> {
+        self.evict_stale(now_ms);
+        self.forward_devices(k)
+    }
+
+    /// [`forward_devices_at`](Selector::forward_devices_at) without a
+    /// clock: no staleness eviction is performed first.
     pub fn forward_devices(&mut self, k: usize) -> Vec<DeviceId> {
-        let pool: Vec<DeviceId> = self.connected.iter().copied().collect();
+        let pool: Vec<DeviceId> = self.connected.keys().copied().collect();
         if pool.is_empty() || k == 0 {
             return Vec::new();
         }
@@ -131,6 +239,7 @@ impl Selector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeSet;
 
     fn selector(quota: usize) -> Selector {
         let mut s = Selector::new(PaceSteering::new(60_000, 100), 500, 42);
@@ -226,5 +335,143 @@ mod tests {
             s.on_checkin(DeviceId(0), 0, 1.0),
             CheckinDecision::Reject { .. }
         ));
+    }
+
+    #[test]
+    fn stale_devices_are_evicted_before_quota_checks() {
+        // Regression (mirror of the selection pool's fresh_len fix): a
+        // device that connected long ago and silently vanished must not
+        // pin a quota slot forever.
+        let mut s = Selector::new(PaceSteering::new(60_000, 100), 500, 7)
+            .with_staleness(120_000);
+        s.set_quota(1);
+        assert_eq!(s.on_checkin(DeviceId(1), 0, 1.0), CheckinDecision::Accept);
+        // Before the TTL expires the ghost still holds the slot.
+        assert!(matches!(
+            s.on_checkin(DeviceId(2), 100_000, 1.0),
+            CheckinDecision::Reject { .. }
+        ));
+        // After the TTL the ghost is evicted and the slot is free again.
+        assert_eq!(
+            s.on_checkin(DeviceId(2), 130_000, 1.0),
+            CheckinDecision::Accept
+        );
+        assert_eq!(s.evicted_total(), 1);
+        assert_eq!(s.connected_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_checkin_refreshes_staleness() {
+        let mut s = Selector::new(PaceSteering::new(60_000, 100), 500, 7)
+            .with_staleness(100_000);
+        s.set_quota(1);
+        assert_eq!(s.on_checkin(DeviceId(1), 0, 1.0), CheckinDecision::Accept);
+        // The device re-checks in at 90 s (still rejected as a duplicate,
+        // but its liveness clock resets)...
+        assert!(matches!(
+            s.on_checkin(DeviceId(1), 90_000, 1.0),
+            CheckinDecision::Reject { .. }
+        ));
+        // ...so at 150 s it has NOT gone stale (last seen 90 s ago).
+        assert!(matches!(
+            s.on_checkin(DeviceId(2), 150_000, 1.0),
+            CheckinDecision::Reject { .. }
+        ));
+        assert_eq!(s.evicted_total(), 0);
+    }
+
+    #[test]
+    fn forward_at_skips_stale_devices() {
+        let mut s = Selector::new(PaceSteering::new(60_000, 100), 500, 9)
+            .with_staleness(60_000);
+        s.set_quota(4);
+        s.on_checkin(DeviceId(1), 0, 1.0);
+        s.on_checkin(DeviceId(2), 0, 1.0);
+        s.on_checkin(DeviceId(3), 50_000, 1.0);
+        s.on_checkin(DeviceId(4), 50_000, 1.0);
+        // At t=70s devices 1 and 2 are stale; only 3 and 4 may forward.
+        let forwarded = s.forward_devices_at(10, 70_000);
+        let set: BTreeSet<DeviceId> = forwarded.into_iter().collect();
+        assert_eq!(set, BTreeSet::from([DeviceId(3), DeviceId(4)]));
+        assert_eq!(s.evicted_total(), 2);
+    }
+
+    #[test]
+    fn admission_sheds_a_burst_deterministically() {
+        let make = || {
+            let mut s = Selector::new(PaceSteering::new(60_000, 100), 500, 3)
+                .with_admission(AdmissionConfig {
+                    accepts_per_sec: 10.0,
+                    burst: 5,
+                    max_inflight: 50,
+                });
+            s.set_quota(1_000);
+            s
+        };
+        let mut s = make();
+        let decisions: Vec<bool> = (0..100)
+            .map(|i| s.on_checkin(DeviceId(i), 0, 1.0) == CheckinDecision::Accept)
+            .collect();
+        // Exactly the burst is admitted; the rest shed.
+        assert_eq!(decisions.iter().filter(|&&a| a).count(), 5);
+        assert_eq!(s.shed_total(), 95);
+        assert_eq!(s.counters().1, 95);
+        // Determinism: a fresh selector replays the same decisions.
+        let mut s2 = make();
+        let replay: Vec<bool> = (0..100)
+            .map(|i| s2.on_checkin(DeviceId(i), 0, 1.0) == CheckinDecision::Accept)
+            .collect();
+        assert_eq!(decisions, replay);
+    }
+
+    #[test]
+    fn queue_bound_holds_even_with_tokens() {
+        let mut s = Selector::new(PaceSteering::new(60_000, 100), 500, 3)
+            .with_admission(AdmissionConfig {
+                accepts_per_sec: 1_000.0,
+                burst: 1_000,
+                max_inflight: 4,
+            });
+        s.set_quota(1_000);
+        for i in 0..50 {
+            s.on_checkin(DeviceId(i), 0, 1.0);
+        }
+        assert_eq!(s.connected_count(), 4);
+        let (_, queue_sheds) = s
+            .admission_controller()
+            .expect("admission enabled")
+            .shed_totals();
+        assert_eq!(queue_sheds, 46);
+    }
+
+    #[test]
+    fn shed_retry_suggestions_stretch_under_load() {
+        // Closed loop end to end: sustained overload inflates the
+        // population estimate, so later rejects are pushed further out.
+        let mut s = Selector::new(PaceSteering::new(1_000, 10), 100, 5)
+            .with_admission(AdmissionConfig {
+                accepts_per_sec: 5.0,
+                burst: 5,
+                max_inflight: 10,
+            });
+        s.set_quota(1_000);
+        let mut early_max = 0;
+        let mut late_max = 0;
+        for i in 0..5_000u64 {
+            let now = i * 2; // 500 arrivals/s against a 5/s accept cap
+            if let CheckinDecision::Reject { retry_at_ms } = s.on_checkin(DeviceId(i), now, 1.0) {
+                let delay = retry_at_ms - now;
+                if i < 100 {
+                    early_max = early_max.max(delay);
+                } else if i >= 4_900 {
+                    late_max = late_max.max(delay);
+                }
+            }
+        }
+        assert!(
+            late_max > early_max * 4,
+            "no back pressure: early {early_max} ms vs late {late_max} ms"
+        );
+        assert!(s.pace_controller().population_estimate() > 1_000);
     }
 }

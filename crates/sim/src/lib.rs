@@ -12,6 +12,9 @@
 //! * [`des`] — the virtual-clock event queue,
 //! * [`chaos`] — seeded, replayable fault injection against the real
 //!   server stack, auditing the Sec. 4.2/4.4 recovery guarantees,
+//! * [`overload`] — flash-crowd / thundering-herd / diurnal-ramp stress
+//!   scenarios auditing the Sec. 2.3 flow-control loop (admission
+//!   shedding, closed-loop pace steering, device retry budgets),
 //! * [`fleet`] — the fleet-dynamics scenario driving the real
 //!   `fl-server` round state machines with tens of thousands of simulated
 //!   devices over simulated days (regenerates Figs. 5–9 and Table 1),
@@ -25,11 +28,13 @@ pub mod chaos;
 pub mod des;
 pub mod fleet;
 pub mod network;
+pub mod overload;
 pub mod training;
 
 pub use availability::DiurnalAvailability;
 pub use chaos::{ChaosConfig, ChaosReport, Fault, FaultPlan};
 pub use fleet::{FleetConfig, FleetReport};
+pub use overload::{OverloadConfig, OverloadReport, OverloadScenario};
 pub use training::{TrainingRunConfig, TrainingRunReport};
 
 /// Milliseconds per hour, used throughout the simulator.

@@ -1,0 +1,791 @@
+//! Overload scenarios: flash crowds, thundering herds, diurnal ramps.
+//!
+//! The paper's flow-control story (Sec. 2.3) is a *closed loop*: pace
+//! steering spreads device check-ins, Selectors shed what still gets
+//! through faster than capacity, and devices cooperate with jittered
+//! backoff and retry budgets. This module stress-tests that loop end to
+//! end with the real production code paths — the real [`Selector`] (with
+//! admission control, staleness eviction, and the closed-loop
+//! `PaceController`), the real [`RoundState`] machine, and the real
+//! device-side [`ConnectivityManager`] — under the arrival patterns that
+//! break naive systems:
+//!
+//! * **thundering herd** — the entire idle fleet wakes and reconnects at
+//!   the same instant (network outage recovery, synchronized alarms);
+//! * **flash crowd** — the population steps up 10× in one check-in period
+//!   (a feature launch);
+//! * **diurnal ramp** — sinusoidal arrival modulation (Fig. 5's day/night
+//!   swing) exercising the activity-factor path.
+//!
+//! Each run audits the overload invariants: the Selector's held-connection
+//! queue never exceeds its configured bound, the shed rate converges back
+//! to steady state within a few pace windows of the disturbance, and every
+//! round that starts reaches a terminal committed/abandoned state — no
+//! wedged rounds, however hard the storm. Reports render byte-identically
+//! per seed (the chaos-harness idiom), so a failing seed is a replayable
+//! bug report.
+
+use crate::des::EventQueue;
+use fl_analytics::overload::{OverloadMetrics, OverloadMonitorConfig};
+use fl_core::round::{RoundConfig, RoundOutcome};
+use fl_core::{DeviceId, RetryPolicy, RoundId};
+use fl_device::connectivity::{ConnectivityManager, RetryDecision};
+use fl_ml::rng;
+use fl_server::pace::PaceSteering;
+use fl_server::round::{CheckinResponse, Phase, RoundEvent, RoundState};
+use fl_server::selector::{CheckinDecision, Selector};
+use fl_server::shedding::AdmissionConfig;
+use rand::Rng;
+
+/// The arrival disturbance to inject.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OverloadScenario {
+    /// Every idle device reconnects at the same instant (probability
+    /// `fraction` per device) — synchronized wake.
+    ThunderingHerd {
+        /// When the herd fires.
+        at_ms: u64,
+        /// Fraction of idle devices that join the herd (`0.0..=1.0`).
+        fraction: f64,
+    },
+    /// The population steps from `devices` to `multiplier × devices`; the
+    /// newcomers arrive unpaced within one check-in period of `at_ms`.
+    FlashCrowd {
+        /// When the step happens.
+        at_ms: u64,
+        /// Population multiplier (the acceptance scenario uses 10).
+        multiplier: u64,
+    },
+    /// Sinusoidal arrival-rate modulation with the given period and
+    /// relative amplitude (`0.0..1.0`) — the diurnal day/night swing.
+    DiurnalRamp {
+        /// Oscillation period.
+        period_ms: u64,
+        /// Relative amplitude of the swing.
+        amplitude: f64,
+    },
+}
+
+impl OverloadScenario {
+    /// When the disturbance begins (0 for the ramp, which is continuous).
+    pub fn onset_ms(&self) -> u64 {
+        match *self {
+            OverloadScenario::ThunderingHerd { at_ms, .. } => at_ms,
+            OverloadScenario::FlashCrowd { at_ms, .. } => at_ms,
+            OverloadScenario::DiurnalRamp { .. } => 0,
+        }
+    }
+
+    /// Short name used in rendered reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OverloadScenario::ThunderingHerd { .. } => "thundering-herd",
+            OverloadScenario::FlashCrowd { .. } => "flash-crowd",
+            OverloadScenario::DiurnalRamp { .. } => "diurnal-ramp",
+        }
+    }
+
+    /// Whether shed-rate convergence after onset is a meaningful check
+    /// (not for the ramp, whose disturbance never ends).
+    fn expects_convergence(&self) -> bool {
+        !matches!(self, OverloadScenario::DiurnalRamp { .. })
+    }
+}
+
+/// Overload-simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadConfig {
+    /// Baseline population size.
+    pub devices: u64,
+    /// Simulated duration (ms).
+    pub horizon_ms: u64,
+    /// Round configuration.
+    pub round: RoundConfig,
+    /// Selector admission control (token bucket + queue bound).
+    pub admission: AdmissionConfig,
+    /// Selector staleness TTL for held connections (ms).
+    pub stale_after_ms: u64,
+    /// Device retry discipline.
+    pub retry: RetryPolicy,
+    /// Pace-steering rendezvous period = metric window width (ms).
+    pub window_ms: u64,
+    /// How often the Coordinator asks the Selector to forward devices.
+    pub forward_period_ms: u64,
+    /// The disturbance.
+    pub scenario: OverloadScenario,
+    /// Master seed.
+    pub seed: u64,
+    /// Windows allowed between onset and shed-rate convergence.
+    pub convergence_budget_windows: u64,
+}
+
+impl OverloadConfig {
+    /// A calibrated default for the given scenario and seed: 8 000
+    /// baseline devices (large enough that a 40-window horizon never
+    /// drains the pool), 60 s pace windows, and a disturbance at
+    /// window 10.
+    pub fn for_scenario(scenario: OverloadScenario, seed: u64) -> Self {
+        OverloadConfig {
+            devices: 8_000,
+            horizon_ms: 40 * 60_000,
+            round: RoundConfig {
+                goal_count: 100,
+                overselection: 1.3,
+                min_goal_fraction: 0.6,
+                selection_timeout_ms: 60_000,
+                report_window_ms: 60_000,
+                device_cap_ms: 60_000,
+            },
+            admission: AdmissionConfig {
+                accepts_per_sec: 50.0,
+                burst: 200,
+                max_inflight: 400,
+            },
+            stale_after_ms: 180_000,
+            retry: RetryPolicy {
+                base_delay_ms: 30_000,
+                multiplier: 2.0,
+                max_delay_ms: 600_000,
+                jitter_frac: 0.5,
+                budget_per_window: 30,
+                budget_window_ms: 600_000,
+            },
+            window_ms: 60_000,
+            forward_period_ms: 15_000,
+            scenario,
+            seed,
+            convergence_budget_windows: 5,
+        }
+    }
+
+    /// The thundering-herd acceptance scenario: the whole idle fleet —
+    /// more than 10× a window's normal arrivals — reconnects at once at
+    /// window 10.
+    pub fn thundering_herd(seed: u64) -> Self {
+        OverloadConfig::for_scenario(
+            OverloadScenario::ThunderingHerd {
+                at_ms: 600_000,
+                fraction: 1.0,
+            },
+            seed,
+        )
+    }
+
+    /// The flash-crowd acceptance scenario: a 10× population step at
+    /// window 10.
+    pub fn flash_crowd(seed: u64) -> Self {
+        OverloadConfig::for_scenario(
+            OverloadScenario::FlashCrowd {
+                at_ms: 600_000,
+                multiplier: 10,
+            },
+            seed,
+        )
+    }
+
+    /// The diurnal-ramp scenario: a full swing over a 20-window period.
+    pub fn diurnal_ramp(seed: u64) -> Self {
+        OverloadConfig::for_scenario(
+            OverloadScenario::DiurnalRamp {
+                period_ms: 20 * 60_000,
+                amplitude: 0.6,
+            },
+            seed,
+        )
+    }
+
+    /// Total device slots including any flash-crowd newcomers.
+    fn total_devices(&self) -> u64 {
+        match self.scenario {
+            OverloadScenario::FlashCrowd { multiplier, .. } => {
+                self.devices * multiplier.max(1)
+            }
+            _ => self.devices,
+        }
+    }
+}
+
+/// Outcome of one overload run: load counters, the queue/convergence
+/// audit, and per-window shed fractions.
+#[derive(Debug, Clone)]
+pub struct OverloadReport {
+    /// The master seed.
+    pub seed: u64,
+    /// Scenario short name.
+    pub scenario: &'static str,
+    /// Check-ins offered to the Selector (accepted + rejected).
+    pub offered: u64,
+    /// Check-ins accepted into the held-connection queue.
+    pub accepted: u64,
+    /// Check-ins shed by the admission controller.
+    pub shed: u64,
+    /// Check-ins rejected by quota/duplicate checks (not shed).
+    pub rejected_other: u64,
+    /// Device-side retry attempts recorded.
+    pub retries: u64,
+    /// Devices that exhausted a retry-budget window at least once.
+    pub budget_exhaustions: u64,
+    /// Stale held connections evicted.
+    pub evicted: u64,
+    /// Deepest the held-connection queue ever got.
+    pub max_queue_depth: usize,
+    /// The configured queue bound it must stay under.
+    pub queue_bound: usize,
+    /// Shed fraction per closed pace window.
+    pub shed_fraction_per_window: Vec<f64>,
+    /// Windows from onset until the shed rate converged to its steady
+    /// state (`None` = never converged).
+    pub convergence_windows: Option<u64>,
+    /// Rounds begun.
+    pub rounds_started: u64,
+    /// Rounds that reached a terminal state.
+    pub rounds_terminal: u64,
+    /// Rounds committed.
+    pub committed: u64,
+    /// Rounds abandoned (cleanly).
+    pub abandoned: u64,
+    /// The closed-loop population estimate at the end of the run.
+    pub population_estimate_final: u64,
+    /// Monitor alerts raised (deviation + ceiling).
+    pub alerts: usize,
+    /// Overload-invariant violations; empty on a clean run.
+    pub violations: Vec<String>,
+}
+
+impl OverloadReport {
+    /// Whether every overload invariant held.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Canonical text form — byte-identical across replays of one seed.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "seed={} scenario={}\n\
+             offered={} accepted={} shed={} rejected_other={}\n\
+             retries={} budget_exhaustions={} evicted={}\n\
+             max_queue_depth={} queue_bound={}\n\
+             rounds_started={} rounds_terminal={} committed={} abandoned={}\n\
+             population_estimate_final={} alerts={}\n\
+             convergence_windows={}\n",
+            self.seed,
+            self.scenario,
+            self.offered,
+            self.accepted,
+            self.shed,
+            self.rejected_other,
+            self.retries,
+            self.budget_exhaustions,
+            self.evicted,
+            self.max_queue_depth,
+            self.queue_bound,
+            self.rounds_started,
+            self.rounds_terminal,
+            self.committed,
+            self.abandoned,
+            self.population_estimate_final,
+            self.alerts,
+            match self.convergence_windows {
+                Some(w) => w.to_string(),
+                None => "never".into(),
+            },
+        );
+        out.push_str("shed_fractions=");
+        for (i, f) in self.shed_fraction_per_window.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&format!("{f:.3}"));
+        }
+        out.push('\n');
+        out.push_str(&format!("violations={}\n", self.violations.len()));
+        for v in &self.violations {
+            out.push_str("violation: ");
+            out.push_str(v);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The fixed seed set swept by `scripts/check.sh` and the tier-1 overload
+/// tests.
+pub fn default_seeds() -> Vec<u64> {
+    vec![3, 17, 29, 53]
+}
+
+/// Runs [`run_overload`] for one scenario constructor over a seed set.
+pub fn sweep(seeds: &[u64], make: impl Fn(u64) -> OverloadConfig) -> Vec<OverloadReport> {
+    seeds.iter().map(|&s| run_overload(&make(s))).collect()
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A device wakes and attempts a check-in (stale generations are
+    /// dropped, so at most one wake chain per device is live).
+    Checkin { device: u64, gen: u32 },
+    /// The Coordinator instructs the Selector to forward devices.
+    Forward,
+    /// A selected device finishes training + upload.
+    Report { device: u64, round_seq: u64 },
+    /// Round phase timeout check.
+    RoundTick { round_seq: u64 },
+    /// Per-window queue-depth sampling.
+    WindowSample,
+    /// The thundering herd fires.
+    HerdWake,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DevPhase {
+    /// Not connected; a wake event is (usually) pending.
+    Idle,
+    /// Held in the Selector's connected queue.
+    Held,
+    /// Forwarded into the active round; awaiting report.
+    InRound,
+}
+
+struct Device {
+    mgr: ConnectivityManager,
+    phase: DevPhase,
+    /// Wake-chain generation: a `Checkin` event whose `gen` does not match
+    /// is stale (superseded by a later schedule) and is dropped.
+    gen: u32,
+    /// Whether this device exists yet (flash-crowd newcomers start dark).
+    active: bool,
+}
+
+struct ActiveRound {
+    seq: u64,
+    state: RoundState,
+    /// When selection opens: rounds are aligned to pace-window boundaries
+    /// so steady-state consumption matches the pace target (the paper's
+    /// rendezvous cadence), instead of free-running as fast as devices
+    /// can report.
+    open_at_ms: u64,
+    /// Devices forwarded into the round before Configuration fired.
+    pending: Vec<u64>,
+}
+
+fn scenario_activity(scenario: &OverloadScenario, now_ms: u64) -> f64 {
+    match *scenario {
+        OverloadScenario::DiurnalRamp { period_ms, amplitude } => {
+            let phase = now_ms as f64 / period_ms as f64 * std::f64::consts::TAU;
+            1.0 + amplitude * phase.sin()
+        }
+        _ => 1.0,
+    }
+}
+
+/// Drives one seeded overload scenario against the real Selector/round
+/// stack and audits the overload invariants. See the module docs.
+pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
+    let total = config.total_devices();
+    let target = (config.round.selection_target() as u64).max(1);
+    let pace = PaceSteering::new(config.window_ms, target);
+    let mut selector = Selector::new(pace, config.devices, config.seed ^ 0x5E1)
+        .with_admission(config.admission)
+        .with_staleness(config.stale_after_ms);
+    selector.set_quota(config.admission.max_inflight);
+
+    let mut rng = rng::seeded(config.seed ^ 0x0E7);
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let mut metrics = OverloadMetrics::new(
+        OverloadMonitorConfig {
+            bucket_ms: config.window_ms,
+            ..OverloadMonitorConfig::default()
+        },
+        0,
+    );
+
+    let mut devices: Vec<Device> = (0..total)
+        .map(|i| Device {
+            mgr: ConnectivityManager::new(config.retry),
+            phase: DevPhase::Idle,
+            gen: 0,
+            active: i < config.devices,
+        })
+        .collect();
+
+    // Bootstrap: the baseline fleet is already paced — first wakes spread
+    // over the steady-state reconnect horizon.
+    let spread = ((config.devices as f64 / target as f64).max(1.0)
+        * config.window_ms as f64) as u64;
+    for d in 0..config.devices {
+        let at = rng.random_range(0..spread.max(1));
+        devices[d as usize].gen += 1;
+        let gen = devices[d as usize].gen;
+        queue.schedule_at(at, Event::Checkin { device: d, gen });
+    }
+    match config.scenario {
+        OverloadScenario::ThunderingHerd { at_ms, .. } => {
+            queue.schedule_at(at_ms, Event::HerdWake);
+        }
+        OverloadScenario::FlashCrowd { at_ms, .. } => {
+            // Newcomers arrive unpaced within one window of the step.
+            for d in config.devices..total {
+                let at = at_ms + rng.random_range(0..config.window_ms);
+                devices[d as usize].gen += 1;
+                let gen = devices[d as usize].gen;
+                queue.schedule_at(at, Event::Checkin { device: d, gen });
+            }
+        }
+        OverloadScenario::DiurnalRamp { .. } => {}
+    }
+    queue.schedule_at(config.window_ms, Event::WindowSample);
+    queue.schedule_at(config.forward_period_ms, Event::Forward);
+
+    let mut round_seq: u64 = 0;
+    let mut rounds_started: u64 = 1;
+    let mut active = ActiveRound {
+        seq: 0,
+        state: RoundState::begin(RoundId(1), config.round, 0),
+        open_at_ms: 0,
+        pending: Vec::new(),
+    };
+    queue.schedule_at(config.round.selection_timeout_ms, Event::RoundTick { round_seq: 0 });
+
+    let mut rounds_terminal: u64 = 0;
+    let mut committed: u64 = 0;
+    let mut abandoned: u64 = 0;
+    let mut max_queue_depth: usize = 0;
+    let mut devices_exhausted: u64 = 0;
+    let mut violations: Vec<String> = Vec::new();
+
+    // Schedules the next wake of a device's chain, superseding any
+    // previous one.
+    macro_rules! schedule_wake {
+        ($dev:expr, $at:expr) => {{
+            let d = &mut devices[$dev as usize];
+            d.gen += 1;
+            let gen = d.gen;
+            queue.schedule_at($at, Event::Checkin { device: $dev, gen });
+        }};
+    }
+
+    // Routes a rejection through the device's retry discipline and
+    // schedules the resulting wake.
+    macro_rules! handle_rejection {
+        ($dev:expr, $now:expr, $server_at:expr) => {{
+            metrics.record_retry($now);
+            let decision =
+                devices[$dev as usize]
+                    .mgr
+                    .on_rejected($now, $server_at, &mut rng);
+            if let RetryDecision::BudgetExhausted { .. } = decision {
+                if devices[$dev as usize].mgr.budget_exhaustions_total() == 1 {
+                    devices_exhausted += 1;
+                }
+            }
+            schedule_wake!($dev, decision.effective_at_ms());
+        }};
+    }
+
+    while let Some((now, event)) = queue.next_before(config.horizon_ms) {
+        match event {
+            Event::Checkin { device, gen } => {
+                if devices[device as usize].gen != gen
+                    || devices[device as usize].phase == DevPhase::InRound
+                    || !devices[device as usize].active
+                {
+                    continue;
+                }
+                devices[device as usize].phase = DevPhase::Idle;
+                let activity = scenario_activity(&config.scenario, now);
+                let shed_before = selector.shed_total();
+                match selector.on_checkin(DeviceId(device), now, activity) {
+                    CheckinDecision::Accept => {
+                        metrics.record_accept(now);
+                        devices[device as usize].phase = DevPhase::Held;
+                        devices[device as usize].mgr.on_success(now);
+                        max_queue_depth = max_queue_depth.max(selector.connected_count());
+                        // Fallback wake: if never forwarded, the held slot
+                        // goes stale and the device retries.
+                        let jitter = rng.random_range(0..config.window_ms.max(1));
+                        schedule_wake!(device, now + config.stale_after_ms + jitter);
+                    }
+                    CheckinDecision::Reject { retry_at_ms } => {
+                        if selector.shed_total() > shed_before {
+                            metrics.record_shed(now);
+                        }
+                        handle_rejection!(device, now, Some(retry_at_ms));
+                    }
+                }
+            }
+            Event::Forward => {
+                if active.state.phase() == Phase::Selection && now >= active.open_at_ms {
+                    let have = active.pending.len() as u64;
+                    let need = target.saturating_sub(have) as usize;
+                    if need > 0 {
+                        for d in selector.forward_devices_at(need, now) {
+                            match active.state.on_checkin(d, now) {
+                                CheckinResponse::Selected => {
+                                    devices[d.0 as usize].phase = DevPhase::InRound;
+                                    active.pending.push(d.0);
+                                }
+                                CheckinResponse::AlreadySelected => {}
+                                CheckinResponse::NotSelecting => {
+                                    devices[d.0 as usize].phase = DevPhase::Idle;
+                                    handle_rejection!(d.0, now, None);
+                                }
+                            }
+                        }
+                    }
+                }
+                if now + config.forward_period_ms <= config.horizon_ms {
+                    queue.schedule_in(config.forward_period_ms, Event::Forward);
+                }
+            }
+            Event::Report { device, round_seq: seq } => {
+                devices[device as usize].phase = DevPhase::Idle;
+                devices[device as usize].mgr.on_success(now);
+                if seq == active.seq {
+                    let _ = active.state.on_report(DeviceId(device), now);
+                }
+                // The next natural participation is the device's periodic
+                // FL job, a population-scaled horizon away (Sec. 3: jobs
+                // fire when idle, charging, unmetered — hours apart), not
+                // a tight re-poll loop that would double-count the device
+                // in the arrival stream.
+                let natural = ((config.devices as f64 / target as f64).max(1.0)
+                    * config.window_ms as f64) as u64;
+                let jitter = rng.random_range(0..natural.max(1));
+                schedule_wake!(device, now + natural + jitter);
+            }
+            Event::RoundTick { round_seq: seq } => {
+                if seq == active.seq {
+                    active.state.on_tick(now);
+                    match active.state.phase() {
+                        Phase::Reporting => queue.schedule_in(
+                            config.round.report_window_ms.min(10_000),
+                            Event::RoundTick { round_seq: seq },
+                        ),
+                        Phase::Selection => queue.schedule_in(
+                            config.round.selection_timeout_ms,
+                            Event::RoundTick { round_seq: seq },
+                        ),
+                        _ => {}
+                    }
+                }
+            }
+            Event::WindowSample => {
+                selector.evict_stale(now);
+                let depth = selector.connected_count();
+                max_queue_depth = max_queue_depth.max(depth);
+                if now + config.window_ms <= config.horizon_ms {
+                    queue.schedule_in(config.window_ms, Event::WindowSample);
+                }
+            }
+            Event::HerdWake => {
+                if let OverloadScenario::ThunderingHerd { fraction, .. } = config.scenario {
+                    for d in 0..total {
+                        if devices[d as usize].active
+                            && devices[d as usize].phase == DevPhase::Idle
+                            && rng.random_range(0..1_000_000u64) < (fraction * 1e6) as u64
+                        {
+                            schedule_wake!(d, now);
+                        }
+                    }
+                }
+            }
+        }
+
+        for round_event in active.state.drain_events() {
+            match round_event {
+                RoundEvent::Configured { at_ms, .. } => {
+                    // Every participant trains, then uploads within the
+                    // device cap.
+                    for d in active.pending.drain(..) {
+                        let latency = 10_000 + rng.random_range(0..30_000u64);
+                        queue.schedule_at(
+                            at_ms + latency,
+                            Event::Report { device: d, round_seq: active.seq },
+                        );
+                    }
+                    queue.schedule_in(10_000, Event::RoundTick { round_seq: active.seq });
+                }
+                RoundEvent::Finished { at_ms, outcome } => {
+                    rounds_terminal += 1;
+                    if outcome.is_committed() {
+                        committed += 1;
+                    } else {
+                        abandoned += 1;
+                    }
+                    if let RoundOutcome::AbandonedInSelection { .. } = outcome {
+                        // Forwarded-but-unconfigured devices retry.
+                        let orphans: Vec<u64> = active.pending.drain(..).collect();
+                        for d in orphans {
+                            devices[d as usize].phase = DevPhase::Idle;
+                            handle_rejection!(d, at_ms, None);
+                        }
+                    }
+                    round_seq += 1;
+                    rounds_started += 1;
+                    // Next round opens at the next pace-window boundary.
+                    let open_at = (at_ms / config.window_ms + 1) * config.window_ms;
+                    active = ActiveRound {
+                        seq: round_seq,
+                        state: RoundState::begin(RoundId(round_seq + 1), config.round, open_at),
+                        open_at_ms: open_at,
+                        pending: Vec::new(),
+                    };
+                    queue.schedule_at(
+                        open_at + config.round.selection_timeout_ms,
+                        Event::RoundTick { round_seq },
+                    );
+                }
+            }
+        }
+    }
+
+    // Post-horizon drain: the last round must still reach a terminal
+    // state — ticking past every window forces the state machine to
+    // resolve (commit on what it has, or abandon cleanly).
+    let mut drain_t = config.horizon_ms;
+    for _ in 0..4 {
+        if matches!(active.state.phase(), Phase::Committed | Phase::Abandoned) {
+            break;
+        }
+        drain_t += config.round.selection_timeout_ms
+            + config.round.report_window_ms
+            + config.round.device_cap_ms
+            + 1;
+        active.state.on_tick(drain_t);
+        for round_event in active.state.drain_events() {
+            if let RoundEvent::Finished { outcome, .. } = round_event {
+                rounds_terminal += 1;
+                if outcome.is_committed() {
+                    committed += 1;
+                } else {
+                    abandoned += 1;
+                }
+            }
+        }
+    }
+
+    metrics.finalize(config.horizon_ms);
+
+    let (accepted, rejected) = selector.counters();
+    let shed = selector.shed_total();
+    let fractions = metrics.shed_fractions().to_vec();
+    let onset_window = (config.scenario.onset_ms() / config.window_ms) as usize;
+    let convergence_windows = shed_convergence(&fractions, onset_window, 0.15);
+
+    if max_queue_depth > config.admission.max_inflight {
+        violations.push(format!(
+            "queue depth {max_queue_depth} exceeded bound {}",
+            config.admission.max_inflight
+        ));
+    }
+    if config.scenario.expects_convergence() {
+        match convergence_windows {
+            Some(w) if w <= config.convergence_budget_windows => {}
+            Some(w) => violations.push(format!(
+                "shed rate took {w} windows to converge (budget {})",
+                config.convergence_budget_windows
+            )),
+            None => violations.push("shed rate never converged".into()),
+        }
+    }
+    if rounds_terminal != rounds_started {
+        violations.push(format!(
+            "{} of {} started rounds never reached a terminal state",
+            rounds_started - rounds_terminal.min(rounds_started),
+            rounds_started
+        ));
+    }
+    if committed == 0 {
+        violations.push("no round committed under overload".into());
+    }
+
+    let retries: u64 = devices.iter().map(|d| d.mgr.retries_total()).sum();
+
+    OverloadReport {
+        seed: config.seed,
+        scenario: config.scenario.name(),
+        offered: accepted + rejected,
+        accepted,
+        shed,
+        rejected_other: rejected - shed,
+        retries,
+        budget_exhaustions: devices_exhausted,
+        evicted: selector.evicted_total(),
+        max_queue_depth,
+        queue_bound: config.admission.max_inflight,
+        shed_fraction_per_window: fractions,
+        convergence_windows,
+        rounds_started,
+        rounds_terminal,
+        committed,
+        abandoned,
+        population_estimate_final: selector.pace_controller().population_estimate(),
+        alerts: metrics.alerts().len(),
+        violations,
+    }
+}
+
+/// Windows from `onset_window` until the shed-fraction series settles: the
+/// first window from which every later window stays within `tol` of the
+/// final steady level (mean of the last three windows).
+fn shed_convergence(fractions: &[f64], onset_window: usize, tol: f64) -> Option<u64> {
+    if fractions.len() < onset_window + 4 {
+        return None;
+    }
+    let tail = &fractions[fractions.len() - 3..];
+    let steady = tail.iter().sum::<f64>() / tail.len() as f64;
+    for w in onset_window..fractions.len() {
+        if fractions[w..].iter().all(|f| (f - steady).abs() <= tol) {
+            return Some((w - onset_window) as u64);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thundering_herd_holds_the_invariants() {
+        let report = run_overload(&OverloadConfig::thundering_herd(3));
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(report.max_queue_depth <= report.queue_bound);
+        assert!(report.shed > 0, "a herd must actually shed:\n{}", report.render());
+        assert!(report.committed >= 3, "{}", report.render());
+    }
+
+    #[test]
+    fn flash_crowd_tracks_the_population_step() {
+        let report = run_overload(&OverloadConfig::flash_crowd(17));
+        assert!(report.is_clean(), "{}", report.render());
+        // The closed loop must have noticed the 10× step: the estimate
+        // ends far above the baseline 8 000.
+        assert!(
+            report.population_estimate_final > 20_000,
+            "estimate stuck at {}:\n{}",
+            report.population_estimate_final,
+            report.render()
+        );
+    }
+
+    #[test]
+    fn diurnal_ramp_never_wedges() {
+        let report = run_overload(&OverloadConfig::diurnal_ramp(29));
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.rounds_started, report.rounds_terminal);
+    }
+
+    #[test]
+    fn replay_is_byte_identical() {
+        let a = run_overload(&OverloadConfig::thundering_herd(53)).render();
+        let b = run_overload(&OverloadConfig::thundering_herd(53)).render();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn herd_trips_the_monitors() {
+        let report = run_overload(&OverloadConfig::thundering_herd(3));
+        assert!(report.alerts > 0, "herd raised no alerts:\n{}", report.render());
+    }
+}

@@ -16,4 +16,21 @@ cargo run -q -p fl-lint
 echo "==> chaos sweep (fixed seeds)"
 cargo test -q --test chaos_sweep
 
+echo "==> overload sweep (fixed seeds, byte-identical replays)"
+cargo test -q --test overload_sweep
+
+echo "==> wall-clock allowlist audit"
+# Every `fl-lint: allow(wall-clock)` escape must be accounted for in
+# scripts/wall_clock_allowlist.txt (count per file). A new live-clock
+# site needs review — update the allowlist in the same change.
+mkdir -p target
+grep -rc --include='*.rs' 'fl-lint: allow(wall-clock)' crates \
+  | awk -F: '$2 > 0 {print $2, $1}' | sort -k2 \
+  > target/wall_clock_allows.txt
+if ! diff -u scripts/wall_clock_allowlist.txt target/wall_clock_allows.txt; then
+  echo "wall-clock allowlist drift: review the new live-clock sites and" >&2
+  echo "update scripts/wall_clock_allowlist.txt in the same change" >&2
+  exit 1
+fi
+
 echo "release gate: all checks passed"
