@@ -127,6 +127,18 @@ impl<M: Send + 'static> Context<M> {
     pub fn system(&self) -> &crate::system::ActorSystem {
         &self.system
     }
+
+    /// Spawns a child actor named `"{parent}/{name}"`, making the
+    /// supervision tree legible in obituaries: a Master Aggregator named
+    /// `coordinator/master-r3` spawns shards `coordinator/master-r3/agg-0`
+    /// and so on. The child runs on its own thread like any other actor;
+    /// "child" is purely a naming/lifecycle convention — when the parent
+    /// drops the returned reference (including by dying), the child's
+    /// mailbox closes and it drains to a normal stop.
+    pub fn spawn_child<A: Actor>(&self, name: impl AsRef<str>, actor: A) -> ActorRef<A::Msg> {
+        let child_name = format!("{}/{}", self.name, name.as_ref());
+        self.system.spawn(child_name, actor)
+    }
 }
 
 #[cfg(test)]

@@ -376,6 +376,31 @@ mod tests {
         assert_eq!(total.load(Ordering::SeqCst), 42);
     }
 
+    struct ChildSpawner;
+    impl Actor for ChildSpawner {
+        type Msg = Arc<AtomicU64>;
+        fn handle(&mut self, total: Arc<AtomicU64>, ctx: &mut Context<Self::Msg>) -> Flow {
+            let child = ctx.spawn_child("worker", Adder { total });
+            child.send(9).unwrap();
+            child.send(0).unwrap();
+            Flow::Stop
+        }
+    }
+
+    #[test]
+    fn spawn_child_nests_the_obituary_name() {
+        let system = ActorSystem::new();
+        let total = Arc::new(AtomicU64::new(0));
+        let r = system.spawn("parent", ChildSpawner);
+        r.send(total.clone()).unwrap();
+        drop(r);
+        system.join();
+        assert_eq!(total.load(Ordering::SeqCst), 9);
+        let names: Vec<String> = system.deaths().try_iter().map(|o| o.name).collect();
+        assert!(names.contains(&"parent".to_string()), "{names:?}");
+        assert!(names.contains(&"parent/worker".to_string()), "{names:?}");
+    }
+
     #[test]
     fn every_subscriber_sees_every_obituary() {
         let system = ActorSystem::new();

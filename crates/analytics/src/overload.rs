@@ -48,6 +48,7 @@ pub struct OverloadMetrics {
     accepts: TimeSeries,
     sheds: TimeSeries,
     retries: TimeSeries,
+    evictions: TimeSeries,
     monitor: DeviationMonitor,
     /// Index of the bucket currently accumulating.
     open_bucket: usize,
@@ -67,6 +68,7 @@ impl OverloadMetrics {
             accepts: TimeSeries::new("selector.accepts", config.bucket_ms, origin_ms),
             sheds: TimeSeries::new("selector.sheds", config.bucket_ms, origin_ms),
             retries: TimeSeries::new("device.retries", config.bucket_ms, origin_ms),
+            evictions: TimeSeries::new("selector.evictions", config.bucket_ms, origin_ms),
             monitor: DeviationMonitor::new(
                 "selector.shed_fraction",
                 config.baseline_window,
@@ -138,6 +140,14 @@ impl OverloadMetrics {
         self.retries.increment(now_ms);
     }
 
+    /// Records a stale held connection evicted by a Selector. Evictions
+    /// are capacity reclaimed from ghosts, not load turned away, so they
+    /// feed their own series and not the shed-fraction monitors.
+    pub fn record_evict(&mut self, now_ms: u64) {
+        self.roll(now_ms);
+        self.evictions.increment(now_ms);
+    }
+
     /// Closes every fully-elapsed bucket as of `now_ms` (end of run /
     /// dashboard flush). The bucket containing `now_ms` stays open — a
     /// partial bucket would read as an artificial lull.
@@ -168,6 +178,11 @@ impl OverloadMetrics {
     /// The device-retries series.
     pub fn retries(&self) -> &TimeSeries {
         &self.retries
+    }
+
+    /// The stale-connection evictions series.
+    pub fn evictions(&self) -> &TimeSeries {
+        &self.evictions
     }
 }
 
@@ -268,5 +283,17 @@ mod tests {
         assert_eq!(m.accepts().sums(), vec![1.0]);
         assert_eq!(m.sheds().sums(), vec![1.0]);
         assert_eq!(m.retries().sums(), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn evictions_do_not_move_the_shed_fraction() {
+        let mut m = OverloadMetrics::new(config(), 0);
+        m.record_accept(0);
+        m.record_evict(10);
+        m.record_evict(20);
+        m.finalize(1_000);
+        assert_eq!(m.evictions().sums(), vec![2.0]);
+        // The only closed bucket saw one accept and no sheds.
+        assert_eq!(m.shed_fractions(), &[0.0]);
     }
 }

@@ -14,6 +14,8 @@
 //! results into a final aggregate for the round, without Secure
 //! Aggregation."
 
+use crossbeam::channel::{unbounded, Sender};
+use fl_actors::{Actor, ActorRef, Context as ActorContext, Flow};
 use fl_core::aggregation::FedAvgAccumulator;
 use fl_core::plan::CodecSpec;
 use fl_core::privacy::DpConfig;
@@ -313,28 +315,286 @@ impl MasterAggregator {
         current_params: &[f32],
         dropouts: &[DeviceId],
     ) -> Result<(Vec<f32>, usize), ShardError> {
-        let mut merged = FedAvgAccumulator::new(self.plan.dim);
-        let mut seed = self.secagg_seed;
-        for shard in self.shards {
-            seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let intermediate = shard.close(dropouts, seed)?;
-            if intermediate.contributors() > 0 {
-                merged.merge(&intermediate).map_err(ShardError::Core)?;
-            }
+        let mut intermediates = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.into_iter().enumerate() {
+            intermediates.push(shard.close(dropouts, shard_seed(self.secagg_seed, i))?);
         }
-        if let Some(dp) = self.plan.dp {
-            // One calibrated Gaussian perturbation of the round's sum.
-            let mut noise_rng = fl_ml::rng::seeded(dp.noise_seed ^ self.secagg_seed);
-            merged.perturb(dp.sigma(), &mut noise_rng);
-        }
-        let contributors = merged.contributors();
-        let params = merged.apply_to(current_params).map_err(ShardError::Core)?;
-        Ok((params, contributors))
+        merge_and_apply(self.plan, self.secagg_seed, intermediates, current_params)
     }
 
     /// The codec used for updates (needed by callers encoding reports).
     pub fn codec(&self) -> CodecSpec {
         self.codec
+    }
+
+    /// Decomposes the master into its parts — `(plan, shards, secagg
+    /// seed)` — for actor-based driving, where each shard runs on its own
+    /// [`AggregatorActor`] thread and the merge happens in the
+    /// [`MasterAggregatorActor`].
+    pub fn into_parts(self) -> (AggregationPlan, Vec<AggregatorShard>, u64) {
+        (self.plan, self.shards, self.secagg_seed)
+    }
+}
+
+/// The SecAgg seed for shard `index` of a master seeded with
+/// `master_seed` (distinct per shard, deterministic per round).
+fn shard_seed(master_seed: u64, index: usize) -> u64 {
+    master_seed.wrapping_add((index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Merges intermediate shard accumulators "without Secure Aggregation",
+/// applies optional DP perturbation, and produces the new global
+/// parameters — the Master Aggregator's final step, shared by the struct
+/// ([`MasterAggregator::finalize`]) and actor
+/// ([`MasterAggregatorActor`]) drivers so both commit identical bytes.
+fn merge_and_apply(
+    plan: AggregationPlan,
+    secagg_seed: u64,
+    intermediates: Vec<FedAvgAccumulator>,
+    current_params: &[f32],
+) -> Result<(Vec<f32>, usize), ShardError> {
+    let mut merged = FedAvgAccumulator::new(plan.dim);
+    for intermediate in intermediates {
+        if intermediate.contributors() > 0 {
+            merged.merge(&intermediate).map_err(ShardError::Core)?;
+        }
+    }
+    if let Some(dp) = plan.dp {
+        // One calibrated Gaussian perturbation of the round's sum.
+        let mut noise_rng = fl_ml::rng::seeded(dp.noise_seed ^ secagg_seed);
+        merged.perturb(dp.sigma(), &mut noise_rng);
+    }
+    let contributors = merged.contributors();
+    let params = merged.apply_to(current_params).map_err(ShardError::Core)?;
+    Ok((params, contributors))
+}
+
+/// Messages handled by one [`AggregatorActor`] shard.
+#[derive(Debug)]
+pub enum ShardMsg {
+    /// One device's encoded report for this shard.
+    Accept {
+        /// The reporting device.
+        device: DeviceId,
+        /// Codec-encoded update bytes.
+        update_bytes: Vec<u8>,
+        /// The device's example count (FedAvg weight).
+        weight: u64,
+    },
+    /// Close the shard: run SecAgg (when enabled) minus `dropouts` and
+    /// reply with the intermediate accumulator. The actor stops after
+    /// replying — shards are ephemeral, they die with the round.
+    Close {
+        /// Devices that dropped out mid-round.
+        dropouts: Vec<DeviceId>,
+        /// Where to deliver the intermediate accumulator.
+        reply: Sender<Result<FedAvgAccumulator, String>>,
+    },
+}
+
+/// One Aggregator of the paper's actor tree (Sec. 4.1/4.2): an ephemeral
+/// actor wrapping an [`AggregatorShard`], spawned by its
+/// [`MasterAggregatorActor`] parent at round start and dead by round end.
+#[derive(Debug)]
+pub struct AggregatorActor {
+    shard: Option<AggregatorShard>,
+    secagg_seed: u64,
+}
+
+impl AggregatorActor {
+    /// Wraps a shard with its per-shard SecAgg seed.
+    pub fn new(shard: AggregatorShard, secagg_seed: u64) -> Self {
+        AggregatorActor {
+            shard: Some(shard),
+            secagg_seed,
+        }
+    }
+}
+
+impl Actor for AggregatorActor {
+    type Msg = ShardMsg;
+
+    fn handle(&mut self, msg: ShardMsg, _ctx: &mut ActorContext<ShardMsg>) -> Flow {
+        match msg {
+            ShardMsg::Accept {
+                device,
+                update_bytes,
+                weight,
+            } => {
+                if let Some(shard) = &mut self.shard {
+                    // A malformed update is dropped at the shard, exactly
+                    // as a decode failure inside one Aggregator loses that
+                    // device's contribution without failing the round.
+                    let _ = shard.accept(device, &update_bytes, weight);
+                }
+                Flow::Continue
+            }
+            ShardMsg::Close { dropouts, reply } => {
+                if let Some(shard) = self.shard.take() {
+                    let result = shard
+                        .close(&dropouts, self.secagg_seed)
+                        .map_err(|e| e.to_string());
+                    let _ = reply.send(result);
+                }
+                Flow::Stop
+            }
+        }
+    }
+}
+
+/// Messages handled by a [`MasterAggregatorActor`].
+#[derive(Debug)]
+pub enum MasterMsg {
+    /// One device's encoded report, routed to the device's shard.
+    Accept {
+        /// The reporting device.
+        device: DeviceId,
+        /// Codec-encoded update bytes.
+        update_bytes: Vec<u8>,
+        /// The device's example count (FedAvg weight).
+        weight: u64,
+    },
+    /// Close every shard, merge the survivors' intermediate sums, apply
+    /// the round's aggregate to `current_params`, and reply. The actor
+    /// (and its shard children) stop afterwards.
+    Finalize {
+        /// The round's starting global parameters.
+        current_params: Vec<f32>,
+        /// Devices that dropped out mid-round.
+        dropouts: Vec<DeviceId>,
+        /// Where to deliver `(new_params, contributors)`.
+        reply: Sender<Result<(Vec<f32>, usize), String>>,
+    },
+    /// The round ended without a commit (abandoned, evaluation-only):
+    /// stop, dropping the shard children so they drain and die.
+    Abort,
+}
+
+/// The Master Aggregator of the paper's actor tree (Sec. 4.1/4.2): an
+/// ephemeral per-round actor that spawns one child [`AggregatorActor`]
+/// per shard ("dynamic decisions to spawn one or more Aggregators to
+/// which work is delegated"), routes device reports to them, and merges
+/// their intermediate results at round end.
+///
+/// Failure semantics (Sec. 4.2): a shard child that crashes mid-round
+/// loses its devices' contributions, but [`MasterMsg::Finalize`] still
+/// merges the surviving shards and the round commits — only protocol
+/// failures inside a surviving shard (e.g. SecAgg below threshold) fail
+/// the round.
+#[derive(Debug)]
+pub struct MasterAggregatorActor {
+    plan: AggregationPlan,
+    secagg_seed: u64,
+    /// Shard structs staged for spawning, drained in `on_start`.
+    staged: Vec<AggregatorShard>,
+    /// Child actor handles, filled by `on_start`. Dropping these (stop or
+    /// death) closes the children's mailboxes, which reaps them.
+    shards: Vec<ActorRef<ShardMsg>>,
+    /// device → shard index (devices stick to one shard — one SecAgg
+    /// instance each).
+    routing: BTreeMap<DeviceId, usize>,
+}
+
+impl MasterAggregatorActor {
+    /// Builds the actor from a detached [`MasterAggregator`]; the shard
+    /// children spawn when the actor starts.
+    pub fn new(master: MasterAggregator) -> Self {
+        let (plan, staged, secagg_seed) = master.into_parts();
+        MasterAggregatorActor {
+            plan,
+            secagg_seed,
+            staged,
+            shards: Vec::new(),
+            routing: BTreeMap::new(),
+        }
+    }
+}
+
+impl Actor for MasterAggregatorActor {
+    type Msg = MasterMsg;
+
+    fn on_start(&mut self, ctx: &mut ActorContext<MasterMsg>) {
+        for (i, shard) in self.staged.drain(..).enumerate() {
+            let child = ctx.spawn_child(
+                format!("agg-{i}"),
+                AggregatorActor::new(shard, shard_seed(self.secagg_seed, i)),
+            );
+            self.shards.push(child);
+        }
+    }
+
+    fn handle(&mut self, msg: MasterMsg, _ctx: &mut ActorContext<MasterMsg>) -> Flow {
+        match msg {
+            MasterMsg::Accept {
+                device,
+                update_bytes,
+                weight,
+            } => {
+                let count = self.shards.len().max(1);
+                let idx = *self
+                    .routing
+                    .entry(device)
+                    .or_insert_with(|| (device.0 % count as u64) as usize);
+                if let Some(shard) = self.shards.get(idx) {
+                    // A dead shard loses this contribution; the round
+                    // continues on the survivors.
+                    let _ = shard.send(ShardMsg::Accept {
+                        device,
+                        update_bytes,
+                        weight,
+                    });
+                }
+                Flow::Continue
+            }
+            MasterMsg::Finalize {
+                current_params,
+                dropouts,
+                reply,
+            } => {
+                let mut pending = Vec::new();
+                for shard in std::mem::take(&mut self.shards) {
+                    let (tx, rx) = unbounded();
+                    // A send error means the shard is already dead: its
+                    // contributions are lost, the merge proceeds without it.
+                    if shard
+                        .send(ShardMsg::Close {
+                            dropouts: dropouts.clone(),
+                            reply: tx,
+                        })
+                        .is_ok()
+                    {
+                        pending.push(rx);
+                    }
+                }
+                let mut intermediates = Vec::with_capacity(pending.len());
+                let mut shard_error = None;
+                for rx in pending {
+                    // If the shard dies before (or while) handling Close,
+                    // its reply sender is dropped and `recv` errors — the
+                    // crashed shard's sum is lost, not the round.
+                    match rx.recv() {
+                        Ok(Ok(acc)) => intermediates.push(acc),
+                        Ok(Err(e)) => shard_error = Some(e),
+                        Err(_) => {}
+                    }
+                }
+                let result = match shard_error {
+                    // A *protocol* failure in a live shard (SecAgg below
+                    // threshold) fails the round, as in the struct driver.
+                    Some(e) => Err(e),
+                    None => merge_and_apply(
+                        self.plan,
+                        self.secagg_seed,
+                        intermediates,
+                        &current_params,
+                    )
+                    .map_err(|e| e.to_string()),
+                };
+                let _ = reply.send(result);
+                Flow::Stop
+            }
+            MasterMsg::Abort => Flow::Stop,
+        }
     }
 }
 
@@ -561,5 +821,101 @@ mod tests {
             1,
         );
         assert!(master.finalize(&[0.0; 4], &[]).is_err());
+    }
+
+    use fl_actors::{ActorSystem, DeathReason, ScriptedFaults};
+
+    fn drive_master_actor(
+        system: &ActorSystem,
+        updates: usize,
+    ) -> Result<(Vec<f32>, usize), String> {
+        let dim = 8;
+        let codec = CodecSpec::Identity;
+        let master = MasterAggregator::new(AggregationPlan::plain(dim, 3), codec, 10, 1);
+        let actor = system.spawn("master", MasterAggregatorActor::new(master));
+        for i in 0..updates as u64 {
+            let update: Vec<f32> = (0..dim).map(|d| (i as f32) * 0.1 + d as f32).collect();
+            actor
+                .send(MasterMsg::Accept {
+                    device: DeviceId(i),
+                    update_bytes: encode(&update, codec),
+                    weight: i + 1,
+                })
+                .unwrap();
+        }
+        let (tx, rx) = unbounded();
+        actor
+            .send(MasterMsg::Finalize {
+                current_params: vec![1.0f32; dim],
+                dropouts: Vec::new(),
+                reply: tx,
+            })
+            .unwrap();
+        let result = rx.recv().unwrap();
+        system.join();
+        result
+    }
+
+    /// The actor tree (master + shard children over real threads) commits
+    /// byte-identical parameters to the struct driver, and every actor in
+    /// the tree dies with the round (observable via obituaries).
+    #[test]
+    fn actor_master_matches_struct_master_and_dies_with_round() {
+        let dim = 8;
+        let codec = CodecSpec::Identity;
+        let mut reference =
+            MasterAggregator::new(AggregationPlan::plain(dim, 3), codec, 10, 1);
+        assert!(reference.shard_count() > 1);
+        for i in 0..10u64 {
+            let update: Vec<f32> = (0..dim).map(|d| (i as f32) * 0.1 + d as f32).collect();
+            reference
+                .accept(DeviceId(i), &encode(&update, codec), i + 1)
+                .unwrap();
+        }
+        let expected = reference
+            .finalize(&vec![1.0f32; dim], &[])
+            .unwrap();
+
+        let system = ActorSystem::new();
+        let (params, n) = drive_master_actor(&system, 10).unwrap();
+        assert_eq!(n, expected.1);
+        assert_eq!(params, expected.0, "actor and struct drivers disagree");
+
+        // The whole ephemeral subtree is dead: master + 4 shards, all
+        // normal deaths.
+        let obits: Vec<_> = system.deaths().try_iter().collect();
+        let names: Vec<&str> = obits.iter().map(|o| o.name.as_str()).collect();
+        assert!(names.contains(&"master"), "{names:?}");
+        for i in 0..4 {
+            let shard = format!("master/agg-{i}");
+            assert!(names.iter().any(|n| **n == shard), "{names:?}");
+        }
+        assert!(obits.iter().all(|o| o.reason == DeathReason::Normal));
+    }
+
+    /// Sec. 4.2: an Aggregator crash loses its devices' contributions but
+    /// the Master still merges the surviving shards and the round commits.
+    #[test]
+    fn shard_crash_loses_its_devices_but_finalize_succeeds() {
+        let system = ActorSystem::new();
+        // Crash shard 1 on its first message: devices routed to it are
+        // lost, the other shards survive.
+        system.install_fault_injector(std::sync::Arc::new(ScriptedFaults::new().with(
+            "master/agg-1",
+            1,
+            fl_actors::FaultAction::Crash,
+        )));
+        let (params, n) = drive_master_actor(&system, 10).unwrap();
+        // 10 devices round-robin over 4 shards: shard 1 owned devices
+        // 1, 5, 9 — the survivors carry the other 7.
+        assert_eq!(n, 7);
+        assert!(params.iter().all(|p| p.is_finite()));
+        let panicked: Vec<_> = system
+            .deaths()
+            .try_iter()
+            .filter(|o| matches!(o.reason, DeathReason::Panicked(_)))
+            .map(|o| o.name)
+            .collect();
+        assert_eq!(panicked, vec!["master/agg-1".to_string()]);
     }
 }

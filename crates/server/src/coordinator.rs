@@ -232,6 +232,7 @@ impl<S: CheckpointStore> Coordinator<S> {
             checkpoint,
             state: RoundState::begin(round_id, task.round, now_ms),
             master: Some(master),
+            external_aggregation: false,
             dropouts: Vec::new(),
             loss_summary: MetricSummary::new("loss"),
             accuracy_summary: MetricSummary::new("accuracy"),
@@ -250,21 +251,77 @@ impl<S: CheckpointStore> Coordinator<S> {
     /// coordinator stays consistent: round ids and metrics are not
     /// advanced, so the next `begin_round` retries from the last
     /// *successfully* committed checkpoint (Sec. 4.2).
-    pub fn complete_round(&mut self, round: ActiveRound) -> Result<fl_core::RoundOutcome, CoreError> {
+    pub fn complete_round(&mut self, mut round: ActiveRound) -> Result<fl_core::RoundOutcome, CoreError> {
         let outcome = round
             .state
             .outcome()
             .ok_or_else(|| CoreError::UnknownTask("round not finished".into()))?;
         // The bandwidth was spent whether or not the commit below lands.
         self.traffic.merge(&round.traffic_delta);
+        let new_params = if outcome.is_committed() && round.task.kind == TaskKind::Training {
+            let master = round.master.take().ok_or_else(|| {
+                CoreError::InvariantViolated("training round has no aggregator".into())
+            })?;
+            let (params, _n) = master
+                .finalize(round.checkpoint.params(), &round.dropouts)
+                .map_err(|e| CoreError::MalformedCheckpoint(e.to_string()))?;
+            Some(params)
+        } else {
+            None
+        };
+        self.commit_finished(round, outcome, new_params)
+    }
+
+    /// [`complete_round`](Coordinator::complete_round) for rounds whose
+    /// aggregation ran *outside* the coordinator — in the live actor tree,
+    /// where a detached [`MasterAggregator`] (see
+    /// [`ActiveRound::detach_master`]) runs as a `MasterAggregatorActor`
+    /// with `AggregatorActor` shard children. `aggregate` is that actor's
+    /// finalize result; it is only required (and only consulted) for
+    /// committed training rounds. The one-write-per-committed-round
+    /// invariant and the storage-failure consistency guarantees are
+    /// identical to the inline path.
+    ///
+    /// # Errors
+    ///
+    /// As [`complete_round`](Coordinator::complete_round); a missing
+    /// aggregate for a committed training round is
+    /// [`CoreError::InvariantViolated`].
+    pub fn complete_round_external(
+        &mut self,
+        round: ActiveRound,
+        aggregate: Option<Result<(Vec<f32>, usize), CoreError>>,
+    ) -> Result<fl_core::RoundOutcome, CoreError> {
+        let outcome = round
+            .state
+            .outcome()
+            .ok_or_else(|| CoreError::UnknownTask("round not finished".into()))?;
+        self.traffic.merge(&round.traffic_delta);
+        let new_params = if outcome.is_committed() && round.task.kind == TaskKind::Training {
+            let (params, _n) = aggregate.ok_or_else(|| {
+                CoreError::InvariantViolated("training round has no aggregate".into())
+            })??;
+            Some(params)
+        } else {
+            None
+        };
+        self.commit_finished(round, outcome, new_params)
+    }
+
+    /// Shared tail of round completion: commits the checkpoint (committed
+    /// training rounds only — exactly one write) and materializes metrics.
+    /// Traffic must already be merged.
+    fn commit_finished(
+        &mut self,
+        round: ActiveRound,
+        outcome: fl_core::RoundOutcome,
+        new_params: Option<Vec<f32>>,
+    ) -> Result<fl_core::RoundOutcome, CoreError> {
         if outcome.is_committed() {
             if round.task.kind == TaskKind::Training {
-                let master = round.master.ok_or_else(|| {
-                    CoreError::InvariantViolated("training round has no aggregator".into())
+                let params = new_params.ok_or_else(|| {
+                    CoreError::InvariantViolated("training round has no aggregate".into())
                 })?;
-                let (params, _n) = master
-                    .finalize(round.checkpoint.params(), &round.dropouts)
-                    .map_err(|e| CoreError::MalformedCheckpoint(e.to_string()))?;
                 let new_round = round.checkpoint.round.next();
                 self.store
                     .commit(FlCheckpoint::new(round.task.name.clone(), new_round, params))?;
@@ -303,6 +360,9 @@ pub struct ActiveRound {
     /// The phase state machine.
     pub state: RoundState,
     master: Option<MasterAggregator>,
+    /// True once the master has been detached for actor-based driving:
+    /// accepted reports are then routed by the caller, not folded here.
+    external_aggregation: bool,
     dropouts: Vec<DeviceId>,
     loss_summary: MetricSummary,
     accuracy_summary: MetricSummary,
@@ -355,7 +415,7 @@ impl ActiveRound {
         }
         self.traffic_delta.record(TrafficKind::Metrics, 32);
         if response == ReportResponse::Accepted {
-            if self.task.kind == TaskKind::Training {
+            if self.task.kind == TaskKind::Training && !self.external_aggregation {
                 self.master
                     .as_mut()
                     .ok_or_else(|| {
@@ -367,6 +427,27 @@ impl ActiveRound {
             self.accuracy_summary.push(accuracy);
         }
         Ok(response)
+    }
+
+    /// Detaches the round's [`MasterAggregator`] so it can run as an actor
+    /// tree (the paper's Coordinator → Master Aggregator → Aggregators
+    /// topology, Sec. 4.1). After detaching, the caller owns routing
+    /// accepted training reports to the detached aggregator, and the round
+    /// must be completed via
+    /// [`Coordinator::complete_round_external`]. Returns `None` if already
+    /// detached (or never built — evaluation reuse).
+    pub fn detach_master(&mut self) -> Option<MasterAggregator> {
+        let master = self.master.take();
+        if master.is_some() {
+            self.external_aggregation = true;
+        }
+        master
+    }
+
+    /// Devices that dropped out of this round so far (needed at external
+    /// finalize time).
+    pub fn dropouts(&self) -> &[DeviceId] {
+        &self.dropouts
     }
 
     /// A device dropped out.
@@ -572,6 +653,69 @@ mod tests {
         let round = c2.begin_round(0).unwrap();
         assert_eq!(round.checkpoint.round, RoundId(1));
         assert_eq!(round.state.round, RoundId(2));
+    }
+
+    /// The external-aggregation path (master detached and driven outside
+    /// the coordinator, as the live actor tree does) commits identical
+    /// bytes to the inline path, with the same one-write invariant.
+    #[test]
+    fn external_aggregation_commits_identically_to_inline() {
+        let mut inline = deployed_coordinator();
+        assert!(run_one_round(&mut inline).is_committed());
+
+        let mut external = deployed_coordinator();
+        let mut round = external.begin_round(0).unwrap();
+        let target = round.task.round.selection_target();
+        for i in 0..target {
+            round.on_checkin(DeviceId(i as u64), 100);
+        }
+        let mut master = round.detach_master().expect("round built a master");
+        assert!(round.detach_master().is_none(), "detach is one-shot");
+        let devices = round.state.participants();
+        let dim = round.plan.server.expected_dim;
+        let bytes = CodecSpec::Identity.build().encode(&vec![0.5f32; dim]);
+        for d in devices.iter().take(3) {
+            // Protocol accounting stays in the round; the update bytes
+            // flow to the detached aggregator.
+            round.on_report(*d, 5_000, &bytes, 10, 0.7, 0.6).unwrap();
+            master.accept(*d, &bytes, 10).unwrap();
+        }
+        round.on_tick(40_000);
+        round.record_participation_metrics();
+        let aggregate = master
+            .finalize(round.checkpoint.params(), round.dropouts())
+            .map_err(|e| CoreError::MalformedCheckpoint(e.to_string()));
+        let outcome = external
+            .complete_round_external(round, Some(aggregate))
+            .unwrap();
+        assert!(outcome.is_committed());
+        assert_eq!(
+            external.global_params("train").unwrap(),
+            inline.global_params("train").unwrap()
+        );
+        assert_eq!(external.store().write_count(), 2); // init + one commit
+    }
+
+    /// A committed training round completed externally without an
+    /// aggregate is an invariant violation, not a silent empty commit.
+    #[test]
+    fn external_completion_requires_an_aggregate() {
+        let mut c = deployed_coordinator();
+        let mut round = c.begin_round(0).unwrap();
+        let target = round.task.round.selection_target();
+        for i in 0..target {
+            round.on_checkin(DeviceId(i as u64), 100);
+        }
+        round.detach_master();
+        let devices = round.state.participants();
+        let dim = round.plan.server.expected_dim;
+        let bytes = CodecSpec::Identity.build().encode(&vec![0.5f32; dim]);
+        for d in devices.iter().take(3) {
+            round.on_report(*d, 5_000, &bytes, 10, 0.7, 0.6).unwrap();
+        }
+        round.on_tick(40_000);
+        let err = c.complete_round_external(round, None).unwrap_err();
+        assert!(matches!(err, CoreError::InvariantViolated(_)));
     }
 
     fn deployed_faulty_coordinator(

@@ -29,6 +29,9 @@
 //!   round is written to persistent storage until it is fully aggregated");
 //! * [`pipeline`] — Selection of round *i+1* overlapped with
 //!   Configuration/Reporting of round *i* (Sec. 4.3);
+//! * [`topology`] — the shared blueprint for the Selector → Coordinator →
+//!   Master Aggregator tree, built identically by the live topology and
+//!   both simulation harnesses;
 //! * [`live`] — the threaded actor wiring for all of the above;
 //! * [`adaptive`] — dynamic round-window tuning (the Sec. 11 future-work
 //!   item, built on the P² reporting-time sketches).
@@ -57,6 +60,9 @@ pub mod selector;
 pub mod shedding;
 /// Persistent checkpoint storage with aggregate-before-write semantics.
 pub mod storage;
+/// Shared blueprint types for building the Selector → Coordinator →
+/// Master Aggregator tree across the live and simulated harnesses.
+pub mod topology;
 
 pub use aggregator::{AggregationPlan, MasterAggregator};
 pub use coordinator::{Coordinator, CoordinatorConfig};
@@ -64,8 +70,11 @@ pub use pace::PaceSteering;
 pub use round::{RoundEvent, RoundState};
 pub use selector::{CheckinDecision, Selector};
 pub use shedding::{
-    AdmissionConfig, AdmissionController, AdmissionDecision, PaceController,
-    PaceControllerConfig, ShedReason,
+    AdmissionConfig, AdmissionController, AdmissionDecision, GlobalAdmissionBudget,
+    GlobalAdmissionConfig, PaceController, PaceControllerConfig, ShedReason,
+};
+pub use topology::{
+    spawn_topology, DeploymentSpec, LiveTopology, SelectorSpec, TopologyBlueprint,
 };
 pub use storage::{
     CheckpointStore, FaultyCheckpointStore, InMemoryCheckpointStore, SharedCheckpointStore,

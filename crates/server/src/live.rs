@@ -2,26 +2,42 @@
 //! runtime (Fig. 3's actor topology on real threads).
 //!
 //! Topology: device clients talk to a [`SelectorActor`] (accept/reject +
-//! pace steering); accepted devices are forwarded to the
-//! [`CoordinatorActor`], which owns the [`crate::coordinator::Coordinator`]
-//! state machine, drives rounds, and aggregates via the Master Aggregator.
-//! The Coordinator registers itself in the shared
-//! [`fl_actors::LockingService`]; if it dies, the Selector layer detects
-//! the obituary and respawns it exactly once.
+//! pace steering + optional admission control and shared global budget);
+//! accepted devices are forwarded to the [`CoordinatorActor`], which owns
+//! the [`crate::coordinator::Coordinator`] state machine and drives
+//! rounds. Each training round detaches its aggregation pipeline into an
+//! ephemeral [`MasterAggregatorActor`] child ("scale[s] with rounds",
+//! Sec. 4.1), which shards reporting devices across `AggregatorActor`
+//! children of its own and dies with the round. The Coordinator registers
+//! itself in the shared [`fl_actors::LockingService`]; if it dies, the
+//! Selector layer detects the obituary and respawns it exactly once.
+//!
+//! Construction of the tree — Selector specs, the shared
+//! [`crate::shedding::GlobalAdmissionBudget`], telemetry — lives in
+//! [`crate::topology`], shared with the `fl-sim` chaos and overload
+//! harnesses.
 //!
 //! This module is deliberately thin: all protocol decisions live in the
 //! deterministic state machines; actors only move messages and time.
 
+use crate::aggregator::{MasterAggregatorActor, MasterMsg};
 use crate::coordinator::{ActiveRound, Coordinator, CoordinatorConfig};
 use crate::round::{CheckinResponse, ReportResponse};
 use crate::selector::{CheckinDecision, Selector};
 use crate::storage::{CheckpointStore, InMemoryCheckpointStore};
 use fl_actors::{Actor, ActorRef, ActorSystem, Context, Flow, Lease, LockingService};
+use fl_analytics::overload::OverloadMetrics;
 use fl_core::plan::FlPlan;
-use fl_core::population::TaskGroup;
-use fl_core::{DeviceId, FlCheckpoint, RoundOutcome};
-use crossbeam::channel::Sender;
+use fl_core::population::{TaskGroup, TaskKind};
+use fl_core::{CoreError, DeviceId, FlCheckpoint, RoundOutcome};
+use crossbeam::channel::{unbounded, Sender};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Overload telemetry shared between the live Selector actors and
+/// whatever reads it (dashboards, tests): accepts, sheds, evictions, and
+/// retries recorded straight from the `Checkin` path.
+pub type SharedOverloadMetrics = Arc<parking_lot::Mutex<OverloadMetrics>>;
 
 /// Reply sent back to a device client.
 #[derive(Debug, Clone)]
@@ -91,6 +107,11 @@ pub enum CoordMsg {
 pub struct CoordinatorActor<S: CheckpointStore + Send + 'static = InMemoryCheckpointStore> {
     coordinator: Coordinator<S>,
     active: Option<ActiveRound>,
+    /// The in-flight round's detached aggregation tree: a
+    /// [`MasterAggregatorActor`] child (named `master-r<N>`) whose own
+    /// `AggregatorActor` children hold the shard sums. `None` between
+    /// rounds and for evaluation tasks.
+    master: Option<ActorRef<MasterMsg>>,
     device_replies: std::collections::HashMap<DeviceId, Sender<DeviceReply>>,
     epoch: Instant,
     lease: Lease,
@@ -192,6 +213,7 @@ impl<S: CheckpointStore + Send + 'static> CoordinatorActor<S> {
         CoordinatorActor {
             coordinator,
             active: None,
+            master: None,
             device_replies: std::collections::HashMap::new(),
             // fl-lint: allow(wall-clock): the live topology stamps protocol
             // events with real elapsed time; the deterministic state
@@ -214,10 +236,48 @@ impl<S: CheckpointStore + Send + 'static> CoordinatorActor<S> {
         self.epoch.elapsed().as_millis() as u64
     }
 
-    fn ensure_round(&mut self) {
+    fn ensure_round(&mut self, ctx: &Context<CoordMsg>) {
         if self.active.is_none() {
             let now = self.now_ms();
-            self.active = self.coordinator.begin_round(now).ok();
+            if let Ok(mut round) = self.coordinator.begin_round(now) {
+                // Detach the training round's aggregation pipeline and
+                // spawn it as the per-round Master Aggregator subtree
+                // (Sec. 4.1: aggregation actors "scale with rounds" and
+                // die with them). Evaluation rounds have no aggregate.
+                if round.task.kind == TaskKind::Training {
+                    if let Some(master) = round.detach_master() {
+                        let tag = format!("master-r{}", round.state.round.0);
+                        self.master =
+                            Some(ctx.spawn_child(tag, MasterAggregatorActor::new(master)));
+                    }
+                }
+                self.active = Some(round);
+            }
+        }
+    }
+
+    /// Closes the round's Master Aggregator subtree and collects its
+    /// merged aggregate. A master that died mid-round (its mailbox or
+    /// reply channel is gone) surfaces as an error: the round is lost,
+    /// nothing reaches storage, and the next round restarts from the
+    /// committed checkpoint — Sec. 4.2's Master Aggregator loss semantics.
+    fn finalize_external(
+        master: &ActorRef<MasterMsg>,
+        round: &ActiveRound,
+    ) -> Result<(Vec<f32>, usize), CoreError> {
+        let dead =
+            || CoreError::InvariantViolated("master aggregator died mid-round".into());
+        let (tx, rx) = unbounded();
+        master
+            .send(MasterMsg::Finalize {
+                current_params: round.checkpoint.params().to_vec(),
+                dropouts: round.dropouts().to_vec(),
+                reply: tx,
+            })
+            .map_err(|_| dead())?;
+        match rx.recv() {
+            Ok(result) => result.map_err(CoreError::MalformedCheckpoint),
+            Err(_) => Err(dead()),
         }
     }
 
@@ -244,10 +304,10 @@ impl<S: CheckpointStore + Send + 'static> CoordinatorActor<S> {
 impl<S: CheckpointStore + Send + 'static> Actor for CoordinatorActor<S> {
     type Msg = CoordMsg;
 
-    fn handle(&mut self, msg: CoordMsg, _ctx: &mut Context<CoordMsg>) -> Flow {
+    fn handle(&mut self, msg: CoordMsg, ctx: &mut Context<CoordMsg>) -> Flow {
         match msg {
             CoordMsg::DeviceForwarded { device, reply } => {
-                self.ensure_round();
+                self.ensure_round(ctx);
                 let now = self.now_ms();
                 if let Some(round) = &mut self.active {
                     let was_selecting =
@@ -302,8 +362,19 @@ impl<S: CheckpointStore + Send + 'static> Actor for CoordinatorActor<S> {
             } => {
                 let now = self.now_ms();
                 if let Some(round) = &mut self.active {
+                    // The round does the protocol accounting (participant
+                    // check, lateness, goal count, session logs); accepted
+                    // bytes stream on to the round's Aggregator shard via
+                    // the Master Aggregator subtree.
                     match round.on_report(device, now, &update_bytes, weight, loss, accuracy) {
                         Ok(ReportResponse::Accepted) => {
+                            if let Some(master) = &self.master {
+                                let _ = master.send(MasterMsg::Accept {
+                                    device,
+                                    update_bytes,
+                                    weight,
+                                });
+                            }
                             let _ = reply.send(DeviceReply::ReportAccepted);
                         }
                         _ => {
@@ -341,14 +412,41 @@ impl<S: CheckpointStore + Send + 'static> Actor for CoordinatorActor<S> {
                     .is_some_and(|r| r.state.outcome().is_some());
                 if let Some(mut round) = if finished { self.active.take() } else { None } {
                     round.record_participation_metrics();
-                    let outcome = self.coordinator.complete_round(round).ok();
+                    let master = self.master.take();
+                    let committed = round.state.outcome().is_some_and(|o| o.is_committed());
+                    let aggregate = if committed && round.task.kind == TaskKind::Training {
+                        Some(match &master {
+                            Some(master) => Self::finalize_external(master, &round),
+                            // Unreachable by construction (`ensure_round`
+                            // always detaches for training), but a missing
+                            // subtree must fail the round, not panic.
+                            None => Err(CoreError::InvariantViolated(
+                                "committed training round has no aggregator subtree".into(),
+                            )),
+                        })
+                    } else {
+                        // Nothing to merge: tell the subtree (if any) to
+                        // tear itself down with the abandoned round.
+                        if let Some(master) = &master {
+                            let _ = master.send(MasterMsg::Abort);
+                        }
+                        None
+                    };
+                    let outcome = self.coordinator.complete_round_external(round, aggregate).ok();
                     let _ = reply.send(outcome);
                 } else {
                     let _ = reply.send(None);
                 }
                 Flow::Continue
             }
-            CoordMsg::Shutdown => Flow::Stop,
+            CoordMsg::Shutdown => {
+                // Dropping the handle reaps the subtree anyway; an explicit
+                // Abort just makes the teardown prompt.
+                if let Some(master) = self.master.take() {
+                    let _ = master.send(MasterMsg::Abort);
+                }
+                Flow::Stop
+            }
         }
     }
 
@@ -377,17 +475,29 @@ pub enum SelectorMsg {
     SetPopulationEstimate(u64),
     /// Retarget this selector at a (respawned) coordinator. Sec. 4.4:
     /// after the Selector layer respawns a dead Coordinator, traffic must
-    /// flow to the replacement, not the corpse.
-    Rewire(ActorRef<CoordMsg>),
+    /// flow to the replacement, not the corpse — and the selector must be
+    /// re-briefed, not left with pacing state from the dead incarnation:
+    /// the replacement's first quota/census instructions ride along
+    /// instead of waiting for the next periodic update.
+    Rewire {
+        /// The replacement coordinator.
+        coordinator: ActorRef<CoordMsg>,
+        /// The replacement's current held-connection quota.
+        quota: usize,
+        /// The replacement's current population-size estimate.
+        population_estimate: u64,
+    },
     /// Stop the actor.
     Shutdown,
 }
 
-/// A Selector as an actor: applies quota + pace steering, forwards
-/// accepted devices to the Coordinator.
+/// A Selector as an actor: applies admission control, quota, and pace
+/// steering, forwards accepted devices to the Coordinator, and streams
+/// accept/shed/evict telemetry into shared [`OverloadMetrics`].
 pub struct SelectorActor {
     selector: Selector,
     coordinator: ActorRef<CoordMsg>,
+    telemetry: Option<SharedOverloadMetrics>,
     epoch: Instant,
 }
 
@@ -405,9 +515,17 @@ impl SelectorActor {
         SelectorActor {
             selector,
             coordinator,
+            telemetry: None,
             // fl-lint: allow(wall-clock): live-mode event timestamps only.
             epoch: Instant::now(),
         }
+    }
+
+    /// Attaches shared overload telemetry: every check-in decision is
+    /// recorded into the metrics from inside the `Checkin` path.
+    pub fn with_telemetry(mut self, telemetry: SharedOverloadMetrics) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 }
 
@@ -418,7 +536,27 @@ impl Actor for SelectorActor {
         match msg {
             SelectorMsg::Checkin { device, reply } => {
                 let now = self.epoch.elapsed().as_millis() as u64;
-                match self.selector.on_checkin(device, now, 1.0) {
+                let shed_before = self.selector.shed_total();
+                let evicted_before = self.selector.evicted_total();
+                let decision = self.selector.on_checkin(device, now, 1.0);
+                if let Some(telemetry) = &self.telemetry {
+                    let mut metrics = telemetry.lock();
+                    for _ in evicted_before..self.selector.evicted_total() {
+                        metrics.record_evict(now);
+                    }
+                    match decision {
+                        CheckinDecision::Accept => metrics.record_accept(now),
+                        CheckinDecision::Reject { .. } => {
+                            if self.selector.shed_total() > shed_before {
+                                metrics.record_shed(now);
+                            }
+                            // Every rejection sends the device into its
+                            // retry discipline.
+                            metrics.record_retry(now);
+                        }
+                    }
+                }
+                match decision {
                     CheckinDecision::Accept => {
                         // Forward to the Aggregator/Coordinator layer; the
                         // selector releases the device from its own set.
@@ -442,29 +580,19 @@ impl Actor for SelectorActor {
                 self.selector.set_population_estimate(estimate);
                 Flow::Continue
             }
-            SelectorMsg::Rewire(coordinator) => {
+            SelectorMsg::Rewire {
+                coordinator,
+                quota,
+                population_estimate,
+            } => {
                 self.coordinator = coordinator;
+                self.selector.set_quota(quota);
+                self.selector.set_population_estimate(population_estimate);
                 Flow::Continue
             }
             SelectorMsg::Shutdown => Flow::Stop,
         }
     }
-}
-
-/// Spawns the full live topology: one coordinator, `selectors` selectors.
-/// Returns the actor refs (selectors first) for device clients to target.
-pub fn spawn_topology<S: CheckpointStore + Send + 'static>(
-    system: &ActorSystem,
-    coordinator: CoordinatorActor<S>,
-    selectors: Vec<Selector>,
-) -> (Vec<ActorRef<SelectorMsg>>, ActorRef<CoordMsg>) {
-    let coord_ref = system.spawn("coordinator", coordinator);
-    let selector_refs = selectors
-        .into_iter()
-        .enumerate()
-        .map(|(i, s)| system.spawn(format!("selector-{i}"), SelectorActor::new(s, coord_ref.clone())))
-        .collect();
-    (selector_refs, coord_ref)
 }
 
 /// Outcome of one [`watch_and_respawn`] watcher.
@@ -570,6 +698,8 @@ where
 mod tests {
     use super::*;
     use crate::pace::PaceSteering;
+    use crate::topology::{spawn_topology, SelectorSpec, TopologyBlueprint};
+    use fl_actors::DeathReason;
     use fl_core::plan::{CodecSpec, ModelSpec};
     use fl_core::population::{FlTask, TaskSelectionStrategy};
     use fl_core::round::RoundConfig;
@@ -609,9 +739,10 @@ mod tests {
             vec![0.0; spec().num_params()],
             locks.clone(),
         );
-        let mut selector = Selector::new(PaceSteering::new(1_000, 10), 100, 1);
-        selector.set_quota(10);
-        let (selector_refs, coord_ref) = spawn_topology(&system, coordinator, vec![selector]);
+        let blueprint =
+            TopologyBlueprint::new(vec![SelectorSpec::new(PaceSteering::new(1_000, 10), 100, 1, 10)]);
+        let topology = spawn_topology(&system, coordinator, &blueprint);
+        let (selector_refs, coord_ref) = (topology.selectors, topology.coordinator);
         assert!(locks.lookup("coordinator/pop").is_some());
 
         // Four device clients, each on its own thread.
@@ -689,6 +820,18 @@ mod tests {
         system.join();
         // Lease released on clean shutdown.
         assert!(locks.lookup("coordinator/pop").is_none());
+
+        // The round aggregated through an ephemeral Master Aggregator
+        // subtree spawned under the coordinator, and the whole subtree
+        // died normally with the round.
+        let obits: Vec<_> = system.deaths().try_iter().collect();
+        for name in ["coordinator/master-r1", "coordinator/master-r1/agg-0"] {
+            let obit = obits
+                .iter()
+                .find(|o| o.name == name)
+                .unwrap_or_else(|| panic!("no obituary for {name}"));
+            assert_eq!(obit.reason, DeathReason::Normal);
+        }
     }
 
     /// Regression: a device arriving while the round is already in
@@ -711,9 +854,10 @@ mod tests {
             vec![0.0; spec().num_params()],
             locks.clone(),
         );
-        let mut selector = Selector::new(PaceSteering::new(1_000, 10), 100, 1);
-        selector.set_quota(10);
-        let (selector_refs, coord_ref) = spawn_topology(&system, coordinator, vec![selector]);
+        let blueprint =
+            TopologyBlueprint::new(vec![SelectorSpec::new(PaceSteering::new(1_000, 10), 100, 1, 10)]);
+        let topology = spawn_topology(&system, coordinator, &blueprint);
+        let (selector_refs, coord_ref) = (topology.selectors, topology.coordinator);
 
         // First device fills the goal; the round enters Reporting.
         let (tx, rx) = unbounded();

@@ -29,6 +29,14 @@ pub enum Phase {
     Abandoned,
 }
 
+impl Phase {
+    /// Whether the round has reached a terminal phase (committed or
+    /// abandoned) and will never transition again.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, Phase::Committed | Phase::Abandoned)
+    }
+}
+
 /// Response to a device checking in during Selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CheckinResponse {

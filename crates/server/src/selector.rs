@@ -20,8 +20,8 @@
 
 use crate::pace::PaceSteering;
 use crate::shedding::{
-    AdmissionConfig, AdmissionController, AdmissionDecision, PaceController,
-    PaceControllerConfig,
+    AdmissionConfig, AdmissionController, AdmissionDecision, GlobalAdmissionBudget,
+    PaceController, PaceControllerConfig,
 };
 use fl_core::DeviceId;
 use fl_ml::rng;
@@ -56,9 +56,14 @@ pub struct Selector {
     stale_after_ms: Option<u64>,
     pace: PaceController,
     admission: Option<AdmissionController>,
+    /// Fleet-wide admission budget shared with the topology's other
+    /// Selectors; consulted only for check-ins that would otherwise be
+    /// accepted, so local rejections never burn global slots.
+    global: Option<GlobalAdmissionBudget>,
     accepted_total: u64,
     rejected_total: u64,
     shed_total: u64,
+    shed_global_total: u64,
     evicted_total: u64,
     rng: StdRng,
 }
@@ -76,9 +81,11 @@ impl Selector {
             stale_after_ms: None,
             pace: PaceController::new(pace, population_estimate, controller_config),
             admission: None,
+            global: None,
             accepted_total: 0,
             rejected_total: 0,
             shed_total: 0,
+            shed_global_total: 0,
             evicted_total: 0,
             rng: rng::seeded(seed),
         }
@@ -88,6 +95,15 @@ impl Selector {
     /// held-connection queue) in front of the quota check.
     pub fn with_admission(mut self, config: AdmissionConfig) -> Self {
         self.admission = Some(AdmissionController::new(config));
+        self
+    }
+
+    /// Attaches a shared fleet-wide admission budget: a check-in that
+    /// passes local admission and quota still sheds
+    /// ([`crate::shedding::ShedReason::GlobalBudget`]) when the budget's
+    /// current window is spent across all Selectors sharing it.
+    pub fn with_global_budget(mut self, budget: GlobalAdmissionBudget) -> Self {
+        self.global = Some(budget);
         self
     }
 
@@ -157,6 +173,13 @@ impl Selector {
         }
 
         if self.connected.len() < self.quota && !self.connected.contains_key(&device) {
+            if let Some(budget) = &self.global {
+                if !budget.try_admit(now_ms) {
+                    self.shed_total += 1;
+                    self.shed_global_total += 1;
+                    return self.reject(now_ms, activity_factor);
+                }
+            }
             self.connected.insert(device, now_ms);
             self.accepted_total += 1;
             CheckinDecision::Accept
@@ -197,9 +220,20 @@ impl Selector {
         (self.accepted_total, self.rejected_total)
     }
 
-    /// Total check-ins shed by the admission controller.
+    /// Total check-ins shed by the admission controller or the global
+    /// budget.
     pub fn shed_total(&self) -> u64 {
         self.shed_total
+    }
+
+    /// Total check-ins shed by the shared global budget specifically.
+    pub fn shed_global_total(&self) -> u64 {
+        self.shed_global_total
+    }
+
+    /// The shared global admission budget, if attached.
+    pub fn global_budget(&self) -> Option<&GlobalAdmissionBudget> {
+        self.global.as_ref()
     }
 
     /// Total stale connections evicted.
@@ -442,6 +476,47 @@ mod tests {
             .expect("admission enabled")
             .shed_totals();
         assert_eq!(queue_sheds, 46);
+    }
+
+    #[test]
+    fn global_budget_caps_accepts_across_selectors() {
+        use crate::shedding::{GlobalAdmissionBudget, GlobalAdmissionConfig};
+        let budget = GlobalAdmissionBudget::new(GlobalAdmissionConfig {
+            window_ms: 60_000,
+            max_admits_per_window: 4,
+        });
+        let mut selectors: Vec<Selector> = (0..3)
+            .map(|i| {
+                let mut s = Selector::new(PaceSteering::new(60_000, 100), 500, i)
+                    .with_global_budget(budget.clone());
+                s.set_quota(10);
+                s
+            })
+            .collect();
+        // 3 devices offered to each of 3 selectors: each has local quota
+        // headroom, but only 4 accepts exist fleet-wide in this window.
+        let mut accepted = 0;
+        for (i, s) in selectors.iter_mut().enumerate() {
+            for d in 0..3u64 {
+                if s.on_checkin(DeviceId(i as u64 * 10 + d), 0, 1.0) == CheckinDecision::Accept {
+                    accepted += 1;
+                }
+            }
+        }
+        assert_eq!(accepted, 4);
+        assert_eq!(budget.admitted_total(), 4);
+        assert_eq!(budget.shed_total(), 5);
+        let global_sheds: u64 = selectors.iter().map(Selector::shed_global_total).sum();
+        assert_eq!(global_sheds, 5);
+        // A locally-rejected duplicate must not burn a global slot: next
+        // window, re-offering an already-connected device is a plain
+        // rejection with the budget untouched.
+        let d0 = DeviceId(0);
+        assert!(matches!(
+            selectors[0].on_checkin(d0, 61_000, 1.0),
+            CheckinDecision::Reject { .. }
+        ));
+        assert_eq!(budget.admitted_total() + budget.shed_total(), 9);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 use crate::pace::{PaceSteering, SMALL_POPULATION};
 use fl_ml::metrics::MetricSummary;
+use std::sync::Arc;
 
 /// Why a check-in was shed rather than considered for admission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +30,9 @@ pub enum ShedReason {
     RateExceeded,
     /// The inflight queue (held connections) is at its bound.
     QueueFull,
+    /// The fleet-wide admission budget shared across Selectors is spent
+    /// for the current window ([`GlobalAdmissionBudget`]).
+    GlobalBudget,
 }
 
 /// Outcome of an admission check.
@@ -173,6 +177,119 @@ impl AdmissionController {
     }
 }
 
+/// Configuration for the fleet-wide admission budget shared by every
+/// Selector under one Coordinator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalAdmissionConfig {
+    /// Width of the budget window (ms).
+    pub window_ms: u64,
+    /// Maximum admissions across *all* Selectors per window.
+    pub max_admits_per_window: u64,
+}
+
+impl GlobalAdmissionConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window_ms == 0 {
+            return Err("window_ms must be positive".into());
+        }
+        if self.max_admits_per_window == 0 {
+            return Err("max_admits_per_window must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+struct GlobalBudgetState {
+    config: GlobalAdmissionConfig,
+    window_start_ms: u64,
+    admitted_in_window: u64,
+    admitted_total: u64,
+    shed_total: u64,
+}
+
+/// A shared, windowed cap on total admissions across every Selector in a
+/// topology. Per-Selector [`AdmissionController`]s protect each shard
+/// from its own arrival stream; the global budget protects the Master
+/// Aggregator fan-in behind them — the paper's tiered Selector→Master
+/// topology implies both layers (Sec. 4.2).
+///
+/// Cheap to clone; all clones share state. Decisions are deterministic
+/// functions of `now_ms` and the sequence of prior calls, so simulated
+/// overload replays byte-for-byte.
+#[derive(Debug, Clone)]
+pub struct GlobalAdmissionBudget {
+    inner: Arc<parking_lot::Mutex<GlobalBudgetState>>,
+}
+
+impl GlobalAdmissionBudget {
+    /// Creates a budget with a full first window starting at time 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid — budgets are wired at
+    /// topology-construction time, before any device traffic exists.
+    pub fn new(config: GlobalAdmissionConfig) -> Self {
+        assert!(
+            config.validate().is_ok(),
+            "invalid global admission config: {:?}",
+            config.validate()
+        );
+        GlobalAdmissionBudget {
+            inner: Arc::new(parking_lot::Mutex::new(GlobalBudgetState {
+                config,
+                window_start_ms: 0,
+                admitted_in_window: 0,
+                admitted_total: 0,
+                shed_total: 0,
+            })),
+        }
+    }
+
+    /// The configuration this budget enforces.
+    pub fn config(&self) -> GlobalAdmissionConfig {
+        self.inner.lock().config
+    }
+
+    /// Tries to take one admission slot at `now_ms`. Returns `false` —
+    /// shed with [`ShedReason::GlobalBudget`] — when the current window's
+    /// budget is spent.
+    pub fn try_admit(&self, now_ms: u64) -> bool {
+        let mut s = self.inner.lock();
+        let elapsed = now_ms.saturating_sub(s.window_start_ms);
+        if elapsed >= s.config.window_ms {
+            // Jump to the window containing `now_ms`; intervening empty
+            // windows carry no budget forward.
+            let windows = elapsed / s.config.window_ms;
+            s.window_start_ms += windows * s.config.window_ms;
+            s.admitted_in_window = 0;
+        }
+        if s.admitted_in_window < s.config.max_admits_per_window {
+            s.admitted_in_window += 1;
+            s.admitted_total += 1;
+            true
+        } else {
+            s.shed_total += 1;
+            false
+        }
+    }
+
+    /// Total admissions granted over the budget's lifetime.
+    pub fn admitted_total(&self) -> u64 {
+        self.inner.lock().admitted_total
+    }
+
+    /// Total admissions refused over the budget's lifetime.
+    pub fn shed_total(&self) -> u64 {
+        self.inner.lock().shed_total
+    }
+}
+
 /// Closed-loop pace-steering knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PaceControllerConfig {
@@ -188,6 +305,15 @@ pub struct PaceControllerConfig {
     pub min_population: u64,
     /// Ceiling for the population estimate.
     pub max_population: u64,
+    /// Cap on how far a single window may pull the estimate upward: the
+    /// implied population is clipped to `estimate × max_growth_per_window`
+    /// before smoothing. The `implied = arrivals × periods_per_return`
+    /// law assumes arrivals are *paced* by the current policy; during a
+    /// flash crowd the newcomers are unpaced, so one hot window would
+    /// otherwise ramp the estimate far above the true population
+    /// (ROADMAP: estimate overshoot). Growth-capping bounds the transient
+    /// while leaving convergence (and decay, which is uncapped) intact.
+    pub max_growth_per_window: f64,
 }
 
 impl PaceControllerConfig {
@@ -200,6 +326,7 @@ impl PaceControllerConfig {
             gain: 0.5,
             min_population: 1,
             max_population: 1 << 40,
+            max_growth_per_window: 4.0,
         }
     }
 
@@ -217,6 +344,9 @@ impl PaceControllerConfig {
         }
         if self.min_population == 0 || self.min_population > self.max_population {
             return Err("population bounds must satisfy 0 < min <= max".into());
+        }
+        if !(self.max_growth_per_window > 1.0 && self.max_growth_per_window.is_finite()) {
+            return Err("max_growth_per_window must be finite and > 1".into());
         }
         Ok(())
     }
@@ -289,7 +419,8 @@ impl PaceController {
             self.windows_observed += 1;
             let periods_per_return =
                 (self.estimate / self.pace.target_checkins as f64).max(1.0);
-            let implied = arrivals * periods_per_return;
+            let implied = (arrivals * periods_per_return)
+                .min(self.estimate * self.config.max_growth_per_window);
             self.estimate = (self.estimate + self.config.gain * (implied - self.estimate))
                 .clamp(self.config.min_population as f64, self.config.max_population as f64);
             self.window_start_ms += self.config.window_ms;
@@ -520,6 +651,58 @@ mod tests {
         }
         assert_eq!(c.arrival_sketch().moments.count(), 6);
         assert_eq!(c.windows_observed(), 6);
+    }
+
+    /// Regression (ROADMAP estimate overshoot): one unpaced hot window
+    /// used to multiply the estimate by `gain × arrivals/target` — a 10×
+    /// flash window from 10k pushed the estimate to 55k immediately. The
+    /// growth cap bounds a single window's pull to
+    /// `estimate × max_growth_per_window`.
+    #[test]
+    fn single_hot_window_growth_is_capped() {
+        let mut c = controller(10_000);
+        for i in 0..1_000u64 {
+            c.on_arrival(i * 60);
+        }
+        c.on_arrival(60_000); // close the hot window
+        let est = c.population_estimate();
+        // gain 0.5, cap 4×: 10_000 + 0.5 × (40_000 − 10_000) = 25_000.
+        assert!(
+            est <= 25_000,
+            "estimate {est} ramped past the growth cap after one window"
+        );
+        assert!(est > 20_000, "estimate {est} failed to move at all");
+    }
+
+    #[test]
+    fn growth_cap_does_not_slow_decay() {
+        let mut c = controller(500_000);
+        c.on_arrival(0);
+        c.on_arrival(10 * 60_000);
+        assert!(
+            c.population_estimate() < 5_000,
+            "decay must stay uncapped, got {}",
+            c.population_estimate()
+        );
+    }
+
+    #[test]
+    fn global_budget_caps_admits_per_window_across_callers() {
+        let budget = GlobalAdmissionBudget::new(GlobalAdmissionConfig {
+            window_ms: 1_000,
+            max_admits_per_window: 3,
+        });
+        let clone = budget.clone();
+        // Clones share the same window budget.
+        assert!(budget.try_admit(0));
+        assert!(clone.try_admit(10));
+        assert!(budget.try_admit(20));
+        assert!(!clone.try_admit(30));
+        assert!(!budget.try_admit(999));
+        // Next window refills; empty windows carry nothing forward.
+        assert!(budget.try_admit(5_500));
+        assert_eq!(budget.admitted_total(), 4);
+        assert_eq!(clone.shed_total(), 2);
     }
 
     #[test]

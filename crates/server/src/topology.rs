@@ -1,0 +1,286 @@
+//! Shared construction of the paper's server tree (Fig. 3 / Sec. 4.1):
+//! N Selectors — each with its own pace controller, admission controller,
+//! and quota, optionally sharing one fleet-wide
+//! [`GlobalAdmissionBudget`] — fanning devices into one Coordinator whose
+//! training rounds aggregate through an ephemeral Master Aggregator
+//! subtree.
+//!
+//! Three harnesses build this tree: the live threaded topology
+//! ([`spawn_topology`]), the chaos harness (`fl-sim::chaos`, virtual
+//! clock), and the overload harness (`fl-sim::overload`, virtual clock).
+//! They used to hand-roll the wiring independently; the blueprint types
+//! here are the single source of truth, so a selector knob added for one
+//! harness exists in all of them.
+
+use crate::coordinator::{Coordinator, CoordinatorConfig};
+use crate::live::{CoordinatorActor, CoordMsg, SelectorActor, SelectorMsg, SharedOverloadMetrics};
+use crate::pace::PaceSteering;
+use crate::selector::Selector;
+use crate::shedding::{AdmissionConfig, GlobalAdmissionBudget, GlobalAdmissionConfig};
+use crate::storage::CheckpointStore;
+use fl_actors::{ActorRef, ActorSystem};
+use fl_analytics::overload::{OverloadMetrics, OverloadMonitorConfig};
+use fl_core::plan::FlPlan;
+use fl_core::population::TaskGroup;
+use fl_core::CoreError;
+use std::sync::Arc;
+
+/// Everything needed to build one Selector of the tree.
+#[derive(Debug, Clone)]
+pub struct SelectorSpec {
+    /// Pace-steering policy (rendezvous period + target check-ins).
+    pub pace: PaceSteering,
+    /// Initial population estimate seeding the closed-loop controller.
+    pub population_estimate: u64,
+    /// Seed for the selector's reservoir-sampling RNG.
+    pub seed: u64,
+    /// Held-connection quota (the Coordinator may adjust it later).
+    pub quota: usize,
+    /// Local admission control; `None` accepts everything under quota.
+    pub admission: Option<AdmissionConfig>,
+    /// Staleness TTL for held connections; `None` never evicts.
+    pub stale_after_ms: Option<u64>,
+}
+
+impl SelectorSpec {
+    /// A spec with no admission control and no staleness eviction.
+    pub fn new(pace: PaceSteering, population_estimate: u64, seed: u64, quota: usize) -> Self {
+        SelectorSpec {
+            pace,
+            population_estimate,
+            seed,
+            quota,
+            admission: None,
+            stale_after_ms: None,
+        }
+    }
+
+    /// Adds local admission control (token bucket + queue bound).
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = Some(admission);
+        self
+    }
+
+    /// Adds stale-connection eviction.
+    pub fn with_staleness(mut self, stale_after_ms: u64) -> Self {
+        self.stale_after_ms = Some(stale_after_ms);
+        self
+    }
+
+    /// Builds the Selector, attaching the shared budget when present.
+    pub fn build(&self, budget: Option<&GlobalAdmissionBudget>) -> Selector {
+        let mut selector = Selector::new(self.pace, self.population_estimate, self.seed);
+        selector.set_quota(self.quota);
+        if let Some(admission) = self.admission {
+            selector = selector.with_admission(admission);
+        }
+        if let Some(ttl) = self.stale_after_ms {
+            selector = selector.with_staleness(ttl);
+        }
+        if let Some(budget) = budget {
+            selector = selector.with_global_budget(budget.clone());
+        }
+        selector
+    }
+}
+
+/// The deployment a tree's Coordinator owns: its config plus the task
+/// group, plans, and initial model it deploys. Kept as data so a respawned
+/// or retried incarnation (chaos harness) redeploys the identical thing.
+#[derive(Debug, Clone)]
+pub struct DeploymentSpec {
+    /// Coordinator identity and sharding parameters.
+    pub config: CoordinatorConfig,
+    /// The task group to deploy.
+    pub group: TaskGroup,
+    /// One plan per task, in task order.
+    pub plans: Vec<FlPlan>,
+    /// Initial global model parameters.
+    pub initial_params: Vec<f32>,
+}
+
+impl DeploymentSpec {
+    /// Builds an undeployed [`Coordinator`] over `store`.
+    pub fn new_coordinator<S: CheckpointStore>(&self, store: S) -> Coordinator<S> {
+        Coordinator::new(self.config.clone(), store)
+    }
+
+    /// Deploys this spec on a coordinator. Retryable: a scripted storage
+    /// failure leaves the coordinator undeployed and the spec intact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Coordinator::deploy`] errors (storage failures,
+    /// invalid task groups).
+    pub fn deploy_on<S: CheckpointStore>(&self, c: &mut Coordinator<S>) -> Result<(), CoreError> {
+        c.deploy(
+            self.group.clone(),
+            self.plans.clone(),
+            self.initial_params.clone(),
+        )
+    }
+}
+
+/// Declarative shape of the Selector layer: per-Selector specs plus the
+/// knobs shared across all of them.
+#[derive(Debug, Clone)]
+pub struct TopologyBlueprint {
+    /// One spec per Selector.
+    pub selectors: Vec<SelectorSpec>,
+    /// Fleet-wide admission budget shared by every Selector; `None`
+    /// leaves admission purely local.
+    pub global_admission: Option<GlobalAdmissionConfig>,
+    /// When set, the live topology records accept/shed/evict/retry
+    /// telemetry into a [`SharedOverloadMetrics`] built from this config.
+    pub telemetry: Option<OverloadMonitorConfig>,
+}
+
+impl TopologyBlueprint {
+    /// A blueprint with no global budget and no telemetry.
+    pub fn new(selectors: Vec<SelectorSpec>) -> Self {
+        TopologyBlueprint {
+            selectors,
+            global_admission: None,
+            telemetry: None,
+        }
+    }
+
+    /// Shares one fleet-wide admission budget across all Selectors.
+    pub fn with_global_admission(mut self, config: GlobalAdmissionConfig) -> Self {
+        self.global_admission = Some(config);
+        self
+    }
+
+    /// Enables overload telemetry in the live topology.
+    pub fn with_telemetry(mut self, config: OverloadMonitorConfig) -> Self {
+        self.telemetry = Some(config);
+        self
+    }
+
+    /// Builds the shared budget, if one is configured.
+    pub fn build_global_budget(&self) -> Option<GlobalAdmissionBudget> {
+        self.global_admission.map(GlobalAdmissionBudget::new)
+    }
+
+    /// Builds the Selector layer, every Selector wired to `budget` when
+    /// present. Virtual-clock harnesses drive these directly; the live
+    /// topology wraps them in [`SelectorActor`]s via [`spawn_topology`].
+    pub fn build_selectors(&self, budget: Option<&GlobalAdmissionBudget>) -> Vec<Selector> {
+        self.selectors.iter().map(|s| s.build(budget)).collect()
+    }
+}
+
+/// Handles to a spawned live tree.
+#[derive(Debug)]
+pub struct LiveTopology {
+    /// The Selector actors, in blueprint order.
+    pub selectors: Vec<ActorRef<SelectorMsg>>,
+    /// The Coordinator actor.
+    pub coordinator: ActorRef<CoordMsg>,
+    /// The shared admission budget, when the blueprint configured one —
+    /// hold it to observe fleet-wide admit/shed totals.
+    pub global_budget: Option<GlobalAdmissionBudget>,
+    /// Shared overload telemetry, when the blueprint configured it.
+    pub telemetry: Option<SharedOverloadMetrics>,
+}
+
+/// Spawns the live tree described by `blueprint` around an already-built
+/// [`CoordinatorActor`]: the coordinator under the name `"coordinator"`,
+/// one `"selector-<i>"` per spec, all sharing the blueprint's global
+/// budget and telemetry. Master Aggregator subtrees are *not* spawned
+/// here — the coordinator spawns one per training round and it dies with
+/// the round (Sec. 4.1).
+pub fn spawn_topology<S: CheckpointStore + Send + 'static>(
+    system: &ActorSystem,
+    coordinator: CoordinatorActor<S>,
+    blueprint: &TopologyBlueprint,
+) -> LiveTopology {
+    let budget = blueprint.build_global_budget();
+    let telemetry: Option<SharedOverloadMetrics> = blueprint
+        .telemetry
+        .map(|config| Arc::new(parking_lot::Mutex::new(OverloadMetrics::new(config, 0))));
+    let coord_ref = system.spawn("coordinator", coordinator);
+    let selectors = blueprint
+        .build_selectors(budget.as_ref())
+        .into_iter()
+        .enumerate()
+        .map(|(i, selector)| {
+            let mut actor = SelectorActor::new(selector, coord_ref.clone());
+            if let Some(telemetry) = &telemetry {
+                actor = actor.with_telemetry(telemetry.clone());
+            }
+            system.spawn(format!("selector-{i}"), actor)
+        })
+        .collect();
+    LiveTopology {
+        selectors,
+        coordinator: coord_ref,
+        global_budget: budget,
+        telemetry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blueprint_builds_selectors_sharing_one_budget() {
+        let blueprint = TopologyBlueprint::new(
+            (0..3)
+                .map(|i| {
+                    SelectorSpec::new(PaceSteering::new(1_000, 4), 1_000, i, 8)
+                        .with_staleness(60_000)
+                })
+                .collect(),
+        )
+        .with_global_admission(GlobalAdmissionConfig {
+            window_ms: 60_000,
+            max_admits_per_window: 5,
+        });
+        let budget = blueprint.build_global_budget();
+        let mut selectors = blueprint.build_selectors(budget.as_ref());
+        assert_eq!(selectors.len(), 3);
+        // 9 would-be accepts across three selectors, one shared window of 5.
+        for (i, s) in selectors.iter_mut().enumerate() {
+            for d in 0..3u64 {
+                s.on_checkin(fl_core::DeviceId(i as u64 * 10 + d), 1, 1.0);
+            }
+        }
+        let budget = budget.unwrap();
+        assert_eq!(budget.admitted_total(), 5);
+        assert_eq!(budget.shed_total(), 4);
+        let accepted: u64 = selectors.iter().map(|s| s.counters().0).sum();
+        assert_eq!(accepted, 5);
+    }
+
+    #[test]
+    fn deployment_spec_redeploys_identically() {
+        use crate::storage::InMemoryCheckpointStore;
+        use fl_core::plan::{CodecSpec, ModelSpec};
+        use fl_core::population::{FlTask, TaskSelectionStrategy};
+
+        let spec = ModelSpec::Logistic {
+            dim: 4,
+            classes: 2,
+            seed: 0,
+        };
+        let deployment = DeploymentSpec {
+            config: CoordinatorConfig::new("pop-spec", 7),
+            group: TaskGroup::new(
+                vec![FlTask::training("t", "pop-spec")],
+                TaskSelectionStrategy::Single,
+            ),
+            plans: vec![FlPlan::standard_training(spec, 1, 8, 0.1, CodecSpec::Identity)],
+            initial_params: vec![0.0; spec.num_params()],
+        };
+        let mut a = deployment.new_coordinator(InMemoryCheckpointStore::new());
+        let mut b = deployment.new_coordinator(InMemoryCheckpointStore::new());
+        deployment.deploy_on(&mut a).unwrap();
+        deployment.deploy_on(&mut b).unwrap();
+        assert_eq!(
+            a.global_params("t").unwrap(),
+            b.global_params("t").unwrap()
+        );
+    }
+}

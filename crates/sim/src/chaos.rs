@@ -39,9 +39,12 @@ use fl_core::round::{RoundConfig, RoundOutcome};
 use fl_core::{CoreError, DeviceId, FlPlan, FlTask};
 use fl_ml::rng;
 use fl_server::coordinator::{ActiveRound, Coordinator, CoordinatorConfig};
+use fl_server::pace::PaceSteering;
 use fl_server::pipeline::SelectionPool;
 use fl_server::round::{CheckinResponse, ReportResponse};
+use fl_server::selector::{CheckinDecision, Selector};
 use fl_server::storage::{CheckpointStore, FaultyCheckpointStore, InMemoryCheckpointStore};
+use fl_server::topology::{DeploymentSpec, SelectorSpec, TopologyBlueprint};
 use rand::RngExt;
 use std::collections::BTreeMap;
 
@@ -345,6 +348,12 @@ struct Harness<'a> {
     config: &'a ChaosConfig,
     plan: &'a FaultPlan,
     queue: EventQueue<Event>,
+    /// What the coordinator deploys — shared with the live topology's
+    /// blueprint types so every incarnation redeploys the identical thing.
+    deployment: DeploymentSpec,
+    /// The Selector layer (device id modulo the selector count), built
+    /// from the same [`TopologyBlueprint`] the live topology uses.
+    selectors: Vec<Selector>,
     coordinator: Option<Coordinator<FaultyCheckpointStore<InMemoryCheckpointStore>>>,
     active: Option<ActiveRound>,
     active_since: u64,
@@ -369,14 +378,38 @@ pub fn run_chaos(plan: &FaultPlan, config: &ChaosConfig) -> ChaosReport {
     };
     let dim = spec.num_params();
     let store = FaultyCheckpointStore::new(InMemoryCheckpointStore::new(), plan.storage_failures());
+    let deployment = DeploymentSpec {
+        config: CoordinatorConfig::new(POPULATION, plan.seed),
+        group: TaskGroup::new(
+            vec![FlTask::training(TASK_NAME, POPULATION).with_round(config.round)],
+            TaskSelectionStrategy::Single,
+        ),
+        plans: vec![FlPlan::standard_training(spec, 1, 8, 0.1, CodecSpec::Identity)],
+        initial_params: vec![0.0f32; dim],
+    };
+    let blueprint = TopologyBlueprint::new(
+        (0..config.selectors)
+            .map(|i| {
+                SelectorSpec::new(
+                    PaceSteering::new(
+                        config.checkin_period_ms,
+                        config.round.selection_target() as u64,
+                    ),
+                    config.devices,
+                    plan.seed ^ (0x5E1 + i),
+                    config.devices as usize,
+                )
+            })
+            .collect(),
+    );
+    let coordinator = deployment.new_coordinator(store);
     let mut h = Harness {
         config,
         plan,
         queue: EventQueue::new(),
-        coordinator: Some(Coordinator::new(
-            CoordinatorConfig::new(POPULATION, plan.seed),
-            store,
-        )),
+        selectors: blueprint.build_selectors(None),
+        deployment,
+        coordinator: Some(coordinator),
         active: None,
         active_since: 0,
         pool: SelectionPool::new(2 * config.checkin_period_ms),
@@ -443,24 +476,16 @@ impl Harness<'_> {
             + 4 * self.config.tick_ms
     }
 
-    /// Deploys the task group on the current coordinator, retrying past
-    /// scripted storage failures. Returns `false` if deployment never
-    /// lands (only possible if a plan fails every attempt).
+    /// Deploys the shared [`DeploymentSpec`] on the current coordinator,
+    /// retrying past scripted storage failures. Returns `false` if
+    /// deployment never lands (only possible if a plan fails every
+    /// attempt).
     fn deploy_current(&mut self, now_ms: u64) -> bool {
-        let task = FlTask::training(TASK_NAME, POPULATION).with_round(self.config.round);
-        let spec = ModelSpec::Logistic {
-            dim: 4,
-            classes: 2,
-            seed: 7,
-        };
-        let plan = FlPlan::standard_training(spec, 1, 8, 0.1, CodecSpec::Identity);
-        let init = vec![0.0f32; self.dim];
         for _ in 0..8 {
             let Some(c) = self.coordinator.as_mut() else {
                 return false;
             };
-            let group = TaskGroup::new(vec![task.clone()], TaskSelectionStrategy::Single);
-            match c.deploy(group, vec![plan.clone()], init.clone()) {
+            match self.deployment.deploy_on(c) {
                 Ok(()) => return true,
                 Err(CoreError::StorageFailure(why)) => {
                     self.report
@@ -548,6 +573,18 @@ impl Harness<'_> {
         self.queue.schedule_at(next, Event::Checkin { device });
         if self.offline_until.get(&device).is_some_and(|&t| t > now) {
             return;
+        }
+        // Every check-in enters through its Selector (device id modulo
+        // the selector count), same routing as the live topology; the
+        // sim hands the device straight to the round, so the held slot
+        // is released immediately after the admission decision.
+        let selector = &mut self.selectors[(device % self.config.selectors) as usize];
+        match selector.on_checkin(DeviceId(device), now, 1.0) {
+            CheckinDecision::Accept => selector.on_disconnect(DeviceId(device)),
+            CheckinDecision::Reject { .. } => {
+                self.pool.add(DeviceId(device), now);
+                return;
+            }
         }
         match self.active.as_mut() {
             Some(round) => match round.on_checkin(DeviceId(device), now) {
@@ -863,10 +900,7 @@ impl Harness<'_> {
         }
         self.report.respawns += 1;
         self.lease = won;
-        self.coordinator = Some(Coordinator::new(
-            CoordinatorConfig::new(POPULATION, self.plan.seed),
-            store,
-        ));
+        self.coordinator = Some(self.deployment.new_coordinator(store));
         if !self.deploy_current(now) {
             self.report
                 .violations

@@ -34,7 +34,8 @@ use fl_ml::rng;
 use fl_server::pace::PaceSteering;
 use fl_server::round::{CheckinResponse, Phase, RoundEvent, RoundState};
 use fl_server::selector::{CheckinDecision, Selector};
-use fl_server::shedding::AdmissionConfig;
+use fl_server::shedding::{AdmissionConfig, GlobalAdmissionConfig};
+use fl_server::topology::{SelectorSpec, TopologyBlueprint};
 use rand::Rng;
 
 /// The arrival disturbance to inject.
@@ -101,7 +102,13 @@ pub struct OverloadConfig {
     pub horizon_ms: u64,
     /// Round configuration.
     pub round: RoundConfig,
-    /// Selector admission control (token bucket + queue bound).
+    /// How many Selectors the load fans across (device id modulo the
+    /// count); each gets its own admission controller and quota.
+    pub selectors: u64,
+    /// Fleet-wide admission budget shared by every Selector; `None`
+    /// leaves admission purely local.
+    pub global_admission: Option<GlobalAdmissionConfig>,
+    /// Per-Selector admission control (token bucket + queue bound).
     pub admission: AdmissionConfig,
     /// Selector staleness TTL for held connections (ms).
     pub stale_after_ms: u64,
@@ -136,6 +143,8 @@ impl OverloadConfig {
                 report_window_ms: 60_000,
                 device_cap_ms: 60_000,
             },
+            selectors: 1,
+            global_admission: None,
             admission: AdmissionConfig {
                 accepts_per_sec: 50.0,
                 burst: 200,
@@ -217,8 +226,11 @@ pub struct OverloadReport {
     pub offered: u64,
     /// Check-ins accepted into the held-connection queue.
     pub accepted: u64,
-    /// Check-ins shed by the admission controller.
+    /// Check-ins shed by the admission controllers (local and global).
     pub shed: u64,
+    /// The subset of sheds caused by the shared fleet-wide budget (zero
+    /// when no global budget is configured).
+    pub shed_global: u64,
     /// Check-ins rejected by quota/duplicate checks (not shed).
     pub rejected_other: u64,
     /// Device-side retry attempts recorded.
@@ -244,8 +256,13 @@ pub struct OverloadReport {
     pub committed: u64,
     /// Rounds abandoned (cleanly).
     pub abandoned: u64,
-    /// The closed-loop population estimate at the end of the run.
+    /// The closed-loop population estimate (summed across Selectors) at
+    /// the end of the run.
     pub population_estimate_final: u64,
+    /// The highest the summed population estimate ever got — a flash
+    /// crowd may overshoot before the capped EWMA settles, but only
+    /// boundedly (see `PaceControllerConfig::max_growth_per_window`).
+    pub population_estimate_peak: u64,
     /// Monitor alerts raised (deviation + ceiling).
     pub alerts: usize,
     /// Overload-invariant violations; empty on a clean run.
@@ -262,17 +279,18 @@ impl OverloadReport {
     pub fn render(&self) -> String {
         let mut out = format!(
             "seed={} scenario={}\n\
-             offered={} accepted={} shed={} rejected_other={}\n\
+             offered={} accepted={} shed={} shed_global={} rejected_other={}\n\
              retries={} budget_exhaustions={} evicted={}\n\
              max_queue_depth={} queue_bound={}\n\
              rounds_started={} rounds_terminal={} committed={} abandoned={}\n\
-             population_estimate_final={} alerts={}\n\
+             population_estimate_final={} population_estimate_peak={} alerts={}\n\
              convergence_windows={}\n",
             self.seed,
             self.scenario,
             self.offered,
             self.accepted,
             self.shed,
+            self.shed_global,
             self.rejected_other,
             self.retries,
             self.budget_exhaustions,
@@ -284,6 +302,7 @@ impl OverloadReport {
             self.committed,
             self.abandoned,
             self.population_estimate_final,
+            self.population_estimate_peak,
             self.alerts,
             match self.convergence_windows {
                 Some(w) => w.to_string(),
@@ -384,10 +403,28 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
     let total = config.total_devices();
     let target = (config.round.selection_target() as u64).max(1);
     let pace = PaceSteering::new(config.window_ms, target);
-    let mut selector = Selector::new(pace, config.devices, config.seed ^ 0x5E1)
-        .with_admission(config.admission)
-        .with_staleness(config.stale_after_ms);
-    selector.set_quota(config.admission.max_inflight);
+    // The Selector layer comes from the same blueprint the live topology
+    // and the chaos harness build from (device id modulo the count).
+    let n = config.selectors.max(1);
+    let mut blueprint = TopologyBlueprint::new(
+        (0..n)
+            .map(|i| {
+                SelectorSpec::new(
+                    pace,
+                    config.devices / n,
+                    config.seed ^ (0x5E1 + i),
+                    config.admission.max_inflight,
+                )
+                .with_admission(config.admission)
+                .with_staleness(config.stale_after_ms)
+            })
+            .collect(),
+    );
+    if let Some(global) = config.global_admission {
+        blueprint = blueprint.with_global_admission(global);
+    }
+    let budget = blueprint.build_global_budget();
+    let mut selectors: Vec<Selector> = blueprint.build_selectors(budget.as_ref());
 
     let mut rng = rng::seeded(config.seed ^ 0x0E7);
     let mut queue: EventQueue<Event> = EventQueue::new();
@@ -451,6 +488,7 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
     let mut abandoned: u64 = 0;
     let mut max_queue_depth: usize = 0;
     let mut devices_exhausted: u64 = 0;
+    let mut population_estimate_peak: u64 = 0;
     let mut violations: Vec<String> = Vec::new();
 
     // Schedules the next wake of a device's chain, superseding any
@@ -493,6 +531,7 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
                 }
                 devices[device as usize].phase = DevPhase::Idle;
                 let activity = scenario_activity(&config.scenario, now);
+                let selector = &mut selectors[(device % n) as usize];
                 let shed_before = selector.shed_total();
                 match selector.on_checkin(DeviceId(device), now, activity) {
                     CheckinDecision::Accept => {
@@ -516,9 +555,17 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
             Event::Forward => {
                 if active.state.phase() == Phase::Selection && now >= active.open_at_ms {
                     let have = active.pending.len() as u64;
-                    let need = target.saturating_sub(have) as usize;
-                    if need > 0 {
-                        for d in selector.forward_devices_at(need, now) {
+                    let mut need = target.saturating_sub(have) as usize;
+                    // Drain Selectors in index order until the target is
+                    // met — deterministic, and with one Selector identical
+                    // to the historical single-queue behavior.
+                    for s in 0..selectors.len() {
+                        if need == 0 {
+                            break;
+                        }
+                        let forwarded = selectors[s].forward_devices_at(need, now);
+                        need = need.saturating_sub(forwarded.len());
+                        for d in forwarded {
                             match active.state.on_checkin(d, now) {
                                 CheckinResponse::Selected => {
                                     devices[d.0 as usize].phase = DevPhase::InRound;
@@ -570,9 +617,15 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
                 }
             }
             Event::WindowSample => {
-                selector.evict_stale(now);
-                let depth = selector.connected_count();
-                max_queue_depth = max_queue_depth.max(depth);
+                for s in selectors.iter_mut() {
+                    s.evict_stale(now);
+                    max_queue_depth = max_queue_depth.max(s.connected_count());
+                }
+                let estimate: u64 = selectors
+                    .iter()
+                    .map(|s| s.pace_controller().population_estimate())
+                    .sum();
+                population_estimate_peak = population_estimate_peak.max(estimate);
                 if now + config.window_ms <= config.horizon_ms {
                     queue.schedule_in(config.window_ms, Event::WindowSample);
                 }
@@ -644,7 +697,7 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
     // resolve (commit on what it has, or abandon cleanly).
     let mut drain_t = config.horizon_ms;
     for _ in 0..4 {
-        if matches!(active.state.phase(), Phase::Committed | Phase::Abandoned) {
+        if active.state.phase().is_terminal() {
             break;
         }
         drain_t += config.round.selection_timeout_ms
@@ -666,8 +719,17 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
 
     metrics.finalize(config.horizon_ms);
 
-    let (accepted, rejected) = selector.counters();
-    let shed = selector.shed_total();
+    let (accepted, rejected) = selectors
+        .iter()
+        .map(|s| s.counters())
+        .fold((0, 0), |(a, r), (sa, sr)| (a + sa, r + sr));
+    let shed: u64 = selectors.iter().map(|s| s.shed_total()).sum();
+    let shed_global = budget.as_ref().map(|b| b.shed_total()).unwrap_or(0);
+    let population_estimate_final: u64 = selectors
+        .iter()
+        .map(|s| s.pace_controller().population_estimate())
+        .sum();
+    let population_estimate_peak = population_estimate_peak.max(population_estimate_final);
     let fractions = metrics.shed_fractions().to_vec();
     let onset_window = (config.scenario.onset_ms() / config.window_ms) as usize;
     let convergence_windows = shed_convergence(&fractions, onset_window, 0.15);
@@ -707,10 +769,11 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
         offered: accepted + rejected,
         accepted,
         shed,
+        shed_global,
         rejected_other: rejected - shed,
         retries,
         budget_exhaustions: devices_exhausted,
-        evicted: selector.evicted_total(),
+        evicted: selectors.iter().map(|s| s.evicted_total()).sum(),
         max_queue_depth,
         queue_bound: config.admission.max_inflight,
         shed_fraction_per_window: fractions,
@@ -719,7 +782,8 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
         rounds_terminal,
         committed,
         abandoned,
-        population_estimate_final: selector.pace_controller().population_estimate(),
+        population_estimate_final,
+        population_estimate_peak,
         alerts: metrics.alerts().len(),
         violations,
     }
@@ -787,5 +851,55 @@ mod tests {
     fn herd_trips_the_monitors() {
         let report = run_overload(&OverloadConfig::thundering_herd(3));
         assert!(report.alerts > 0, "herd raised no alerts:\n{}", report.render());
+    }
+
+    /// Regression (pace-controller overshoot): the flash window delivers
+    /// ~72 000 unpaced arrivals against an 8 000-device estimate, and the
+    /// uncapped `implied = arrivals × periods_per_return` law (~61
+    /// periods) used to spike the estimate past two million devices —
+    /// 25×+ the true stepped population — before the EWMA decayed. With
+    /// per-window growth capped
+    /// (`PaceControllerConfig::max_growth_per_window`), the peak must
+    /// stay within a small factor of the true population (observed ≈
+    /// 3.3×; the bound leaves slack without re-admitting the spike).
+    #[test]
+    fn flash_crowd_estimate_overshoot_is_bounded() {
+        let config = OverloadConfig::flash_crowd(17);
+        let true_population = config.total_devices();
+        let report = run_overload(&config);
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(
+            report.population_estimate_peak <= 5 * true_population,
+            "estimate peaked at {} for a true population of {true_population}:\n{}",
+            report.population_estimate_peak,
+            report.render()
+        );
+        assert!(
+            report.population_estimate_peak >= report.population_estimate_final,
+            "{}",
+            report.render()
+        );
+    }
+
+    /// Three Selectors each shed locally under a herd, while one shared
+    /// fleet-wide budget caps what they admit in total — the cap binds
+    /// (global sheds happen) yet rounds still commit.
+    #[test]
+    fn global_budget_is_shared_across_selectors() {
+        let mut config = OverloadConfig::thundering_herd(3);
+        config.selectors = 3;
+        config.global_admission = Some(GlobalAdmissionConfig {
+            window_ms: 60_000,
+            max_admits_per_window: 300,
+        });
+        let report = run_overload(&config);
+        assert!(
+            report.shed_global > 0,
+            "herd never hit the shared budget:\n{}",
+            report.render()
+        );
+        assert!(report.shed > report.shed_global, "{}", report.render());
+        assert!(report.committed >= 1, "{}", report.render());
+        assert_eq!(report.rounds_started, report.rounds_terminal, "{}", report.render());
     }
 }

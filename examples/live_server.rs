@@ -22,11 +22,9 @@ use federated::data::store::{InMemoryStore, StoreConfig};
 use federated::data::synth::classification::{generate, ClassificationConfig};
 use federated::device::runtime::{ExecutionOutcome, FlRuntime};
 use federated::ml::Example;
-use federated::server::live::{
-    spawn_topology, CoordMsg, CoordinatorActor, DeviceReply, SelectorMsg,
-};
+use federated::server::live::{CoordMsg, CoordinatorActor, DeviceReply, SelectorMsg};
 use federated::server::pace::PaceSteering;
-use federated::server::selector::Selector;
+use federated::server::topology::{spawn_topology, SelectorSpec, TopologyBlueprint};
 use federated::server::CoordinatorConfig;
 use std::time::Duration;
 
@@ -119,9 +117,10 @@ fn main() {
         vec![0.0; model.num_params()],
         locks.clone(),
     );
-    let mut selector = Selector::new(PaceSteering::new(1_000, 10), 16, 3);
-    selector.set_quota(16);
-    let (selectors, coord_ref) = spawn_topology(&system, coordinator, vec![selector]);
+    let blueprint =
+        TopologyBlueprint::new(vec![SelectorSpec::new(PaceSteering::new(1_000, 10), 16, 3, 16)]);
+    let topology = spawn_topology(&system, coordinator, &blueprint);
+    let (selectors, coord_ref) = (topology.selectors, topology.coordinator);
     println!(
         "topology up: coordinator owns {:?} via the locking service",
         locks.names()

@@ -19,6 +19,9 @@ cargo test -q --test chaos_sweep
 echo "==> overload sweep (fixed seeds, byte-identical replays)"
 cargo test -q --test overload_sweep
 
+echo "==> multi-selector live topology (sharded aggregation over real threads)"
+cargo test -q --test live_topology
+
 echo "==> wall-clock allowlist audit"
 # Every `fl-lint: allow(wall-clock)` escape must be accounted for in
 # scripts/wall_clock_allowlist.txt (count per file). A new live-clock

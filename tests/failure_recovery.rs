@@ -10,11 +10,14 @@ use federated::core::round::RoundConfig;
 use federated::core::{DeviceId, RoundId};
 use federated::server::coordinator::{Coordinator, CoordinatorConfig};
 use federated::server::live::{
-    coordinator_lease_name, watch_and_respawn, CoordMsg, CoordinatorActor,
+    coordinator_lease_name, watch_and_respawn, CoordMsg, CoordinatorActor, DeviceReply,
+    SelectorMsg,
 };
+use federated::server::pace::PaceSteering;
 use federated::server::storage::{
     CheckpointStore, InMemoryCheckpointStore, SharedCheckpointStore,
 };
+use federated::server::topology::{spawn_topology, SelectorSpec, TopologyBlueprint};
 use crossbeam::channel::unbounded;
 use std::sync::Arc;
 use std::time::Duration;
@@ -347,4 +350,88 @@ fn actor_panic_is_isolated() {
     let mut names: Vec<String> = system.deaths().try_iter().map(|o| o.name).collect();
     names.sort();
     assert_eq!(names, vec!["faulty", "healthy"]);
+}
+
+/// Regression (post-respawn rewiring): `SelectorMsg::Rewire` used to hand
+/// over only the replacement coordinator's `ActorRef`, so a selector kept
+/// the quota and population estimate of the *dead* incarnation — a
+/// selector at quota 0 stayed wedged rejecting forever, and its reconnect
+/// suggestions were sized from a stale population. The struct variant now
+/// re-delivers both alongside the new ref.
+#[test]
+fn rewire_redelivers_quota_and_population_estimate() {
+    let system = ActorSystem::new();
+    let locks: LockingService<String> = LockingService::new();
+    let task = FlTask::training("t", "pop-rewire").with_round(quick_round(1));
+    let plan = FlPlan::standard_training(spec(), 1, 8, 0.1, CodecSpec::Identity);
+    let coordinator = CoordinatorActor::new(
+        CoordinatorConfig::new("pop-rewire", 13),
+        TaskGroup::new(vec![task], TaskSelectionStrategy::Single),
+        vec![plan],
+        vec![0.0; spec().num_params()],
+        locks,
+    );
+    // Quota 0: everything is rejected until a Rewire raises it.
+    let blueprint = TopologyBlueprint::new(vec![SelectorSpec::new(
+        PaceSteering::new(1_000, 10),
+        100,
+        3,
+        0,
+    )]);
+    let topology = spawn_topology(&system, coordinator, &blueprint);
+    let (selector, coord_ref) = (topology.selectors[0].clone(), topology.coordinator);
+
+    let checkin = |device: u64| {
+        let (tx, rx) = unbounded();
+        selector
+            .send(SelectorMsg::Checkin {
+                device: DeviceId(device),
+                reply: tx,
+            })
+            .unwrap();
+        rx.recv_timeout(Duration::from_secs(5)).unwrap()
+    };
+
+    // Baseline: quota 0 rejects, with a reconnect sized for a population
+    // of 100 against a target of 10 — a horizon of ~10 pace periods.
+    let retry_small = match checkin(0) {
+        DeviceReply::ComeBackLater { retry_at_ms } => retry_at_ms,
+        other => panic!("quota 0 must reject, got {other:?}"),
+    };
+
+    // Rewire with a huge population estimate (quota still 0): the next
+    // reject must be pace-steered across a vastly longer horizon.
+    selector
+        .send(SelectorMsg::Rewire {
+            coordinator: coord_ref.clone(),
+            quota: 0,
+            population_estimate: 100_000_000,
+        })
+        .unwrap();
+    let retry_large = match checkin(1) {
+        DeviceReply::ComeBackLater { retry_at_ms } => retry_at_ms,
+        other => panic!("quota 0 must still reject, got {other:?}"),
+    };
+    assert!(
+        retry_large > retry_small + 60_000,
+        "population estimate was not re-delivered: {retry_small} vs {retry_large}"
+    );
+
+    // Rewire with quota 1: the selector must start accepting (and the
+    // goal-1 round configures the device immediately).
+    selector
+        .send(SelectorMsg::Rewire {
+            coordinator: coord_ref.clone(),
+            quota: 1,
+            population_estimate: 100,
+        })
+        .unwrap();
+    assert!(
+        matches!(checkin(2), DeviceReply::Configured { .. }),
+        "quota was not re-delivered"
+    );
+
+    selector.send(SelectorMsg::Shutdown).unwrap();
+    coord_ref.send(CoordMsg::Shutdown).unwrap();
+    system.join();
 }

@@ -1,16 +1,20 @@
 //! Live actor topology with multiple Selectors (Fig. 3 shows Selectors as
-//! a globally-distributed layer in front of one Coordinator).
+//! a globally-distributed layer in front of one Coordinator), built
+//! through the shared `fl-server::topology` blueprint: per-Selector
+//! admission, a fleet-wide admission budget, and the ephemeral
+//! Master Aggregator subtree that dies with each round.
 
-use federated::actors::{ActorSystem, LockingService};
+use federated::actors::{ActorSystem, DeathReason, FaultAction, LockingService, ScriptedFaults};
 use federated::core::plan::{CodecSpec, FlPlan, ModelSpec};
 use federated::core::population::{FlTask, TaskGroup, TaskSelectionStrategy};
 use federated::core::round::RoundConfig;
 use federated::core::DeviceId;
-use federated::server::live::{spawn_topology, CoordMsg, CoordinatorActor, DeviceReply, SelectorMsg};
+use federated::server::live::{CoordMsg, CoordinatorActor, DeviceReply, SelectorMsg};
 use federated::server::pace::PaceSteering;
-use federated::server::selector::Selector;
-use federated::server::CoordinatorConfig;
+use federated::server::topology::{spawn_topology, SelectorSpec, TopologyBlueprint};
+use federated::server::{AdmissionConfig, CoordinatorConfig, GlobalAdmissionConfig};
 use crossbeam::channel::unbounded;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn spec() -> ModelSpec {
@@ -19,6 +23,23 @@ fn spec() -> ModelSpec {
         classes: 2,
         seed: 0,
     }
+}
+
+fn coordinator_for(
+    population: &str,
+    round: RoundConfig,
+    config: CoordinatorConfig,
+    locks: LockingService<String>,
+) -> CoordinatorActor<federated::server::storage::InMemoryCheckpointStore> {
+    let task = FlTask::training("t", population).with_round(round);
+    let plan = FlPlan::standard_training(spec(), 1, 8, 0.1, CodecSpec::Identity);
+    CoordinatorActor::new(
+        config,
+        TaskGroup::new(vec![task], TaskSelectionStrategy::Single),
+        vec![plan],
+        vec![0.0; spec().num_params()],
+        locks,
+    )
 }
 
 #[test]
@@ -33,25 +54,21 @@ fn round_commits_across_three_selectors() {
         report_window_ms: 30_000,
         device_cap_ms: 30_000,
     };
-    let task = FlTask::training("t", "multi-sel").with_round(round);
-    let plan = FlPlan::standard_training(spec(), 1, 8, 0.1, CodecSpec::Identity);
-    let coordinator = CoordinatorActor::new(
+    let coordinator = coordinator_for(
+        "multi-sel",
+        round,
         CoordinatorConfig::new("multi-sel", 3),
-        TaskGroup::new(vec![task], TaskSelectionStrategy::Single),
-        vec![plan],
-        vec![0.0; spec().num_params()],
         locks.clone(),
     );
     // Three selectors, each with its own quota — as if serving three
     // geographic regions.
-    let selectors: Vec<Selector> = (0..3)
-        .map(|i| {
-            let mut s = Selector::new(PaceSteering::new(1_000, 2), 100, i);
-            s.set_quota(2);
-            s
-        })
-        .collect();
-    let (selector_refs, coord_ref) = spawn_topology(&system, coordinator, selectors);
+    let blueprint = TopologyBlueprint::new(
+        (0..3)
+            .map(|i| SelectorSpec::new(PaceSteering::new(1_000, 2), 100, i, 2))
+            .collect(),
+    );
+    let topology = spawn_topology(&system, coordinator, &blueprint);
+    let (selector_refs, coord_ref) = (topology.selectors, topology.coordinator);
     assert_eq!(selector_refs.len(), 3);
 
     // Six devices, two per selector, each on its own thread.
@@ -92,7 +109,6 @@ fn round_commits_across_three_selectors() {
         .collect();
     let accepted = handles
         .into_iter()
-        .filter(|_| true)
         .map(|h| h.join().unwrap())
         .filter(|&ok| ok)
         .count();
@@ -117,6 +133,14 @@ fn round_commits_across_three_selectors() {
     coord_ref.send(CoordMsg::Shutdown).unwrap();
     system.join();
     assert!(locks.lookup("coordinator/multi-sel").is_none());
+
+    // The training round aggregated through an ephemeral master subtree
+    // that died, normally, with the round.
+    let names: Vec<String> = system.deaths().try_iter().map(|o| o.name).collect();
+    assert!(
+        names.iter().any(|n| n == "coordinator/master-r1"),
+        "{names:?}"
+    );
 }
 
 /// A selector at quota pace-steers the excess devices away rather than
@@ -133,18 +157,20 @@ fn over_quota_devices_are_pace_steered() {
         report_window_ms: 10_000,
         device_cap_ms: 10_000,
     };
-    let task = FlTask::training("t", "quota-pop").with_round(round);
-    let plan = FlPlan::standard_training(spec(), 1, 8, 0.1, CodecSpec::Identity);
-    let coordinator = CoordinatorActor::new(
+    let coordinator = coordinator_for(
+        "quota-pop",
+        round,
         CoordinatorConfig::new("quota-pop", 1),
-        TaskGroup::new(vec![task], TaskSelectionStrategy::Single),
-        vec![plan],
-        vec![0.0; spec().num_params()],
         locks,
     );
-    let mut selector = Selector::new(PaceSteering::new(1_000, 2), 1_000_000, 9);
-    selector.set_quota(2);
-    let (selector_refs, coord_ref) = spawn_topology(&system, coordinator, vec![selector]);
+    let blueprint = TopologyBlueprint::new(vec![SelectorSpec::new(
+        PaceSteering::new(1_000, 2),
+        1_000_000,
+        9,
+        2,
+    )]);
+    let topology = spawn_topology(&system, coordinator, &blueprint);
+    let (selector_refs, coord_ref) = (topology.selectors, topology.coordinator);
 
     // Send all check-ins first (the round only configures — and replies —
     // once its selection target of 2 is met), then collect replies.
@@ -178,4 +204,233 @@ fn over_quota_devices_are_pace_steered() {
     selector_refs[0].send(SelectorMsg::Shutdown).unwrap();
     coord_ref.send(CoordMsg::Shutdown).unwrap();
     system.join();
+}
+
+/// Three Selectors, each with a two-token admission burst, share one
+/// fleet-wide budget of four admits: every selector sheds its third
+/// device locally, the budget sheds two of the six that passed local
+/// admission, and the four devices that made it through both layers
+/// carry the round to a commit.
+#[test]
+fn global_budget_caps_admits_across_selectors() {
+    let system = ActorSystem::new();
+    let locks: LockingService<String> = LockingService::new();
+    let round = RoundConfig {
+        goal_count: 4,
+        overselection: 1.0,
+        min_goal_fraction: 1.0,
+        selection_timeout_ms: 5_000,
+        report_window_ms: 30_000,
+        device_cap_ms: 30_000,
+    };
+    let coordinator = coordinator_for(
+        "global-budget",
+        round,
+        CoordinatorConfig::new("global-budget", 11),
+        locks,
+    );
+    // Token refill is negligible over the test's lifetime, so each
+    // selector's admission controller passes exactly its burst of 2.
+    let admission = AdmissionConfig {
+        accepts_per_sec: 0.0001,
+        burst: 2,
+        max_inflight: 10,
+    };
+    let blueprint = TopologyBlueprint::new(
+        (0..3)
+            .map(|i| {
+                SelectorSpec::new(PaceSteering::new(1_000, 4), 100, i, 10)
+                    .with_admission(admission)
+            })
+            .collect(),
+    )
+    .with_global_admission(GlobalAdmissionConfig {
+        window_ms: 600_000,
+        max_admits_per_window: 4,
+    });
+    let topology = spawn_topology(&system, coordinator, &blueprint);
+    let budget = topology.global_budget.clone().expect("budget configured");
+    let (selector_refs, coord_ref) = (topology.selectors, topology.coordinator);
+
+    // Nine devices, three per selector. Which four of the six
+    // local-admission survivors win the shared budget depends on thread
+    // interleaving; the totals do not.
+    let receivers: Vec<_> = (0..9u64)
+        .map(|i| {
+            let (tx, rx) = unbounded();
+            selector_refs[(i % 3) as usize]
+                .send(SelectorMsg::Checkin {
+                    device: DeviceId(i),
+                    reply: tx,
+                })
+                .unwrap();
+            rx
+        })
+        .collect();
+    let mut configured = Vec::new();
+    let mut rejected = 0;
+    for (i, rx) in receivers.iter().enumerate() {
+        match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
+            DeviceReply::Configured { plan, .. } => configured.push((i as u64, plan)),
+            DeviceReply::ComeBackLater { .. } => rejected += 1,
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert_eq!(configured.len(), 4, "the global budget admits exactly 4");
+    assert_eq!(rejected, 5, "3 local sheds + 2 global sheds");
+    assert_eq!(budget.admitted_total(), 4);
+    assert_eq!(budget.shed_total(), 2);
+
+    // The four admitted devices report; the round commits on them.
+    let (tx, rx) = unbounded();
+    for (device, plan) in &configured {
+        let dim = plan.server.expected_dim;
+        let bytes = CodecSpec::Identity.build().encode(&vec![0.25f32; dim]);
+        coord_ref
+            .send(CoordMsg::DeviceReport {
+                device: DeviceId(*device),
+                update_bytes: bytes,
+                weight: 1,
+                loss: 0.3,
+                accuracy: 0.9,
+                reply: tx.clone(),
+            })
+            .unwrap();
+    }
+    for _ in 0..4 {
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            DeviceReply::ReportAccepted
+        ));
+    }
+    let outcome = loop {
+        let (tx, rx) = unbounded();
+        coord_ref
+            .send(CoordMsg::TryCompleteRound { reply: tx })
+            .unwrap();
+        if let Some(outcome) = rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            break outcome;
+        }
+        coord_ref.send(CoordMsg::Tick).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(outcome.is_committed());
+
+    for s in &selector_refs {
+        s.send(SelectorMsg::Shutdown).unwrap();
+    }
+    coord_ref.send(CoordMsg::Shutdown).unwrap();
+    system.join();
+}
+
+/// Aggregator-shard loss mid-round (Sec. 4.2): with `max_per_shard = 2`
+/// and a goal of 4 the master spawns two shards; a scripted crash kills
+/// `agg-1` on its first contribution. The crashed shard's devices are
+/// lost from the aggregate, but the round still commits on the surviving
+/// shard — and the whole subtree's obituaries tell the story.
+#[test]
+fn aggregator_shard_crash_still_commits_the_round() {
+    let system = ActorSystem::new();
+    system.install_fault_injector(Arc::new(ScriptedFaults::new().with(
+        "coordinator/master-r1/agg-1",
+        1,
+        FaultAction::Crash,
+    )));
+    let locks: LockingService<String> = LockingService::new();
+    let round = RoundConfig {
+        goal_count: 4,
+        overselection: 1.0,
+        min_goal_fraction: 1.0,
+        selection_timeout_ms: 5_000,
+        report_window_ms: 30_000,
+        device_cap_ms: 30_000,
+    };
+    let mut config = CoordinatorConfig::new("shard-crash", 5);
+    config.max_per_shard = 2;
+    let coordinator = coordinator_for("shard-crash", round, config, locks);
+    let blueprint = TopologyBlueprint::new(vec![SelectorSpec::new(
+        PaceSteering::new(1_000, 4),
+        100,
+        1,
+        10,
+    )]);
+    let topology = spawn_topology(&system, coordinator, &blueprint);
+    let (selector_refs, coord_ref) = (topology.selectors, topology.coordinator);
+
+    let receivers: Vec<_> = (0..4u64)
+        .map(|i| {
+            let (tx, rx) = unbounded();
+            selector_refs[0]
+                .send(SelectorMsg::Checkin {
+                    device: DeviceId(i),
+                    reply: tx,
+                })
+                .unwrap();
+            rx
+        })
+        .collect();
+    let (report_tx, report_rx) = unbounded();
+    for (i, rx) in receivers.iter().enumerate() {
+        match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
+            DeviceReply::Configured { plan, .. } => {
+                let dim = plan.server.expected_dim;
+                let bytes = CodecSpec::Identity.build().encode(&vec![1.0f32; dim]);
+                coord_ref
+                    .send(CoordMsg::DeviceReport {
+                        device: DeviceId(i as u64),
+                        update_bytes: bytes,
+                        weight: 1,
+                        loss: 0.3,
+                        accuracy: 0.9,
+                        reply: report_tx.clone(),
+                    })
+                    .unwrap();
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    // All four reports are accepted at the protocol level even though
+    // devices 1 and 3 route to the crashed shard.
+    for _ in 0..4 {
+        assert!(matches!(
+            report_rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            DeviceReply::ReportAccepted
+        ));
+    }
+
+    let outcome = loop {
+        let (tx, rx) = unbounded();
+        coord_ref
+            .send(CoordMsg::TryCompleteRound { reply: tx })
+            .unwrap();
+        if let Some(outcome) = rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            break outcome;
+        }
+        coord_ref.send(CoordMsg::Tick).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(
+        outcome.is_committed(),
+        "the round must commit on the surviving shard"
+    );
+
+    selector_refs[0].send(SelectorMsg::Shutdown).unwrap();
+    coord_ref.send(CoordMsg::Shutdown).unwrap();
+    system.join();
+
+    let obits: Vec<_> = system.deaths().try_iter().collect();
+    let reason_of = |name: &str| {
+        obits
+            .iter()
+            .find(|o| o.name == name)
+            .unwrap_or_else(|| panic!("no obituary for {name}: {obits:?}"))
+            .reason
+            .clone()
+    };
+    assert!(matches!(
+        reason_of("coordinator/master-r1/agg-1"),
+        DeathReason::Panicked(_)
+    ));
+    assert_eq!(reason_of("coordinator/master-r1/agg-0"), DeathReason::Normal);
+    assert_eq!(reason_of("coordinator/master-r1"), DeathReason::Normal);
 }
