@@ -17,14 +17,20 @@
 //! * [`registry::LockingService`] — the shared locking service in which
 //!   Coordinators register, guaranteeing "there is always a single owner
 //!   for every FL population" and that respawn "will happen exactly once";
-//! * [`timer`] — deadline-based message scheduling.
+//! * [`timer`] — deadline-based message scheduling;
+//! * [`explore`] — seeded schedule exploration: the fault-injection
+//!   hook's [`system::FaultAction::Reorder`] action, driven across K
+//!   seeds, checks scenario invariants under K distinct legal delivery
+//!   orders.
 
 pub mod actor;
+pub mod explore;
 pub mod registry;
 pub mod supervision;
 pub mod system;
 pub mod timer;
 
 pub use actor::{Actor, ActorRef, Context, Flow};
+pub use explore::{audit_exactly_once, ScheduleExplorer};
 pub use registry::{Lease, LockingService};
 pub use system::{ActorSystem, DeathReason, FaultAction, FaultInjector, Obituary, ScriptedFaults};

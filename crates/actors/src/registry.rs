@@ -12,9 +12,13 @@
 //! releases must present the matching epoch, so a stale owner (e.g. a
 //! zombie Coordinator) cannot release or overwrite its successor.
 
-use parking_lot::Mutex;
+use fl_race::{Mutex, Site};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// The registry lock is a leaf: no other site is ever acquired while it
+/// is held (see the rank table in DESIGN.md §7).
+const LOCKING_SERVICE: Site = Site::new("actors/registry.locking_service", 30);
 
 /// Proof of ownership of a name, with a fencing epoch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,10 +63,13 @@ impl<T> LockingService<T> {
     /// Creates an empty service.
     pub fn new() -> Self {
         LockingService {
-            inner: Arc::new(Mutex::new(Inner {
-                entries: HashMap::new(),
-                next_epoch: 1,
-            })),
+            inner: Arc::new(Mutex::new(
+                LOCKING_SERVICE,
+                Inner {
+                    entries: HashMap::new(),
+                    next_epoch: 1,
+                },
+            )),
         }
     }
 }

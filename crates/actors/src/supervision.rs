@@ -106,9 +106,14 @@ where
 mod tests {
     use super::*;
     use crate::actor::{Context, Flow};
-    use parking_lot::Mutex;
+    use fl_race::{Mutex, Site};
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
+
+    /// Slot holding the supervised actor's current reference. Innermost
+    /// (timer callbacks lock it while holding nothing), so it ranks
+    /// above every runtime site.
+    const SLOT: Site = Site::new("test/supervision.slot", 241);
 
     /// Panics on the first message, then (after restart) counts messages.
     struct Flaky {
@@ -138,7 +143,7 @@ mod tests {
         let system = ActorSystem::new();
         let fail_first = Arc::new(AtomicUsize::new(2)); // two injected crashes
         let handled = Arc::new(AtomicUsize::new(0));
-        let current: Arc<Mutex<Option<ActorRef<u32>>>> = Arc::new(Mutex::new(None));
+        let current: Arc<Mutex<Option<ActorRef<u32>>>> = Arc::new(Mutex::new(SLOT, None));
         let current2 = current.clone();
         let ff = fail_first.clone();
         let h = handled.clone();
@@ -182,7 +187,7 @@ mod tests {
         let system = ActorSystem::new();
         let fail_first = Arc::new(AtomicUsize::new(1));
         let handled = Arc::new(AtomicUsize::new(0));
-        let refslot: Arc<Mutex<Option<ActorRef<u32>>>> = Arc::new(Mutex::new(None));
+        let refslot: Arc<Mutex<Option<ActorRef<u32>>>> = Arc::new(Mutex::new(SLOT, None));
         let rs = refslot.clone();
         let ff = fail_first.clone();
         let h = handled.clone();
@@ -227,7 +232,7 @@ mod tests {
         for (idx, name) in ["left", "right"].into_iter().enumerate() {
             let fail_first = Arc::new(AtomicUsize::new(1)); // one crash each
             let handled = Arc::new(AtomicUsize::new(0));
-            let slot: Arc<Mutex<Option<ActorRef<u32>>>> = Arc::new(Mutex::new(None));
+            let slot: Arc<Mutex<Option<ActorRef<u32>>>> = Arc::new(Mutex::new(SLOT, None));
             // Stagger the two actors' message streams so the deaths
             // interleave: left crashes, then right crashes, then both
             // recover and stop.
@@ -287,7 +292,7 @@ mod tests {
         let system = ActorSystem::new();
         let fail_first = Arc::new(AtomicUsize::new(usize::MAX)); // always crash
         let handled = Arc::new(AtomicUsize::new(0));
-        let refslot: Arc<Mutex<Option<ActorRef<u32>>>> = Arc::new(Mutex::new(None));
+        let refslot: Arc<Mutex<Option<ActorRef<u32>>>> = Arc::new(Mutex::new(SLOT, None));
         let done = Arc::new(AtomicBool::new(false));
         let rs = refslot.clone();
         let ff = fail_first.clone();

@@ -6,10 +6,15 @@
 //! [`TimerWheel`]; in simulation the virtual clock plays this role.
 
 use crossbeam::channel::{unbounded, Sender};
-use parking_lot::Mutex;
+use fl_race::{Mutex, Site};
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+// Both timer locks are leaves (callbacks run on the timer thread
+// holding neither); ranks from the DESIGN.md §7 table.
+const TIMER_SEQ: Site = Site::new("actors/timer.seq", 40);
+const TIMER_HANDLE: Site = Site::new("actors/timer.handle", 42);
 
 type Callback = Box<dyn FnOnce() + Send + 'static>;
 
@@ -94,8 +99,8 @@ impl TimerWheel {
             .expect("failed to spawn timer thread");
         TimerWheel {
             tx,
-            seq: Arc::new(Mutex::new(0)),
-            handle: Mutex::new(Some(handle)),
+            seq: Arc::new(Mutex::new(TIMER_SEQ, 0)),
+            handle: Mutex::new(TIMER_HANDLE, Some(handle)),
         }
     }
 

@@ -457,6 +457,145 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
+/// Like [`collect_rs`] but *keeping* fixture trees: the wall-clock
+/// allowlist audit counts escapes everywhere under `crates/`, fixtures
+/// included, because the shell audit it replaced did.
+fn collect_rs_with_fixtures(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "target" | "vendor" | ".git") {
+                continue;
+            }
+            collect_rs_with_fixtures(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The allowlist data file, workspace-relative.
+pub const WALL_CLOCK_ALLOWLIST: &str = "scripts/wall_clock_allowlist.txt";
+
+/// Audit `allowlist-drift`: every wall-clock lint escape under
+/// `crates/` must be accounted for, count-per-file, in
+/// `scripts/wall_clock_allowlist.txt`. A new live-clock site needs
+/// review — the allowlist must be updated in the same change. This
+/// replaces the grep/diff block `scripts/check.sh` used to carry;
+/// comparison is content-wise (per-file counts), not positional, so
+/// reordering the allowlist is not drift.
+pub fn audit_wall_clock_allowlist(root: &Path) -> Vec<Finding> {
+    const HINT: &str =
+        "review the new live-clock site and update scripts/wall_clock_allowlist.txt in the same change";
+    // Built from parts so this file's own source never matches it.
+    let needle: String = ["fl-lint: allow", "(wall-clock)"].concat();
+    let mut findings = Vec::new();
+
+    let mut files = Vec::new();
+    collect_rs_with_fixtures(&root.join("crates"), &mut files);
+    files.sort();
+    let mut actual: std::collections::BTreeMap<String, u64> = Default::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        match std::fs::read_to_string(&path) {
+            Ok(src) => {
+                let n = src.lines().filter(|l| l.contains(&needle)).count() as u64;
+                if n > 0 {
+                    actual.insert(rel, n);
+                }
+            }
+            Err(err) => findings.push(Finding {
+                file: rel,
+                line: 0,
+                rule: "allowlist-drift",
+                message: format!("could not read file for the wall-clock audit: {err}"),
+                hint: HINT,
+            }),
+        }
+    }
+
+    let listed_src = match std::fs::read_to_string(root.join(WALL_CLOCK_ALLOWLIST)) {
+        Ok(s) => s,
+        Err(err) => {
+            findings.push(Finding {
+                file: WALL_CLOCK_ALLOWLIST.to_string(),
+                line: 0,
+                rule: "allowlist-drift",
+                message: format!("could not read the allowlist: {err}"),
+                hint: HINT,
+            });
+            return findings;
+        }
+    };
+    let mut listed: std::collections::BTreeMap<String, u64> = Default::default();
+    for (idx, line) in listed_src.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line
+            .split_once(' ')
+            .and_then(|(n, p)| n.parse::<u64>().ok().map(|n| (n, p.trim().to_string())))
+        {
+            Some((count, path)) if count > 0 => {
+                listed.insert(path, count);
+            }
+            _ => findings.push(Finding {
+                file: WALL_CLOCK_ALLOWLIST.to_string(),
+                line: idx as u32 + 1,
+                rule: "allowlist-drift",
+                message: format!("malformed allowlist line `{line}` (want `<count> <path>`)"),
+                hint: HINT,
+            }),
+        }
+    }
+
+    for (file, &count) in &actual {
+        match listed.get(file) {
+            None => findings.push(Finding {
+                file: file.clone(),
+                line: 0,
+                rule: "allowlist-drift",
+                message: format!(
+                    "{count} unaccounted wall-clock allow escape(s); the allowlist has no entry"
+                ),
+                hint: HINT,
+            }),
+            Some(&want) if want != count => findings.push(Finding {
+                file: file.clone(),
+                line: 0,
+                rule: "allowlist-drift",
+                message: format!("allowlist says {want} wall-clock allow escape(s), found {count}"),
+                hint: HINT,
+            }),
+            Some(_) => {}
+        }
+    }
+    for file in listed.keys() {
+        if !actual.contains_key(file) {
+            findings.push(Finding {
+                file: WALL_CLOCK_ALLOWLIST.to_string(),
+                line: 0,
+                rule: "allowlist-drift",
+                message: format!("stale allowlist entry: `{file}` has no wall-clock allow escapes"),
+                hint: HINT,
+            });
+        }
+    }
+    findings
+}
+
 /// Lints the whole workspace rooted at `root`. Returns findings plus
 /// the number of files scanned; I/O errors on individual files surface
 /// as findings rather than aborting the gate.
@@ -483,6 +622,7 @@ pub fn lint_workspace(root: &Path) -> (Vec<Finding>, usize) {
             }),
         }
     }
+    findings.extend(audit_wall_clock_allowlist(root));
     findings.sort_by(|a, b| {
         a.file
             .cmp(&b.file)

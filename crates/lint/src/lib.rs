@@ -24,7 +24,7 @@ pub mod engine;
 pub mod rules;
 pub mod tokens;
 
-pub use engine::{lint_source, lint_workspace, Finding};
+pub use engine::{audit_wall_clock_allowlist, lint_source, lint_workspace, Finding};
 
 use std::path::PathBuf;
 

@@ -71,9 +71,11 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "std-sync-lock",
         include: &[],
-        exclude: &[],
+        // fl-race is the one place allowed to touch raw primitives: its
+        // wrappers are what everyone else must build on.
+        exclude: &["crates/race/"],
         applies_to_tests: true,
-        hint: "use parking_lot::{Mutex, RwLock}: non-poisoning guards are the workspace standard",
+        hint: "use fl_race::{Mutex, RwLock, Condvar}: site-tagged wrappers feed the lock-graph deadlock gate",
         check: check_std_sync_lock,
     },
     Rule {
@@ -173,52 +175,62 @@ fn check_panic(ctx: &FileContext) -> Vec<Violation> {
     out
 }
 
-/// Rule `std-sync-lock`: `std::sync::Mutex` / `RwLock`, either as a
-/// full path or grouped (`use std::sync::{Arc, Mutex}`).
+/// Rule `std-sync-lock`: raw lock primitives bypassing the `fl-race`
+/// instrumented wrappers — `std::sync::{Mutex, RwLock, Condvar}` and
+/// `parking_lot::{Mutex, RwLock, Condvar}` — either as a full path or
+/// grouped (`use std::sync::{Arc, Mutex}`). Raw locks are invisible to
+/// the lock graph, so a nesting through one can deadlock without the
+/// lock-audit gate ever seeing the edge.
 fn check_std_sync_lock(ctx: &FileContext) -> Vec<Violation> {
     let mut out = Vec::new();
     let sig = ctx.sig();
     let mut i = 0usize;
-    while i + 4 < sig.len() {
-        let (a, b, c, d, e) = (sig[i], sig[i + 1], sig[i + 2], sig[i + 3], sig[i + 4]);
-        if ctx.is_ident(a, "std")
-            && ctx.is_punct(b, ':')
-            && ctx.is_punct(c, ':')
-            && ctx.is_ident(d, "sync")
+    while i < sig.len() {
+        // A `std :: sync` or `parking_lot` prefix opens a path /
+        // use-group that may name lock types.
+        let (start, origin) = if i + 3 < sig.len()
+            && ctx.is_ident(sig[i], "std")
+            && ctx.is_punct(sig[i + 1], ':')
+            && ctx.is_punct(sig[i + 2], ':')
+            && ctx.is_ident(sig[i + 3], "sync")
         {
-            // Walk the remainder of the path / use-group up to the
-            // statement end and flag lock types inside it.
-            let mut j = i + 4;
-            let mut depth = 0i32;
-            let mut hit = false;
-            while j < sig.len() {
-                let t = sig[j];
-                if ctx.is_punct(t, '{') {
-                    depth += 1;
-                } else if ctx.is_punct(t, '}') {
-                    if depth == 0 {
-                        break;
-                    }
-                    depth -= 1;
-                } else if ctx.is_punct(t, ';') || (depth == 0 && ctx.is_punct(t, '(')) {
-                    break;
-                } else if ctx.is_ident(t, "Mutex") || ctx.is_ident(t, "RwLock") {
-                    out.push(Violation {
-                        line: ctx.line_of(t),
-                        message: format!(
-                            "`std::sync::{}` poisons on panic; workspace standard is parking_lot",
-                            ctx.text(t)
-                        ),
-                    });
-                    hit = true;
-                }
-                j += 1;
-            }
-            i = j;
-            let _ = (e, hit);
+            (i + 4, "std::sync")
+        } else if ctx.is_ident(sig[i], "parking_lot") {
+            (i + 1, "parking_lot")
         } else {
             i += 1;
+            continue;
+        };
+        // Walk the remainder of the path / use-group up to the
+        // statement end and flag lock types inside it.
+        let mut j = start;
+        let mut depth = 0i32;
+        while j < sig.len() {
+            let t = sig[j];
+            if ctx.is_punct(t, '{') {
+                depth += 1;
+            } else if ctx.is_punct(t, '}') {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            } else if ctx.is_punct(t, ';') || (depth == 0 && ctx.is_punct(t, '(')) {
+                break;
+            } else if ctx.is_ident(t, "Mutex")
+                || ctx.is_ident(t, "RwLock")
+                || ctx.is_ident(t, "Condvar")
+            {
+                out.push(Violation {
+                    line: ctx.line_of(t),
+                    message: format!(
+                        "raw `{origin}::{}` is invisible to the fl-race lock graph",
+                        ctx.text(t)
+                    ),
+                });
+            }
+            j += 1;
         }
+        i = j.max(i + 1);
     }
     out
 }

@@ -1,5 +1,5 @@
 //! Negative: guard scopes never overlap.
-use parking_lot::Mutex;
+use fl_race::Mutex;
 
 pub fn transfer(from: &Mutex<u64>, to: &Mutex<u64>, amount: u64) {
     let taken = {

@@ -1,5 +1,5 @@
 //! Positive: acquiring a second lock while a guard is live.
-use parking_lot::Mutex;
+use fl_race::Mutex;
 
 pub fn transfer(from: &Mutex<u64>, to: &Mutex<u64>, amount: u64) {
     let mut a = from.lock();

@@ -1,0 +1,15 @@
+//! Negative: fl-race site-tagged wrappers are the workspace standard.
+use fl_race::{Condvar, Mutex, RwLock, Site};
+
+/// A leaf lock for this fixture (rank table in DESIGN.md §7).
+const SLOT: Site = Site::new("fixture/slot", 200);
+
+pub struct Shared {
+    pub slot: Mutex<u64>,
+    pub table: RwLock<Vec<u64>>,
+    pub signal: Condvar,
+}
+
+pub fn build() -> Mutex<u64> {
+    Mutex::new(SLOT, 0)
+}

@@ -1,0 +1,8 @@
+//! Positive: raw parking_lot primitives, grouped and full-path forms.
+use parking_lot::{Mutex, RwLock};
+
+pub struct Shared {
+    pub slot: Mutex<u64>,
+    pub table: RwLock<Vec<u64>>,
+    pub signal: parking_lot::Condvar,
+}

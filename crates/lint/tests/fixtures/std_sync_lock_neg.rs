@@ -1,5 +1,5 @@
-//! Negative: parking_lot guards and non-lock std::sync items.
-use parking_lot::{Mutex, RwLock};
+//! Negative: fl-race guards and non-lock std::sync items.
+use fl_race::{Mutex, RwLock};
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 

@@ -34,8 +34,17 @@ const CASES: &[(&str, &str, &str, &str, &str)] = &[
         "crates/ml/src/fixture.rs",
         include_str!("fixtures/std_sync_lock_pos.rs"),
         include_str!("fixtures/std_sync_lock_neg.rs"),
-        // The rule is workspace-wide: nothing is out of scope.
-        "",
+        // Workspace-wide, except the crate that owns the wrappers.
+        "crates/race/src/fixture.rs",
+    ),
+    (
+        // Same rule, second face: raw parking_lot primitives bypass
+        // the fl-race lock graph just as std::sync ones do.
+        "std-sync-lock",
+        "crates/server/src/fixture.rs",
+        include_str!("fixtures/parking_lot_pos.rs"),
+        include_str!("fixtures/parking_lot_neg.rs"),
+        "crates/race/src/fixture.rs",
     ),
     (
         "sleep",

@@ -37,7 +37,12 @@ use std::time::{Duration, Instant};
 /// Overload telemetry shared between the live Selector actors and
 /// whatever reads it (dashboards, tests): accepts, sheds, evictions, and
 /// retries recorded straight from the `Checkin` path.
-pub type SharedOverloadMetrics = Arc<parking_lot::Mutex<OverloadMetrics>>;
+pub type SharedOverloadMetrics = Arc<fl_race::Mutex<OverloadMetrics>>;
+
+/// Telemetry is recorded after each admission decision completes, with
+/// no other site held — a leaf lock (rank table in DESIGN.md §7).
+pub(crate) const OVERLOAD_METRICS: fl_race::Site =
+    fl_race::Site::new("server/live.overload_metrics", 60);
 
 /// Reply sent back to a device client.
 #[derive(Debug, Clone)]

@@ -224,8 +224,12 @@ struct GlobalBudgetState {
 /// overload replays byte-for-byte.
 #[derive(Debug, Clone)]
 pub struct GlobalAdmissionBudget {
-    inner: Arc<parking_lot::Mutex<GlobalBudgetState>>,
+    inner: Arc<fl_race::Mutex<GlobalBudgetState>>,
 }
+
+/// Admission decisions touch only this lock — a leaf site (rank table
+/// in DESIGN.md §7).
+const GLOBAL_BUDGET: fl_race::Site = fl_race::Site::new("server/shedding.global_budget", 62);
 
 impl GlobalAdmissionBudget {
     /// Creates a budget with a full first window starting at time 0.
@@ -241,7 +245,7 @@ impl GlobalAdmissionBudget {
             config.validate()
         );
         GlobalAdmissionBudget {
-            inner: Arc::new(parking_lot::Mutex::new(GlobalBudgetState {
+            inner: Arc::new(fl_race::Mutex::new(GLOBAL_BUDGET, GlobalBudgetState {
                 config,
                 window_start_ms: 0,
                 admitted_in_window: 0,

@@ -7,9 +7,13 @@
 //! write per committed round, nothing else.
 
 use fl_core::{CoreError, FlCheckpoint};
-use parking_lot::Mutex;
+use fl_race::{Mutex, Site};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// The shared store's lock is a leaf: commits and audits run while
+/// holding no other site (rank table in DESIGN.md §7).
+const CHECKPOINT_STORE: Site = Site::new("server/storage.checkpoint_store", 50);
 
 /// Abstract checkpoint storage.
 pub trait CheckpointStore {
@@ -101,7 +105,7 @@ impl<S: CheckpointStore> SharedCheckpointStore<S> {
     /// Wraps `inner` in a shared handle.
     pub fn new(inner: S) -> Self {
         SharedCheckpointStore {
-            inner: Arc::new(Mutex::new(inner)),
+            inner: Arc::new(Mutex::new(CHECKPOINT_STORE, inner)),
         }
     }
 

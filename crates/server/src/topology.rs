@@ -196,9 +196,12 @@ pub fn spawn_topology<S: CheckpointStore + Send + 'static>(
     blueprint: &TopologyBlueprint,
 ) -> LiveTopology {
     let budget = blueprint.build_global_budget();
-    let telemetry: Option<SharedOverloadMetrics> = blueprint
-        .telemetry
-        .map(|config| Arc::new(parking_lot::Mutex::new(OverloadMetrics::new(config, 0))));
+    let telemetry: Option<SharedOverloadMetrics> = blueprint.telemetry.map(|config| {
+        Arc::new(fl_race::Mutex::new(
+            crate::live::OVERLOAD_METRICS,
+            OverloadMetrics::new(config, 0),
+        ))
+    });
     let coord_ref = system.spawn("coordinator", coordinator);
     let selectors = blueprint
         .build_selectors(budget.as_ref())

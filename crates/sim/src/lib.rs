@@ -12,6 +12,11 @@
 //! * [`des`] — the virtual-clock event queue,
 //! * [`chaos`] — seeded, replayable fault injection against the real
 //!   server stack, auditing the Sec. 4.2/4.4 recovery guarantees,
+//! * [`explore`] — seeded schedule exploration: the live actor tree
+//!   under permuted mailbox delivery (via the `fl-actors`
+//!   `ScheduleExplorer`) and chaos plans under permuted device timing,
+//!   auditing the never-hang / exactly-one-commit / storage-write /
+//!   obituary-exactly-once invariants across K legal interleavings,
 //! * [`overload`] — flash-crowd / thundering-herd / diurnal-ramp stress
 //!   scenarios auditing the Sec. 2.3 flow-control loop (admission
 //!   shedding, closed-loop pace steering, device retry budgets),
@@ -26,13 +31,15 @@
 pub mod availability;
 pub mod chaos;
 pub mod des;
+pub mod explore;
 pub mod fleet;
 pub mod network;
 pub mod overload;
 pub mod training;
 
 pub use availability::DiurnalAvailability;
-pub use chaos::{ChaosConfig, ChaosReport, Fault, FaultPlan};
+pub use chaos::{run_chaos_with_schedule, ChaosConfig, ChaosReport, Fault, FaultPlan};
+pub use explore::{explore_chaos, explore_live_round, ExploreReport};
 pub use fleet::{FleetConfig, FleetReport};
 pub use overload::{OverloadConfig, OverloadReport, OverloadScenario};
 pub use training::{TrainingRunConfig, TrainingRunReport};

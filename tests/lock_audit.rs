@@ -1,0 +1,132 @@
+//! Tier-1 lock audit: run representative workloads from every crate
+//! that holds locks — the live actor tree, the registry, the timer
+//! wheel, schedule-explored rounds — inside one process, then assert
+//! the global fl-race [`LockGraph`] stayed acyclic and rank-clean.
+//! Unlike a deadlocking run, a *potential* deadlock (both orders of a
+//! lock pair, each observed on some thread, even if never
+//! concurrently) is visible here as a graph cycle.
+//!
+//! The inverted-order fixture builds the bug the gate exists to catch
+//! on a *private* graph (`Mutex::new_in`), so the deliberate cycle
+//! never pollutes the global gate the first tests assert over.
+
+use fl_race::{LockGraph, Mutex, Site};
+
+/// Exercise the real stack: two explored live rounds (different
+/// delivery schedules) plus direct timer/registry traffic, all feeding
+/// the global lock graph, which must stay acyclic with zero rank
+/// violations.
+#[test]
+fn workspace_lock_graph_is_acyclic() {
+    // Live topology under two delivery schedules: Selector actor,
+    // Coordinator actor, Master Aggregator subtree, shared checkpoint
+    // store, locking-service registry, global admission budget, and
+    // overload telemetry all take their locks here.
+    for seed in [0u64, 42] {
+        let report = fl_sim::explore_live_round(seed);
+        assert!(
+            report.is_clean(),
+            "seed {seed} violations: {:?}",
+            report.violations
+        );
+    }
+    // Timer wheel: schedule/cancel traffic takes the seq + handle locks.
+    let wheel = fl_actors::timer::TimerWheel::new();
+    let (tx, rx) = crossbeam::channel::unbounded::<()>();
+    wheel.schedule(std::time::Duration::from_millis(1), move || {
+        let _ = tx.send(());
+    });
+    let _ = rx.recv_timeout(std::time::Duration::from_secs(5));
+    wheel.shutdown();
+
+    let graph = LockGraph::global();
+    assert!(
+        graph.site_count() >= 6,
+        "expected the workloads to register most rank-table sites, saw {}:\n{}",
+        graph.site_count(),
+        graph.render()
+    );
+    // The one intentional nesting in the workspace (obituary publish /
+    // replay) must be present — proof the audit watched real traffic.
+    assert!(
+        graph.has_edge("actors/system.obituary_log", "actors/system.subscribers"),
+        "expected the obituary-log -> subscribers edge:\n{}",
+        graph.render()
+    );
+    let violations = graph.rank_violations();
+    assert!(
+        violations.is_empty(),
+        "rank violations:\n{violations:#?}\n{}",
+        graph.render()
+    );
+    assert!(
+        graph.is_acyclic(),
+        "potential deadlock cycles:\n{}",
+        graph.render()
+    );
+}
+
+/// The gate must *detect* the bug class it guards against: a lock pair
+/// taken in both orders — on one thread, never deadlocking — shows up
+/// as a cycle and two rank violations on its (private) graph.
+#[test]
+fn inverted_lock_order_fixture_is_flagged() {
+    const LEFT: Site = Site::new("fixture/inverted.left", 100);
+    const RIGHT: Site = Site::new("fixture/inverted.right", 101);
+    let graph = LockGraph::new();
+    let left = Mutex::new_in(LEFT, &graph, 0u64);
+    let right = Mutex::new_in(RIGHT, &graph, 0u64);
+
+    // Order 1 (rank-correct): left (100) then right (101).
+    {
+        let a = left.lock();
+        let b = right.lock();
+        drop(b);
+        drop(a);
+    }
+    // Order 2 (inverted): right then left — the classic AB/BA hazard.
+    // No deadlock happens (same thread, sequential), but the graph now
+    // holds both edges.
+    {
+        let b = right.lock();
+        let a = left.lock();
+        drop(a);
+        drop(b);
+    }
+
+    assert!(!graph.is_acyclic(), "AB/BA pair must form a cycle");
+    let cycles = graph.cycles();
+    assert_eq!(cycles.len(), 1, "{cycles:#?}");
+    assert_eq!(
+        cycles[0].sites,
+        vec!["fixture/inverted.left", "fixture/inverted.right"]
+    );
+    // The inverted acquisition also breaks the static rank order.
+    let violations = graph.rank_violations();
+    assert_eq!(violations.len(), 1, "{violations:#?}");
+    assert_eq!(violations[0].held, "fixture/inverted.right");
+    assert_eq!(violations[0].acquired, "fixture/inverted.left");
+    // The report names the hazard even though nothing ever deadlocked.
+    let rendered = graph.render();
+    assert!(rendered.contains("potential deadlock"), "{rendered}");
+    assert!(rendered.contains("fixture/inverted.left"), "{rendered}");
+}
+
+/// Identical lock histories must render byte-identically — a failing
+/// audit is a reproducible artifact, not a flaky snapshot.
+#[test]
+fn identical_histories_render_byte_identically() {
+    const A: Site = Site::new("fixture/render.a", 110);
+    const B: Site = Site::new("fixture/render.b", 111);
+    let build = || {
+        let graph = LockGraph::new();
+        let a = Mutex::new_in(A, &graph, ());
+        let b = Mutex::new_in(B, &graph, ());
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(gb);
+        drop(ga);
+        graph.render()
+    };
+    assert_eq!(build(), build());
+}
