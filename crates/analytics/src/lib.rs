@@ -18,7 +18,9 @@
 //! * [`dashboard`] — ASCII chart rendering for terminal dashboards (the
 //!   `figures` binary uses this to draw Figs. 5–9);
 //! * [`faultlog`] — the deterministic fault/recovery event log written by
-//!   the chaos harness (replayable byte-for-byte from a seed).
+//!   the chaos harness (replayable byte-for-byte from a seed);
+//! * [`wire`] — bytes-on-wire aggregation over [`fl_wire::WireStats`]
+//!   endpoint counters (FIG9 measured from real frames).
 
 pub mod dashboard;
 pub mod faultlog;
@@ -26,9 +28,11 @@ pub mod monitor;
 pub mod overload;
 pub mod sessions;
 pub mod timeseries;
+pub mod wire;
 
 pub use faultlog::{FaultLog, FaultLogEntry};
 pub use monitor::{Alert, DeviationMonitor};
 pub use overload::{OverloadMetrics, OverloadMonitorConfig};
 pub use sessions::SessionShapeTable;
 pub use timeseries::TimeSeries;
+pub use wire::WireTraffic;

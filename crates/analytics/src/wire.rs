@@ -1,0 +1,132 @@
+//! Bytes-on-wire telemetry: FIG9 measured, not modelled.
+//!
+//! Every transport endpoint in the system — a device's [`fl_wire`]
+//! channel or TCP connection, a DES harness's in-memory pair — counts
+//! the frames and bytes it actually moved ([`fl_wire::WireStats`]).
+//! This module aggregates those snapshots into fleet-level traffic
+//! totals so dashboards report what crossed the wire, replacing the
+//! analytic per-payload estimates FIG9 used before the framed protocol
+//! existed. Renders are deterministic (pure functions of the observed
+//! counters), preserving the byte-identical-per-seed replay discipline.
+
+use fl_wire::WireStats;
+
+/// Fleet-level aggregation of per-endpoint wire counters.
+///
+/// Directions follow the convention of the endpoints observed: when
+/// device-side stats are fed in, `sent` is uplink (check-ins, update
+/// reports) and `received` is downlink (configuration, rejections,
+/// acks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireTraffic {
+    endpoints: u64,
+    totals: WireStats,
+}
+
+impl WireTraffic {
+    /// An empty aggregation.
+    pub fn new() -> Self {
+        WireTraffic::default()
+    }
+
+    /// Folds one endpoint's counter snapshot into the totals.
+    pub fn observe(&mut self, stats: WireStats) {
+        self.endpoints += 1;
+        self.totals = self.totals + stats;
+    }
+
+    /// How many endpoint snapshots have been folded in.
+    pub fn endpoints(&self) -> u64 {
+        self.endpoints
+    }
+
+    /// The summed counters across every observed endpoint.
+    pub fn totals(&self) -> WireStats {
+        self.totals
+    }
+
+    /// Mean size of a sent frame (0.0 before any frame was sent).
+    pub fn mean_sent_frame_bytes(&self) -> f64 {
+        if self.totals.frames_sent == 0 {
+            0.0
+        } else {
+            self.totals.bytes_sent as f64 / self.totals.frames_sent as f64
+        }
+    }
+
+    /// Mean size of a received frame (0.0 before any frame arrived).
+    pub fn mean_received_frame_bytes(&self) -> f64 {
+        if self.totals.frames_received == 0 {
+            0.0
+        } else {
+            self.totals.bytes_received as f64 / self.totals.frames_received as f64
+        }
+    }
+
+    /// Received/sent byte ratio — FIG9's download/upload asymmetry when
+    /// the observed endpoints are device-side (`f64::NAN` before any
+    /// byte was sent).
+    pub fn asymmetry(&self) -> f64 {
+        self.totals.bytes_received as f64 / self.totals.bytes_sent as f64
+    }
+
+    /// Canonical one-block text form — byte-identical for identical
+    /// observations.
+    pub fn render(&self) -> String {
+        format!(
+            "wire endpoints={}\n\
+             sent: {} frames / {} bytes (mean {:.1} B/frame)\n\
+             received: {} frames / {} bytes (mean {:.1} B/frame)\n",
+            self.endpoints,
+            self.totals.frames_sent,
+            self.totals.bytes_sent,
+            self.mean_sent_frame_bytes(),
+            self.totals.frames_received,
+            self.totals.bytes_received,
+            self.mean_received_frame_bytes(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(fs: u64, bs: u64, fr: u64, br: u64) -> WireStats {
+        WireStats {
+            frames_sent: fs,
+            bytes_sent: bs,
+            frames_received: fr,
+            bytes_received: br,
+        }
+    }
+
+    #[test]
+    fn observations_accumulate() {
+        let mut t = WireTraffic::new();
+        t.observe(stats(2, 100, 1, 50));
+        t.observe(stats(3, 200, 2, 150));
+        assert_eq!(t.endpoints(), 2);
+        assert_eq!(t.totals(), stats(5, 300, 3, 200));
+        assert!((t.mean_sent_frame_bytes() - 60.0).abs() < 1e-9);
+        assert!((t.mean_received_frame_bytes() - 200.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_traffic_renders_zeroes() {
+        let t = WireTraffic::new();
+        assert_eq!(t.mean_sent_frame_bytes(), 0.0);
+        assert!(t.render().contains("endpoints=0"));
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let mut a = WireTraffic::new();
+        let mut b = WireTraffic::new();
+        for t in [&mut a, &mut b] {
+            t.observe(stats(7, 7_040, 4, 12_920));
+        }
+        assert_eq!(a.render(), b.render());
+        assert!(a.asymmetry() > 1.0, "download-dominated sample");
+    }
+}

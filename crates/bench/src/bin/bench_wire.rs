@@ -1,0 +1,113 @@
+//! Wire-codec throughput bench: `UpdateReport` encode/decode at 1k,
+//! 100k, and 1M parameters, emitting `BENCH_wire.json` at the repo
+//! root.
+//!
+//! ```text
+//! cargo run --release -p fl-bench --bin bench_wire
+//! ```
+//!
+//! The payload is the codec's real frame for an f32 update of the given
+//! parameter count (4 B/param under `CodecSpec::Identity`, the
+//! worst-case upload), so the numbers bound how much CPU a Selector
+//! burns framing/deframing the FIG9 upload path.
+
+use fl_core::DeviceId;
+use fl_server::wire::{self, WireMessage};
+use std::time::Instant;
+
+struct Case {
+    params: usize,
+    frame_bytes: usize,
+    iters: u32,
+    encode_ns_per_frame: f64,
+    encode_mb_per_s: f64,
+    decode_ns_per_frame: f64,
+    decode_mb_per_s: f64,
+}
+
+fn bench_case(params: usize, iters: u32) -> Case {
+    // 4 bytes per f32 parameter, patterned so decode copies real data.
+    let update_bytes: Vec<u8> = (0..params * 4).map(|i| (i % 251) as u8).collect();
+    let msg = WireMessage::UpdateReport {
+        device: DeviceId(7),
+        update_bytes,
+        weight: 42,
+        loss: 0.25,
+        accuracy: 0.75,
+    };
+    let frame = wire::encode(&msg);
+    let frame_bytes = frame.len();
+
+    let start = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..iters {
+        sink = sink.wrapping_add(wire::encode(&msg).len());
+    }
+    let encode_ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        let decoded = wire::decode(&frame).expect("bench frame decodes");
+        if let WireMessage::UpdateReport { update_bytes, .. } = decoded {
+            sink = sink.wrapping_add(update_bytes.len());
+        }
+    }
+    let decode_ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+    assert!(sink > 0, "keep the work observable");
+
+    let mb_per_s = |ns: f64| frame_bytes as f64 / (ns / 1e9) / 1e6;
+    Case {
+        params,
+        frame_bytes,
+        iters,
+        encode_ns_per_frame: encode_ns,
+        encode_mb_per_s: mb_per_s(encode_ns),
+        decode_ns_per_frame: decode_ns,
+        decode_mb_per_s: mb_per_s(decode_ns),
+    }
+}
+
+fn main() {
+    let cases: Vec<Case> = [(1_000usize, 4_000u32), (100_000, 400), (1_000_000, 40)]
+        .iter()
+        .map(|&(params, iters)| {
+            // One warm-up pass per size, then the measured pass.
+            let _ = bench_case(params, iters.min(8));
+            let case = bench_case(params, iters);
+            println!(
+                "UpdateReport {:>9} params ({:>9} B frame): encode {:>8.1} MB/s, decode {:>8.1} MB/s",
+                case.params, case.frame_bytes, case.encode_mb_per_s, case.decode_mb_per_s
+            );
+            case
+        })
+        .collect();
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"wire_codec\",\n");
+    json.push_str(&format!(
+        "  \"protocol_version\": {},\n",
+        wire::PROTOCOL_VERSION
+    ));
+    json.push_str("  \"message\": \"UpdateReport\",\n  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"params\": {}, \"frame_bytes\": {}, \"iters\": {}, \
+             \"encode_ns_per_frame\": {:.0}, \"encode_mb_per_s\": {:.1}, \
+             \"decode_ns_per_frame\": {:.0}, \"decode_mb_per_s\": {:.1}}}{}\n",
+            c.params,
+            c.frame_bytes,
+            c.iters,
+            c.encode_ns_per_frame,
+            c.encode_mb_per_s,
+            c.decode_ns_per_frame,
+            c.decode_mb_per_s,
+            if i + 1 == cases.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    // Anchor at the workspace root regardless of the invocation cwd.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wire.json");
+    std::fs::write(out, &json).expect("write BENCH_wire.json");
+    println!("wrote {out}");
+}

@@ -6,8 +6,12 @@ use fl_core::round::{RoundConfig, RoundOutcome};
 use fl_sim::fleet::{self, FleetConfig, FleetReport};
 use std::fmt::Write as _;
 
-/// The fleet configuration used by the figure experiments.
+/// The fleet configuration used by the figure experiments. Payload sizes
+/// are measured from real encoded `fl-wire` frames for the FIG9 workload
+/// (see [`fleet::measured_payload_sizes`]), not analytic estimates.
 pub fn fleet_config(scale: Scale) -> FleetConfig {
+    let (plan_bytes, checkpoint_bytes, update_bytes) =
+        fleet::measured_payload_sizes(fleet::FIG9_MODEL, fleet::FIG9_CODEC);
     match scale {
         Scale::Quick => FleetConfig {
             devices: 2_000,
@@ -20,9 +24,9 @@ pub fn fleet_config(scale: Scale) -> FleetConfig {
                 report_window_ms: 10 * 60_000,
                 device_cap_ms: 8 * 60_000,
             },
-            plan_bytes: 5_600_000,
-            checkpoint_bytes: 5_600_000,
-            update_bytes: 1_400_000,
+            plan_bytes,
+            checkpoint_bytes,
+            update_bytes,
             work_units: 40_000,
             checkin_period_ms: 60_000,
             failure_probability: 0.04,
@@ -210,6 +214,13 @@ pub fn fig9(report: &FleetReport) -> String {
     writeln!(
         out,
         "cause: each device downloads plan (≈ model size) + checkpoint, uploads a compressed update"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "per-participant frame sizes (measured from encoded fl-wire frames): \
+         plan {} B, checkpoint {} B, update {} B",
+        report.config.plan_bytes, report.config.checkpoint_bytes, report.config.update_bytes
     )
     .unwrap();
     out

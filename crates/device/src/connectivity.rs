@@ -131,6 +131,27 @@ impl ConnectivityManager {
         RetryDecision::RetryAt(backoff_at.max(server_at))
     }
 
+    /// Routes a decoded server wire reply through the retry discipline:
+    /// [`fl_wire::WireMessage::ComeBackLater`] (pace steering) and
+    /// [`fl_wire::WireMessage::Shed`] (admission control) both carry a
+    /// server-suggested reconnect window and count as rejected attempts;
+    /// every other message is not a rejection and returns `None`,
+    /// leaving the backoff state untouched.
+    pub fn on_wire_reply<R: rand::Rng>(
+        &mut self,
+        now_ms: u64,
+        reply: &fl_wire::WireMessage,
+        rng: &mut R,
+    ) -> Option<RetryDecision> {
+        match *reply {
+            fl_wire::WireMessage::ComeBackLater { retry_at_ms }
+            | fl_wire::WireMessage::Shed { retry_at_ms } => {
+                Some(self.on_rejected(now_ms, Some(retry_at_ms), rng))
+            }
+            _ => None,
+        }
+    }
+
     /// Records a successful connection: backoff resets to base. The
     /// budget-window usage is *not* cleared — the budget bounds attempts
     /// per window regardless of outcome.
@@ -307,5 +328,29 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn wire_replies_route_through_the_retry_discipline() {
+        use fl_wire::WireMessage;
+        let mut m = ConnectivityManager::new(policy());
+        let mut rng = seeded(7);
+        // ComeBackLater and Shed are rejections: they honor the carried
+        // server window and advance the backoff state.
+        let d = m
+            .on_wire_reply(0, &WireMessage::ComeBackLater { retry_at_ms: 90_000 }, &mut rng)
+            .expect("a rejection");
+        assert!(d.effective_at_ms() >= 90_000);
+        assert_eq!(m.consecutive_failures(), 1);
+        let d = m
+            .on_wire_reply(1_000, &WireMessage::Shed { retry_at_ms: 300_000 }, &mut rng)
+            .expect("a rejection");
+        assert!(d.effective_at_ms() >= 300_000);
+        assert_eq!(m.consecutive_failures(), 2);
+        // An ack is not a rejection and leaves the state untouched.
+        assert!(m
+            .on_wire_reply(2_000, &WireMessage::ReportAck { accepted: true }, &mut rng)
+            .is_none());
+        assert_eq!(m.consecutive_failures(), 2);
     }
 }

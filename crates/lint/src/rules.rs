@@ -104,7 +104,13 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "missing-doc",
-        include: &["crates/core/src/lib.rs", "crates/server/src/lib.rs"],
+        // fl-wire is linted in full (not just its root): the whole crate
+        // is the public protocol surface other processes build against.
+        include: &[
+            "crates/core/src/lib.rs",
+            "crates/server/src/lib.rs",
+            "crates/wire/src/",
+        ],
         exclude: &[],
         applies_to_tests: false,
         hint: "add a /// doc comment: crate roots are the API contract other crates build against",

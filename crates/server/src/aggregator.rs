@@ -443,27 +443,33 @@ impl Actor for AggregatorActor {
 }
 
 /// Messages handled by a [`MasterAggregatorActor`].
+///
+/// The Coordinator↔Master hop is the Selector↔Aggregator service
+/// boundary of the paper's Fig. 3, so both payload-bearing messages are
+/// *framed* [`fl_wire::WireMessage`]s rather than in-process structs:
+/// the same bytes these mailboxes carry could cross a socket between
+/// separately-deployed services. (Master → shard children stay typed
+/// [`ShardMsg`]s: the shard subtree is in-process by design, it scales
+/// and dies with its master.)
 #[derive(Debug)]
 pub enum MasterMsg {
-    /// One device's encoded report, routed to the device's shard.
-    Accept {
-        /// The reporting device.
-        device: DeviceId,
-        /// Codec-encoded update bytes.
-        update_bytes: Vec<u8>,
-        /// The device's example count (FedAvg weight).
-        weight: u64,
+    /// A framed [`fl_wire::WireMessage::ShardUpdate`]: one device's
+    /// encoded report, routed to the device's shard. Frames that fail to
+    /// decode lose that contribution, never the round.
+    Update {
+        /// The encoded frame.
+        frame: Vec<u8>,
     },
-    /// Close every shard, merge the survivors' intermediate sums, apply
-    /// the round's aggregate to `current_params`, and reply. The actor
-    /// (and its shard children) stop afterwards.
+    /// A framed [`fl_wire::WireMessage::ShardFinalize`]: close every
+    /// shard, merge the survivors' intermediate sums, apply the round's
+    /// aggregate, and reply with a framed
+    /// [`fl_wire::WireMessage::ShardMerged`]. The actor (and its shard
+    /// children) stop afterwards.
     Finalize {
-        /// The round's starting global parameters.
-        current_params: Vec<f32>,
-        /// Devices that dropped out mid-round.
-        dropouts: Vec<DeviceId>,
-        /// Where to deliver `(new_params, contributors)`.
-        reply: Sender<Result<(Vec<f32>, usize), String>>,
+        /// The encoded frame.
+        frame: Vec<u8>,
+        /// Where to deliver the encoded `ShardMerged` reply frame.
+        reply: Sender<Vec<u8>>,
     },
     /// The round ended without a commit (abandoned, evaluation-only):
     /// stop, dropping the shard children so they drain and die.
@@ -525,11 +531,18 @@ impl Actor for MasterAggregatorActor {
 
     fn handle(&mut self, msg: MasterMsg, _ctx: &mut ActorContext<MasterMsg>) -> Flow {
         match msg {
-            MasterMsg::Accept {
-                device,
-                update_bytes,
-                weight,
-            } => {
+            MasterMsg::Update { frame } => {
+                // A frame that is not a well-formed ShardUpdate loses that
+                // device's contribution — the same semantics as a decode
+                // failure inside an Aggregator (Sec. 4.2), never a panic.
+                let Ok(fl_wire::WireMessage::ShardUpdate {
+                    device,
+                    update_bytes,
+                    weight,
+                }) = fl_wire::decode(&frame)
+                else {
+                    return Flow::Continue;
+                };
                 let count = self.shards.len().max(1);
                 let idx = *self
                     .routing
@@ -546,11 +559,22 @@ impl Actor for MasterAggregatorActor {
                 }
                 Flow::Continue
             }
-            MasterMsg::Finalize {
-                current_params,
-                dropouts,
-                reply,
-            } => {
+            MasterMsg::Finalize { frame, reply } => {
+                let (current_params, dropouts) = match fl_wire::decode(&frame) {
+                    Ok(fl_wire::WireMessage::ShardFinalize {
+                        current_params,
+                        dropouts,
+                    }) => (current_params, dropouts),
+                    _ => {
+                        // A malformed close is a protocol failure: the
+                        // round is lost (framed error reply), the subtree
+                        // still tears down cleanly.
+                        let _ = reply.send(fl_wire::encode(&fl_wire::WireMessage::ShardMerged {
+                            merged: Err("malformed ShardFinalize frame".to_string()),
+                        }));
+                        return Flow::Stop;
+                    }
+                };
                 let mut pending = Vec::new();
                 for shard in std::mem::take(&mut self.shards) {
                     let (tx, rx) = unbounded();
@@ -590,7 +614,10 @@ impl Actor for MasterAggregatorActor {
                     )
                     .map_err(|e| e.to_string()),
                 };
-                let _ = reply.send(result);
+                let merged = result.map(|(params, n)| (params, n as u64));
+                let _ = reply.send(fl_wire::encode(&fl_wire::WireMessage::ShardMerged {
+                    merged,
+                }));
                 Flow::Stop
             }
             MasterMsg::Abort => Flow::Stop,
@@ -836,22 +863,32 @@ mod tests {
         for i in 0..updates as u64 {
             let update: Vec<f32> = (0..dim).map(|d| (i as f32) * 0.1 + d as f32).collect();
             actor
-                .send(MasterMsg::Accept {
-                    device: DeviceId(i),
-                    update_bytes: encode(&update, codec),
-                    weight: i + 1,
+                .send(MasterMsg::Update {
+                    frame: fl_wire::encode(&fl_wire::WireMessage::ShardUpdate {
+                        device: DeviceId(i),
+                        update_bytes: encode(&update, codec),
+                        weight: i + 1,
+                    }),
                 })
                 .unwrap();
         }
         let (tx, rx) = unbounded();
         actor
             .send(MasterMsg::Finalize {
-                current_params: vec![1.0f32; dim],
-                dropouts: Vec::new(),
+                frame: fl_wire::encode(&fl_wire::WireMessage::ShardFinalize {
+                    current_params: vec![1.0f32; dim],
+                    dropouts: Vec::new(),
+                }),
                 reply: tx,
             })
             .unwrap();
-        let result = rx.recv().unwrap();
+        let reply_frame = rx.recv().unwrap();
+        let result = match fl_wire::decode(&reply_frame).unwrap() {
+            fl_wire::WireMessage::ShardMerged { merged } => {
+                merged.map(|(params, n)| (params, n as usize))
+            }
+            other => panic!("expected ShardMerged, got {other:?}"),
+        };
         system.join();
         result
     }

@@ -64,6 +64,11 @@ pub mod storage;
 /// Master Aggregator tree across the live and simulated harnesses.
 pub mod topology;
 
+/// The versioned framed wire protocol spoken at the device↔Selector and
+/// Selector↔Aggregator boundaries, re-exported so server consumers get
+/// the exact protocol revision this server was built against.
+pub use fl_wire as wire;
+
 pub use aggregator::{AggregationPlan, MasterAggregator};
 pub use coordinator::{Coordinator, CoordinatorConfig};
 pub use pace::PaceSteering;

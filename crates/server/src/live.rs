@@ -29,7 +29,8 @@ use fl_actors::{Actor, ActorRef, ActorSystem, Context, Flow, Lease, LockingServi
 use fl_analytics::overload::OverloadMetrics;
 use fl_core::plan::FlPlan;
 use fl_core::population::{TaskGroup, TaskKind};
-use fl_core::{CoreError, DeviceId, FlCheckpoint, RoundOutcome};
+use fl_core::{CoreError, DeviceId, RoundOutcome};
+use fl_wire::{ChannelTransport, Transport, WireError, WireMessage, WireSink, WireStats};
 use crossbeam::channel::{unbounded, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -44,51 +45,30 @@ pub type SharedOverloadMetrics = Arc<fl_race::Mutex<OverloadMetrics>>;
 pub(crate) const OVERLOAD_METRICS: fl_race::Site =
     fl_race::Site::new("server/live.overload_metrics", 60);
 
-/// Reply sent back to a device client.
-#[derive(Debug, Clone)]
-pub enum DeviceReply {
-    /// Rejected at the selector; retry at the given time.
-    ComeBackLater {
-        /// Suggested absolute reconnect time (ms since server start).
-        retry_at_ms: u64,
-    },
-    /// Selected: here are the plan and global checkpoint.
-    Configured {
-        /// The device portion metadata (full plan travels by value).
-        plan: Box<FlPlan>,
-        /// The current global model.
-        checkpoint: Box<FlCheckpoint>,
-    },
-    /// The device's report was accepted.
-    ReportAccepted,
-    /// The device's report was discarded (goal already met or too late).
-    ReportDiscarded,
-}
-
 /// Messages understood by the [`CoordinatorActor`].
+///
+/// Device-facing replies are no longer an ad-hoc enum: the server
+/// answers through the connection's [`WireSink`] with framed
+/// [`WireMessage`]s ([`WireMessage::PlanAndCheckpoint`],
+/// [`WireMessage::ReportAck`], [`WireMessage::ComeBackLater`]) — the
+/// single protocol surface defined by `fl-wire`.
 #[derive(Debug)]
 pub enum CoordMsg {
-    /// A selector forwards an accepted device.
+    /// A selector forwards an accepted device together with its
+    /// connection, already stripped of the check-in frame.
     DeviceForwarded {
         /// The device.
         device: DeviceId,
-        /// Where to send replies for this device.
-        reply: Sender<DeviceReply>,
+        /// The device's connection, for configuration/ack replies.
+        conn: WireSink,
     },
-    /// A device reports its update.
-    DeviceReport {
-        /// The device.
-        device: DeviceId,
-        /// Codec-encoded update bytes.
-        update_bytes: Vec<u8>,
-        /// Update weight (local example count).
-        weight: u64,
-        /// Local loss metric.
-        loss: f64,
-        /// Local accuracy metric.
-        accuracy: f64,
-        /// Reply channel.
-        reply: Sender<DeviceReply>,
+    /// A framed [`WireMessage::UpdateReport`] arrived on a device
+    /// connection.
+    Report {
+        /// The encoded frame.
+        frame: Vec<u8>,
+        /// The device's connection, for the [`WireMessage::ReportAck`].
+        conn: WireSink,
     },
     /// Periodic clock tick.
     Tick,
@@ -117,7 +97,7 @@ pub struct CoordinatorActor<S: CheckpointStore + Send + 'static = InMemoryCheckp
     /// `AggregatorActor` children hold the shard sums. `None` between
     /// rounds and for evaluation tasks.
     master: Option<ActorRef<MasterMsg>>,
-    device_replies: std::collections::HashMap<DeviceId, Sender<DeviceReply>>,
+    device_replies: std::collections::HashMap<DeviceId, WireSink>,
     epoch: Instant,
     lease: Lease,
     locks: LockingService<String>,
@@ -262,10 +242,12 @@ impl<S: CheckpointStore + Send + 'static> CoordinatorActor<S> {
     }
 
     /// Closes the round's Master Aggregator subtree and collects its
-    /// merged aggregate. A master that died mid-round (its mailbox or
-    /// reply channel is gone) surfaces as an error: the round is lost,
-    /// nothing reaches storage, and the next round restarts from the
-    /// committed checkpoint — Sec. 4.2's Master Aggregator loss semantics.
+    /// merged aggregate — a framed `ShardFinalize`/`ShardMerged`
+    /// exchange over the Selector↔Aggregator wire boundary. A master
+    /// that died mid-round (its mailbox or reply channel is gone)
+    /// surfaces as an error: the round is lost, nothing reaches storage,
+    /// and the next round restarts from the committed checkpoint —
+    /// Sec. 4.2's Master Aggregator loss semantics.
     fn finalize_external(
         master: &ActorRef<MasterMsg>,
         round: &ActiveRound,
@@ -275,19 +257,29 @@ impl<S: CheckpointStore + Send + 'static> CoordinatorActor<S> {
         let (tx, rx) = unbounded();
         master
             .send(MasterMsg::Finalize {
-                current_params: round.checkpoint.params().to_vec(),
-                dropouts: round.dropouts().to_vec(),
+                frame: fl_wire::encode(&WireMessage::ShardFinalize {
+                    current_params: round.checkpoint.params().to_vec(),
+                    dropouts: round.dropouts().to_vec(),
+                }),
                 reply: tx,
             })
             .map_err(|_| dead())?;
         match rx.recv() {
-            Ok(result) => result.map_err(CoreError::MalformedCheckpoint),
+            Ok(frame) => match fl_wire::decode(&frame) {
+                Ok(WireMessage::ShardMerged { merged }) => merged
+                    .map(|(params, n)| (params, n as usize))
+                    .map_err(CoreError::MalformedCheckpoint),
+                _ => Err(CoreError::InvariantViolated(
+                    "master aggregator replied with a non-ShardMerged frame".into(),
+                )),
+            },
             Err(_) => Err(dead()),
         }
     }
 
-    /// Send configuration to every participant once the round enters
-    /// Reporting.
+    /// Send the Configuration download — one framed
+    /// [`WireMessage::PlanAndCheckpoint`] per participant — once the
+    /// round enters Reporting.
     fn push_configuration(&mut self) {
         let Some(round) = &self.active else { return };
         if round.state.phase() != crate::round::Phase::Reporting {
@@ -296,8 +288,8 @@ impl<S: CheckpointStore + Send + 'static> CoordinatorActor<S> {
         let plan = round.plan.clone();
         let checkpoint = round.checkpoint.clone();
         for d in round.state.participants() {
-            if let Some(reply) = self.device_replies.get(&d) {
-                let _ = reply.send(DeviceReply::Configured {
+            if let Some(conn) = self.device_replies.get(&d) {
+                let _ = conn.send(&WireMessage::PlanAndCheckpoint {
                     plan: Box::new(plan.clone()),
                     checkpoint: Box::new(checkpoint.clone()),
                 });
@@ -311,7 +303,7 @@ impl<S: CheckpointStore + Send + 'static> Actor for CoordinatorActor<S> {
 
     fn handle(&mut self, msg: CoordMsg, ctx: &mut Context<CoordMsg>) -> Flow {
         match msg {
-            CoordMsg::DeviceForwarded { device, reply } => {
+            CoordMsg::DeviceForwarded { device, conn } => {
                 self.ensure_round(ctx);
                 let now = self.now_ms();
                 if let Some(round) = &mut self.active {
@@ -319,21 +311,22 @@ impl<S: CheckpointStore + Send + 'static> Actor for CoordinatorActor<S> {
                         round.state.phase() == crate::round::Phase::Selection;
                     match round.on_checkin(device, now) {
                         CheckinResponse::Selected => {
-                            self.device_replies.insert(device, reply);
+                            self.device_replies.insert(device, conn);
                             if was_selecting {
                                 self.push_configuration();
                             }
                         }
                         CheckinResponse::AlreadySelected => {
                             // A retrying participant keeps its slot; route
-                            // replies to its fresh channel and re-send the
-                            // configuration if the round already has one.
-                            self.device_replies.insert(device, reply);
+                            // replies to its fresh connection and re-send
+                            // the configuration if the round already has
+                            // one.
+                            self.device_replies.insert(device, conn);
                             if round.state.phase() == crate::round::Phase::Reporting {
                                 let plan = round.plan.clone();
                                 let checkpoint = round.checkpoint.clone();
-                                if let Some(r) = self.device_replies.get(&device) {
-                                    let _ = r.send(DeviceReply::Configured {
+                                if let Some(c) = self.device_replies.get(&device) {
+                                    let _ = c.send(&WireMessage::PlanAndCheckpoint {
                                         plan: Box::new(plan),
                                         checkpoint: Box::new(checkpoint),
                                     });
@@ -351,44 +344,53 @@ impl<S: CheckpointStore + Send + 'static> Actor for CoordinatorActor<S> {
                                 1.0,
                                 &mut self.pace_rng,
                             );
-                            let _ = reply.send(DeviceReply::ComeBackLater { retry_at_ms });
+                            let _ = conn.send(&WireMessage::ComeBackLater { retry_at_ms });
                         }
                     }
                 }
                 Flow::Continue
             }
-            CoordMsg::DeviceReport {
-                device,
-                update_bytes,
-                weight,
-                loss,
-                accuracy,
-                reply,
-            } => {
+            CoordMsg::Report { frame, conn } => {
+                // Decode at the wire boundary; a frame that is not an
+                // `UpdateReport` (stream desync, protocol drift) is
+                // answered with a rejecting ack rather than a panic.
+                let Ok(WireMessage::UpdateReport {
+                    device,
+                    update_bytes,
+                    weight,
+                    loss,
+                    accuracy,
+                }) = fl_wire::decode(&frame)
+                else {
+                    let _ = conn.send(&WireMessage::ReportAck { accepted: false });
+                    return Flow::Continue;
+                };
                 let now = self.now_ms();
-                if let Some(round) = &mut self.active {
+                let accepted = if let Some(round) = &mut self.active {
                     // The round does the protocol accounting (participant
                     // check, lateness, goal count, session logs); accepted
                     // bytes stream on to the round's Aggregator shard via
-                    // the Master Aggregator subtree.
+                    // the Master Aggregator subtree as a framed
+                    // `ShardUpdate`.
                     match round.on_report(device, now, &update_bytes, weight, loss, accuracy) {
                         Ok(ReportResponse::Accepted) => {
                             if let Some(master) = &self.master {
-                                let _ = master.send(MasterMsg::Accept {
-                                    device,
-                                    update_bytes,
-                                    weight,
+                                let _ = master.send(MasterMsg::Update {
+                                    frame: fl_wire::encode(&WireMessage::ShardUpdate {
+                                        device,
+                                        update_bytes,
+                                        weight,
+                                    }),
                                 });
                             }
-                            let _ = reply.send(DeviceReply::ReportAccepted);
+                            true
                         }
-                        _ => {
-                            let _ = reply.send(DeviceReply::ReportDiscarded);
-                        }
+                        _ => false,
                     }
                 } else {
-                    let _ = reply.send(DeviceReply::ReportDiscarded);
-                }
+                    false
+                };
+                let _ = conn.send(&WireMessage::ReportAck { accepted });
                 Flow::Continue
             }
             CoordMsg::SetPopulationEstimate(estimate) => {
@@ -466,12 +468,17 @@ impl<S: CheckpointStore + Send + 'static> Actor for CoordinatorActor<S> {
 /// Messages understood by the [`SelectorActor`].
 #[derive(Debug)]
 pub enum SelectorMsg {
-    /// A device checks in from the field.
+    /// A framed [`WireMessage::CheckinRequest`] arrived on a device
+    /// connection. The gateway that owns the socket routes the raw frame
+    /// here by [`fl_wire::peek_tag`]; the selector decodes it and answers
+    /// through `conn` with [`WireMessage::Shed`] /
+    /// [`WireMessage::ComeBackLater`], or forwards the accepted device to
+    /// the Coordinator.
     Checkin {
-        /// The device.
-        device: DeviceId,
-        /// Reply channel for accept/reject.
-        reply: Sender<DeviceReply>,
+        /// The encoded check-in frame.
+        frame: Vec<u8>,
+        /// The device's connection, for replies.
+        conn: WireSink,
     },
     /// Coordinator quota instruction.
     SetQuota(usize),
@@ -539,11 +546,20 @@ impl Actor for SelectorActor {
 
     fn handle(&mut self, msg: SelectorMsg, _ctx: &mut Context<SelectorMsg>) -> Flow {
         match msg {
-            SelectorMsg::Checkin { device, reply } => {
+            SelectorMsg::Checkin { frame, conn } => {
+                // A frame that is not a well-formed `CheckinRequest`
+                // (garbage, version skew, stream desync) is dropped
+                // silently: the peer is not speaking the protocol, so no
+                // protocol-level reply applies.
+                let Ok(WireMessage::CheckinRequest { device }) = fl_wire::decode(&frame)
+                else {
+                    return Flow::Continue;
+                };
                 let now = self.epoch.elapsed().as_millis() as u64;
                 let shed_before = self.selector.shed_total();
                 let evicted_before = self.selector.evicted_total();
                 let decision = self.selector.on_checkin(device, now, 1.0);
+                let shed = self.selector.shed_total() > shed_before;
                 if let Some(telemetry) = &self.telemetry {
                     let mut metrics = telemetry.lock();
                     for _ in evicted_before..self.selector.evicted_total() {
@@ -552,7 +568,7 @@ impl Actor for SelectorActor {
                     match decision {
                         CheckinDecision::Accept => metrics.record_accept(now),
                         CheckinDecision::Reject { .. } => {
-                            if self.selector.shed_total() > shed_before {
+                            if shed {
                                 metrics.record_shed(now);
                             }
                             // Every rejection sends the device into its
@@ -566,13 +582,22 @@ impl Actor for SelectorActor {
                         // Forward to the Aggregator/Coordinator layer; the
                         // selector releases the device from its own set.
                         self.selector.on_disconnect(device);
-                        let _ = self.coordinator.send(CoordMsg::DeviceForwarded {
-                            device,
-                            reply,
-                        });
+                        let _ = self
+                            .coordinator
+                            .send(CoordMsg::DeviceForwarded { device, conn });
                     }
                     CheckinDecision::Reject { retry_at_ms } => {
-                        let _ = reply.send(DeviceReply::ComeBackLater { retry_at_ms });
+                        // Admission-control sheds and ordinary pacing
+                        // rejects are distinct wire messages: a `Shed`
+                        // tells the device the server is over capacity
+                        // (Sec. 5's load shedding), a `ComeBackLater` is
+                        // routine pace steering.
+                        let msg = if shed {
+                            WireMessage::Shed { retry_at_ms }
+                        } else {
+                            WireMessage::ComeBackLater { retry_at_ms }
+                        };
+                        let _ = conn.send(&msg);
                     }
                 }
                 Flow::Continue
@@ -597,6 +622,120 @@ impl Actor for SelectorActor {
             }
             SelectorMsg::Shutdown => Flow::Stop,
         }
+    }
+}
+
+/// An in-memory device connection to the live topology: the client half
+/// of a [`ChannelTransport`] pair plus the gateway half whose inbound
+/// frames the caller pumps into the Selector/Coordinator mailboxes.
+///
+/// This is the same shape as the TCP front door in
+/// `examples/live_server.rs` — one connection, framed [`WireMessage`]s
+/// in both directions, inbound frames routed to an actor by
+/// [`fl_wire::peek_tag`] — with the per-connection gateway thread
+/// collapsed into the device's own thread (the pump runs opportunistically
+/// inside [`DeviceConn::recv`]).
+pub struct DeviceConn {
+    device: DeviceId,
+    client: ChannelTransport,
+    gateway: ChannelTransport,
+    selector: ActorRef<SelectorMsg>,
+    coordinator: ActorRef<CoordMsg>,
+}
+
+impl std::fmt::Debug for DeviceConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceConn")
+            .field("device", &self.device)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DeviceConn {
+    /// Opens an in-memory connection from `device` to the given selector,
+    /// with update reports routed to `coordinator`.
+    pub fn connect(
+        device: DeviceId,
+        selector: ActorRef<SelectorMsg>,
+        coordinator: ActorRef<CoordMsg>,
+    ) -> Self {
+        let (client, gateway) = ChannelTransport::pair();
+        DeviceConn {
+            device,
+            client,
+            gateway,
+            selector,
+            coordinator,
+        }
+    }
+
+    /// Routes every frame the device has sent so far into the right
+    /// server mailbox — the gateway role a per-connection thread plays in
+    /// the TCP front door.
+    fn pump(&self) -> Result<(), WireError> {
+        while let Some(frame) = self.gateway.try_recv_frame()? {
+            let target_ok = match fl_wire::peek_tag(&frame) {
+                Ok(fl_wire::tag::UPDATE_REPORT) => self
+                    .coordinator
+                    .send(CoordMsg::Report {
+                        frame,
+                        conn: self.gateway.sink(),
+                    })
+                    .is_ok(),
+                // Everything else goes to the selector, which drops
+                // non-check-in frames silently — same policy as the TCP
+                // gateway, so garbage cannot crash the connection.
+                Ok(_) => self
+                    .selector
+                    .send(SelectorMsg::Checkin {
+                        frame,
+                        conn: self.gateway.sink(),
+                    })
+                    .is_ok(),
+                Err(_) => true, // unframeable junk: drop it
+            };
+            if !target_ok {
+                return Err(WireError::Closed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends a [`WireMessage::CheckinRequest`] for this device.
+    pub fn check_in(&self) -> Result<(), WireError> {
+        self.client
+            .send(&WireMessage::CheckinRequest { device: self.device })?;
+        self.pump()
+    }
+
+    /// Sends a [`WireMessage::UpdateReport`] with the given payload.
+    pub fn report(
+        &self,
+        update_bytes: Vec<u8>,
+        weight: u64,
+        loss: f64,
+        accuracy: f64,
+    ) -> Result<(), WireError> {
+        self.client.send(&WireMessage::UpdateReport {
+            device: self.device,
+            update_bytes,
+            weight,
+            loss,
+            accuracy,
+        })?;
+        self.pump()
+    }
+
+    /// Receives the next server reply, pumping any not-yet-routed
+    /// outbound frames first.
+    pub fn recv(&self, timeout: Duration) -> Result<WireMessage, WireError> {
+        self.pump()?;
+        self.client.recv_timeout(timeout)
+    }
+
+    /// Bytes-on-wire counters for the device end of this connection.
+    pub fn stats(&self) -> WireStats {
+        self.client.stats()
     }
 }
 
@@ -750,40 +889,38 @@ mod tests {
         let (selector_refs, coord_ref) = (topology.selectors, topology.coordinator);
         assert!(locks.lookup("coordinator/pop").is_some());
 
-        // Four device clients, each on its own thread.
+        // Four device clients, each on its own thread, each speaking the
+        // framed wire protocol over an in-memory transport.
         let handles: Vec<_> = (0..4u64)
             .map(|i| {
                 let sel = selector_refs[0].clone();
                 let coord = coord_ref.clone();
                 std::thread::spawn(move || {
-                    let (tx, rx) = unbounded();
-                    sel.send(SelectorMsg::Checkin {
-                        device: DeviceId(i),
-                        reply: tx.clone(),
-                    })
-                    .unwrap();
+                    let conn = DeviceConn::connect(DeviceId(i), sel, coord);
+                    conn.check_in().unwrap();
                     // Wait to be configured.
                     loop {
-                        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
-                            DeviceReply::Configured { plan, checkpoint } => {
+                        match conn.recv(Duration::from_secs(5)).unwrap() {
+                            WireMessage::PlanAndCheckpoint { plan, checkpoint } => {
                                 let dim = plan.server.expected_dim;
                                 assert_eq!(checkpoint.len(), dim);
                                 let update = vec![0.25f32; dim];
                                 let bytes = CodecSpec::Identity.build().encode(&update);
-                                coord
-                                    .send(CoordMsg::DeviceReport {
-                                        device: DeviceId(i),
-                                        update_bytes: bytes,
-                                        weight: 4,
-                                        loss: 0.5,
-                                        accuracy: 0.8,
-                                        reply: tx.clone(),
-                                    })
-                                    .unwrap();
+                                conn.report(bytes, 4, 0.5, 0.8).unwrap();
                             }
-                            DeviceReply::ReportAccepted => return true,
-                            DeviceReply::ReportDiscarded => return false,
-                            DeviceReply::ComeBackLater { .. } => return false,
+                            WireMessage::ReportAck { accepted } => {
+                                // The round trip moved real frames: the
+                                // device's own counters saw both
+                                // directions.
+                                let stats = conn.stats();
+                                assert!(stats.bytes_sent > 0);
+                                assert!(stats.bytes_received > 0);
+                                return accepted;
+                            }
+                            WireMessage::ComeBackLater { .. } | WireMessage::Shed { .. } => {
+                                return false
+                            }
+                            other => panic!("unexpected server reply {other:?}"),
                         }
                     }
                 })
@@ -865,28 +1002,18 @@ mod tests {
         let (selector_refs, coord_ref) = (topology.selectors, topology.coordinator);
 
         // First device fills the goal; the round enters Reporting.
-        let (tx, rx) = unbounded();
-        selector_refs[0]
-            .send(SelectorMsg::Checkin {
-                device: DeviceId(0),
-                reply: tx,
-            })
-            .unwrap();
+        let first = DeviceConn::connect(DeviceId(0), selector_refs[0].clone(), coord_ref.clone());
+        first.check_in().unwrap();
         assert!(matches!(
-            rx.recv_timeout(Duration::from_secs(5)).unwrap(),
-            DeviceReply::Configured { .. }
+            first.recv(Duration::from_secs(5)).unwrap(),
+            WireMessage::PlanAndCheckpoint { .. }
         ));
 
         // Second device finds the round NotSelecting.
-        let (tx2, rx2) = unbounded();
-        selector_refs[0]
-            .send(SelectorMsg::Checkin {
-                device: DeviceId(1),
-                reply: tx2,
-            })
-            .unwrap();
-        match rx2.recv_timeout(Duration::from_secs(5)).unwrap() {
-            DeviceReply::ComeBackLater { retry_at_ms } => {
+        let second = DeviceConn::connect(DeviceId(1), selector_refs[0].clone(), coord_ref.clone());
+        second.check_in().unwrap();
+        match second.recv(Duration::from_secs(5)).unwrap() {
+            WireMessage::ComeBackLater { retry_at_ms } => {
                 // quick_round(1).selection_timeout_ms == 5_000: the next
                 // rendezvous tick lies at or beyond it, far beyond the old
                 // `now + 1_000` constant (the test runs well inside 4 s).
@@ -897,6 +1024,64 @@ mod tests {
             }
             other => panic!("expected ComeBackLater, got {other:?}"),
         }
+
+        for s in &selector_refs {
+            s.send(SelectorMsg::Shutdown).unwrap();
+        }
+        coord_ref.send(CoordMsg::Shutdown).unwrap();
+        system.join();
+    }
+
+    /// A malformed or mis-tagged frame on the check-in path must be
+    /// dropped silently — not crash the selector, not earn a reply —
+    /// and the connection must keep working for well-formed traffic.
+    #[test]
+    fn garbage_checkin_frame_is_dropped_silently() {
+        let system = ActorSystem::new();
+        let locks = LockingService::new();
+        let task = FlTask::training("t", "pop4").with_round(quick_round(1));
+        let plan = FlPlan::standard_training(spec(), 1, 8, 0.1, CodecSpec::Identity);
+        let group = TaskGroup::new(vec![task], TaskSelectionStrategy::Single);
+        let coordinator = CoordinatorActor::new(
+            CoordinatorConfig::new("pop4", 7),
+            group,
+            vec![plan],
+            vec![0.0; spec().num_params()],
+            locks.clone(),
+        );
+        let blueprint =
+            TopologyBlueprint::new(vec![SelectorSpec::new(PaceSteering::new(1_000, 10), 100, 1, 10)]);
+        let topology = spawn_topology(&system, coordinator, &blueprint);
+        let (selector_refs, coord_ref) = (topology.selectors, topology.coordinator);
+
+        // Inject raw garbage and a valid frame of the wrong type straight
+        // into the selector mailbox, as a hostile or desynced gateway
+        // would.
+        let (client, gateway) = fl_wire::ChannelTransport::pair();
+        selector_refs[0]
+            .send(SelectorMsg::Checkin {
+                frame: vec![0xFF, 0x00, 0xAB],
+                conn: gateway.sink(),
+            })
+            .unwrap();
+        selector_refs[0]
+            .send(SelectorMsg::Checkin {
+                frame: fl_wire::encode(&WireMessage::ReportAck { accepted: true }),
+                conn: gateway.sink(),
+            })
+            .unwrap();
+        // Neither earns a reply...
+        assert_eq!(
+            client.recv_timeout(Duration::from_millis(200)).unwrap_err(),
+            WireError::Timeout
+        );
+        // ...and the selector still serves a well-formed check-in.
+        let conn = DeviceConn::connect(DeviceId(5), selector_refs[0].clone(), coord_ref.clone());
+        conn.check_in().unwrap();
+        assert!(matches!(
+            conn.recv(Duration::from_secs(5)).unwrap(),
+            WireMessage::PlanAndCheckpoint { .. }
+        ));
 
         for s in &selector_refs {
             s.send(SelectorMsg::Shutdown).unwrap();

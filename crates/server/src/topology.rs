@@ -184,6 +184,21 @@ pub struct LiveTopology {
     pub telemetry: Option<SharedOverloadMetrics>,
 }
 
+impl LiveTopology {
+    /// Asks every actor in the tree to stop. Idempotent send-or-ignore:
+    /// an actor that already stopped (or crashed) has a dead mailbox, and
+    /// a second `shutdown()` — or one racing an actor's own exit — must
+    /// be a no-op, not a panic. Callers that used to `.send(..).unwrap()`
+    /// each handle individually turned benign teardown races into test
+    /// flakes.
+    pub fn shutdown(&self) {
+        for s in &self.selectors {
+            let _ = s.send(SelectorMsg::Shutdown);
+        }
+        let _ = self.coordinator.send(CoordMsg::Shutdown);
+    }
+}
+
 /// Spawns the live tree described by `blueprint` around an already-built
 /// [`CoordinatorActor`]: the coordinator under the name `"coordinator"`,
 /// one `"selector-<i>"` per spec, all sharing the blueprint's global

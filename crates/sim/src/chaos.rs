@@ -45,6 +45,7 @@ use fl_server::round::{CheckinResponse, ReportResponse};
 use fl_server::selector::{CheckinDecision, Selector};
 use fl_server::storage::{CheckpointStore, FaultyCheckpointStore, InMemoryCheckpointStore};
 use fl_server::topology::{DeploymentSpec, SelectorSpec, TopologyBlueprint};
+use fl_server::wire::{ChannelTransport, Transport, WireMessage, WireStats};
 use rand::RngExt;
 use std::collections::BTreeMap;
 
@@ -279,6 +280,10 @@ pub struct ChaosReport {
     pub idempotent_checkins: u64,
     /// Final checkpoint write count (must equal `1 + committed`).
     pub final_write_count: u64,
+    /// Bytes-on-wire counters from the device end of the harness's
+    /// in-memory transport: every check-in, configuration download, update
+    /// report, and ack crossed it as a framed [`WireMessage`].
+    pub wire: WireStats,
     /// Recovery-guarantee violations; empty on a clean run.
     pub violations: Vec<String>,
     /// The replayable fault/recovery log.
@@ -296,7 +301,9 @@ impl ChaosReport {
         let mut out = format!(
             "seed={}\ncommitted={} abandoned={} lost_to_storage={} master_restarts={}\n\
              respawns={} lease_reacquisitions={} idempotent_checkins={}\n\
-             write_count={}\nviolations={}\n",
+             write_count={}\n\
+             wire up_frames={} up_bytes={} down_frames={} down_bytes={}\n\
+             violations={}\n",
             self.seed,
             self.committed,
             self.abandoned,
@@ -306,6 +313,10 @@ impl ChaosReport {
             self.lease_reacquisitions,
             self.idempotent_checkins,
             self.final_write_count,
+            self.wire.frames_sent,
+            self.wire.bytes_sent,
+            self.wire.frames_received,
+            self.wire.bytes_received,
             self.violations.len(),
         );
         for v in &self.violations {
@@ -365,6 +376,14 @@ struct Harness<'a> {
     rng: rand::rngs::StdRng,
     report: ChaosReport,
     dim: usize,
+    /// The fleet's in-memory wire: the device side of a
+    /// [`ChannelTransport`] pair. Every check-in and update report is
+    /// encoded here as a framed [`WireMessage`] and decoded on the server
+    /// side before it touches a state machine — the DES exercises the same
+    /// codec path as the live topology and the TCP front door.
+    device_wire: ChannelTransport,
+    /// The server side of the pair.
+    server_wire: ChannelTransport,
 }
 
 /// Mixes a schedule seed into the harness timing stream (one splitmix64
@@ -433,6 +452,7 @@ pub fn run_chaos_with_schedule(
             .collect(),
     );
     let coordinator = deployment.new_coordinator(store);
+    let (device_wire, server_wire) = ChannelTransport::pair();
     let mut h = Harness {
         config,
         plan,
@@ -458,10 +478,13 @@ pub fn run_chaos_with_schedule(
             lease_reacquisitions: 0,
             idempotent_checkins: 0,
             final_write_count: 0,
+            wire: WireStats::default(),
             violations: Vec::new(),
             log: FaultLog::new(),
         },
         dim,
+        device_wire,
+        server_wire,
     };
 
     if !h.deploy_current(0) {
@@ -595,6 +618,34 @@ impl Harness<'_> {
         self.queue.schedule_at(now + delay, Event::Report { device });
     }
 
+    /// Sends `msg` from the device side of the in-memory wire and decodes
+    /// it on the server side — the harness's device↔Selector exchanges go
+    /// through the real framed codec, not a function call. Returns `None`
+    /// (with a violation) if the frame fails to round-trip.
+    fn wire_uplink(&mut self, now: u64, msg: &WireMessage) -> Option<WireMessage> {
+        if self.device_wire.send(msg).is_err() {
+            self.report
+                .violations
+                .push(format!("t={now}: wire uplink send failed"));
+            return None;
+        }
+        match self.server_wire.try_recv() {
+            Ok(Some(decoded)) => Some(decoded),
+            _ => {
+                self.report
+                    .violations
+                    .push(format!("t={now}: frame lost on the uplink"));
+                None
+            }
+        }
+    }
+
+    /// Drains (and counts) every reply frame the server pushed to the
+    /// fleet's device side.
+    fn drain_downlink(&mut self) {
+        while let Ok(Some(_)) = self.device_wire.try_recv() {}
+    }
+
     fn on_checkin(&mut self, now: u64, device: u64) {
         // Periodic re-check-in, with seeded jitter to avoid lockstep.
         let next = now
@@ -604,52 +655,92 @@ impl Harness<'_> {
         if self.offline_until.get(&device).is_some_and(|&t| t > now) {
             return;
         }
+        // The check-in crosses the wire as a framed request; the server
+        // side acts only on what it decoded.
+        let Some(WireMessage::CheckinRequest { device: wired }) = self.wire_uplink(
+            now,
+            &WireMessage::CheckinRequest {
+                device: DeviceId(device),
+            },
+        ) else {
+            return;
+        };
         // Every check-in enters through its Selector (device id modulo
         // the selector count), same routing as the live topology; the
         // sim hands the device straight to the round, so the held slot
         // is released immediately after the admission decision.
-        let selector = &mut self.selectors[(device % self.config.selectors) as usize];
-        match selector.on_checkin(DeviceId(device), now, 1.0) {
-            CheckinDecision::Accept => selector.on_disconnect(DeviceId(device)),
-            CheckinDecision::Reject { .. } => {
-                self.pool.add(DeviceId(device), now);
+        let selector = &mut self.selectors[(wired.0 % self.config.selectors) as usize];
+        match selector.on_checkin(wired, now, 1.0) {
+            CheckinDecision::Accept => selector.on_disconnect(wired),
+            CheckinDecision::Reject { retry_at_ms } => {
+                let _ = self
+                    .server_wire
+                    .send(&WireMessage::ComeBackLater { retry_at_ms });
+                self.drain_downlink();
+                self.pool.add(wired, now);
                 return;
             }
         }
         match self.active.as_mut() {
-            Some(round) => match round.on_checkin(DeviceId(device), now) {
-                CheckinResponse::Selected => self.schedule_report(now, device),
+            Some(round) => match round.on_checkin(wired, now) {
+                CheckinResponse::Selected => {
+                    // The Configuration download crosses the wire too, so
+                    // the byte counters cover the dominant direction.
+                    let _ = self.server_wire.send(&WireMessage::PlanAndCheckpoint {
+                        plan: Box::new(round.plan.clone()),
+                        checkpoint: Box::new(round.checkpoint.clone()),
+                    });
+                    self.schedule_report(now, wired.0);
+                }
                 CheckinResponse::AlreadySelected => {
                     // The duplicate was answered idempotently — the slot
                     // survives a retried check-in (Sec. 4.2 bugfix).
                     self.report.idempotent_checkins += 1;
                 }
-                CheckinResponse::NotSelecting => self.pool.add(DeviceId(device), now),
+                CheckinResponse::NotSelecting => self.pool.add(wired, now),
             },
-            None => self.pool.add(DeviceId(device), now),
+            None => self.pool.add(wired, now),
         }
+        self.drain_downlink();
     }
 
     fn on_report(&mut self, now: u64, device: u64) {
-        let Some(round) = self.active.as_mut() else {
+        if self.active.is_none() {
             return; // The round this report belonged to is gone.
-        };
+        }
         if self.offline_until.get(&device).is_some_and(|&t| t > now) {
-            round.on_dropout(DeviceId(device), now);
+            if let Some(round) = self.active.as_mut() {
+                round.on_dropout(DeviceId(device), now);
+            }
             return;
         }
         let update = vec![0.1 + (device % 5) as f32 * 0.01; self.dim];
-        let bytes = CodecSpec::Identity.build().encode(&update);
-        let weight = 1 + device % 7;
-        let loss = 0.9 - (device % 10) as f64 * 0.02;
-        let accuracy = 0.5 + (device % 10) as f64 * 0.03;
-        match round.on_report(DeviceId(device), now, &bytes, weight, loss, accuracy) {
-            Ok(
-                ReportResponse::Accepted
-                | ReportResponse::Aborted
-                | ReportResponse::RejectedLate
-                | ReportResponse::NotParticipant,
-            ) => {}
+        let report_msg = WireMessage::UpdateReport {
+            device: DeviceId(device),
+            update_bytes: CodecSpec::Identity.build().encode(&update),
+            weight: 1 + device % 7,
+            loss: 0.9 - (device % 10) as f64 * 0.02,
+            accuracy: 0.5 + (device % 10) as f64 * 0.03,
+        };
+        let Some(WireMessage::UpdateReport {
+            device: wired,
+            update_bytes,
+            weight,
+            loss,
+            accuracy,
+        }) = self.wire_uplink(now, &report_msg)
+        else {
+            return;
+        };
+        let Some(round) = self.active.as_mut() else {
+            return;
+        };
+        match round.on_report(wired, now, &update_bytes, weight, loss, accuracy) {
+            Ok(response) => {
+                let accepted = matches!(response, ReportResponse::Accepted);
+                let _ = self.server_wire.send(&WireMessage::ReportAck { accepted });
+                self.drain_downlink();
+            }
             Err(e) => self
                 .report
                 .violations
@@ -990,6 +1081,7 @@ impl Harness<'_> {
 
     fn finish(mut self) -> ChaosReport {
         self.report.final_write_count = self.write_count();
+        self.report.wire = self.device_wire.stats();
         // The paper's storage audit: one write at deployment plus one per
         // committed round; per-device updates are never persisted.
         if self.report.final_write_count != 1 + self.report.committed {

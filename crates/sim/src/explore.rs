@@ -35,7 +35,8 @@ use fl_core::population::{FlTask, TaskGroup, TaskSelectionStrategy};
 use fl_core::round::RoundConfig;
 use fl_core::DeviceId;
 use fl_server::coordinator::CoordinatorConfig;
-use fl_server::live::{coordinator_lease_name, CoordMsg, CoordinatorActor, DeviceReply, SelectorMsg};
+use fl_server::live::{coordinator_lease_name, CoordMsg, CoordinatorActor, DeviceConn, SelectorMsg};
+use fl_server::wire::WireMessage;
 use fl_server::pace::PaceSteering;
 use fl_server::shedding::GlobalAdmissionConfig;
 use fl_server::storage::{CheckpointStore, InMemoryCheckpointStore, SharedCheckpointStore};
@@ -193,19 +194,13 @@ pub fn explore_live_round(schedule_seed: u64) -> ExploreReport {
             let sel = selector_refs[0].clone();
             let coord = coord_ref.clone();
             std::thread::spawn(move || -> DeviceOutcome {
-                let (tx, rx) = unbounded();
-                if sel
-                    .send(SelectorMsg::Checkin {
-                        device: DeviceId(i),
-                        reply: tx.clone(),
-                    })
-                    .is_err()
-                {
+                let conn = DeviceConn::connect(DeviceId(i), sel, coord);
+                if conn.check_in().is_err() {
                     return DeviceOutcome::Failed(format!("device {i}: selector gone"));
                 }
                 loop {
-                    match rx.recv_timeout(WAIT) {
-                        Ok(DeviceReply::Configured { plan, checkpoint }) => {
+                    match conn.recv(WAIT) {
+                        Ok(WireMessage::PlanAndCheckpoint { plan, checkpoint }) => {
                             let dim = plan.server.expected_dim;
                             if checkpoint.len() != dim {
                                 return DeviceOutcome::Failed(format!(
@@ -215,23 +210,15 @@ pub fn explore_live_round(schedule_seed: u64) -> ExploreReport {
                             }
                             let update = vec![0.25f32; dim];
                             let bytes = CodecSpec::Identity.build().encode(&update);
-                            if coord
-                                .send(CoordMsg::DeviceReport {
-                                    device: DeviceId(i),
-                                    update_bytes: bytes,
-                                    weight: 4,
-                                    loss: 0.5,
-                                    accuracy: 0.8,
-                                    reply: tx.clone(),
-                                })
-                                .is_err()
-                            {
+                            if conn.report(bytes, 4, 0.5, 0.8).is_err() {
                                 return DeviceOutcome::Failed(format!(
                                     "device {i}: coordinator gone"
                                 ));
                             }
                         }
-                        Ok(DeviceReply::ReportAccepted) => return DeviceOutcome::Accepted,
+                        Ok(WireMessage::ReportAck { accepted: true }) => {
+                            return DeviceOutcome::Accepted
+                        }
                         Ok(other) => {
                             return DeviceOutcome::Failed(format!(
                                 "device {i}: unexpected reply {other:?}"

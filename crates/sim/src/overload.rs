@@ -27,8 +27,9 @@
 
 use crate::des::EventQueue;
 use fl_analytics::overload::{OverloadMetrics, OverloadMonitorConfig};
+use fl_core::plan::{CodecSpec, ModelSpec};
 use fl_core::round::{RoundConfig, RoundOutcome};
-use fl_core::{DeviceId, RetryPolicy, RoundId};
+use fl_core::{DeviceId, FlCheckpoint, FlPlan, RetryPolicy, RoundId};
 use fl_device::connectivity::{ConnectivityManager, RetryDecision};
 use fl_ml::rng;
 use fl_server::pace::PaceSteering;
@@ -36,6 +37,7 @@ use fl_server::round::{CheckinResponse, Phase, RoundEvent, RoundState};
 use fl_server::selector::{CheckinDecision, Selector};
 use fl_server::shedding::{AdmissionConfig, GlobalAdmissionConfig};
 use fl_server::topology::{SelectorSpec, TopologyBlueprint};
+use fl_server::wire::{ChannelTransport, Transport, WireMessage, WireStats};
 use rand::Rng;
 
 /// The arrival disturbance to inject.
@@ -265,6 +267,11 @@ pub struct OverloadReport {
     pub population_estimate_peak: u64,
     /// Monitor alerts raised (deviation + ceiling).
     pub alerts: usize,
+    /// Bytes-on-wire counters from the device end of the harness's
+    /// in-memory [`ChannelTransport`]: every check-in and update report
+    /// crosses the wire as a framed `WireMessage`, and every rejection,
+    /// configuration, and ack comes back the same way.
+    pub wire: WireStats,
     /// Overload-invariant violations; empty on a clean run.
     pub violations: Vec<String>,
 }
@@ -284,6 +291,7 @@ impl OverloadReport {
              max_queue_depth={} queue_bound={}\n\
              rounds_started={} rounds_terminal={} committed={} abandoned={}\n\
              population_estimate_final={} population_estimate_peak={} alerts={}\n\
+             wire up_frames={} up_bytes={} down_frames={} down_bytes={}\n\
              convergence_windows={}\n",
             self.seed,
             self.scenario,
@@ -304,6 +312,10 @@ impl OverloadReport {
             self.population_estimate_final,
             self.population_estimate_peak,
             self.alerts,
+            self.wire.frames_sent,
+            self.wire.bytes_sent,
+            self.wire.frames_received,
+            self.wire.bytes_received,
             match self.convergence_windows {
                 Some(w) => w.to_string(),
                 None => "never".into(),
@@ -491,6 +503,58 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
     let mut population_estimate_peak: u64 = 0;
     let mut violations: Vec<String> = Vec::new();
 
+    // The in-memory wire: every check-in and update report crosses it as
+    // a framed `WireMessage`, and every rejection/configuration/ack comes
+    // back framed — the same protocol the live topology and the TCP
+    // front door speak. Frames are pure functions of the messages, so the
+    // byte counters replay identically per seed.
+    let (device_wire, server_wire) = ChannelTransport::pair();
+    // One shared Configuration payload (the overload harness models flow
+    // control, not learning, so every selected device downloads the same
+    // small plan + checkpoint).
+    let config_msg = WireMessage::PlanAndCheckpoint {
+        plan: Box::new(FlPlan::standard_training(
+            ModelSpec::Logistic {
+                dim: 4,
+                classes: 2,
+                seed: 1,
+            },
+            1,
+            8,
+            0.1,
+            CodecSpec::Identity,
+        )),
+        checkpoint: Box::new(FlCheckpoint::new("overload/train", RoundId(1), vec![0.0; 10])),
+    };
+
+    // Sends `msg` up the in-memory wire and decodes what the server side
+    // receives; a lost or unsendable frame is an invariant violation.
+    macro_rules! wire_uplink {
+        ($now:expr, $msg:expr) => {{
+            if device_wire.send($msg).is_err() {
+                violations.push(format!("t={}: wire uplink send failed", $now));
+                None
+            } else {
+                match server_wire.try_recv() {
+                    Ok(Some(decoded)) => Some(decoded),
+                    _ => {
+                        violations.push(format!("t={}: frame lost on the uplink", $now));
+                        None
+                    }
+                }
+            }
+        }};
+    }
+
+    // Sends a server reply down the wire and has the device consume it
+    // (so the device-side received counters see every downlink frame).
+    macro_rules! wire_downlink {
+        ($msg:expr) => {{
+            let _ = server_wire.send($msg);
+            while let Ok(Some(_)) = device_wire.try_recv() {}
+        }};
+    }
+
     // Schedules the next wake of a device's chain, superseding any
     // previous one.
     macro_rules! schedule_wake {
@@ -531,10 +595,20 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
                 }
                 devices[device as usize].phase = DevPhase::Idle;
                 let activity = scenario_activity(&config.scenario, now);
-                let selector = &mut selectors[(device % n) as usize];
+                // The check-in crosses the wire as a framed request; the
+                // Selector acts only on what it decoded.
+                let Some(WireMessage::CheckinRequest { device: wired }) = wire_uplink!(
+                    now,
+                    &WireMessage::CheckinRequest { device: DeviceId(device) }
+                ) else {
+                    continue;
+                };
+                let selector = &mut selectors[(wired.0 % n) as usize];
                 let shed_before = selector.shed_total();
-                match selector.on_checkin(DeviceId(device), now, activity) {
+                match selector.on_checkin(wired, now, activity) {
                     CheckinDecision::Accept => {
+                        // Accepted connections are held open (no reply
+                        // frame until the Coordinator forwards them).
                         metrics.record_accept(now);
                         devices[device as usize].phase = DevPhase::Held;
                         devices[device as usize].mgr.on_success(now);
@@ -545,8 +619,12 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
                         schedule_wake!(device, now + config.stale_after_ms + jitter);
                     }
                     CheckinDecision::Reject { retry_at_ms } => {
-                        if selector.shed_total() > shed_before {
+                        let shed = selector.shed_total() > shed_before;
+                        if shed {
                             metrics.record_shed(now);
+                            wire_downlink!(&WireMessage::Shed { retry_at_ms });
+                        } else {
+                            wire_downlink!(&WireMessage::ComeBackLater { retry_at_ms });
                         }
                         handle_rejection!(device, now, Some(retry_at_ms));
                     }
@@ -568,11 +646,18 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
                         for d in forwarded {
                             match active.state.on_checkin(d, now) {
                                 CheckinResponse::Selected => {
+                                    // The Configuration download crosses
+                                    // the wire too, so FIG9's per-round
+                                    // traffic is measured from real frames.
+                                    wire_downlink!(&config_msg);
                                     devices[d.0 as usize].phase = DevPhase::InRound;
                                     active.pending.push(d.0);
                                 }
                                 CheckinResponse::AlreadySelected => {}
                                 CheckinResponse::NotSelecting => {
+                                    wire_downlink!(&WireMessage::ComeBackLater {
+                                        retry_at_ms: now
+                                    });
                                     devices[d.0 as usize].phase = DevPhase::Idle;
                                     handle_rejection!(d.0, now, None);
                                 }
@@ -587,9 +672,27 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
             Event::Report { device, round_seq: seq } => {
                 devices[device as usize].phase = DevPhase::Idle;
                 devices[device as usize].mgr.on_success(now);
-                if seq == active.seq {
-                    let _ = active.state.on_report(DeviceId(device), now);
+                // The report uploads as a framed UpdateReport (payload
+                // fields deterministic per device, so frame bytes replay
+                // identically); the server acts on the decoded device id
+                // and always answers with a framed ack.
+                let report_msg = WireMessage::UpdateReport {
+                    device: DeviceId(device),
+                    update_bytes: vec![0u8; 4],
+                    weight: 1 + device % 7,
+                    loss: 0.9 - (device % 10) as f64 * 0.02,
+                    accuracy: 0.5 + (device % 10) as f64 * 0.03,
+                };
+                let Some(WireMessage::UpdateReport { device: wired, .. }) =
+                    wire_uplink!(now, &report_msg)
+                else {
+                    continue;
+                };
+                let accepted = seq == active.seq;
+                if accepted {
+                    let _ = active.state.on_report(wired, now);
                 }
+                wire_downlink!(&WireMessage::ReportAck { accepted });
                 // The next natural participation is the device's periodic
                 // FL job, a population-scaled horizon away (Sec. 3: jobs
                 // fire when idle, charging, unmetered — hours apart), not
@@ -785,6 +888,7 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
         population_estimate_final,
         population_estimate_peak,
         alerts: metrics.alerts().len(),
+        wire: device_wire.stats(),
         violations,
     }
 }
@@ -817,6 +921,13 @@ mod tests {
         assert!(report.max_queue_depth <= report.queue_bound);
         assert!(report.shed > 0, "a herd must actually shed:\n{}", report.render());
         assert!(report.committed >= 3, "{}", report.render());
+        // Every check-in/report crossed the wire framed, and every
+        // shed/configuration/ack came back framed.
+        assert!(
+            report.wire.frames_sent > 0 && report.wire.frames_received > 0,
+            "no framed traffic recorded:\n{}",
+            report.render()
+        );
     }
 
     #[test]

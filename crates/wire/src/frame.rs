@@ -1,0 +1,341 @@
+//! Frame envelope: magic, protocol version, tag, length prefix.
+//!
+//! The envelope is the part of the protocol that must stay parseable
+//! across versions: a peer that cannot understand a frame's *body* must
+//! still be able to tell *that* it cannot, and say why. Hence every
+//! rejection here is a typed [`WireError`], and the header layout is
+//! frozen by the golden-bytes fixture.
+
+use crate::message::WireMessage;
+use std::fmt;
+
+/// Version byte carried in every frame. Bump when the frame layout or
+/// any message body layout changes incompatibly; decoders reject any
+/// other value with [`WireError::VersionSkew`].
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Two-byte frame magic ("FW" — framed wire).
+pub const MAGIC: [u8; 2] = *b"FW";
+
+/// Fixed header size: magic (2) + version (1) + tag (1) + body length (4).
+pub const HEADER_LEN: usize = 8;
+
+/// Upper bound on a frame body. The largest legitimate payload is a
+/// [`WireMessage::PlanAndCheckpoint`] for a Gboard-scale model (plan
+/// graph + checkpoint ≈ 11 MB, Appendix A); 64 MiB leaves generous
+/// headroom while refusing absurd length prefixes before allocating.
+pub const MAX_BODY_LEN: usize = 64 * 1024 * 1024;
+
+/// Everything that can go wrong speaking the wire protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before a complete header or body.
+    Truncated {
+        /// Bytes required to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The first two bytes were not [`MAGIC`].
+    BadMagic {
+        /// The bytes found where the magic should be.
+        found: [u8; 2],
+    },
+    /// The frame was produced by a different protocol version.
+    VersionSkew {
+        /// Our [`PROTOCOL_VERSION`].
+        ours: u8,
+        /// The version byte in the frame.
+        theirs: u8,
+    },
+    /// The tag names no message this version knows — a frame from a
+    /// newer peer is refused rather than misparsed.
+    UnknownMessage {
+        /// The unrecognised tag byte.
+        tag: u8,
+    },
+    /// The length prefix exceeds [`MAX_BODY_LEN`].
+    OversizedFrame {
+        /// The declared body length.
+        len: usize,
+        /// The enforced maximum.
+        max: usize,
+    },
+    /// A single-frame decode found bytes after the frame.
+    TrailingBytes {
+        /// How many bytes followed the frame.
+        extra: usize,
+    },
+    /// The body parsed structurally but carried an invalid value.
+    Malformed {
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// The peer endpoint is gone (channel disconnected / TCP closed).
+    Closed,
+    /// No frame arrived within the receive timeout.
+    Timeout,
+    /// An I/O error from the underlying TCP stream.
+    Io(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(f, "truncated frame: needed {needed} bytes, have {have}")
+            }
+            WireError::BadMagic { found } => {
+                write!(f, "bad magic {:02x}{:02x} (want {:02x}{:02x})", found[0], found[1], MAGIC[0], MAGIC[1])
+            }
+            WireError::VersionSkew { ours, theirs } => {
+                write!(f, "protocol version skew: ours {ours}, frame says {theirs}")
+            }
+            WireError::UnknownMessage { tag } => write!(f, "unknown message tag {tag}"),
+            WireError::OversizedFrame { len, max } => {
+                write!(f, "oversized frame: body {len} bytes exceeds max {max}")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after frame")
+            }
+            WireError::Malformed { what } => write!(f, "malformed body: {what}"),
+            WireError::Closed => write!(f, "transport closed"),
+            WireError::Timeout => write!(f, "receive timed out"),
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes a message into one complete frame (header + body).
+pub fn encode(msg: &WireMessage) -> Vec<u8> {
+    let body = msg.encode_body();
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(PROTOCOL_VERSION);
+    out.push(msg.tag());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Size of the frame [`encode`] would produce, without encoding it.
+pub fn encoded_len(msg: &WireMessage) -> usize {
+    HEADER_LEN + msg.body_len()
+}
+
+/// Decodes exactly one frame; trailing bytes are an error.
+///
+/// # Errors
+///
+/// Every [`WireError`] envelope variant, plus [`WireError::TrailingBytes`]
+/// if `frame` continues past the declared body.
+pub fn decode(frame: &[u8]) -> Result<WireMessage, WireError> {
+    let (msg, used) = decode_prefix(frame)?;
+    if used != frame.len() {
+        return Err(WireError::TrailingBytes {
+            extra: frame.len() - used,
+        });
+    }
+    Ok(msg)
+}
+
+/// Decodes the first frame of `buf`, returning the message and the
+/// number of bytes consumed — the stream-oriented entry point.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] when `buf` holds less than one whole frame;
+/// otherwise the same envelope/body errors as [`decode`].
+pub fn decode_prefix(buf: &[u8]) -> Result<(WireMessage, usize), WireError> {
+    let (tag, body_len) = parse_header(buf)?;
+    let total = HEADER_LEN + body_len;
+    if buf.len() < total {
+        return Err(WireError::Truncated {
+            needed: total,
+            have: buf.len(),
+        });
+    }
+    let msg = WireMessage::decode_body(tag, &buf[HEADER_LEN..total])?;
+    Ok((msg, total))
+}
+
+/// Reads the message tag of a frame from its header alone, so a gateway
+/// can route a frame (check-in → Selector, report → Coordinator)
+/// without paying for a body decode.
+///
+/// # Errors
+///
+/// The envelope errors: truncation, bad magic, version skew, oversize.
+pub fn peek_tag(buf: &[u8]) -> Result<u8, WireError> {
+    let (tag, _) = parse_header(buf)?;
+    Ok(tag)
+}
+
+/// Validates the envelope and returns `(tag, body_len)`.
+pub(crate) fn parse_header(buf: &[u8]) -> Result<(u8, usize), WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            needed: HEADER_LEN,
+            have: buf.len(),
+        });
+    }
+    if buf[..2] != MAGIC {
+        return Err(WireError::BadMagic {
+            found: [buf[0], buf[1]],
+        });
+    }
+    if buf[2] != PROTOCOL_VERSION {
+        return Err(WireError::VersionSkew {
+            ours: PROTOCOL_VERSION,
+            theirs: buf[2],
+        });
+    }
+    let body_len = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]) as usize;
+    if body_len > MAX_BODY_LEN {
+        return Err(WireError::OversizedFrame {
+            len: body_len,
+            max: MAX_BODY_LEN,
+        });
+    }
+    Ok((buf[3], body_len))
+}
+
+/// Sequential little-endian reader over a frame body. Every accessor
+/// checks bounds and fails with [`WireError::Truncated`], so a hostile
+/// or skewed body can never panic the decoder.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, at: 0 }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.at.checked_add(n).ok_or(WireError::Malformed {
+            what: "length overflow",
+        })?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated {
+                needed: end,
+                have: self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub(crate) fn f32(&mut self) -> Result<f32, WireError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, WireError> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub(crate) fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed {
+                what: "bool byte not 0/1",
+            }),
+        }
+    }
+
+    /// `u32` length-prefixed byte string.
+    pub(crate) fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// `u16` length-prefixed UTF-8 string.
+    pub(crate) fn string(&mut self) -> Result<String, WireError> {
+        let n = self.u16()? as usize;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| WireError::Malformed {
+            what: "string is not UTF-8",
+        })
+    }
+
+    /// `u32` count-prefixed `f32` vector.
+    pub(crate) fn f32s(&mut self) -> Result<Vec<f32>, WireError> {
+        let n = self.u32()? as usize;
+        let b = self.take(n.checked_mul(4).ok_or(WireError::Malformed {
+            what: "f32 count overflow",
+        })?)?;
+        Ok(b.chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    /// Whole body consumed? Leftovers mean a layout mismatch.
+    pub(crate) fn finish(self) -> Result<(), WireError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed {
+                what: "body longer than message layout",
+            })
+        }
+    }
+}
+
+/// Body-writer counterparts to [`Reader`], kept as free functions so the
+/// encoders read as a flat layout description.
+pub(crate) mod put {
+    /// Appends a `u32` length-prefixed byte string.
+    pub(crate) fn bytes(out: &mut Vec<u8>, b: &[u8]) {
+        out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+        out.extend_from_slice(b);
+    }
+
+    /// Appends a `u16` length-prefixed UTF-8 string; anything past 64 KiB
+    /// is dropped at a char boundary rather than corrupting the frame.
+    pub(crate) fn string(out: &mut Vec<u8>, s: &str) {
+        let mut end = s.len().min(u16::MAX as usize);
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        out.extend_from_slice(&(end as u16).to_le_bytes());
+        out.extend_from_slice(&s.as_bytes()[..end]);
+    }
+
+    /// Appends a `u32` count-prefixed `f32` vector.
+    pub(crate) fn f32s(out: &mut Vec<u8>, v: &[f32]) {
+        out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        for x in v {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! The public wire protocol of the federated learning system.
+//!
+//! The paper's device↔server exchange (Sec. 2–3) is a three-phase
+//! round-trip: the device *checks in*, the Selector either turns it away
+//! with a retry window ("tells it to reconnect at a later point in
+//! time", Sec. 2.3) or forwards it; a selected device downloads the *FL
+//! plan and checkpoint* (Sec. 3, Configuration); and finally it uploads
+//! an *update report* that the Aggregator tree folds into the round
+//! (Sec. 3, Reporting). This crate is the single definition of that
+//! exchange as bytes on a wire: a [`WireMessage`] enum covering both the
+//! device↔Selector leg and the Selector↔Aggregator shard leg, a
+//! deterministic length-prefixed framed codec ([`encode`] / [`decode`]),
+//! and a [`Transport`] trait with an in-memory channel implementation
+//! (tests and discrete-event scenarios — byte-identical per seed) and a
+//! framed-TCP implementation (`examples/live_server.rs`).
+//!
+//! Framing is deliberately minimal and versioned so the server and the
+//! device fleet can roll forward independently (the paper's Sec. 7.3
+//! plan-versioning story, applied to the envelope):
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic  b"FW"
+//! 2       1     PROTOCOL_VERSION
+//! 3       1     message tag (see `tag`)
+//! 4       4     body length, u32 little-endian (<= MAX_BODY_LEN)
+//! 8       n     body (per-message layout, see DESIGN.md §8)
+//! ```
+//!
+//! Decoding rejects, with a typed [`WireError`], every malformed input
+//! class: truncation (of header or body), bad magic, version skew, an
+//! unknown message tag (forward compatibility: a frame from a newer
+//! protocol is *refused*, never misparsed), and oversized length
+//! prefixes. The golden-bytes fixture in `tests/golden.rs` pins the
+//! exact layout; any accidental change fails loudly.
+
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
+
+mod frame;
+mod message;
+mod transport;
+
+pub use frame::{
+    decode, decode_prefix, encode, encoded_len, peek_tag, WireError, HEADER_LEN, MAGIC,
+    MAX_BODY_LEN, PROTOCOL_VERSION,
+};
+pub use message::{tag, WireMessage};
+pub use transport::{ChannelTransport, TcpTransport, Transport, WireSink, WireStats};

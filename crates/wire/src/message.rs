@@ -1,0 +1,580 @@
+//! [`WireMessage`]: every message the protocol speaks, with its body
+//! codec.
+//!
+//! Bodies are hand-written little-endian layouts (the workspace has no
+//! derive-based serializer), in the same style as
+//! `fl_core::FlCheckpoint::to_bytes`. Each variant's layout is a flat
+//! field list — see the table in DESIGN.md §8. Two deliberate choices:
+//!
+//! * **The plan's graph payload is physically transmitted.** The paper's
+//!   plan "is comparable with the global model" in size (Appendix A);
+//!   `DevicePlan::graph_payload_bytes` becomes that many actual bytes in
+//!   the frame, so FIG9's download traffic is measured, not modelled.
+//! * **Checkpoints embed their own versioned format.** An
+//!   [`fl_core::FlCheckpoint`] already has a magic+version binary codec;
+//!   the frame nests it as a length-prefixed blob rather than inventing
+//!   a second layout for the same data.
+
+use crate::frame::{put, Reader, WireError};
+use fl_core::plan::{CodecSpec, DevicePlan, ModelSpec, PlanOp, ServerPlan};
+use fl_core::{DeviceId, FlCheckpoint, FlPlan};
+
+/// Message tag bytes. Frozen: new messages append, existing values
+/// never change (the golden fixture enforces this).
+pub mod tag {
+    /// [`crate::WireMessage::CheckinRequest`]
+    pub const CHECKIN_REQUEST: u8 = 1;
+    /// [`crate::WireMessage::ComeBackLater`]
+    pub const COME_BACK_LATER: u8 = 2;
+    /// [`crate::WireMessage::Shed`]
+    pub const SHED: u8 = 3;
+    /// [`crate::WireMessage::PlanAndCheckpoint`]
+    pub const PLAN_AND_CHECKPOINT: u8 = 4;
+    /// [`crate::WireMessage::UpdateReport`]
+    pub const UPDATE_REPORT: u8 = 5;
+    /// [`crate::WireMessage::ReportAck`]
+    pub const REPORT_ACK: u8 = 6;
+    /// [`crate::WireMessage::ShardUpdate`]
+    pub const SHARD_UPDATE: u8 = 7;
+    /// [`crate::WireMessage::ShardFinalize`]
+    pub const SHARD_FINALIZE: u8 = 8;
+    /// [`crate::WireMessage::ShardMerged`]
+    pub const SHARD_MERGED: u8 = 9;
+    /// [`crate::WireMessage::ShardAbort`]
+    pub const SHARD_ABORT: u8 = 10;
+}
+
+/// One protocol message. The first six variants are the device↔Selector
+/// exchange (paper Sec. 2.3 + Sec. 3); the `Shard*` variants are the
+/// Selector↔Aggregator traffic behind it (Sec. 4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMessage {
+    /// Device → Selector: "device checks in" (Sec. 2.3).
+    CheckinRequest {
+        /// The device identity.
+        device: DeviceId,
+    },
+    /// Selector → device: not selected; "reconnect at a later point in
+    /// time" (Sec. 2.3). The retry window is the pace-steering output.
+    ComeBackLater {
+        /// Absolute epoch-ms the device should try again at.
+        retry_at_ms: u64,
+    },
+    /// Selector → device: turned away by admission control / the global
+    /// shed budget (overload, Sec. 2.3's flow control under load) rather
+    /// than ordinary pacing.
+    Shed {
+        /// Absolute epoch-ms the device should try again at.
+        retry_at_ms: u64,
+    },
+    /// Coordinator → device: the Configuration download (Sec. 3) — the
+    /// FL plan plus the current global model checkpoint.
+    PlanAndCheckpoint {
+        /// The plan (device + server portions; graph payload bytes are
+        /// physically in the frame).
+        plan: Box<FlPlan>,
+        /// The global model checkpoint.
+        checkpoint: Box<FlCheckpoint>,
+    },
+    /// Device → Coordinator: the Reporting upload (Sec. 3) — the
+    /// codec-compressed model update plus training metrics.
+    UpdateReport {
+        /// The reporting device.
+        device: DeviceId,
+        /// Codec-encoded update (see `CodecSpec`); opaque at this layer.
+        update_bytes: Vec<u8>,
+        /// Update weight (number of local examples).
+        weight: u64,
+        /// Mean training loss (NaN if the plan computed none).
+        loss: f64,
+        /// Top-1 accuracy (NaN if the plan computed none).
+        accuracy: f64,
+    },
+    /// Coordinator → device: the report was received; `accepted` is
+    /// false when it arrived too late or the round had moved on.
+    ReportAck {
+        /// Whether the update entered the aggregate.
+        accepted: bool,
+    },
+    /// Coordinator → Master Aggregator: stream one device's update into
+    /// the round's aggregation tree (Sec. 4.2).
+    ShardUpdate {
+        /// The contributing device (used for sticky shard routing).
+        device: DeviceId,
+        /// Codec-encoded update.
+        update_bytes: Vec<u8>,
+        /// Update weight.
+        weight: u64,
+    },
+    /// Coordinator → Master Aggregator: close the round — merge all
+    /// shards over `current_params`, discarding `dropouts`.
+    ShardFinalize {
+        /// The committed global parameters the merge starts from.
+        current_params: Vec<f32>,
+        /// Devices that dropped out after being routed to a shard.
+        dropouts: Vec<DeviceId>,
+    },
+    /// Master Aggregator → Coordinator: the merge result — new global
+    /// parameters and contributor count, or the failure reason.
+    ShardMerged {
+        /// `Ok((params, contributors))` or `Err(reason)`.
+        merged: Result<(Vec<f32>, u64), String>,
+    },
+    /// Coordinator → Master Aggregator: abandon the round; shards
+    /// discard partial aggregates (nothing is persisted, Sec. 4.2).
+    ShardAbort,
+}
+
+impl WireMessage {
+    /// The message's frame tag.
+    pub fn tag(&self) -> u8 {
+        match self {
+            WireMessage::CheckinRequest { .. } => tag::CHECKIN_REQUEST,
+            WireMessage::ComeBackLater { .. } => tag::COME_BACK_LATER,
+            WireMessage::Shed { .. } => tag::SHED,
+            WireMessage::PlanAndCheckpoint { .. } => tag::PLAN_AND_CHECKPOINT,
+            WireMessage::UpdateReport { .. } => tag::UPDATE_REPORT,
+            WireMessage::ReportAck { .. } => tag::REPORT_ACK,
+            WireMessage::ShardUpdate { .. } => tag::SHARD_UPDATE,
+            WireMessage::ShardFinalize { .. } => tag::SHARD_FINALIZE,
+            WireMessage::ShardMerged { .. } => tag::SHARD_MERGED,
+            WireMessage::ShardAbort => tag::SHARD_ABORT,
+        }
+    }
+
+    /// Encodes the body (everything after the 8-byte header).
+    pub(crate) fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body_len());
+        match self {
+            WireMessage::CheckinRequest { device } => {
+                out.extend_from_slice(&device.0.to_le_bytes());
+            }
+            WireMessage::ComeBackLater { retry_at_ms } | WireMessage::Shed { retry_at_ms } => {
+                out.extend_from_slice(&retry_at_ms.to_le_bytes());
+            }
+            WireMessage::PlanAndCheckpoint { plan, checkpoint } => {
+                encode_plan(&mut out, plan);
+                put::bytes(&mut out, &checkpoint.to_bytes());
+            }
+            WireMessage::UpdateReport {
+                device,
+                update_bytes,
+                weight,
+                loss,
+                accuracy,
+            } => {
+                out.extend_from_slice(&device.0.to_le_bytes());
+                out.extend_from_slice(&weight.to_le_bytes());
+                out.extend_from_slice(&loss.to_le_bytes());
+                out.extend_from_slice(&accuracy.to_le_bytes());
+                put::bytes(&mut out, update_bytes);
+            }
+            WireMessage::ReportAck { accepted } => {
+                out.push(u8::from(*accepted));
+            }
+            WireMessage::ShardUpdate {
+                device,
+                update_bytes,
+                weight,
+            } => {
+                out.extend_from_slice(&device.0.to_le_bytes());
+                out.extend_from_slice(&weight.to_le_bytes());
+                put::bytes(&mut out, update_bytes);
+            }
+            WireMessage::ShardFinalize {
+                current_params,
+                dropouts,
+            } => {
+                put::f32s(&mut out, current_params);
+                out.extend_from_slice(&(dropouts.len() as u32).to_le_bytes());
+                for d in dropouts {
+                    out.extend_from_slice(&d.0.to_le_bytes());
+                }
+            }
+            WireMessage::ShardMerged { merged } => match merged {
+                Ok((params, contributors)) => {
+                    out.push(1);
+                    put::f32s(&mut out, params);
+                    out.extend_from_slice(&contributors.to_le_bytes());
+                }
+                Err(reason) => {
+                    out.push(0);
+                    put::string(&mut out, reason);
+                }
+            },
+            WireMessage::ShardAbort => {}
+        }
+        out
+    }
+
+    /// Body size in bytes, without encoding.
+    pub(crate) fn body_len(&self) -> usize {
+        match self {
+            WireMessage::CheckinRequest { .. }
+            | WireMessage::ComeBackLater { .. }
+            | WireMessage::Shed { .. } => 8,
+            WireMessage::PlanAndCheckpoint { plan, checkpoint } => {
+                plan_encoded_len(plan) + 4 + checkpoint.encoded_size()
+            }
+            WireMessage::UpdateReport { update_bytes, .. } => 8 + 8 + 8 + 8 + 4 + update_bytes.len(),
+            WireMessage::ReportAck { .. } => 1,
+            WireMessage::ShardUpdate { update_bytes, .. } => 8 + 8 + 4 + update_bytes.len(),
+            WireMessage::ShardFinalize {
+                current_params,
+                dropouts,
+            } => 4 + current_params.len() * 4 + 4 + dropouts.len() * 8,
+            WireMessage::ShardMerged { merged } => match merged {
+                Ok((params, _)) => 1 + 4 + params.len() * 4 + 8,
+                Err(reason) => 1 + 2 + reason.len().min(u16::MAX as usize),
+            },
+            WireMessage::ShardAbort => 0,
+        }
+    }
+
+    /// Decodes a body of known `tag`.
+    pub(crate) fn decode_body(tag_byte: u8, body: &[u8]) -> Result<WireMessage, WireError> {
+        let mut r = Reader::new(body);
+        let msg = match tag_byte {
+            tag::CHECKIN_REQUEST => WireMessage::CheckinRequest {
+                device: DeviceId(r.u64()?),
+            },
+            tag::COME_BACK_LATER => WireMessage::ComeBackLater {
+                retry_at_ms: r.u64()?,
+            },
+            tag::SHED => WireMessage::Shed {
+                retry_at_ms: r.u64()?,
+            },
+            tag::PLAN_AND_CHECKPOINT => {
+                let plan = decode_plan(&mut r)?;
+                let blob = r.bytes()?;
+                let checkpoint = FlCheckpoint::from_bytes(&blob).map_err(|_| {
+                    WireError::Malformed {
+                        what: "embedded checkpoint rejected by its codec",
+                    }
+                })?;
+                WireMessage::PlanAndCheckpoint {
+                    plan: Box::new(plan),
+                    checkpoint: Box::new(checkpoint),
+                }
+            }
+            tag::UPDATE_REPORT => WireMessage::UpdateReport {
+                device: DeviceId(r.u64()?),
+                weight: r.u64()?,
+                loss: r.f64()?,
+                accuracy: r.f64()?,
+                update_bytes: r.bytes()?,
+            },
+            tag::REPORT_ACK => WireMessage::ReportAck {
+                accepted: r.bool()?,
+            },
+            tag::SHARD_UPDATE => WireMessage::ShardUpdate {
+                device: DeviceId(r.u64()?),
+                weight: r.u64()?,
+                update_bytes: r.bytes()?,
+            },
+            tag::SHARD_FINALIZE => {
+                let current_params = r.f32s()?;
+                let n = r.u32()? as usize;
+                let mut dropouts = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    dropouts.push(DeviceId(r.u64()?));
+                }
+                WireMessage::ShardFinalize {
+                    current_params,
+                    dropouts,
+                }
+            }
+            tag::SHARD_MERGED => {
+                let merged = if r.bool()? {
+                    let params = r.f32s()?;
+                    let contributors = r.u64()?;
+                    Ok((params, contributors))
+                } else {
+                    Err(r.string()?)
+                };
+                WireMessage::ShardMerged { merged }
+            }
+            tag::SHARD_ABORT => WireMessage::ShardAbort,
+            other => return Err(WireError::UnknownMessage { tag: other }),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+// --- plan codec -----------------------------------------------------------
+//
+// Layout (all integers little-endian):
+//   ModelSpec     tag u8, then per-variant u32 dims + u64 seed
+//   CodecSpec     tag u8, then per-variant fields
+//   PlanOp        tag u8, then per-variant fields
+//   DevicePlan    model, op count u16, ops, update_codec,
+//                 graph payload: u32 len + len bytes (zero-filled)
+//   ServerPlan    expected_dim u32, update_codec
+//   FlPlan        DevicePlan then ServerPlan
+
+fn encode_model(out: &mut Vec<u8>, m: &ModelSpec) {
+    match *m {
+        ModelSpec::Linear { dim } => {
+            out.push(0);
+            out.extend_from_slice(&(dim as u32).to_le_bytes());
+        }
+        ModelSpec::Logistic { dim, classes, seed } => {
+            out.push(1);
+            out.extend_from_slice(&(dim as u32).to_le_bytes());
+            out.extend_from_slice(&(classes as u32).to_le_bytes());
+            out.extend_from_slice(&seed.to_le_bytes());
+        }
+        ModelSpec::Mlp {
+            dim,
+            hidden,
+            classes,
+            seed,
+        } => {
+            out.push(2);
+            out.extend_from_slice(&(dim as u32).to_le_bytes());
+            out.extend_from_slice(&(hidden as u32).to_le_bytes());
+            out.extend_from_slice(&(classes as u32).to_le_bytes());
+            out.extend_from_slice(&seed.to_le_bytes());
+        }
+        ModelSpec::EmbeddingLm { vocab, dim, seed } => {
+            out.push(3);
+            out.extend_from_slice(&(vocab as u32).to_le_bytes());
+            out.extend_from_slice(&(dim as u32).to_le_bytes());
+            out.extend_from_slice(&seed.to_le_bytes());
+        }
+    }
+}
+
+fn decode_model(r: &mut Reader<'_>) -> Result<ModelSpec, WireError> {
+    Ok(match r.u8()? {
+        0 => ModelSpec::Linear {
+            dim: r.u32()? as usize,
+        },
+        1 => ModelSpec::Logistic {
+            dim: r.u32()? as usize,
+            classes: r.u32()? as usize,
+            seed: r.u64()?,
+        },
+        2 => ModelSpec::Mlp {
+            dim: r.u32()? as usize,
+            hidden: r.u32()? as usize,
+            classes: r.u32()? as usize,
+            seed: r.u64()?,
+        },
+        3 => ModelSpec::EmbeddingLm {
+            vocab: r.u32()? as usize,
+            dim: r.u32()? as usize,
+            seed: r.u64()?,
+        },
+        _ => {
+            return Err(WireError::Malformed {
+                what: "unknown ModelSpec tag",
+            })
+        }
+    })
+}
+
+fn model_len(m: &ModelSpec) -> usize {
+    match m {
+        ModelSpec::Linear { .. } => 1 + 4,
+        ModelSpec::Logistic { .. } => 1 + 4 + 4 + 8,
+        ModelSpec::Mlp { .. } => 1 + 4 + 4 + 4 + 8,
+        ModelSpec::EmbeddingLm { .. } => 1 + 4 + 4 + 8,
+    }
+}
+
+fn encode_codec(out: &mut Vec<u8>, c: &CodecSpec) {
+    match *c {
+        CodecSpec::Identity => out.push(0),
+        CodecSpec::Quantize { block } => {
+            out.push(1);
+            out.extend_from_slice(&(block as u32).to_le_bytes());
+        }
+        CodecSpec::Subsample { keep, seed } => {
+            out.push(2);
+            out.extend_from_slice(&keep.to_le_bytes());
+            out.extend_from_slice(&seed.to_le_bytes());
+        }
+        CodecSpec::Pipeline { keep, seed, block } => {
+            out.push(3);
+            out.extend_from_slice(&keep.to_le_bytes());
+            out.extend_from_slice(&seed.to_le_bytes());
+            out.extend_from_slice(&(block as u32).to_le_bytes());
+        }
+    }
+}
+
+fn decode_codec(r: &mut Reader<'_>) -> Result<CodecSpec, WireError> {
+    Ok(match r.u8()? {
+        0 => CodecSpec::Identity,
+        1 => CodecSpec::Quantize {
+            block: r.u32()? as usize,
+        },
+        2 => CodecSpec::Subsample {
+            keep: r.f64()?,
+            seed: r.u64()?,
+        },
+        3 => CodecSpec::Pipeline {
+            keep: r.f64()?,
+            seed: r.u64()?,
+            block: r.u32()? as usize,
+        },
+        _ => {
+            return Err(WireError::Malformed {
+                what: "unknown CodecSpec tag",
+            })
+        }
+    })
+}
+
+fn codec_len(c: &CodecSpec) -> usize {
+    match c {
+        CodecSpec::Identity => 1,
+        CodecSpec::Quantize { .. } => 1 + 4,
+        CodecSpec::Subsample { .. } => 1 + 8 + 8,
+        CodecSpec::Pipeline { .. } => 1 + 8 + 8 + 4,
+    }
+}
+
+fn encode_op(out: &mut Vec<u8>, op: &PlanOp) {
+    match *op {
+        PlanOp::LoadCheckpoint => out.push(0),
+        PlanOp::QueryExamples { limit, held_out } => {
+            out.push(1);
+            match limit {
+                Some(n) => {
+                    out.push(1);
+                    out.extend_from_slice(&(n as u32).to_le_bytes());
+                }
+                None => {
+                    out.push(0);
+                    out.extend_from_slice(&0u32.to_le_bytes());
+                }
+            }
+            out.push(u8::from(held_out));
+        }
+        PlanOp::TrainEpoch {
+            batch_size,
+            learning_rate,
+        } => {
+            out.push(2);
+            out.extend_from_slice(&(batch_size as u32).to_le_bytes());
+            out.extend_from_slice(&learning_rate.to_le_bytes());
+        }
+        PlanOp::Train {
+            epochs,
+            batch_size,
+            learning_rate,
+        } => {
+            out.push(3);
+            out.extend_from_slice(&(epochs as u32).to_le_bytes());
+            out.extend_from_slice(&(batch_size as u32).to_le_bytes());
+            out.extend_from_slice(&learning_rate.to_le_bytes());
+        }
+        PlanOp::ComputeLoss => out.push(4),
+        PlanOp::ComputeAccuracy => out.push(5),
+        PlanOp::ComputeMetrics => out.push(6),
+        PlanOp::BuildUpdate => out.push(7),
+    }
+}
+
+fn decode_op(r: &mut Reader<'_>) -> Result<PlanOp, WireError> {
+    Ok(match r.u8()? {
+        0 => PlanOp::LoadCheckpoint,
+        1 => {
+            let has_limit = r.bool()?;
+            let n = r.u32()? as usize;
+            PlanOp::QueryExamples {
+                limit: has_limit.then_some(n),
+                held_out: r.bool()?,
+            }
+        }
+        2 => PlanOp::TrainEpoch {
+            batch_size: r.u32()? as usize,
+            learning_rate: r.f32()?,
+        },
+        3 => PlanOp::Train {
+            epochs: r.u32()? as usize,
+            batch_size: r.u32()? as usize,
+            learning_rate: r.f32()?,
+        },
+        4 => PlanOp::ComputeLoss,
+        5 => PlanOp::ComputeAccuracy,
+        6 => PlanOp::ComputeMetrics,
+        7 => PlanOp::BuildUpdate,
+        _ => {
+            return Err(WireError::Malformed {
+                what: "unknown PlanOp tag",
+            })
+        }
+    })
+}
+
+fn op_len(op: &PlanOp) -> usize {
+    match op {
+        PlanOp::LoadCheckpoint
+        | PlanOp::ComputeLoss
+        | PlanOp::ComputeAccuracy
+        | PlanOp::ComputeMetrics
+        | PlanOp::BuildUpdate => 1,
+        PlanOp::QueryExamples { .. } => 1 + 1 + 4 + 1,
+        PlanOp::TrainEpoch { .. } => 1 + 4 + 4,
+        PlanOp::Train { .. } => 1 + 4 + 4 + 4,
+    }
+}
+
+fn encode_plan(out: &mut Vec<u8>, plan: &FlPlan) {
+    let d = &plan.device;
+    encode_model(out, &d.model);
+    out.extend_from_slice(&(d.ops.len() as u16).to_le_bytes());
+    for op in &d.ops {
+        encode_op(out, op);
+    }
+    encode_codec(out, &d.update_codec);
+    // The graph payload is transmitted for real — FIG9's download cost
+    // is paid on the wire, not estimated. Content is zero-filled (the
+    // reproduction's ModelSpec stands in for the graph itself).
+    out.extend_from_slice(&(d.graph_payload_bytes as u32).to_le_bytes());
+    out.resize(out.len() + d.graph_payload_bytes, 0);
+    out.extend_from_slice(&(plan.server.expected_dim as u32).to_le_bytes());
+    encode_codec(out, &plan.server.update_codec);
+}
+
+fn decode_plan(r: &mut Reader<'_>) -> Result<FlPlan, WireError> {
+    let model = decode_model(r)?;
+    let n_ops = r.u16()? as usize;
+    let mut ops = Vec::with_capacity(n_ops);
+    for _ in 0..n_ops {
+        ops.push(decode_op(r)?);
+    }
+    let update_codec = decode_codec(r)?;
+    let graph_payload_bytes = r.u32()? as usize;
+    r.take(graph_payload_bytes)?;
+    let expected_dim = r.u32()? as usize;
+    let server_codec = decode_codec(r)?;
+    Ok(FlPlan {
+        device: DevicePlan {
+            model,
+            ops,
+            update_codec,
+            graph_payload_bytes,
+        },
+        server: ServerPlan {
+            expected_dim,
+            update_codec: server_codec,
+        },
+    })
+}
+
+fn plan_encoded_len(plan: &FlPlan) -> usize {
+    let d = &plan.device;
+    model_len(&d.model)
+        + 2
+        + d.ops.iter().map(op_len).sum::<usize>()
+        + codec_len(&d.update_codec)
+        + 4
+        + d.graph_payload_bytes
+        + 4
+        + codec_len(&plan.server.update_codec)
+}

@@ -1,0 +1,416 @@
+//! Moving frames: the [`Transport`] trait and its two implementations.
+//!
+//! * [`ChannelTransport`] — an in-memory duplex link over crossbeam
+//!   channels. Used by tests and the discrete-event scenarios: frames
+//!   are real encoded bytes (so byte counters are exact and renders stay
+//!   byte-identical per seed) but delivery is a queue, not a socket.
+//! * [`TcpTransport`] — the same frames over a real `TcpStream`, used by
+//!   `examples/live_server.rs`.
+//!
+//! Both count traffic in a shared [`WireStats`] snapshot, which is what
+//! makes FIG9's bandwidth numbers *measured*: every byte the protocol
+//! claims to move has been through `encode` and across one of these.
+//!
+//! The server side replies to a device through a [`WireSink`] — a
+//! cloneable, send-only handle that can ride inside an actor mailbox
+//! message and outlive the request that carried it.
+
+use crate::frame::{decode, encode, parse_header, WireError, HEADER_LEN};
+use crate::message::WireMessage;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use fl_race::Site;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Lock site for the read half of a TCP link (leaf; DESIGN.md §7.1).
+const TCP_READ_SITE: Site = Site::new("wire/transport.tcp_read", 70);
+/// Lock site for the write half of a TCP link (leaf; DESIGN.md §7.1).
+const TCP_WRITE_SITE: Site = Site::new("wire/transport.tcp_write", 72);
+
+/// Monotonic per-endpoint traffic totals.
+#[derive(Debug, Default)]
+struct WireCounters {
+    frames_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+impl WireCounters {
+    fn note_sent(&self, bytes: usize) {
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    fn note_received(&self, bytes: usize) {
+        self.frames_received.fetch_add(1, Ordering::Relaxed);
+        self.bytes_received.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> WireStats {
+        WireStats {
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            frames_received: self.frames_received.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of one endpoint's traffic: the measured bytes-on-wire
+/// FIG9 reports (sends through a [`WireSink`] count against the
+/// endpoint the sink came from).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Frames this endpoint sent.
+    pub frames_sent: u64,
+    /// Total frame bytes this endpoint sent (headers included).
+    pub bytes_sent: u64,
+    /// Frames this endpoint received.
+    pub frames_received: u64,
+    /// Total frame bytes this endpoint received.
+    pub bytes_received: u64,
+}
+
+impl std::ops::Add for WireStats {
+    type Output = WireStats;
+    fn add(self, rhs: WireStats) -> WireStats {
+        WireStats {
+            frames_sent: self.frames_sent + rhs.frames_sent,
+            bytes_sent: self.bytes_sent + rhs.bytes_sent,
+            frames_received: self.frames_received + rhs.frames_received,
+            bytes_received: self.bytes_received + rhs.bytes_received,
+        }
+    }
+}
+
+/// A duplex endpoint speaking framed [`WireMessage`]s.
+pub trait Transport: fmt::Debug + Send {
+    /// Encodes and transmits one message; returns the frame size in
+    /// bytes (the wire cost of the send).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Closed`] if the peer is gone; [`WireError::Io`] on
+    /// socket failure.
+    fn send(&self, msg: &WireMessage) -> Result<usize, WireError>;
+
+    /// Receives and decodes one message, waiting up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Timeout`] if nothing arrived, [`WireError::Closed`]
+    /// if the peer is gone, or any codec error for a malformed frame.
+    fn recv_timeout(&self, timeout: Duration) -> Result<WireMessage, WireError>;
+
+    /// Non-blocking receive: `Ok(None)` when no frame is waiting.
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::recv_timeout`], minus timeout.
+    fn try_recv(&self) -> Result<Option<WireMessage>, WireError>;
+
+    /// A cloneable send-only handle to this endpoint's peer, for
+    /// replying from inside an actor.
+    fn sink(&self) -> WireSink;
+
+    /// This endpoint's traffic totals.
+    fn stats(&self) -> WireStats;
+}
+
+// --- in-memory -----------------------------------------------------------
+
+/// In-memory transport endpoint: frames as `Vec<u8>` over unbounded
+/// channels. [`ChannelTransport::pair`] builds a connected duplex link.
+pub struct ChannelTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    counters: Arc<WireCounters>,
+}
+
+impl fmt::Debug for ChannelTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChannelTransport")
+            .field("stats", &self.counters.snapshot())
+            .finish()
+    }
+}
+
+impl ChannelTransport {
+    /// Builds a connected pair of endpoints; each side counts its own
+    /// traffic. Convention in this workspace: `.0` is the device end,
+    /// `.1` the server/gateway end.
+    pub fn pair() -> (ChannelTransport, ChannelTransport) {
+        let (tx_a, rx_a) = crossbeam::channel::unbounded();
+        let (tx_b, rx_b) = crossbeam::channel::unbounded();
+        (
+            ChannelTransport {
+                tx: tx_a,
+                rx: rx_b,
+                counters: Arc::new(WireCounters::default()),
+            },
+            ChannelTransport {
+                tx: tx_b,
+                rx: rx_a,
+                counters: Arc::new(WireCounters::default()),
+            },
+        )
+    }
+
+    /// Receives one raw frame without decoding the body — the gateway
+    /// primitive: relay the bytes into an actor mailbox and let the
+    /// owning actor decode. Counts the frame as received here.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Timeout`] / [`WireError::Closed`].
+    pub fn recv_frame_timeout(&self, timeout: Duration) -> Result<Vec<u8>, WireError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => {
+                self.counters.note_received(frame.len());
+                Ok(frame)
+            }
+            Err(RecvTimeoutError::Timeout) => Err(WireError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(WireError::Closed),
+        }
+    }
+
+    /// Non-blocking [`ChannelTransport::recv_frame_timeout`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Closed`] if the peer is gone.
+    pub fn try_recv_frame(&self) -> Result<Option<Vec<u8>>, WireError> {
+        match self.rx.try_recv() {
+            Ok(frame) => {
+                self.counters.note_received(frame.len());
+                Ok(Some(frame))
+            }
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(WireError::Closed),
+        }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn send(&self, msg: &WireMessage) -> Result<usize, WireError> {
+        let frame = encode(msg);
+        let n = frame.len();
+        self.tx.send(frame).map_err(|_| WireError::Closed)?;
+        self.counters.note_sent(n);
+        Ok(n)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<WireMessage, WireError> {
+        let frame = self.recv_frame_timeout(timeout)?;
+        decode(&frame)
+    }
+
+    fn try_recv(&self) -> Result<Option<WireMessage>, WireError> {
+        match self.try_recv_frame()? {
+            Some(frame) => Ok(Some(decode(&frame)?)),
+            None => Ok(None),
+        }
+    }
+
+    fn sink(&self) -> WireSink {
+        WireSink {
+            inner: SinkInner::Channel {
+                tx: self.tx.clone(),
+                counters: Arc::clone(&self.counters),
+            },
+        }
+    }
+
+    fn stats(&self) -> WireStats {
+        self.counters.snapshot()
+    }
+}
+
+// --- TCP -----------------------------------------------------------------
+
+/// Framed-TCP transport endpoint over a `std::net::TcpStream`.
+///
+/// Reads and writes each take a site-tagged lock so concurrent callers
+/// keep frame atomicity; a receive timeout that fires mid-frame loses
+/// stream sync, so callers should use timeouts as liveness bounds, not
+/// as polling intervals (that is what [`Transport::try_recv`]'s short
+/// probe is for — it only probes between frames on an idle link).
+pub struct TcpTransport {
+    read: fl_race::Mutex<TcpStream>,
+    write: Arc<fl_race::Mutex<TcpStream>>,
+    counters: Arc<WireCounters>,
+}
+
+impl fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("stats", &self.counters.snapshot())
+            .finish()
+    }
+}
+
+fn io_err(e: std::io::Error) -> WireError {
+    use std::io::ErrorKind;
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => WireError::Timeout,
+        ErrorKind::UnexpectedEof
+        | ErrorKind::ConnectionReset
+        | ErrorKind::ConnectionAborted
+        | ErrorKind::BrokenPipe => WireError::Closed,
+        _ => WireError::Io(e.to_string()),
+    }
+}
+
+impl TcpTransport {
+    /// Wraps a connected stream. The stream is cloned internally so the
+    /// read and write halves lock independently.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] if the stream cannot be cloned.
+    pub fn new(stream: TcpStream) -> Result<TcpTransport, WireError> {
+        let write_half = stream.try_clone().map_err(io_err)?;
+        Ok(TcpTransport {
+            read: fl_race::Mutex::new(TCP_READ_SITE, stream),
+            write: Arc::new(fl_race::Mutex::new(TCP_WRITE_SITE, write_half)),
+            counters: Arc::new(WireCounters::default()),
+        })
+    }
+
+    /// Receives one raw validated frame (header checked, body opaque) —
+    /// the gateway primitive for routing by [`crate::peek_tag`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Timeout`] / [`WireError::Closed`] / envelope errors.
+    pub fn recv_frame_timeout(&self, timeout: Duration) -> Result<Vec<u8>, WireError> {
+        let stream = self.read.lock();
+        stream
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))
+            .map_err(io_err)?;
+        let mut header = [0u8; HEADER_LEN];
+        (&*stream).read_exact(&mut header).map_err(io_err)?;
+        let (_, body_len) = parse_header(&header)?;
+        let mut frame = vec![0u8; HEADER_LEN + body_len];
+        frame[..HEADER_LEN].copy_from_slice(&header);
+        (&*stream)
+            .read_exact(&mut frame[HEADER_LEN..])
+            .map_err(io_err)?;
+        self.counters.note_received(frame.len());
+        Ok(frame)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&self, msg: &WireMessage) -> Result<usize, WireError> {
+        let frame = encode(msg);
+        let stream = self.write.lock();
+        (&*stream).write_all(&frame).map_err(io_err)?;
+        self.counters.note_sent(frame.len());
+        Ok(frame.len())
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<WireMessage, WireError> {
+        let frame = self.recv_frame_timeout(timeout)?;
+        decode(&frame)
+    }
+
+    fn try_recv(&self) -> Result<Option<WireMessage>, WireError> {
+        match self.recv_timeout(Duration::from_millis(1)) {
+            Ok(msg) => Ok(Some(msg)),
+            Err(WireError::Timeout) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn sink(&self) -> WireSink {
+        WireSink {
+            inner: SinkInner::Tcp {
+                write: Arc::clone(&self.write),
+                counters: Arc::clone(&self.counters),
+            },
+        }
+    }
+
+    fn stats(&self) -> WireStats {
+        self.counters.snapshot()
+    }
+}
+
+// --- sink ----------------------------------------------------------------
+
+/// Cloneable send-only handle to a connection, carried inside actor
+/// messages so the Selector/Coordinator can answer a device long after
+/// the request frame was enqueued. Sends count against the endpoint the
+/// sink was taken from.
+#[derive(Clone)]
+pub struct WireSink {
+    inner: SinkInner,
+}
+
+#[derive(Clone)]
+enum SinkInner {
+    /// Discards everything (placeholder for tests and lost peers).
+    Null,
+    Channel {
+        tx: Sender<Vec<u8>>,
+        counters: Arc<WireCounters>,
+    },
+    Tcp {
+        write: Arc<fl_race::Mutex<TcpStream>>,
+        counters: Arc<WireCounters>,
+    },
+}
+
+impl fmt::Debug for WireSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.inner {
+            SinkInner::Null => "null",
+            SinkInner::Channel { .. } => "channel",
+            SinkInner::Tcp { .. } => "tcp",
+        };
+        write!(f, "WireSink({kind})")
+    }
+}
+
+impl WireSink {
+    /// A sink that drops every frame — for tests and as a stand-in when
+    /// the peer is already known to be gone.
+    pub fn null() -> WireSink {
+        WireSink {
+            inner: SinkInner::Null,
+        }
+    }
+
+    /// Encodes and transmits one message; returns the frame size.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Closed`] when the peer is gone, [`WireError::Io`] on
+    /// socket failure. Server code typically ignores the error: a dead
+    /// device simply misses its reply (Sec. 2.3's best-effort pacing).
+    pub fn send(&self, msg: &WireMessage) -> Result<usize, WireError> {
+        match &self.inner {
+            SinkInner::Null => Ok(0),
+            SinkInner::Channel { tx, counters } => {
+                let frame = encode(msg);
+                let n = frame.len();
+                tx.send(frame).map_err(|_| WireError::Closed)?;
+                counters.note_sent(n);
+                Ok(n)
+            }
+            SinkInner::Tcp { write, counters } => {
+                let frame = encode(msg);
+                let stream = write.lock();
+                (&*stream).write_all(&frame).map_err(io_err)?;
+                counters.note_sent(frame.len());
+                Ok(frame.len())
+            }
+        }
+    }
+}

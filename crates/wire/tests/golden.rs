@@ -1,0 +1,128 @@
+//! Golden-bytes fixture: the exact frame bytes of one canonical message
+//! per tag, pinned in `golden_frames.txt`.
+//!
+//! If this test fails you changed the wire layout. That is only legal
+//! together with a `PROTOCOL_VERSION` bump and a deliberate fixture
+//! regeneration:
+//!
+//! ```text
+//! cargo test -p fl-wire --test golden -- --ignored regenerate
+//! ```
+
+use fl_core::plan::{CodecSpec, FlPlan, ModelSpec};
+use fl_core::{DeviceId, FlCheckpoint, RoundId};
+use fl_wire::{decode, encode, WireMessage};
+use std::path::PathBuf;
+
+/// One canonical message per tag, with every field pinned.
+fn canonical_messages() -> Vec<WireMessage> {
+    let mut plan = FlPlan::standard_training(
+        ModelSpec::Logistic {
+            dim: 4,
+            classes: 3,
+            seed: 11,
+        },
+        2,
+        8,
+        0.05,
+        CodecSpec::Quantize { block: 16 },
+    );
+    plan.device.graph_payload_bytes = 32;
+    let checkpoint = FlCheckpoint::new("golden-task", RoundId(7), vec![0.5, -1.25, 3.0]);
+    vec![
+        WireMessage::CheckinRequest {
+            device: DeviceId(0x0123_4567_89AB_CDEF),
+        },
+        WireMessage::ComeBackLater {
+            retry_at_ms: 86_400_000,
+        },
+        WireMessage::Shed {
+            retry_at_ms: 12_345,
+        },
+        WireMessage::PlanAndCheckpoint {
+            plan: Box::new(plan),
+            checkpoint: Box::new(checkpoint),
+        },
+        WireMessage::UpdateReport {
+            device: DeviceId(42),
+            update_bytes: vec![0xDE, 0xAD, 0xBE, 0xEF],
+            weight: 17,
+            loss: 0.125,
+            accuracy: 0.75,
+        },
+        WireMessage::ReportAck { accepted: true },
+        WireMessage::ShardUpdate {
+            device: DeviceId(42),
+            update_bytes: vec![1, 2, 3],
+            weight: 5,
+        },
+        WireMessage::ShardFinalize {
+            current_params: vec![1.0, 2.0],
+            dropouts: vec![DeviceId(9), DeviceId(11)],
+        },
+        WireMessage::ShardMerged {
+            merged: Ok((vec![0.25, 0.5], 31)),
+        },
+        WireMessage::ShardAbort,
+    ]
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden_frames.txt")
+}
+
+fn render_fixture() -> String {
+    let mut out = String::from(
+        "# Golden wire frames, one hex-encoded frame per line, in tag order.\n\
+         # Regenerate ONLY with a PROTOCOL_VERSION bump:\n\
+         #   cargo test -p fl-wire --test golden -- --ignored regenerate\n",
+    );
+    for msg in canonical_messages() {
+        out.push_str(&hex(&encode(&msg)));
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn frames_match_golden_fixture() {
+    let expected = std::fs::read_to_string(fixture_path())
+        .expect("golden_frames.txt missing — run the ignored `regenerate` test");
+    let actual = render_fixture();
+    assert_eq!(
+        actual, expected,
+        "wire frame layout drifted from the golden fixture; if intentional, \
+         bump PROTOCOL_VERSION and regenerate (see tests/golden.rs header)"
+    );
+}
+
+#[test]
+fn golden_frames_still_decode() {
+    // The fixture itself must stay decodable: this is the cross-version
+    // compatibility check for recorded traffic.
+    let fixture = std::fs::read_to_string(fixture_path())
+        .expect("golden_frames.txt missing — run the ignored `regenerate` test");
+    let msgs = canonical_messages();
+    let mut decoded = Vec::new();
+    for line in fixture.lines().filter(|l| !l.starts_with('#')) {
+        let bytes: Vec<u8> = (0..line.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&line[i..i + 2], 16).expect("fixture is hex"))
+            .collect();
+        decoded.push(decode(&bytes).expect("golden frame no longer decodes"));
+    }
+    assert_eq!(decoded, msgs);
+}
+
+/// Rewrites the fixture. Ignored so it never runs in a normal sweep.
+#[test]
+#[ignore = "rewrites the golden fixture; run deliberately with --ignored"]
+fn regenerate() {
+    std::fs::write(fixture_path(), render_fixture()).expect("write fixture");
+}

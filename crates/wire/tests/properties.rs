@@ -1,0 +1,285 @@
+//! Codec round-trip and rejection properties (ISSUE 7 satellite).
+//!
+//! `decode(encode(msg)) == msg` over randomized messages of every
+//! variant, `encode(decode(bytes)) == bytes` for every valid frame (the
+//! codec is canonical: one byte string per message), and the typed
+//! rejections: truncation, bad magic, version skew, unknown tag,
+//! oversized length prefix, trailing bytes.
+
+use fl_core::plan::{CodecSpec, FlPlan, ModelSpec, PlanOp};
+use fl_core::{DeviceId, FlCheckpoint, RoundId};
+use fl_wire::{
+    decode, decode_prefix, encode, encoded_len, peek_tag, WireError, WireMessage, HEADER_LEN,
+    PROTOCOL_VERSION,
+};
+use proptest::prelude::*;
+
+/// Deterministically builds one message of each shape from primitive
+/// draws (the vendored proptest has no recursive enum strategies).
+fn build_message(
+    variant: u8,
+    a: u64,
+    b: u64,
+    frac_bits: u64,
+    blob: Vec<u8>,
+    params: Vec<f32>,
+    text: String,
+) -> WireMessage {
+    let frac = (frac_bits % 1_000_000) as f64 / 997.0;
+    match variant % 10 {
+        0 => WireMessage::CheckinRequest {
+            device: DeviceId(a),
+        },
+        1 => WireMessage::ComeBackLater { retry_at_ms: a },
+        2 => WireMessage::Shed { retry_at_ms: a },
+        3 => {
+            let model = match a % 4 {
+                0 => ModelSpec::Linear {
+                    dim: (b % 100) as usize,
+                },
+                1 => ModelSpec::Logistic {
+                    dim: (b % 100) as usize,
+                    classes: 3,
+                    seed: a,
+                },
+                2 => ModelSpec::Mlp {
+                    dim: (b % 50) as usize,
+                    hidden: 4,
+                    classes: 2,
+                    seed: a,
+                },
+                _ => ModelSpec::EmbeddingLm {
+                    vocab: (b % 50) as usize + 1,
+                    dim: 3,
+                    seed: a,
+                },
+            };
+            let codec = match b % 4 {
+                0 => CodecSpec::Identity,
+                1 => CodecSpec::Quantize {
+                    block: (a % 64) as usize + 1,
+                },
+                2 => CodecSpec::Subsample { keep: frac, seed: b },
+                _ => CodecSpec::Pipeline {
+                    keep: frac,
+                    seed: b,
+                    block: (a % 64) as usize + 1,
+                },
+            };
+            let mut plan = FlPlan::standard_training(model, 2, 8, 0.05, codec);
+            plan.device.graph_payload_bytes = (a % 500) as usize;
+            if a % 3 == 0 {
+                plan.device.ops.push(PlanOp::QueryExamples {
+                    limit: (b % 2 == 0).then_some((b % 1000) as usize),
+                    held_out: a % 2 == 0,
+                });
+            }
+            let checkpoint = FlCheckpoint::new("prop-task", RoundId(b), params);
+            WireMessage::PlanAndCheckpoint {
+                plan: Box::new(plan),
+                checkpoint: Box::new(checkpoint),
+            }
+        }
+        4 => WireMessage::UpdateReport {
+            device: DeviceId(a),
+            update_bytes: blob,
+            weight: b,
+            loss: frac,
+            accuracy: frac / 2.0,
+        },
+        5 => WireMessage::ReportAck {
+            accepted: a % 2 == 0,
+        },
+        6 => WireMessage::ShardUpdate {
+            device: DeviceId(a),
+            update_bytes: blob,
+            weight: b,
+        },
+        7 => WireMessage::ShardFinalize {
+            current_params: params,
+            dropouts: blob.iter().map(|&x| DeviceId(u64::from(x))).collect(),
+        },
+        8 => WireMessage::ShardMerged {
+            merged: if a % 2 == 0 {
+                Ok((params, b))
+            } else {
+                Err(text)
+            },
+        },
+        _ => WireMessage::ShardAbort,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `decode ∘ encode` is the identity on messages, the length
+    /// predictor agrees with the encoder, and the tag survives a peek.
+    #[test]
+    fn message_roundtrip(
+        variant in any::<u8>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        frac_bits in any::<u64>(),
+        blob in proptest::collection::vec(any::<u8>(), 0..64),
+        params in proptest::collection::vec(-1000.0f32..1000.0, 0..32),
+        text in "[a-z]{0,12}",
+    ) {
+        let msg = build_message(variant, a, b, frac_bits, blob, params, text);
+        let frame = encode(&msg);
+        prop_assert_eq!(frame.len(), encoded_len(&msg));
+        prop_assert_eq!(peek_tag(&frame).unwrap(), msg.tag());
+        let back = decode(&frame).unwrap();
+        prop_assert_eq!(&back, &msg);
+        // The codec is canonical: re-encoding the decode reproduces the
+        // exact bytes (`encode ∘ decode` identity on valid frames).
+        prop_assert_eq!(encode(&back), frame);
+    }
+
+    /// Streamed frames concatenate: `decode_prefix` walks a buffer of
+    /// back-to-back frames without loss, and every strict prefix of a
+    /// frame is rejected as truncation, never misparsed.
+    #[test]
+    fn stream_and_truncation(
+        variant in any::<u8>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        blob in proptest::collection::vec(any::<u8>(), 0..32),
+        cut_sel in any::<u64>(),
+    ) {
+        let first = build_message(variant, a, b, 7, blob.clone(), vec![1.0], "x".to_string());
+        let second = WireMessage::ReportAck { accepted: a % 2 == 1 };
+        let mut buf = encode(&first);
+        let first_len = buf.len();
+        buf.extend_from_slice(&encode(&second));
+
+        let (m1, used1) = decode_prefix(&buf).unwrap();
+        prop_assert_eq!(&m1, &first);
+        prop_assert_eq!(used1, first_len);
+        let (m2, used2) = decode_prefix(&buf[used1..]).unwrap();
+        prop_assert_eq!(&m2, &second);
+        prop_assert_eq!(used1 + used2, buf.len());
+
+        // Any strict prefix of a single frame is Truncated.
+        let cut = (cut_sel % first_len as u64) as usize;
+        match decode(&encode(&first)[..cut]) {
+            Err(WireError::Truncated { .. }) => {}
+            other => prop_assert!(false, "prefix of {cut} bytes gave {other:?}"),
+        }
+    }
+
+    /// Arbitrary byte mutations never panic the decoder: every outcome
+    /// is `Ok` or a typed `WireError`.
+    #[test]
+    fn mutation_never_panics(
+        a in any::<u64>(),
+        blob in proptest::collection::vec(any::<u8>(), 0..32),
+        pos_sel in any::<u64>(),
+        xor in 1u8..=255,
+    ) {
+        let msg = WireMessage::UpdateReport {
+            device: DeviceId(a),
+            update_bytes: blob,
+            weight: 3,
+            loss: 0.5,
+            accuracy: 0.25,
+        };
+        let mut frame = encode(&msg);
+        let pos = (pos_sel % frame.len() as u64) as usize;
+        frame[pos] ^= xor;
+        let _ = decode(&frame);
+        let _ = decode_prefix(&frame);
+        let _ = peek_tag(&frame);
+    }
+}
+
+#[test]
+fn rejects_bad_magic() {
+    let mut frame = encode(&WireMessage::ShardAbort);
+    frame[0] = b'X';
+    assert_eq!(
+        decode(&frame),
+        Err(WireError::BadMagic {
+            found: [b'X', b'W']
+        })
+    );
+}
+
+#[test]
+fn rejects_version_skew() {
+    let mut frame = encode(&WireMessage::ShardAbort);
+    frame[2] = PROTOCOL_VERSION + 1;
+    assert_eq!(
+        decode(&frame),
+        Err(WireError::VersionSkew {
+            ours: PROTOCOL_VERSION,
+            theirs: PROTOCOL_VERSION + 1
+        })
+    );
+}
+
+#[test]
+fn rejects_unknown_tag_for_forward_compat() {
+    let mut frame = encode(&WireMessage::ShardAbort);
+    frame[3] = 0xEE;
+    assert_eq!(decode(&frame), Err(WireError::UnknownMessage { tag: 0xEE }));
+}
+
+#[test]
+fn rejects_oversized_length_prefix() {
+    let mut frame = encode(&WireMessage::ShardAbort);
+    frame[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+    match decode(&frame) {
+        Err(WireError::OversizedFrame { len, max }) => {
+            assert_eq!(len, u32::MAX as usize);
+            assert_eq!(max, fl_wire::MAX_BODY_LEN);
+        }
+        other => panic!("expected OversizedFrame, got {other:?}"),
+    }
+}
+
+#[test]
+fn rejects_trailing_bytes() {
+    let mut frame = encode(&WireMessage::ReportAck { accepted: true });
+    frame.push(0);
+    assert_eq!(decode(&frame), Err(WireError::TrailingBytes { extra: 1 }));
+}
+
+#[test]
+fn rejects_truncated_header() {
+    assert_eq!(
+        decode(&[b'F', b'W', PROTOCOL_VERSION]),
+        Err(WireError::Truncated {
+            needed: HEADER_LEN,
+            have: 3
+        })
+    );
+}
+
+#[test]
+fn rejects_malformed_body_values() {
+    // A ReportAck whose bool byte is neither 0 nor 1.
+    let mut frame = encode(&WireMessage::ReportAck { accepted: false });
+    frame[HEADER_LEN] = 2;
+    assert_eq!(
+        decode(&frame),
+        Err(WireError::Malformed {
+            what: "bool byte not 0/1"
+        })
+    );
+}
+
+#[test]
+fn rejects_body_longer_than_layout() {
+    // Declare a 2-byte body for a 1-byte message: decode must notice the
+    // leftover rather than silently ignoring it.
+    let mut frame = encode(&WireMessage::ReportAck { accepted: true });
+    frame[4..8].copy_from_slice(&2u32.to_le_bytes());
+    frame.push(1);
+    assert_eq!(
+        decode(&frame),
+        Err(WireError::Malformed {
+            what: "body longer than message layout"
+        })
+    );
+}

@@ -1,0 +1,126 @@
+//! Transport behavior: the channel pair, the TCP link, sinks, and the
+//! byte counters FIG9's measured bandwidth rests on.
+
+use fl_core::DeviceId;
+use fl_wire::{encoded_len, ChannelTransport, TcpTransport, Transport, WireError, WireMessage};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(5);
+
+#[test]
+fn channel_pair_duplex_roundtrip_with_stats() {
+    let (device, server) = ChannelTransport::pair();
+    let checkin = WireMessage::CheckinRequest {
+        device: DeviceId(7),
+    };
+    let sent = device.send(&checkin).unwrap();
+    assert_eq!(sent, encoded_len(&checkin));
+
+    let got = server.recv_timeout(WAIT).unwrap();
+    assert_eq!(got, checkin);
+
+    let reply = WireMessage::ComeBackLater {
+        retry_at_ms: 60_000,
+    };
+    server.send(&reply).unwrap();
+    assert_eq!(device.recv_timeout(WAIT).unwrap(), reply);
+
+    let d = device.stats();
+    let s = server.stats();
+    assert_eq!(d.frames_sent, 1);
+    assert_eq!(d.bytes_sent, sent as u64);
+    assert_eq!(s.frames_received, 1);
+    assert_eq!(s.bytes_received, sent as u64);
+    assert_eq!(s.frames_sent, 1);
+    assert_eq!(d.frames_received, 1);
+}
+
+#[test]
+fn sink_counts_against_its_endpoint_and_survives_clone() {
+    let (device, server) = ChannelTransport::pair();
+    let sink = server.sink();
+    let sink2 = sink.clone();
+    sink.send(&WireMessage::ReportAck { accepted: true }).unwrap();
+    sink2.send(&WireMessage::ReportAck { accepted: false }).unwrap();
+    assert_eq!(server.stats().frames_sent, 2);
+    assert_eq!(device.recv_timeout(WAIT).unwrap(), WireMessage::ReportAck { accepted: true });
+    assert_eq!(device.recv_timeout(WAIT).unwrap(), WireMessage::ReportAck { accepted: false });
+}
+
+#[test]
+fn null_sink_discards() {
+    let sink = fl_wire::WireSink::null();
+    assert_eq!(sink.send(&WireMessage::ShardAbort).unwrap(), 0);
+}
+
+#[test]
+fn channel_close_and_timeout_are_typed() {
+    let (device, server) = ChannelTransport::pair();
+    assert_eq!(
+        device.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+        WireError::Timeout
+    );
+    assert!(device.try_recv().unwrap().is_none());
+    drop(server);
+    assert_eq!(
+        device
+            .send(&WireMessage::CheckinRequest {
+                device: DeviceId(1)
+            })
+            .unwrap_err(),
+        WireError::Closed
+    );
+    assert_eq!(device.recv_timeout(WAIT).unwrap_err(), WireError::Closed);
+}
+
+#[test]
+fn tcp_roundtrip_over_loopback() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let server_side = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let t = TcpTransport::new(stream).unwrap();
+        let msg = t.recv_timeout(WAIT).unwrap();
+        assert_eq!(
+            msg,
+            WireMessage::CheckinRequest {
+                device: DeviceId(99)
+            }
+        );
+        // Reply through a sink, as the actor-side server code does.
+        t.sink()
+            .send(&WireMessage::Shed { retry_at_ms: 500 })
+            .unwrap();
+        t.stats()
+    });
+
+    let client = TcpTransport::new(TcpStream::connect(addr).unwrap()).unwrap();
+    let sent = client
+        .send(&WireMessage::CheckinRequest {
+            device: DeviceId(99),
+        })
+        .unwrap();
+    assert_eq!(
+        client.recv_timeout(WAIT).unwrap(),
+        WireMessage::Shed { retry_at_ms: 500 }
+    );
+
+    let server_stats = server_side.join().unwrap();
+    assert_eq!(server_stats.frames_received, 1);
+    assert_eq!(server_stats.bytes_received, sent as u64);
+    assert_eq!(server_stats.frames_sent, 1);
+    assert_eq!(client.stats().frames_received, 1);
+}
+
+#[test]
+fn tcp_peer_close_is_typed() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let client = TcpTransport::new(TcpStream::connect(addr).unwrap()).unwrap();
+    let (stream, _) = listener.accept().unwrap();
+    drop(stream);
+    drop(listener);
+    assert_eq!(client.recv_timeout(WAIT).unwrap_err(), WireError::Closed);
+}

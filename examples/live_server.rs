@@ -1,4 +1,4 @@
-//! The live actor server (Sec. 4): real threads, real message passing.
+//! The live actor server behind a real TCP front door (Sec. 4).
 //!
 //! ```text
 //! cargo run --release --example live_server
@@ -6,14 +6,17 @@
 //!
 //! Spawns the Fig. 3 topology on the `fl-actors` runtime — Selector actors
 //! in front of a Coordinator actor that owns the population via the shared
-//! locking service — then runs a fleet of device client threads through
-//! two full rounds, exercising check-in, rejection, configuration,
-//! on-device training (the real `fl-device` runtime), reporting, and
-//! checkpoint commits. Finally it kills the Coordinator and shows the
+//! locking service — and puts a `TcpListener` in front of it: every device
+//! is a real TCP client speaking the versioned framed `fl-wire` protocol,
+//! and a per-connection gateway thread routes inbound frames into the
+//! actor mailboxes by tag, exactly as `DeviceConn` does in-memory. The
+//! fleet runs two full rounds — check-in, rejection, configuration,
+//! on-device training (the real `fl-device` runtime), reporting,
+//! checkpoint commits — then the Coordinator is killed to show the
 //! exactly-once respawn through the locking service.
 
 use crossbeam::channel::unbounded;
-use federated::actors::{ActorSystem, LockingService};
+use federated::actors::{ActorRef, ActorSystem, LockingService};
 use federated::core::plan::{CodecSpec, FlPlan, ModelSpec};
 use federated::core::population::{FlTask, TaskGroup, TaskSelectionStrategy};
 use federated::core::round::RoundConfig;
@@ -22,34 +25,85 @@ use federated::data::store::{InMemoryStore, StoreConfig};
 use federated::data::synth::classification::{generate, ClassificationConfig};
 use federated::device::runtime::{ExecutionOutcome, FlRuntime};
 use federated::ml::Example;
-use federated::server::live::{CoordMsg, CoordinatorActor, DeviceReply, SelectorMsg};
+use federated::server::live::{CoordMsg, CoordinatorActor, SelectorMsg};
 use federated::server::pace::PaceSteering;
 use federated::server::topology::{spawn_topology, SelectorSpec, TopologyBlueprint};
+use federated::server::wire::{tag, TcpTransport, Transport, WireMessage, WireStats};
 use federated::server::CoordinatorConfig;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
+/// The TCP front door: accepts device connections and spawns one gateway
+/// thread per connection that routes inbound frames into the actor
+/// mailboxes by tag — `UpdateReport`s to the Coordinator, everything else
+/// to the Selector (which drops non-check-in frames silently).
+fn serve(
+    listener: TcpListener,
+    selector: ActorRef<SelectorMsg>,
+    coordinator: ActorRef<CoordMsg>,
+    shutting_down: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if shutting_down.load(Ordering::SeqCst) {
+                return;
+            }
+            let Ok(stream) = stream else { continue };
+            let Ok(transport) = TcpTransport::new(stream) else { continue };
+            let selector = selector.clone();
+            let coordinator = coordinator.clone();
+            std::thread::spawn(move || loop {
+                match transport.recv_frame_timeout(Duration::from_secs(60)) {
+                    Ok(frame) => {
+                        let routed = match federated::server::wire::peek_tag(&frame) {
+                            Ok(tag::UPDATE_REPORT) => coordinator
+                                .send(CoordMsg::Report {
+                                    frame,
+                                    conn: transport.sink(),
+                                })
+                                .is_ok(),
+                            Ok(_) => selector
+                                .send(SelectorMsg::Checkin {
+                                    frame,
+                                    conn: transport.sink(),
+                                })
+                                .is_ok(),
+                            Err(_) => true, // unframeable junk: drop it
+                        };
+                        if !routed {
+                            return; // actors gone: server is shutting down
+                        }
+                    }
+                    Err(_) => return, // peer hung up or went quiet
+                }
+            });
+        }
+    })
+}
+
+/// One device: a real TCP client running the real on-device runtime.
+/// Returns (report_accepted, device-side wire stats).
 fn device_thread(
     id: u64,
+    addr: std::net::SocketAddr,
     data: Vec<Example>,
-    selector: federated::actors::ActorRef<SelectorMsg>,
-    coordinator: federated::actors::ActorRef<CoordMsg>,
-) -> std::thread::JoinHandle<bool> {
+) -> std::thread::JoinHandle<(bool, WireStats)> {
     std::thread::spawn(move || {
         let store = InMemoryStore::with_examples(StoreConfig::default(), data, 0);
         let runtime = FlRuntime::new(3);
-        let (tx, rx) = unbounded();
+        let conn = TcpTransport::new(TcpStream::connect(addr).expect("connect"))
+            .expect("transport");
         loop {
-            if selector
-                .send(SelectorMsg::Checkin {
-                    device: DeviceId(id),
-                    reply: tx.clone(),
-                })
+            if conn
+                .send(&WireMessage::CheckinRequest { device: DeviceId(id) })
                 .is_err()
             {
-                return false;
+                return (false, conn.stats());
             }
-            match rx.recv_timeout(Duration::from_secs(10)) {
-                Ok(DeviceReply::Configured { plan, checkpoint }) => {
+            match conn.recv_timeout(Duration::from_secs(10)) {
+                Ok(WireMessage::PlanAndCheckpoint { plan, checkpoint }) => {
                     // Real on-device plan execution.
                     let outcome = runtime
                         .execute(&plan.device, &checkpoint, &store, None)
@@ -62,24 +116,23 @@ fn device_thread(
                         ..
                     } = outcome
                     {
-                        coordinator
-                            .send(CoordMsg::DeviceReport {
-                                device: DeviceId(id),
-                                update_bytes: update_bytes.unwrap_or_default(),
-                                weight,
-                                loss: if loss.is_nan() { 0.0 } else { loss },
-                                accuracy: if accuracy.is_nan() { 0.0 } else { accuracy },
-                                reply: tx.clone(),
-                            })
-                            .ok();
+                        let report = WireMessage::UpdateReport {
+                            device: DeviceId(id),
+                            update_bytes: update_bytes.unwrap_or_default(),
+                            weight,
+                            loss: if loss.is_nan() { 0.0 } else { loss },
+                            accuracy: if accuracy.is_nan() { 0.0 } else { accuracy },
+                        };
+                        if conn.send(&report).is_err() {
+                            return (false, conn.stats());
+                        }
                     }
                 }
-                Ok(DeviceReply::ReportAccepted) => return true,
-                Ok(DeviceReply::ReportDiscarded) => return false,
-                Ok(DeviceReply::ComeBackLater { .. }) => {
+                Ok(WireMessage::ReportAck { accepted }) => return (accepted, conn.stats()),
+                Ok(WireMessage::ComeBackLater { .. }) | Ok(WireMessage::Shed { .. }) => {
                     std::thread::sleep(Duration::from_millis(50));
                 }
-                Err(_) => return false,
+                _ => return (false, conn.stats()),
             }
         }
     })
@@ -120,29 +173,35 @@ fn main() {
     let blueprint =
         TopologyBlueprint::new(vec![SelectorSpec::new(PaceSteering::new(1_000, 10), 16, 3, 16)]);
     let topology = spawn_topology(&system, coordinator, &blueprint);
-    let (selectors, coord_ref) = (topology.selectors, topology.coordinator);
+    let (selectors, coord_ref) = (topology.selectors.clone(), topology.coordinator.clone());
+
+    // The TCP front door, on an OS-assigned loopback port.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let shutting_down = Arc::new(AtomicBool::new(false));
+    let acceptor = serve(
+        listener,
+        selectors[0].clone(),
+        coord_ref.clone(),
+        shutting_down.clone(),
+    );
     println!(
-        "topology up: coordinator owns {:?} via the locking service",
-        locks.names()
+        "topology up: coordinator owns {:?}; wire protocol v{} on {addr}",
+        locks.names(),
+        federated::server::wire::PROTOCOL_VERSION,
     );
 
+    let mut fleet_stats = WireStats::default();
     for round_no in 1..=2 {
         println!("\n--- round {round_no} ---");
         let handles: Vec<_> = (0..10u64)
-            .map(|i| {
-                device_thread(
-                    i,
-                    data.users[i as usize].clone(),
-                    selectors[0].clone(),
-                    coord_ref.clone(),
-                )
-            })
+            .map(|i| device_thread(i, addr, data.users[i as usize].clone()))
             .collect();
-        let accepted = handles
-            .into_iter()
-            .filter_map(|h| h.join().ok())
-            .filter(|&ok| ok)
-            .count();
+        let results: Vec<_> = handles.into_iter().filter_map(|h| h.join().ok()).collect();
+        let accepted = results.iter().filter(|(ok, _)| *ok).count();
+        for (_, stats) in &results {
+            fleet_stats = fleet_stats + *stats;
+        }
         println!("devices with accepted reports: {accepted}");
 
         // Drive ticks until the round completes.
@@ -159,6 +218,13 @@ fn main() {
         };
         println!("outcome: {outcome:?}");
     }
+    println!(
+        "\nfleet wire traffic: {} frames / {} bytes sent, {} frames / {} bytes received",
+        fleet_stats.frames_sent,
+        fleet_stats.bytes_sent,
+        fleet_stats.frames_received,
+        fleet_stats.bytes_received,
+    );
 
     // Failure handling: kill the coordinator, then respawn exactly once.
     println!("\n--- failure drill: coordinator shutdown + respawn ---");
@@ -178,9 +244,12 @@ fn main() {
         .count();
     println!("respawn races won: {winners} (exactly once, as Sec. 4.4 requires)");
 
-    for s in &selectors {
-        let _ = s.send(SelectorMsg::Shutdown);
-    }
+    // Unblock the accept loop with one last throwaway connection, then
+    // tear the tree down (idempotently — the coordinator is already gone).
+    shutting_down.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(addr);
+    let _ = acceptor.join();
+    topology.shutdown();
     system.join();
     println!("\nclean shutdown");
 }

@@ -27,6 +27,11 @@ run_step() {
 run_step "build" cargo build --release
 run_step "test" cargo test -q
 run_step "fl-lint" cargo run -q -p fl-lint
+# Wire-protocol gate: codec round-trip/rejection tests plus the golden
+# frame fixture, so accidental frame-layout changes fail loudly; the
+# bench step regenerates BENCH_wire.json from the same build.
+run_step "wire-codec" cargo test -q -p fl-wire
+run_step "wire-bench" cargo run --release -q -p fl-bench --bin bench_wire
 run_step "chaos-sweep" cargo test -q --test chaos_sweep
 run_step "overload-sweep" cargo test -q --test overload_sweep
 run_step "live-topology" cargo test -q --test live_topology

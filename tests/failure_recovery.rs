@@ -10,9 +10,10 @@ use federated::core::round::RoundConfig;
 use federated::core::{DeviceId, RoundId};
 use federated::server::coordinator::{Coordinator, CoordinatorConfig};
 use federated::server::live::{
-    coordinator_lease_name, watch_and_respawn, CoordMsg, CoordinatorActor, DeviceReply,
+    coordinator_lease_name, watch_and_respawn, CoordMsg, CoordinatorActor, DeviceConn,
     SelectorMsg,
 };
+use federated::server::wire::WireMessage;
 use federated::server::pace::PaceSteering;
 use federated::server::storage::{
     CheckpointStore, InMemoryCheckpointStore, SharedCheckpointStore,
@@ -382,20 +383,15 @@ fn rewire_redelivers_quota_and_population_estimate() {
     let (selector, coord_ref) = (topology.selectors[0].clone(), topology.coordinator);
 
     let checkin = |device: u64| {
-        let (tx, rx) = unbounded();
-        selector
-            .send(SelectorMsg::Checkin {
-                device: DeviceId(device),
-                reply: tx,
-            })
-            .unwrap();
-        rx.recv_timeout(Duration::from_secs(5)).unwrap()
+        let conn = DeviceConn::connect(DeviceId(device), selector.clone(), coord_ref.clone());
+        conn.check_in().unwrap();
+        conn.recv(Duration::from_secs(5)).unwrap()
     };
 
     // Baseline: quota 0 rejects, with a reconnect sized for a population
     // of 100 against a target of 10 — a horizon of ~10 pace periods.
     let retry_small = match checkin(0) {
-        DeviceReply::ComeBackLater { retry_at_ms } => retry_at_ms,
+        WireMessage::ComeBackLater { retry_at_ms } => retry_at_ms,
         other => panic!("quota 0 must reject, got {other:?}"),
     };
 
@@ -409,7 +405,7 @@ fn rewire_redelivers_quota_and_population_estimate() {
         })
         .unwrap();
     let retry_large = match checkin(1) {
-        DeviceReply::ComeBackLater { retry_at_ms } => retry_at_ms,
+        WireMessage::ComeBackLater { retry_at_ms } => retry_at_ms,
         other => panic!("quota 0 must still reject, got {other:?}"),
     };
     assert!(
@@ -427,7 +423,7 @@ fn rewire_redelivers_quota_and_population_estimate() {
         })
         .unwrap();
     assert!(
-        matches!(checkin(2), DeviceReply::Configured { .. }),
+        matches!(checkin(2), WireMessage::PlanAndCheckpoint { .. }),
         "quota was not re-delivered"
     );
 

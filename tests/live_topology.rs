@@ -9,7 +9,8 @@ use federated::core::plan::{CodecSpec, FlPlan, ModelSpec};
 use federated::core::population::{FlTask, TaskGroup, TaskSelectionStrategy};
 use federated::core::round::RoundConfig;
 use federated::core::DeviceId;
-use federated::server::live::{CoordMsg, CoordinatorActor, DeviceReply, SelectorMsg};
+use federated::server::live::{CoordMsg, CoordinatorActor, DeviceConn, SelectorMsg};
+use federated::server::wire::WireMessage;
 use federated::server::pace::PaceSteering;
 use federated::server::topology::{spawn_topology, SelectorSpec, TopologyBlueprint};
 use federated::server::{AdmissionConfig, CoordinatorConfig, GlobalAdmissionConfig};
@@ -68,7 +69,7 @@ fn round_commits_across_three_selectors() {
             .collect(),
     );
     let topology = spawn_topology(&system, coordinator, &blueprint);
-    let (selector_refs, coord_ref) = (topology.selectors, topology.coordinator);
+    let (selector_refs, coord_ref) = (topology.selectors.clone(), topology.coordinator.clone());
     assert_eq!(selector_refs.len(), 3);
 
     // Six devices, two per selector, each on its own thread.
@@ -77,30 +78,17 @@ fn round_commits_across_three_selectors() {
             let sel = selector_refs[(i % 3) as usize].clone();
             let coord = coord_ref.clone();
             std::thread::spawn(move || {
-                let (tx, rx) = unbounded();
-                sel.send(SelectorMsg::Checkin {
-                    device: DeviceId(i),
-                    reply: tx.clone(),
-                })
-                .unwrap();
+                let conn = DeviceConn::connect(DeviceId(i), sel, coord);
+                conn.check_in().unwrap();
                 loop {
-                    match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
-                        DeviceReply::Configured { plan, .. } => {
+                    match conn.recv(Duration::from_secs(10)).unwrap() {
+                        WireMessage::PlanAndCheckpoint { plan, .. } => {
                             let dim = plan.server.expected_dim;
                             let bytes =
                                 CodecSpec::Identity.build().encode(&vec![0.5f32; dim]);
-                            coord
-                                .send(CoordMsg::DeviceReport {
-                                    device: DeviceId(i),
-                                    update_bytes: bytes,
-                                    weight: 3,
-                                    loss: 0.4,
-                                    accuracy: 0.9,
-                                    reply: tx.clone(),
-                                })
-                                .unwrap();
+                            conn.report(bytes, 3, 0.4, 0.9).unwrap();
                         }
-                        DeviceReply::ReportAccepted => return true,
+                        WireMessage::ReportAck { accepted } => return accepted,
                         _ => return false,
                     }
                 }
@@ -127,11 +115,12 @@ fn round_commits_across_three_selectors() {
     };
     assert!(outcome.is_committed());
 
-    for s in &selector_refs {
-        s.send(SelectorMsg::Shutdown).unwrap();
-    }
-    coord_ref.send(CoordMsg::Shutdown).unwrap();
+    // Idempotent teardown: a second shutdown of the whole tree — and one
+    // racing the actors' own exits — must be a no-op, not a panic.
+    topology.shutdown();
+    topology.shutdown();
     system.join();
+    topology.shutdown();
     assert!(locks.lookup("coordinator/multi-sel").is_none());
 
     // The training round aggregated through an ephemeral master subtree
@@ -174,27 +163,23 @@ fn over_quota_devices_are_pace_steered() {
 
     // Send all check-ins first (the round only configures — and replies —
     // once its selection target of 2 is met), then collect replies.
-    let receivers: Vec<_> = (0..5u64)
+    let conns: Vec<_> = (0..5u64)
         .map(|i| {
-            let (tx, rx) = unbounded();
-            selector_refs[0]
-                .send(SelectorMsg::Checkin {
-                    device: DeviceId(i),
-                    reply: tx,
-                })
-                .unwrap();
-            rx
+            let conn =
+                DeviceConn::connect(DeviceId(i), selector_refs[0].clone(), coord_ref.clone());
+            conn.check_in().unwrap();
+            conn
         })
         .collect();
     let mut rejected = 0;
     let mut accepted = 0;
-    for rx in &receivers {
-        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
-            DeviceReply::ComeBackLater { retry_at_ms } => {
+    for conn in &conns {
+        match conn.recv(Duration::from_secs(5)).unwrap() {
+            WireMessage::ComeBackLater { retry_at_ms } => {
                 assert!(retry_at_ms > 0);
                 rejected += 1;
             }
-            DeviceReply::Configured { .. } => accepted += 1,
+            WireMessage::PlanAndCheckpoint { .. } => accepted += 1,
             other => panic!("unexpected reply {other:?}"),
         }
     }
@@ -255,52 +240,43 @@ fn global_budget_caps_admits_across_selectors() {
     // Nine devices, three per selector. Which four of the six
     // local-admission survivors win the shared budget depends on thread
     // interleaving; the totals do not.
-    let receivers: Vec<_> = (0..9u64)
+    let conns: Vec<_> = (0..9u64)
         .map(|i| {
-            let (tx, rx) = unbounded();
-            selector_refs[(i % 3) as usize]
-                .send(SelectorMsg::Checkin {
-                    device: DeviceId(i),
-                    reply: tx,
-                })
-                .unwrap();
-            rx
+            let conn = DeviceConn::connect(
+                DeviceId(i),
+                selector_refs[(i % 3) as usize].clone(),
+                coord_ref.clone(),
+            );
+            conn.check_in().unwrap();
+            conn
         })
         .collect();
     let mut configured = Vec::new();
-    let mut rejected = 0;
-    for (i, rx) in receivers.iter().enumerate() {
-        match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
-            DeviceReply::Configured { plan, .. } => configured.push((i as u64, plan)),
-            DeviceReply::ComeBackLater { .. } => rejected += 1,
+    let mut shed = 0;
+    for (i, conn) in conns.iter().enumerate() {
+        match conn.recv(Duration::from_secs(10)).unwrap() {
+            WireMessage::PlanAndCheckpoint { plan, .. } => configured.push((i, plan)),
+            // Admission-control rejections arrive as explicit `Shed`
+            // frames, distinct from routine `ComeBackLater` pacing.
+            WireMessage::Shed { .. } => shed += 1,
             other => panic!("unexpected reply {other:?}"),
         }
     }
     assert_eq!(configured.len(), 4, "the global budget admits exactly 4");
-    assert_eq!(rejected, 5, "3 local sheds + 2 global sheds");
+    assert_eq!(shed, 5, "3 local sheds + 2 global sheds");
     assert_eq!(budget.admitted_total(), 4);
     assert_eq!(budget.shed_total(), 2);
 
     // The four admitted devices report; the round commits on them.
-    let (tx, rx) = unbounded();
-    for (device, plan) in &configured {
+    for (i, plan) in &configured {
         let dim = plan.server.expected_dim;
         let bytes = CodecSpec::Identity.build().encode(&vec![0.25f32; dim]);
-        coord_ref
-            .send(CoordMsg::DeviceReport {
-                device: DeviceId(*device),
-                update_bytes: bytes,
-                weight: 1,
-                loss: 0.3,
-                accuracy: 0.9,
-                reply: tx.clone(),
-            })
-            .unwrap();
+        conns[*i].report(bytes, 1, 0.3, 0.9).unwrap();
     }
-    for _ in 0..4 {
+    for (i, _) in &configured {
         assert!(matches!(
-            rx.recv_timeout(Duration::from_secs(5)).unwrap(),
-            DeviceReply::ReportAccepted
+            conns[*i].recv(Duration::from_secs(5)).unwrap(),
+            WireMessage::ReportAck { accepted: true }
         ));
     }
     let outcome = loop {
@@ -357,44 +333,30 @@ fn aggregator_shard_crash_still_commits_the_round() {
     let topology = spawn_topology(&system, coordinator, &blueprint);
     let (selector_refs, coord_ref) = (topology.selectors, topology.coordinator);
 
-    let receivers: Vec<_> = (0..4u64)
+    let conns: Vec<_> = (0..4u64)
         .map(|i| {
-            let (tx, rx) = unbounded();
-            selector_refs[0]
-                .send(SelectorMsg::Checkin {
-                    device: DeviceId(i),
-                    reply: tx,
-                })
-                .unwrap();
-            rx
+            let conn =
+                DeviceConn::connect(DeviceId(i), selector_refs[0].clone(), coord_ref.clone());
+            conn.check_in().unwrap();
+            conn
         })
         .collect();
-    let (report_tx, report_rx) = unbounded();
-    for (i, rx) in receivers.iter().enumerate() {
-        match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
-            DeviceReply::Configured { plan, .. } => {
+    for conn in &conns {
+        match conn.recv(Duration::from_secs(10)).unwrap() {
+            WireMessage::PlanAndCheckpoint { plan, .. } => {
                 let dim = plan.server.expected_dim;
                 let bytes = CodecSpec::Identity.build().encode(&vec![1.0f32; dim]);
-                coord_ref
-                    .send(CoordMsg::DeviceReport {
-                        device: DeviceId(i as u64),
-                        update_bytes: bytes,
-                        weight: 1,
-                        loss: 0.3,
-                        accuracy: 0.9,
-                        reply: report_tx.clone(),
-                    })
-                    .unwrap();
+                conn.report(bytes, 1, 0.3, 0.9).unwrap();
             }
             other => panic!("unexpected reply {other:?}"),
         }
     }
     // All four reports are accepted at the protocol level even though
     // devices 1 and 3 route to the crashed shard.
-    for _ in 0..4 {
+    for conn in &conns {
         assert!(matches!(
-            report_rx.recv_timeout(Duration::from_secs(5)).unwrap(),
-            DeviceReply::ReportAccepted
+            conn.recv(Duration::from_secs(5)).unwrap(),
+            WireMessage::ReportAck { accepted: true }
         ));
     }
 
