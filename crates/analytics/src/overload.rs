@@ -49,6 +49,7 @@ pub struct OverloadMetrics {
     sheds: TimeSeries,
     retries: TimeSeries,
     evictions: TimeSeries,
+    secagg_aborts: TimeSeries,
     monitor: DeviationMonitor,
     /// Index of the bucket currently accumulating.
     open_bucket: usize,
@@ -69,6 +70,7 @@ impl OverloadMetrics {
             sheds: TimeSeries::new("selector.sheds", config.bucket_ms, origin_ms),
             retries: TimeSeries::new("device.retries", config.bucket_ms, origin_ms),
             evictions: TimeSeries::new("selector.evictions", config.bucket_ms, origin_ms),
+            secagg_aborts: TimeSeries::new("aggregator.secagg_aborts", config.bucket_ms, origin_ms),
             monitor: DeviationMonitor::new(
                 "selector.shed_fraction",
                 config.baseline_window,
@@ -148,6 +150,15 @@ impl OverloadMetrics {
         self.evictions.increment(now_ms);
     }
 
+    /// Records a SecAgg Aggregator shard whose surviving group fell below
+    /// the protocol threshold and aborted at finalize. Aborts cost a
+    /// shard's worth of contributions, not admission capacity, so like
+    /// evictions they stay out of the shed-fraction monitors.
+    pub fn record_secagg_abort(&mut self, now_ms: u64) {
+        self.roll(now_ms);
+        self.secagg_aborts.increment(now_ms);
+    }
+
     /// Closes every fully-elapsed bucket as of `now_ms` (end of run /
     /// dashboard flush). The bucket containing `now_ms` stays open — a
     /// partial bucket would read as an artificial lull.
@@ -183,6 +194,11 @@ impl OverloadMetrics {
     /// The stale-connection evictions series.
     pub fn evictions(&self) -> &TimeSeries {
         &self.evictions
+    }
+
+    /// The SecAgg below-threshold shard-abort series.
+    pub fn secagg_aborts(&self) -> &TimeSeries {
+        &self.secagg_aborts
     }
 }
 
@@ -283,6 +299,18 @@ mod tests {
         assert_eq!(m.accepts().sums(), vec![1.0]);
         assert_eq!(m.sheds().sums(), vec![1.0]);
         assert_eq!(m.retries().sums(), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn secagg_aborts_feed_their_own_series_only() {
+        let mut m = OverloadMetrics::new(config(), 0);
+        m.record_accept(0);
+        m.record_secagg_abort(100);
+        m.record_secagg_abort(1_200);
+        m.finalize(2_000);
+        assert_eq!(m.secagg_aborts().sums(), vec![1.0, 1.0]);
+        // Aborts never count as shed load.
+        assert_eq!(m.shed_fractions(), &[0.0, 0.0]);
     }
 
     #[test]

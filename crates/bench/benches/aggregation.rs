@@ -64,7 +64,7 @@ fn bench_master_round(c: &mut Criterion) {
                             .accept(DeviceId(i), black_box(&encoded), 20)
                             .unwrap();
                     }
-                    master.finalize(&vec![0.0f32; dim], &[]).unwrap()
+                    master.finalize(&vec![0.0f32; dim], &[], &[]).unwrap()
                 });
             },
         );
@@ -72,9 +72,5 @@ fn bench_master_round(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_streaming_fold, bench_hierarchical_merge, bench_master_round
-}
+criterion_group!(benches, bench_streaming_fold, bench_hierarchical_merge, bench_master_round);
 criterion_main!(benches);

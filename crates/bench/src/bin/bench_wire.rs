@@ -35,13 +35,13 @@ fn bench_case(params: usize, iters: u32) -> Case {
         loss: 0.25,
         accuracy: 0.75,
     };
-    let frame = wire::encode(&msg);
+    let frame = wire::encode(&msg).expect("bench frame encodes");
     let frame_bytes = frame.len();
 
     let start = Instant::now();
     let mut sink = 0usize;
     for _ in 0..iters {
-        sink = sink.wrapping_add(wire::encode(&msg).len());
+        sink = sink.wrapping_add(wire::encode(&msg).expect("bench frame encodes").len());
     }
     let encode_ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
 

@@ -134,8 +134,12 @@ impl ConnectivityManager {
     /// Routes a decoded server wire reply through the retry discipline:
     /// [`fl_wire::WireMessage::ComeBackLater`] (pace steering) and
     /// [`fl_wire::WireMessage::Shed`] (admission control) both carry a
-    /// server-suggested reconnect window and count as rejected attempts;
-    /// every other message is not a rejection and returns `None`,
+    /// server-suggested reconnect window and count as rejected attempts,
+    /// and a [`fl_wire::WireMessage::ReportAck`] with `accepted: false`
+    /// is a rejection too — the coordinator refused the report, so an
+    /// immediate uncharged retry would hammer a server that already said
+    /// no (it carries no window, so the local backoff alone decides).
+    /// Every other message is not a rejection and returns `None`,
     /// leaving the backoff state untouched.
     pub fn on_wire_reply<R: rand::Rng>(
         &mut self,
@@ -147,6 +151,9 @@ impl ConnectivityManager {
             fl_wire::WireMessage::ComeBackLater { retry_at_ms }
             | fl_wire::WireMessage::Shed { retry_at_ms } => {
                 Some(self.on_rejected(now_ms, Some(retry_at_ms), rng))
+            }
+            fl_wire::WireMessage::ReportAck { accepted: false } => {
+                Some(self.on_rejected(now_ms, None, rng))
             }
             _ => None,
         }
@@ -352,5 +359,40 @@ mod tests {
             .on_wire_reply(2_000, &WireMessage::ReportAck { accepted: true }, &mut rng)
             .is_none());
         assert_eq!(m.consecutive_failures(), 2);
+    }
+
+    #[test]
+    fn rejected_report_ack_charges_backoff_like_any_failure() {
+        use fl_wire::WireMessage;
+        let mut m = ConnectivityManager::new(policy());
+        let mut rng = seeded(8);
+        // Regression: `ReportAck { accepted: false }` used to fall through
+        // the `_ => None` arm, leaving backoff untouched — a device whose
+        // update the coordinator refused retried immediately, forever,
+        // with no budget charge.
+        let d = m
+            .on_wire_reply(0, &WireMessage::ReportAck { accepted: false }, &mut rng)
+            .expect("a refused report is a rejection");
+        assert!(
+            d.effective_at_ms() > 0,
+            "must back off, not retry immediately"
+        );
+        assert_eq!(m.consecutive_failures(), 1);
+        assert_eq!(m.attempts_in_window(), 1, "budget is charged");
+        assert_eq!(m.retries_total(), 1);
+        // Repeated refusals keep growing the backoff and eventually
+        // exhaust the per-window budget.
+        let mut now = d.effective_at_ms();
+        for _ in 0..2 {
+            let d = m
+                .on_wire_reply(now, &WireMessage::ReportAck { accepted: false }, &mut rng)
+                .expect("a rejection");
+            now = d.effective_at_ms();
+        }
+        assert_eq!(m.consecutive_failures(), 3);
+        match m.on_wire_reply(now, &WireMessage::ReportAck { accepted: false }, &mut rng) {
+            Some(RetryDecision::BudgetExhausted { .. }) => {}
+            other => panic!("4th refusal should exhaust the budget, got {other:?}"),
+        }
     }
 }

@@ -104,12 +104,15 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "missing-doc",
-        // fl-wire is linted in full (not just its root): the whole crate
-        // is the public protocol surface other processes build against.
+        // fl-wire and fl-secagg are linted in full (not just their
+        // roots): the wire crate is the public protocol surface other
+        // processes build against, and the secagg crate is the
+        // correctness contract the live shards lean on.
         include: &[
             "crates/core/src/lib.rs",
             "crates/server/src/lib.rs",
             "crates/wire/src/",
+            "crates/secagg/src/",
         ],
         exclude: &[],
         applies_to_tests: false,

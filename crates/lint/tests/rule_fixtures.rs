@@ -17,7 +17,10 @@ const CASES: &[(&str, &str, &str, &str, &str)] = &[
     ),
     (
         "unwrap",
-        "crates/secagg/src/fixture.rs",
+        // An unwrap-included crate that missing-doc does NOT cover
+        // (fl-secagg is now doc-linted in full, so its virtual path
+        // would flag the fixture's undocumented pub fns).
+        "crates/actors/src/fixture.rs",
         include_str!("fixtures/unwrap_pos.rs"),
         include_str!("fixtures/unwrap_neg.rs"),
         "crates/ml/src/fixture.rs",

@@ -33,11 +33,17 @@
 //! limits) is real while keys stay word-sized. Do **not** use this crate
 //! for actual cryptographic protection; see DESIGN.md.
 
+/// Typed SecAgg failures (`SecAggError`).
 pub mod error;
+/// Arithmetic in the 61-bit prime field masks and shares live in.
 pub mod field;
+/// Simulation-grade Diffie–Hellman key agreement.
 pub mod keys;
+/// PRG-expanded pairwise and self masks over field vectors.
 pub mod masking;
+/// The four-round protocol state machines and `run_instance` driver.
 pub mod protocol;
+/// Shamir secret sharing for threshold mask recovery.
 pub mod shamir;
 
 pub use error::SecAggError;

@@ -1,0 +1,119 @@
+//! Property tests over the full server-side SecAgg pipeline (Sec. 6):
+//! fixed-point encode → four-round masked protocol → unmask → decode
+//! must be the identity (up to quantization) on the *sum of the
+//! survivors*, for random cohorts, random inputs, and random
+//! advertise/share dropout patterns that stay above the reconstruction
+//! threshold. This is the correctness contract the live `fl-server`
+//! shards lean on: whatever the dropout pattern, a round that finalizes
+//! decodes the exact unmasked sum — never a silently perturbed one.
+
+use fl_ml::fixedpoint::FixedPointEncoder;
+use fl_secagg::protocol::run_instance;
+use fl_secagg::SecAggConfig;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Caps a raw `(index, drops-at-share)` plan so at least the protocol's
+/// 2/3 reconstruction threshold survives, deduplicating by device.
+fn bounded_drops(n: usize, raw: Vec<(usize, bool)>) -> Vec<(usize, bool)> {
+    let threshold = ((2 * n).div_ceil(3)).max(2);
+    let mut drops = raw;
+    drops.sort_by_key(|&(i, _)| i);
+    drops.dedup_by_key(|&mut (i, _)| i);
+    drops.truncate(n - threshold);
+    drops
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// encode → mask → unmask → decode is the identity on the surviving
+    /// cohort's sum, within the fixed-point grid's quantization error.
+    #[test]
+    fn masked_sum_decodes_to_the_survivors_plaintext_sum(
+        n in 3usize..=7,
+        dim in 1usize..=5,
+        seed in any::<u64>(),
+        updates in vec(vec(-1.0f32..1.0, dim..=dim), n..=n),
+        drop_idx in vec(0usize..n, 0usize..n),
+        drop_stage in vec(any::<bool>(), n..=n),
+    ) {
+        let threshold = ((2 * n).div_ceil(3)).max(2);
+        let drops = bounded_drops(
+            n,
+            drop_idx.iter().copied().zip(drop_stage.iter().copied()).collect(),
+        );
+        let encoder = FixedPointEncoder::default_for_updates();
+        let inputs: Vec<Vec<u64>> = updates
+            .iter()
+            .map(|u| encoder.encode(u).expect("inputs are within the clip range"))
+            .collect();
+        let advertise: Vec<u32> = drops
+            .iter()
+            .filter(|&&(_, at_share)| !at_share)
+            .map(|&(i, _)| i as u32)
+            .collect();
+        let share: Vec<u32> = drops
+            .iter()
+            .filter(|&&(_, at_share)| at_share)
+            .map(|&(i, _)| i as u32)
+            .collect();
+
+        let sum = run_instance(
+            SecAggConfig::new(threshold, dim),
+            &inputs,
+            &advertise,
+            &share,
+            seed,
+        )
+        .expect("cohort stays above threshold by construction");
+
+        let survivors: Vec<usize> = (0..n)
+            .filter(|i| !drops.iter().any(|&(d, _)| d == *i))
+            .collect();
+        prop_assert!(survivors.len() >= threshold);
+        let decoded = encoder.decode_sum(&sum, survivors.len() as u64);
+        for d in 0..dim {
+            let expected: f32 = survivors.iter().map(|&i| updates[i][d]).sum();
+            // One grid cell of rounding error per summand.
+            let tolerance = survivors.len() as f32 * 1e-4 + 1e-4;
+            prop_assert!(
+                (decoded[d] - expected).abs() < tolerance,
+                "coordinate {d}: decoded {} != plaintext sum {expected} \
+                 (n={n}, drops={drops:?}, seed={seed})",
+                decoded[d]
+            );
+        }
+    }
+
+    /// Advertise-stage and share-stage dropouts of the same devices must
+    /// decode to the same sum: the recovery path (cheap exclusion vs.
+    /// mask reconstruction) is invisible in the result.
+    #[test]
+    fn recovery_path_does_not_change_the_sum(
+        n in 3usize..=7,
+        dim in 1usize..=5,
+        seed in any::<u64>(),
+        updates in vec(vec(-1.0f32..1.0, dim..=dim), n..=n),
+        drop_idx in vec(0usize..n, 0usize..n),
+    ) {
+        let threshold = ((2 * n).div_ceil(3)).max(2);
+        let drops = bounded_drops(
+            n,
+            drop_idx.iter().map(|&i| (i, false)).collect(),
+        );
+        let encoder = FixedPointEncoder::default_for_updates();
+        let inputs: Vec<Vec<u64>> = updates
+            .iter()
+            .map(|u| encoder.encode(u).expect("inputs are within the clip range"))
+            .collect();
+        let dropped: Vec<u32> = drops.iter().map(|&(i, _)| i as u32).collect();
+
+        let config = SecAggConfig::new(threshold, dim);
+        let via_advertise = run_instance(config, &inputs, &dropped, &[], seed)
+            .expect("above threshold");
+        let via_share = run_instance(config, &inputs, &[], &dropped, seed)
+            .expect("above threshold");
+        prop_assert_eq!(via_advertise, via_share);
+    }
+}

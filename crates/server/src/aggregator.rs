@@ -97,13 +97,17 @@ pub struct AggregatorShard {
     /// of the simulation; the shard records the *encoded field vector* it
     /// would receive masked). `None` in plain mode.
     secagg_inputs: Option<BTreeMap<DeviceId, Vec<u64>>>,
+    /// The task's minimum SecAgg group size `k`; the shard aborts its
+    /// round if dropouts leave its group smaller. `None` in plain mode.
+    secagg_k: Option<usize>,
     encoder: FixedPointEncoder,
     dim: usize,
 }
 
 impl AggregatorShard {
-    /// Creates a shard.
-    pub fn new(dim: usize, codec: CodecSpec, secagg: bool) -> Self {
+    /// Creates a shard; `secagg` carries the task's minimum group size
+    /// `k` when Secure Aggregation is enabled.
+    pub fn new(dim: usize, codec: CodecSpec, secagg: Option<usize>) -> Self {
         AggregatorShard::with_clip(dim, codec, secagg, None)
     }
 
@@ -111,14 +115,15 @@ impl AggregatorShard {
     pub fn with_clip(
         dim: usize,
         codec: CodecSpec,
-        secagg: bool,
+        secagg: Option<usize>,
         clip_norm: Option<f32>,
     ) -> Self {
         AggregatorShard {
             accumulator: FedAvgAccumulator::new(dim),
             codec,
             clip_norm,
-            secagg_inputs: secagg.then(BTreeMap::new),
+            secagg_inputs: secagg.map(|_| BTreeMap::new()),
+            secagg_k: secagg,
             encoder: FixedPointEncoder::default_for_updates(),
             dim,
         }
@@ -174,20 +179,59 @@ impl AggregatorShard {
         }
     }
 
-    /// Closes the shard and returns its intermediate accumulator.
-    ///
-    /// In SecAgg mode this runs the four-round protocol over the staged
-    /// devices (each a simulated client), with `dropouts` vanishing after
-    /// the share phase, and decodes the unmasked *sum* — the server-side
-    /// code path never touches an individual update.
+    /// Accepts one device's *already fixed-point-encoded* field vector —
+    /// the masked-contribution payload a [`fl_wire::WireMessage::SecAggReport`]
+    /// carries — plus its weight. SecAgg mode only.
     ///
     /// # Errors
     ///
-    /// SecAgg protocol failures (e.g. too many drop-outs) surface as
-    /// [`SecAggError`] wrapped in the shard error.
+    /// Dimension mismatches, or a field vector offered to a plain shard.
+    pub fn accept_field(
+        &mut self,
+        device: DeviceId,
+        field: &[u64],
+        weight: u64,
+    ) -> Result<(), CoreError> {
+        let Some(staged) = &mut self.secagg_inputs else {
+            return Err(CoreError::MalformedCheckpoint(
+                "field vector offered to a plain (non-SecAgg) shard".to_string(),
+            ));
+        };
+        if field.len() != self.dim {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.dim,
+                actual: field.len(),
+            });
+        }
+        let mut v: Vec<u64> = field
+            .iter()
+            .map(|&x| x % fl_secagg::field::PRIME)
+            .collect();
+        v.push(weight % fl_secagg::field::PRIME);
+        staged.insert(device, v);
+        Ok(())
+    }
+
+    /// Closes the shard and returns its intermediate accumulator.
+    ///
+    /// In SecAgg mode this runs the four-round protocol over the staged
+    /// devices (each a simulated client): `advertise_dropouts` vanish
+    /// after advertising keys (cheap exclusion, no recovery needed) and
+    /// `share_dropouts` vanish after sharing (their pairwise masks are
+    /// reconstructed from the survivors' shares). The shard decodes the
+    /// unmasked *sum* — the server-side code path never touches an
+    /// individual update.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::BelowThreshold`] when dropouts strand the group
+    /// below the task minimum `k` or below the protocol's reconstruction
+    /// threshold — a clean per-shard abort, never a silent mis-sum.
+    /// Other SecAgg protocol failures surface as [`ShardError::SecAgg`].
     pub fn close(
         self,
-        dropouts: &[DeviceId],
+        advertise_dropouts: &[DeviceId],
+        share_dropouts: &[DeviceId],
         secagg_seed: u64,
     ) -> Result<FedAvgAccumulator, ShardError> {
         match self.secagg_inputs {
@@ -198,18 +242,44 @@ impl AggregatorShard {
                 if n == 0 {
                     return Ok(self.accumulator);
                 }
+                let position = |d: &DeviceId| {
+                    devices.iter().position(|x| x == d).map(|i| i as u32)
+                };
+                let adv_set: std::collections::BTreeSet<u32> =
+                    advertise_dropouts.iter().filter_map(position).collect();
+                let share_set: std::collections::BTreeSet<u32> = share_dropouts
+                    .iter()
+                    .filter_map(position)
+                    .filter(|i| !adv_set.contains(i))
+                    .collect();
+                let alive = n - adv_set.len() - share_set.len();
+                // Sticky device→shard routing can strand a group below
+                // the task minimum k after dropouts (Sec. 6). That is a
+                // typed per-shard abort: the round commits from the
+                // surviving ≥ k groups only.
+                if let Some(k) = self.secagg_k {
+                    if alive < k {
+                        return Err(ShardError::BelowThreshold { alive, required: k });
+                    }
+                }
                 // Threshold: 2/3 of the group, at least 2 (the paper's
                 // protocol is robust to a significant fraction dropping).
                 let threshold = ((2 * n).div_ceil(3)).max(2).min(n);
                 let config = SecAggConfig::new(threshold, self.dim + 1);
                 let inputs: Vec<Vec<u64>> = devices.iter().map(|d| staged[d].clone()).collect();
-                let drop_ids: Vec<u32> = dropouts
-                    .iter()
-                    .filter_map(|d| devices.iter().position(|x| x == d).map(|i| i as u32))
-                    .collect();
-                let sum = run_instance(config, &inputs, &[], &drop_ids, secagg_seed)
-                    .map_err(ShardError::SecAgg)?;
-                let committed = n - drop_ids.len();
+                let adv_idx: Vec<u32> = adv_set.into_iter().collect();
+                let share_idx: Vec<u32> = share_set.into_iter().collect();
+                let sum = run_instance(config, &inputs, &adv_idx, &share_idx, secagg_seed)
+                    .map_err(|e| match e {
+                        SecAggError::BelowThreshold { alive, threshold } => {
+                            ShardError::BelowThreshold {
+                                alive,
+                                required: threshold,
+                            }
+                        }
+                        other => ShardError::SecAgg(other),
+                    })?;
+                let committed = alive;
                 let weight_sum = sum[self.dim];
                 let delta_sum = self
                     .encoder
@@ -223,10 +293,32 @@ impl AggregatorShard {
     }
 }
 
+/// At which SecAgg protocol stage a device vanished (Sec. 6): an
+/// advertise-stage dropout is excluded cheaply before masks exist, while
+/// a share-stage dropout's pairwise masks must be reconstructed from the
+/// survivors' Shamir shares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropStage {
+    /// Dropped after advertising keys, before sharing them.
+    Advertise,
+    /// Dropped after sharing keys (the expensive recovery path).
+    Share,
+}
+
 /// Errors from closing a shard.
 #[derive(Debug)]
 pub enum ShardError {
-    /// The Secure Aggregation protocol failed.
+    /// Dropouts left the shard's SecAgg group with fewer live devices
+    /// than required (the task minimum `k`, or the protocol's
+    /// reconstruction threshold). The shard aborts cleanly; the round
+    /// commits from the surviving shards.
+    BelowThreshold {
+        /// Devices still alive in the group.
+        alive: usize,
+        /// The minimum the group needed.
+        required: usize,
+    },
+    /// The Secure Aggregation protocol failed for a non-threshold reason.
     SecAgg(SecAggError),
     /// Aggregation error.
     Core(CoreError),
@@ -235,6 +327,10 @@ pub enum ShardError {
 impl std::fmt::Display for ShardError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ShardError::BelowThreshold { alive, required } => write!(
+                f,
+                "secagg group below threshold: {alive} alive, {required} required; shard aborted"
+            ),
             ShardError::SecAgg(e) => write!(f, "secure aggregation failed: {e}"),
             ShardError::Core(e) => write!(f, "aggregation failed: {e}"),
         }
@@ -242,6 +338,20 @@ impl std::fmt::Display for ShardError {
 }
 
 impl std::error::Error for ShardError {}
+
+/// A committed round's result from the Master Aggregator: the new
+/// parameters plus how the shards fared.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeOutcome {
+    /// New global parameters after applying the merged average.
+    pub params: Vec<f32>,
+    /// Devices whose contributions made the commit.
+    pub contributors: usize,
+    /// SecAgg shards whose group fell below threshold and were excluded
+    /// from the merge (Sec. 6: the round commits from the surviving
+    /// ≥ k groups only).
+    pub shard_aborts: usize,
+}
 
 /// The Master Aggregator: routes devices to shards, merges intermediate
 /// results, applies the final average.
@@ -262,7 +372,7 @@ impl MasterAggregator {
         let count = plan.shard_count(expected);
         let clip = plan.dp.map(|dp| dp.clip_norm);
         let shards = (0..count)
-            .map(|_| AggregatorShard::with_clip(plan.dim, codec, plan.secagg_k.is_some(), clip))
+            .map(|_| AggregatorShard::with_clip(plan.dim, codec, plan.secagg_k, clip))
             .collect();
         MasterAggregator {
             plan,
@@ -297,6 +407,26 @@ impl MasterAggregator {
         self.shards[idx].accept(device, update_bytes, weight)
     }
 
+    /// Accepts one device's pre-encoded SecAgg field vector, routing it
+    /// to the device's shard exactly as [`MasterAggregator::accept`]
+    /// would the clear bytes.
+    ///
+    /// # Errors
+    ///
+    /// Dimension errors from the shard, or SecAgg not enabled.
+    pub fn accept_field(
+        &mut self,
+        device: DeviceId,
+        field: &[u64],
+        weight: u64,
+    ) -> Result<(), CoreError> {
+        let idx = *self
+            .routing
+            .entry(device)
+            .or_insert_with(|| (device.0 % self.shards.len() as u64) as usize);
+        self.shards[idx].accept_field(device, field, weight)
+    }
+
     /// Total devices accepted across shards.
     pub fn contributors(&self) -> usize {
         self.shards.iter().map(AggregatorShard::contributors).sum()
@@ -304,22 +434,54 @@ impl MasterAggregator {
 
     /// Closes all shards (running SecAgg per shard when enabled), merges
     /// the intermediate accumulators "without Secure Aggregation", and
-    /// returns the new global parameters.
+    /// returns the new global parameters plus the per-shard abort count.
+    ///
+    /// A shard whose SecAgg group fell below threshold aborts cleanly
+    /// and is excluded — the round still commits from the surviving
+    /// shards. Only non-threshold protocol failures fail the round.
     ///
     /// # Errors
     ///
-    /// Shard failures, or [`CoreError::ZeroWeightUpdate`] if nothing was
-    /// aggregated.
+    /// [`ShardError::BelowThreshold`] when *every* shard aborted,
+    /// non-threshold shard failures, or
+    /// [`CoreError::ZeroWeightUpdate`] if nothing was aggregated.
     pub fn finalize(
         self,
         current_params: &[f32],
-        dropouts: &[DeviceId],
-    ) -> Result<(Vec<f32>, usize), ShardError> {
+        advertise_dropouts: &[DeviceId],
+        share_dropouts: &[DeviceId],
+    ) -> Result<MergeOutcome, ShardError> {
         let mut intermediates = Vec::with_capacity(self.shards.len());
+        let mut shard_aborts = 0usize;
+        let mut last_abort = None;
         for (i, shard) in self.shards.into_iter().enumerate() {
-            intermediates.push(shard.close(dropouts, shard_seed(self.secagg_seed, i))?);
+            match shard.close(
+                advertise_dropouts,
+                share_dropouts,
+                shard_seed(self.secagg_seed, i),
+            ) {
+                Ok(acc) => intermediates.push(acc),
+                Err(e @ ShardError::BelowThreshold { .. }) => {
+                    shard_aborts += 1;
+                    last_abort = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
         }
-        merge_and_apply(self.plan, self.secagg_seed, intermediates, current_params)
+        if intermediates.iter().all(|a| a.contributors() == 0) {
+            // Every group aborted (or was empty): surface the abort
+            // rather than a generic zero-weight merge error.
+            if let Some(e) = last_abort {
+                return Err(e);
+            }
+        }
+        let (params, contributors) =
+            merge_and_apply(self.plan, self.secagg_seed, intermediates, current_params)?;
+        Ok(MergeOutcome {
+            params,
+            contributors,
+            shard_aborts,
+        })
     }
 
     /// The codec used for updates (needed by callers encoding reports).
@@ -381,14 +543,29 @@ pub enum ShardMsg {
         /// The device's example count (FedAvg weight).
         weight: u64,
     },
-    /// Close the shard: run SecAgg (when enabled) minus `dropouts` and
-    /// reply with the intermediate accumulator. The actor stops after
-    /// replying — shards are ephemeral, they die with the round.
+    /// One device's fixed-point SecAgg field vector for this shard (the
+    /// masked-contribution payload of a
+    /// [`fl_wire::WireMessage::SecAggUpdate`]).
+    AcceptField {
+        /// The reporting device.
+        device: DeviceId,
+        /// Fixed-point field coordinates (mod the SecAgg prime).
+        field: Vec<u64>,
+        /// The device's example count (FedAvg weight).
+        weight: u64,
+    },
+    /// Close the shard: run SecAgg (when enabled) minus the staged
+    /// dropouts and reply with the intermediate accumulator — or the
+    /// typed [`ShardError`] if the group fell below threshold. The actor
+    /// stops after replying — shards are ephemeral, they die with the
+    /// round.
     Close {
-        /// Devices that dropped out mid-round.
-        dropouts: Vec<DeviceId>,
+        /// Devices that vanished after advertising keys.
+        advertise_dropouts: Vec<DeviceId>,
+        /// Devices that vanished after sharing keys.
+        share_dropouts: Vec<DeviceId>,
         /// Where to deliver the intermediate accumulator.
-        reply: Sender<Result<FedAvgAccumulator, String>>,
+        reply: Sender<Result<FedAvgAccumulator, ShardError>>,
     },
 }
 
@@ -429,11 +606,25 @@ impl Actor for AggregatorActor {
                 }
                 Flow::Continue
             }
-            ShardMsg::Close { dropouts, reply } => {
+            ShardMsg::AcceptField {
+                device,
+                field,
+                weight,
+            } => {
+                if let Some(shard) = &mut self.shard {
+                    // Same drop-not-crash semantics as Accept.
+                    let _ = shard.accept_field(device, &field, weight);
+                }
+                Flow::Continue
+            }
+            ShardMsg::Close {
+                advertise_dropouts,
+                share_dropouts,
+                reply,
+            } => {
                 if let Some(shard) = self.shard.take() {
-                    let result = shard
-                        .close(&dropouts, self.secagg_seed)
-                        .map_err(|e| e.to_string());
+                    let result =
+                        shard.close(&advertise_dropouts, &share_dropouts, self.secagg_seed);
                     let _ = reply.send(result);
                 }
                 Flow::Stop
@@ -453,27 +644,51 @@ impl Actor for AggregatorActor {
 /// and dies with its master.)
 #[derive(Debug)]
 pub enum MasterMsg {
-    /// A framed [`fl_wire::WireMessage::ShardUpdate`]: one device's
-    /// encoded report, routed to the device's shard. Frames that fail to
-    /// decode lose that contribution, never the round.
+    /// A framed [`fl_wire::WireMessage::ShardUpdate`] (clear bytes) or
+    /// [`fl_wire::WireMessage::SecAggUpdate`] (fixed-point field
+    /// vector): one device's contribution, routed to the device's shard.
+    /// Frames that fail to decode lose that contribution, never the
+    /// round.
     Update {
         /// The encoded frame.
         frame: Vec<u8>,
     },
-    /// A framed [`fl_wire::WireMessage::ShardFinalize`]: close every
-    /// shard, merge the survivors' intermediate sums, apply the round's
-    /// aggregate, and reply with a framed
-    /// [`fl_wire::WireMessage::ShardMerged`]. The actor (and its shard
-    /// children) stop afterwards.
+    /// A framed [`fl_wire::WireMessage::ShardFinalize`] (plain, or
+    /// SecAgg with share-stage dropouts only) or
+    /// [`fl_wire::WireMessage::SecAggFinalize`] (stage-tagged dropout
+    /// lists): close every shard, merge the survivors' intermediate
+    /// sums, apply the round's aggregate, and reply with a framed
+    /// [`fl_wire::WireMessage::ShardMerged`] — preceded by one framed
+    /// [`fl_wire::WireMessage::ShardAbort`] per SecAgg shard whose group
+    /// fell below threshold. The actor (and its shard children) stop
+    /// afterwards.
     Finalize {
         /// The encoded frame.
         frame: Vec<u8>,
-        /// Where to deliver the encoded `ShardMerged` reply frame.
+        /// Where to deliver the encoded reply frames.
         reply: Sender<Vec<u8>>,
     },
     /// The round ended without a commit (abandoned, evaluation-only):
     /// stop, dropping the shard children so they drain and die.
     Abort,
+}
+
+/// Encodes a `ShardMerged` reply. The only encode failure is an
+/// over-long error string, which degrades to a fixed reason — the reply
+/// channel always carries a decodable frame.
+fn merged_frame(merged: Result<(Vec<f32>, u64), String>) -> Vec<u8> {
+    fl_wire::encode(&fl_wire::WireMessage::ShardMerged { merged })
+        .or_else(|_| {
+            fl_wire::encode(&fl_wire::WireMessage::ShardMerged {
+                merged: Err("merge failed; reason exceeded the wire string limit".to_string()),
+            })
+        })
+        .unwrap_or_default()
+}
+
+/// Encodes the (bodyless, infallible) `ShardAbort` frame.
+fn abort_frame() -> Vec<u8> {
+    fl_wire::encode(&fl_wire::WireMessage::ShardAbort).unwrap_or_default()
 }
 
 /// The Master Aggregator of the paper's actor tree (Sec. 4.1/4.2): an
@@ -499,6 +714,15 @@ pub struct MasterAggregatorActor {
     /// device → shard index (devices stick to one shard — one SecAgg
     /// instance each).
     routing: BTreeMap<DeviceId, usize>,
+    /// Update frames drained from the mailbox so far (decoded ones;
+    /// a malformed frame loses its contribution and is not counted).
+    /// Compared against `SecAggFinalize::expected_contributors` to
+    /// defer a finalize that overtook in-flight updates.
+    forwarded: u64,
+    /// Bounds finalize deferrals so a miscounted (or lost) update can
+    /// only delay the round, never hang it: once spent, the finalize
+    /// proceeds with whatever is staged — the pre-barrier semantics.
+    defer_budget: u32,
 }
 
 impl MasterAggregatorActor {
@@ -512,6 +736,8 @@ impl MasterAggregatorActor {
             staged,
             shards: Vec::new(),
             routing: BTreeMap::new(),
+            forwarded: 0,
+            defer_budget: 100_000,
         }
     }
 }
@@ -529,20 +755,40 @@ impl Actor for MasterAggregatorActor {
         }
     }
 
-    fn handle(&mut self, msg: MasterMsg, _ctx: &mut ActorContext<MasterMsg>) -> Flow {
+    fn handle(&mut self, msg: MasterMsg, ctx: &mut ActorContext<MasterMsg>) -> Flow {
         match msg {
             MasterMsg::Update { frame } => {
-                // A frame that is not a well-formed ShardUpdate loses that
+                // A frame that is not a well-formed update loses that
                 // device's contribution — the same semantics as a decode
                 // failure inside an Aggregator (Sec. 4.2), never a panic.
-                let Ok(fl_wire::WireMessage::ShardUpdate {
-                    device,
-                    update_bytes,
-                    weight,
-                }) = fl_wire::decode(&frame)
-                else {
-                    return Flow::Continue;
+                let (device, accept) = match fl_wire::decode(&frame) {
+                    Ok(fl_wire::WireMessage::ShardUpdate {
+                        device,
+                        update_bytes,
+                        weight,
+                    }) => (
+                        device,
+                        ShardMsg::Accept {
+                            device,
+                            update_bytes,
+                            weight,
+                        },
+                    ),
+                    Ok(fl_wire::WireMessage::SecAggUpdate {
+                        device,
+                        field_vector,
+                        weight,
+                    }) => (
+                        device,
+                        ShardMsg::AcceptField {
+                            device,
+                            field: field_vector,
+                            weight,
+                        },
+                    ),
+                    _ => return Flow::Continue,
                 };
+                self.forwarded += 1;
                 let count = self.shards.len().max(1);
                 let idx = *self
                     .routing
@@ -551,30 +797,63 @@ impl Actor for MasterAggregatorActor {
                 if let Some(shard) = self.shards.get(idx) {
                     // A dead shard loses this contribution; the round
                     // continues on the survivors.
-                    let _ = shard.send(ShardMsg::Accept {
-                        device,
-                        update_bytes,
-                        weight,
-                    });
+                    let _ = shard.send(accept);
                 }
                 Flow::Continue
             }
             MasterMsg::Finalize { frame, reply } => {
-                let (current_params, dropouts) = match fl_wire::decode(&frame) {
-                    Ok(fl_wire::WireMessage::ShardFinalize {
-                        current_params,
-                        dropouts,
-                    }) => (current_params, dropouts),
-                    _ => {
-                        // A malformed close is a protocol failure: the
-                        // round is lost (framed error reply), the subtree
-                        // still tears down cleanly.
-                        let _ = reply.send(fl_wire::encode(&fl_wire::WireMessage::ShardMerged {
-                            merged: Err("malformed ShardFinalize frame".to_string()),
-                        }));
-                        return Flow::Stop;
+                let (current_params, expected, advertise_dropouts, share_dropouts) =
+                    match fl_wire::decode(&frame) {
+                        Ok(fl_wire::WireMessage::ShardFinalize {
+                            current_params,
+                            dropouts,
+                        }) => (current_params, None, Vec::new(), dropouts),
+                        Ok(fl_wire::WireMessage::SecAggFinalize {
+                            current_params,
+                            expected_contributors,
+                            advertise_dropouts,
+                            share_dropouts,
+                        }) => (
+                            current_params,
+                            Some(expected_contributors),
+                            advertise_dropouts,
+                            share_dropouts,
+                        ),
+                        _ => {
+                            // A malformed close is a protocol failure: the
+                            // round is lost (framed error reply), the subtree
+                            // still tears down cleanly.
+                            let _ = reply
+                                .send(merged_frame(Err("malformed finalize frame".to_string())));
+                            return Flow::Stop;
+                        }
+                    };
+                // SecAgg finalize barrier: the mailbox does not promise
+                // to deliver the coordinator's update stream ahead of
+                // its finalize (schedule exploration permutes exactly
+                // this), and a group closed early either commits a sum
+                // missing an accepted masked contribution or aborts
+                // below threshold. Re-enqueue the finalize behind the
+                // still-undelivered updates until all expected ones are
+                // staged. (`ShardFinalize` carries no expectation — its
+                // frame layout is frozen — so plain rounds keep the
+                // lossy Sec. 4.2 semantics.)
+                if let Some(expected) = expected {
+                    if self.forwarded < expected && self.defer_budget > 0 {
+                        self.defer_budget -= 1;
+                        if let Some(me) = ctx.self_ref() {
+                            let deferred = MasterMsg::Finalize {
+                                frame,
+                                reply: reply.clone(),
+                            };
+                            if me.send(deferred).is_ok() {
+                                return Flow::Continue;
+                            }
+                        }
+                        // No self reference (or closed mailbox): fall
+                        // through and finalize with what is staged.
                     }
-                };
+                }
                 let mut pending = Vec::new();
                 for shard in std::mem::take(&mut self.shards) {
                     let (tx, rx) = unbounded();
@@ -582,7 +861,8 @@ impl Actor for MasterAggregatorActor {
                     // contributions are lost, the merge proceeds without it.
                     if shard
                         .send(ShardMsg::Close {
-                            dropouts: dropouts.clone(),
+                            advertise_dropouts: advertise_dropouts.clone(),
+                            share_dropouts: share_dropouts.clone(),
                             reply: tx,
                         })
                         .is_ok()
@@ -592,20 +872,36 @@ impl Actor for MasterAggregatorActor {
                 }
                 let mut intermediates = Vec::with_capacity(pending.len());
                 let mut shard_error = None;
+                let mut shard_aborts = 0u64;
                 for rx in pending {
                     // If the shard dies before (or while) handling Close,
                     // its reply sender is dropped and `recv` errors — the
                     // crashed shard's sum is lost, not the round.
                     match rx.recv() {
                         Ok(Ok(acc)) => intermediates.push(acc),
-                        Ok(Err(e)) => shard_error = Some(e),
+                        Ok(Err(ShardError::BelowThreshold { .. })) => {
+                            // A below-threshold group is a clean per-shard
+                            // abort: announce it on the reply stream (one
+                            // ShardAbort frame per aborted shard, before
+                            // the final ShardMerged) and merge without it.
+                            shard_aborts += 1;
+                            let _ = reply.send(abort_frame());
+                        }
+                        Ok(Err(e)) => shard_error = Some(e.to_string()),
                         Err(_) => {}
                     }
                 }
                 let result = match shard_error {
-                    // A *protocol* failure in a live shard (SecAgg below
-                    // threshold) fails the round, as in the struct driver.
+                    // A non-threshold *protocol* failure in a live shard
+                    // fails the round, as in the struct driver.
                     Some(e) => Err(e),
+                    None if shard_aborts > 0
+                        && intermediates.iter().all(|a| a.contributors() == 0) =>
+                    {
+                        Err(format!(
+                            "all {shard_aborts} secagg shards below threshold; round aborted"
+                        ))
+                    }
                     None => merge_and_apply(
                         self.plan,
                         self.secagg_seed,
@@ -615,9 +911,7 @@ impl Actor for MasterAggregatorActor {
                     .map_err(|e| e.to_string()),
                 };
                 let merged = result.map(|(params, n)| (params, n as u64));
-                let _ = reply.send(fl_wire::encode(&fl_wire::WireMessage::ShardMerged {
-                    merged,
-                }));
+                let _ = reply.send(merged_frame(merged));
                 Flow::Stop
             }
             MasterMsg::Abort => Flow::Stop,
@@ -675,10 +969,11 @@ mod tests {
                 .unwrap();
         }
         let current = vec![1.0f32; dim];
-        let (params, n) = master.finalize(&current, &[]).unwrap();
-        assert_eq!(n, 10);
+        let out = master.finalize(&current, &[], &[]).unwrap();
+        assert_eq!(out.contributors, 10);
+        assert_eq!(out.shard_aborts, 0);
         let expected = reference.apply_to(&current).unwrap();
-        for (a, b) in params.iter().zip(&expected) {
+        for (a, b) in out.params.iter().zip(&expected) {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
         }
     }
@@ -695,11 +990,11 @@ mod tests {
                 .accept(DeviceId(i), &encode(&update, codec), 10)
                 .unwrap();
         }
-        let (params, n) = master.finalize(&vec![0.0; dim], &[]).unwrap();
-        assert_eq!(n, 5);
+        let out = master.finalize(&vec![0.0; dim], &[], &[]).unwrap();
+        assert_eq!(out.contributors, 5);
         // Quantization error is small relative to update magnitude.
-        assert!(params.iter().all(|p| p.abs() < 0.2));
-        assert!(params.iter().any(|p| p.abs() > 1e-4));
+        assert!(out.params.iter().all(|p| p.abs() < 0.2));
+        assert!(out.params.iter().any(|p| p.abs() > 1e-4));
     }
 
     #[test]
@@ -722,7 +1017,7 @@ mod tests {
                     .accept(DeviceId(i as u64), &encode(u, codec), 5)
                     .unwrap();
             }
-            master.finalize(&vec![0.0; dim], &[]).unwrap().0
+            master.finalize(&vec![0.0; dim], &[], &[]).unwrap().params
         };
 
         let plain = run(false);
@@ -745,15 +1040,43 @@ mod tests {
                 .unwrap();
         }
         // Two of nine drop after staging (within the 1/3 tolerance).
-        let (params, n) = master
-            .finalize(&vec![0.0; dim], &[DeviceId(3), DeviceId(6)])
+        let out = master
+            .finalize(&vec![0.0; dim], &[], &[DeviceId(3), DeviceId(6)])
             .unwrap();
-        assert_eq!(n, 7);
+        assert_eq!(out.contributors, 7);
+        assert_eq!(out.shard_aborts, 0);
         // Mean delta of survivors is still 0.5/2-weighted: each update is
         // 0.5 with weight 2, so the average delta = (7*0.5)/(7*2) = 0.25.
-        for p in params {
+        for p in out.params {
             assert!((p - 0.25).abs() < 1e-3, "{p}");
         }
+    }
+
+    #[test]
+    fn secagg_advertise_dropouts_commit_same_sum_as_share_dropouts() {
+        // The recovery path differs (cheap exclusion vs. share
+        // reconstruction) but the committed sum must not.
+        let dim = 4;
+        let codec = CodecSpec::Identity;
+        let run = |advertise: &[DeviceId], share: &[DeviceId]| -> MergeOutcome {
+            let plan = AggregationPlan::with_secagg(dim, 100, 4);
+            let mut master = MasterAggregator::new(plan, codec, 9, 7);
+            for i in 0..9u64 {
+                master
+                    .accept(DeviceId(i), &encode(&vec![0.5f32; dim], codec), 2)
+                    .unwrap();
+            }
+            master.finalize(&vec![0.0; dim], advertise, share).unwrap()
+        };
+        let dropped = [DeviceId(3), DeviceId(6)];
+        let via_advertise = run(&dropped, &[]);
+        let via_share = run(&[], &dropped);
+        assert_eq!(via_advertise.contributors, 7);
+        assert_eq!(via_advertise.params, via_share.params);
+        // A device listed at both stages is counted once (advertise wins).
+        let via_both = run(&dropped, &dropped);
+        assert_eq!(via_both.contributors, 7);
+        assert_eq!(via_both.params, via_advertise.params);
     }
 
     #[test]
@@ -767,12 +1090,119 @@ mod tests {
                 .accept(DeviceId(i), &encode(&vec![0.1; dim], codec), 1)
                 .unwrap();
         }
-        // 3 of 6 drop — below the 2/3 threshold.
+        // 3 of 6 drop: the single group is stranded below k=4, and with
+        // every shard aborted the round surfaces the typed abort.
         let result = master.finalize(
             &vec![0.0; dim],
+            &[],
             &[DeviceId(0), DeviceId(1), DeviceId(2)],
         );
-        assert!(matches!(result, Err(ShardError::SecAgg(_))));
+        assert!(matches!(
+            result,
+            Err(ShardError::BelowThreshold {
+                alive: 3,
+                required: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn secagg_group_above_k_but_below_protocol_threshold_aborts() {
+        let dim = 4;
+        let codec = CodecSpec::Identity;
+        // k=2 is easily met, but dropping 4 of 9 leaves 5 alive against a
+        // reconstruction threshold of ceil(2·9/3) = 6.
+        let plan = AggregationPlan::with_secagg(dim, 100, 2);
+        let mut master = MasterAggregator::new(plan, codec, 9, 7);
+        for i in 0..9u64 {
+            master
+                .accept(DeviceId(i), &encode(&vec![0.1; dim], codec), 1)
+                .unwrap();
+        }
+        let dropped: Vec<DeviceId> = (0..4).map(DeviceId).collect();
+        let result = master.finalize(&vec![0.0; dim], &[], &dropped);
+        assert!(matches!(
+            result,
+            Err(ShardError::BelowThreshold {
+                alive: 5,
+                required: 6
+            })
+        ));
+    }
+
+    #[test]
+    fn below_k_shard_aborts_and_round_commits_from_survivors() {
+        let dim = 4;
+        let codec = CodecSpec::Identity;
+        // 8 devices over 2 shards (capacity 4, k=2); sticky routing
+        // device % 2 puts odd devices on shard 1.
+        let plan = AggregationPlan::with_secagg(dim, 4, 2);
+        let mut master = MasterAggregator::new(plan, codec, 8, 7);
+        assert_eq!(master.shard_count(), 2);
+        for i in 0..8u64 {
+            master
+                .accept(DeviceId(i), &encode(&vec![0.5f32; dim], codec), 2)
+                .unwrap();
+        }
+        // Shard 1 loses 3 of its 4 devices → 1 alive < k=2: it must
+        // abort cleanly while shard 0 commits all 4 of its devices.
+        let out = master
+            .finalize(
+                &vec![0.0; dim],
+                &[],
+                &[DeviceId(1), DeviceId(3), DeviceId(5)],
+            )
+            .unwrap();
+        assert_eq!(out.shard_aborts, 1);
+        assert_eq!(out.contributors, 4);
+        // The surviving shard's average is untainted by the aborted
+        // group: each update is 0.5 at weight 2 → mean delta 0.25.
+        for p in out.params {
+            assert!((p - 0.25).abs() < 1e-3, "{p}");
+        }
+    }
+
+    #[test]
+    fn accept_field_matches_clear_accept_path() {
+        let dim = 8;
+        let codec = CodecSpec::Identity;
+        let encoder = FixedPointEncoder::default_for_updates();
+        let updates: Vec<Vec<f32>> = (0..6)
+            .map(|i| (0..dim).map(|d| 0.01 * (i * dim + d) as f32).collect())
+            .collect();
+        let plan = AggregationPlan::with_secagg(dim, 100, 3);
+
+        let mut clear = MasterAggregator::new(plan, codec, 6, 3);
+        let mut field = MasterAggregator::new(plan, codec, 6, 3);
+        for (i, u) in updates.iter().enumerate() {
+            clear
+                .accept(DeviceId(i as u64), &encode(u, codec), 5)
+                .unwrap();
+            let v = encoder.encode(u).unwrap();
+            field.accept_field(DeviceId(i as u64), &v, 5).unwrap();
+        }
+        let a = clear.finalize(&vec![0.0; dim], &[], &[]).unwrap();
+        let b = field.finalize(&vec![0.0; dim], &[], &[]).unwrap();
+        assert_eq!(a, b, "field-vector ingestion drifted from clear path");
+    }
+
+    #[test]
+    fn accept_field_rejects_plain_shards_and_bad_dims() {
+        let mut plain = MasterAggregator::new(
+            AggregationPlan::plain(4, 10),
+            CodecSpec::Identity,
+            2,
+            1,
+        );
+        assert!(plain.accept_field(DeviceId(0), &[1, 2, 3, 4], 1).is_err());
+        let mut secure = MasterAggregator::new(
+            AggregationPlan::with_secagg(4, 10, 2),
+            CodecSpec::Identity,
+            2,
+            1,
+        );
+        assert!(secure.accept_field(DeviceId(0), &[1, 2, 3], 1).is_err());
+        assert!(secure.accept_field(DeviceId(0), &[1, 2, 3, 4], 1).is_ok());
     }
 
     #[test]
@@ -790,8 +1220,9 @@ mod tests {
         master
             .accept(DeviceId(1), &encode(&[0.0, 0.1, 0.0, 0.0], codec), 1)
             .unwrap();
-        let (params, _) = master.finalize(&vec![0.0; dim], &[]).unwrap();
+        let out = master.finalize(&vec![0.0; dim], &[], &[]).unwrap();
         // The huge update was clipped to L2 norm 1: average[0] = 0.5.
+        let params = out.params;
         assert!((params[0] - 0.5).abs() < 1e-5, "clipped mean {}", params[0]);
         assert!((params[1] - 0.05).abs() < 1e-5);
     }
@@ -813,7 +1244,7 @@ mod tests {
                     .accept(DeviceId(i), &encode(&update, codec), 5)
                     .unwrap();
             }
-            master.finalize(&vec![0.0; dim], &[]).unwrap().0
+            master.finalize(&vec![0.0; dim], &[], &[]).unwrap().params
         };
         let plain = run(None);
         // Huge clip + zero noise: identical to plain aggregation.
@@ -847,7 +1278,7 @@ mod tests {
             2,
             1,
         );
-        assert!(master.finalize(&[0.0; 4], &[]).is_err());
+        assert!(master.finalize(&[0.0; 4], &[], &[]).is_err());
     }
 
     use fl_actors::{ActorSystem, DeathReason, ScriptedFaults};
@@ -868,7 +1299,8 @@ mod tests {
                         device: DeviceId(i),
                         update_bytes: encode(&update, codec),
                         weight: i + 1,
-                    }),
+                    })
+                    .expect("test frame encodes"),
                 })
                 .unwrap();
         }
@@ -878,7 +1310,8 @@ mod tests {
                 frame: fl_wire::encode(&fl_wire::WireMessage::ShardFinalize {
                     current_params: vec![1.0f32; dim],
                     dropouts: Vec::new(),
-                }),
+                })
+                .expect("test frame encodes"),
                 reply: tx,
             })
             .unwrap();
@@ -910,13 +1343,13 @@ mod tests {
                 .unwrap();
         }
         let expected = reference
-            .finalize(&vec![1.0f32; dim], &[])
+            .finalize(&vec![1.0f32; dim], &[], &[])
             .unwrap();
 
         let system = ActorSystem::new();
         let (params, n) = drive_master_actor(&system, 10).unwrap();
-        assert_eq!(n, expected.1);
-        assert_eq!(params, expected.0, "actor and struct drivers disagree");
+        assert_eq!(n, expected.contributors);
+        assert_eq!(params, expected.params, "actor and struct drivers disagree");
 
         // The whole ephemeral subtree is dead: master + 4 shards, all
         // normal deaths.
@@ -954,5 +1387,127 @@ mod tests {
             .map(|o| o.name)
             .collect();
         assert_eq!(panicked, vec!["master/agg-1".to_string()]);
+    }
+
+    /// Drives a SecAgg round through the actor tree on `SecAggUpdate` /
+    /// `SecAggFinalize` frames and returns every reply frame (abort
+    /// announcements, then the merged result).
+    fn drive_secagg_master_actor(
+        system: &ActorSystem,
+        share_dropouts: Vec<DeviceId>,
+    ) -> Vec<fl_wire::WireMessage> {
+        let dim = 4;
+        let codec = CodecSpec::Identity;
+        let encoder = FixedPointEncoder::default_for_updates();
+        let master = MasterAggregator::new(
+            AggregationPlan::with_secagg(dim, 4, 2),
+            codec,
+            8,
+            7,
+        );
+        let actor = system.spawn("master", MasterAggregatorActor::new(master));
+        for i in 0..8u64 {
+            let field_vector = encoder.encode(&vec![0.5f32; dim]).unwrap();
+            actor
+                .send(MasterMsg::Update {
+                    frame: fl_wire::encode(&fl_wire::WireMessage::SecAggUpdate {
+                        device: DeviceId(i),
+                        field_vector,
+                        weight: 2,
+                    })
+                    .expect("test frame encodes"),
+                })
+                .unwrap();
+        }
+        let (tx, rx) = unbounded();
+        actor
+            .send(MasterMsg::Finalize {
+                frame: fl_wire::encode(&fl_wire::WireMessage::SecAggFinalize {
+                    current_params: vec![0.0f32; dim],
+                    expected_contributors: 8,
+                    advertise_dropouts: Vec::new(),
+                    share_dropouts,
+                })
+                .expect("test frame encodes"),
+                reply: tx,
+            })
+            .unwrap();
+        let mut replies = Vec::new();
+        loop {
+            let frame = rx.recv().unwrap();
+            let msg = fl_wire::decode(&frame).unwrap();
+            let done = matches!(msg, fl_wire::WireMessage::ShardMerged { .. });
+            replies.push(msg);
+            if done {
+                break;
+            }
+        }
+        system.join();
+        replies
+    }
+
+    /// The live actor tree announces one framed `ShardAbort` per
+    /// below-threshold SecAgg shard *before* the final `ShardMerged`,
+    /// and the committed sum covers the surviving ≥ k group only.
+    #[test]
+    fn actor_secagg_round_sends_one_abort_frame_per_stranded_shard() {
+        let system = ActorSystem::new();
+        // Shard 1 (odd devices) loses 3 of 4 → below k=2 → abort; shard
+        // 0 commits its 4 devices untouched.
+        let replies = drive_secagg_master_actor(
+            &system,
+            vec![DeviceId(1), DeviceId(3), DeviceId(5)],
+        );
+        assert_eq!(replies.len(), 2, "{replies:?}");
+        assert!(matches!(replies[0], fl_wire::WireMessage::ShardAbort));
+        match &replies[1] {
+            fl_wire::WireMessage::ShardMerged { merged: Ok((params, n)) } => {
+                assert_eq!(*n, 4);
+                for p in params {
+                    assert!((p - 0.25).abs() < 1e-3, "{p}");
+                }
+            }
+            other => panic!("expected committed ShardMerged, got {other:?}"),
+        }
+    }
+
+    /// With no dropouts the SecAgg actor round commits all devices and
+    /// sends no abort frames.
+    #[test]
+    fn actor_secagg_round_commits_clean_cohort_without_aborts() {
+        let system = ActorSystem::new();
+        let replies = drive_secagg_master_actor(&system, Vec::new());
+        assert_eq!(replies.len(), 1, "{replies:?}");
+        match &replies[0] {
+            fl_wire::WireMessage::ShardMerged { merged: Ok((params, n)) } => {
+                assert_eq!(*n, 8);
+                for p in params {
+                    assert!((p - 0.25).abs() < 1e-3, "{p}");
+                }
+            }
+            other => panic!("expected committed ShardMerged, got {other:?}"),
+        }
+    }
+
+    /// Every SecAgg group stranded below threshold fails the round with
+    /// a framed error — an abort per shard, then an `Err` merge.
+    #[test]
+    fn actor_secagg_round_fails_when_every_shard_aborts() {
+        let system = ActorSystem::new();
+        // 6 of 8 devices (3 per shard) vanish: both groups fall to 1
+        // alive, below k=2.
+        let replies = drive_secagg_master_actor(
+            &system,
+            (0..6).map(DeviceId).collect(),
+        );
+        assert_eq!(replies.len(), 3, "{replies:?}");
+        assert!(matches!(replies[0], fl_wire::WireMessage::ShardAbort));
+        assert!(matches!(replies[1], fl_wire::WireMessage::ShardAbort));
+        match &replies[2] {
+            fl_wire::WireMessage::ShardMerged { merged: Err(reason) } => {
+                assert!(reason.contains("below threshold"), "{reason}");
+            }
+            other => panic!("expected failed ShardMerged, got {other:?}"),
+        }
     }
 }

@@ -12,7 +12,7 @@
 //! storage, and accounts traffic. It is deterministic and explicitly
 //! clocked; `fl-sim` and the live actors both drive it.
 
-use crate::aggregator::{AggregationPlan, MasterAggregator};
+use crate::aggregator::{AggregationPlan, DropStage, MasterAggregator};
 use crate::round::{CheckinResponse, ReportResponse, RoundState};
 use crate::storage::CheckpointStore;
 use fl_core::plan::FlPlan;
@@ -67,6 +67,9 @@ pub struct Coordinator<S: CheckpointStore> {
     traffic: TrafficCounter,
     /// Materialized metrics per task per round (Sec. 7.4).
     metrics: Vec<(String, RoundId, Vec<MetricSummary>)>,
+    /// Cumulative SecAgg shards that aborted below threshold at inline
+    /// finalize (the live path reports aborts via telemetry instead).
+    secagg_shard_aborts: u64,
 }
 
 impl<S: CheckpointStore> std::fmt::Debug for Coordinator<S> {
@@ -92,6 +95,7 @@ impl<S: CheckpointStore> Coordinator<S> {
             round_ids: HashMap::new(),
             traffic: TrafficCounter::new(),
             metrics: Vec::new(),
+            secagg_shard_aborts: 0,
         }
     }
 
@@ -170,6 +174,14 @@ impl<S: CheckpointStore> Coordinator<S> {
         &self.traffic
     }
 
+    /// SecAgg shards that aborted below threshold across every inline
+    /// [`complete_round`](Coordinator::complete_round) so far. Aborted
+    /// shards cost their group's contributions; the round still commits
+    /// from the surviving shards.
+    pub fn secagg_shard_aborts(&self) -> u64 {
+        self.secagg_shard_aborts
+    }
+
     /// Read access to the checkpoint store.
     pub fn store(&self) -> &S {
         &self.store
@@ -233,7 +245,8 @@ impl<S: CheckpointStore> Coordinator<S> {
             state: RoundState::begin(round_id, task.round, now_ms),
             master: Some(master),
             external_aggregation: false,
-            dropouts: Vec::new(),
+            advertise_dropouts: Vec::new(),
+            share_dropouts: Vec::new(),
             loss_summary: MetricSummary::new("loss"),
             accuracy_summary: MetricSummary::new("accuracy"),
             train_time_summary: MetricSummary::new("participation_ms"),
@@ -262,10 +275,15 @@ impl<S: CheckpointStore> Coordinator<S> {
             let master = round.master.take().ok_or_else(|| {
                 CoreError::InvariantViolated("training round has no aggregator".into())
             })?;
-            let (params, _n) = master
-                .finalize(round.checkpoint.params(), &round.dropouts)
+            let out = master
+                .finalize(
+                    round.checkpoint.params(),
+                    &round.advertise_dropouts,
+                    &round.share_dropouts,
+                )
                 .map_err(|e| CoreError::MalformedCheckpoint(e.to_string()))?;
-            Some(params)
+            self.secagg_shard_aborts += out.shard_aborts as u64;
+            Some(out.params)
         } else {
             None
         };
@@ -363,7 +381,13 @@ pub struct ActiveRound {
     /// True once the master has been detached for actor-based driving:
     /// accepted reports are then routed by the caller, not folded here.
     external_aggregation: bool,
-    dropouts: Vec<DeviceId>,
+    /// Devices that vanished after advertising SecAgg keys (cheap
+    /// exclusion; also where plain-round dropouts land when staged
+    /// explicitly).
+    advertise_dropouts: Vec<DeviceId>,
+    /// Devices that vanished after sharing keys — the expensive
+    /// mask-recovery path, and the conservative default stage.
+    share_dropouts: Vec<DeviceId>,
     loss_summary: MetricSummary,
     accuracy_summary: MetricSummary,
     train_time_summary: MetricSummary,
@@ -429,6 +453,49 @@ impl ActiveRound {
         Ok(response)
     }
 
+    /// A device reports through the SecAgg path: `field` is its
+    /// fixed-point-encoded contribution, one `u64` coordinate per model
+    /// parameter, as carried (masked) by a
+    /// [`fl_wire::WireMessage::SecAggReport`]. Uploads cost 8 bytes per
+    /// coordinate, so SecAgg's bandwidth premium over codec-compressed
+    /// clear updates shows up in the round's measured traffic.
+    ///
+    /// # Errors
+    ///
+    /// Dimension errors for accepted reports, or SecAgg not enabled on
+    /// this round's plan.
+    pub fn on_secagg_report(
+        &mut self,
+        device: DeviceId,
+        now_ms: u64,
+        field: &[u64],
+        weight: u64,
+        loss: f64,
+        accuracy: f64,
+    ) -> Result<ReportResponse, CoreError> {
+        let response = self.state.on_report(device, now_ms);
+        // Upload bandwidth is spent whether or not the server keeps it:
+        // 8 bytes per field coordinate.
+        if !field.is_empty() {
+            self.traffic_delta
+                .record(TrafficKind::Update, field.len() * 8);
+        }
+        self.traffic_delta.record(TrafficKind::Metrics, 32);
+        if response == ReportResponse::Accepted {
+            if self.task.kind == TaskKind::Training && !self.external_aggregation {
+                self.master
+                    .as_mut()
+                    .ok_or_else(|| {
+                        CoreError::InvariantViolated("training round has no aggregator".into())
+                    })?
+                    .accept_field(device, field, weight)?;
+            }
+            self.loss_summary.push(loss);
+            self.accuracy_summary.push(accuracy);
+        }
+        Ok(response)
+    }
+
     /// Detaches the round's [`MasterAggregator`] so it can run as an actor
     /// tree (the paper's Coordinator → Master Aggregator → Aggregators
     /// topology, Sec. 4.1). After detaching, the caller owns routing
@@ -444,16 +511,31 @@ impl ActiveRound {
         master
     }
 
-    /// Devices that dropped out of this round so far (needed at external
+    /// Devices that vanished after advertising keys (needed at external
     /// finalize time).
-    pub fn dropouts(&self) -> &[DeviceId] {
-        &self.dropouts
+    pub fn advertise_dropouts(&self) -> &[DeviceId] {
+        &self.advertise_dropouts
     }
 
-    /// A device dropped out.
+    /// Devices that vanished after sharing keys (needed at external
+    /// finalize time).
+    pub fn share_dropouts(&self) -> &[DeviceId] {
+        &self.share_dropouts
+    }
+
+    /// A device dropped out. Without stage information the conservative
+    /// assumption is post-share: its masks must be recovered.
     pub fn on_dropout(&mut self, device: DeviceId, now_ms: u64) {
+        self.on_dropout_staged(device, now_ms, DropStage::Share);
+    }
+
+    /// A device dropped out at a known SecAgg protocol stage.
+    pub fn on_dropout_staged(&mut self, device: DeviceId, now_ms: u64, stage: DropStage) {
         self.state.on_dropout(device, now_ms);
-        self.dropouts.push(device);
+        match stage {
+            DropStage::Advertise => self.advertise_dropouts.push(device),
+            DropStage::Share => self.share_dropouts.push(device),
+        }
     }
 
     /// Records participation-time metrics once the round has finished.
@@ -683,7 +765,12 @@ mod tests {
         round.on_tick(40_000);
         round.record_participation_metrics();
         let aggregate = master
-            .finalize(round.checkpoint.params(), round.dropouts())
+            .finalize(
+                round.checkpoint.params(),
+                round.advertise_dropouts(),
+                round.share_dropouts(),
+            )
+            .map(|out| (out.params, out.contributors))
             .map_err(|e| CoreError::MalformedCheckpoint(e.to_string()));
         let outcome = external
             .complete_round_external(round, Some(aggregate))
@@ -731,6 +818,78 @@ mod tests {
         c.deploy(group, vec![plan], vec![0.0f32; spec().num_params()])
             .unwrap();
         c
+    }
+
+    fn deployed_secagg_coordinator() -> Coordinator<InMemoryCheckpointStore> {
+        let mut c = Coordinator::new(
+            CoordinatorConfig::new("test/pop", 1),
+            InMemoryCheckpointStore::new(),
+        );
+        let task = FlTask::training("train", "test/pop")
+            .with_round(small_round())
+            .with_secagg(2);
+        let plan = FlPlan::standard_training(spec(), 1, 8, 0.1, CodecSpec::Identity);
+        let group = TaskGroup::new(vec![task], TaskSelectionStrategy::Single);
+        c.deploy(group, vec![plan], vec![0.0f32; spec().num_params()])
+            .unwrap();
+        c
+    }
+
+    /// SecAgg reports (fixed-point field vectors) through the inline
+    /// coordinator path commit the same model as clear reports within
+    /// quantization error, while uploading 8 bytes per coordinate — the
+    /// SecAgg bandwidth premium is measured, not assumed.
+    #[test]
+    fn secagg_reports_commit_inline_with_bandwidth_premium() {
+        let mut clear = deployed_coordinator();
+        run_one_round(&mut clear);
+        let clear_params = clear.global_params("train").unwrap();
+
+        let mut c = deployed_secagg_coordinator();
+        let mut round = c.begin_round(0).unwrap();
+        let target = round.task.round.selection_target();
+        for i in 0..target {
+            round.on_checkin(DeviceId(i as u64), 100);
+        }
+        let devices = round.state.participants();
+        let dim = round.plan.server.expected_dim;
+        let encoder = fl_ml::fixedpoint::FixedPointEncoder::default_for_updates();
+        let field = encoder.encode(&vec![0.5f32; dim]).unwrap();
+        for d in devices.iter().take(3) {
+            let r = round
+                .on_secagg_report(*d, 5_000, &field, 10, 0.7, 0.6)
+                .unwrap();
+            assert_eq!(r, ReportResponse::Accepted);
+        }
+        round.on_tick(40_000);
+        round.record_participation_metrics();
+        let upload = round.traffic().upload_bytes();
+        assert!(
+            upload >= 3 * dim as u64 * 8,
+            "secagg upload premium missing: {upload} bytes for {dim} params"
+        );
+        let outcome = c.complete_round(round).unwrap();
+        assert!(outcome.is_committed());
+        let params = c.global_params("train").unwrap();
+        for (a, b) in params.iter().zip(&clear_params) {
+            assert!((a - b).abs() < 1e-3, "secagg {a} vs clear {b}");
+        }
+    }
+
+    /// Stage-tagged dropouts land in their respective lists and flow to
+    /// the master at finalize.
+    #[test]
+    fn staged_dropouts_route_to_their_lists() {
+        let mut c = deployed_secagg_coordinator();
+        let mut round = c.begin_round(0).unwrap();
+        let target = round.task.round.selection_target();
+        for i in 0..target {
+            round.on_checkin(DeviceId(i as u64), 100);
+        }
+        round.on_dropout_staged(DeviceId(0), 1_000, DropStage::Advertise);
+        round.on_dropout(DeviceId(1), 2_000);
+        assert_eq!(round.advertise_dropouts(), &[DeviceId(0)]);
+        assert_eq!(round.share_dropouts(), &[DeviceId(1)]);
     }
 
     /// Sec. 4.2: a failed checkpoint write loses the round's result but

@@ -62,13 +62,25 @@ pub enum CoordMsg {
         /// The device's connection, for configuration/ack replies.
         conn: WireSink,
     },
-    /// A framed [`WireMessage::UpdateReport`] arrived on a device
-    /// connection.
+    /// A framed [`WireMessage::UpdateReport`] (clear bytes) or
+    /// [`WireMessage::SecAggReport`] (fixed-point masked contribution)
+    /// arrived on a device connection.
     Report {
         /// The encoded frame.
         frame: Vec<u8>,
         /// The device's connection, for the [`WireMessage::ReportAck`].
         conn: WireSink,
+    },
+    /// A selected device's connection died mid-round at the given SecAgg
+    /// protocol stage (Sec. 6). In production the Selector's connection
+    /// watchdog reports this; tests script it. The round records the
+    /// dropout stage so finalize can exclude (advertise) or
+    /// mask-reconstruct (share) the device per shard.
+    DeviceDropped {
+        /// The vanished device.
+        device: DeviceId,
+        /// How far through the SecAgg protocol it got.
+        stage: crate::aggregator::DropStage,
     },
     /// Periodic clock tick.
     Tick,
@@ -97,6 +109,10 @@ pub struct CoordinatorActor<S: CheckpointStore + Send + 'static = InMemoryCheckp
     /// `AggregatorActor` children hold the shard sums. `None` between
     /// rounds and for evaluation tasks.
     master: Option<ActorRef<MasterMsg>>,
+    /// Shared overload telemetry; SecAgg per-shard aborts observed at
+    /// finalize are recorded here alongside the Selector layer's
+    /// accept/shed counters.
+    telemetry: Option<SharedOverloadMetrics>,
     device_replies: std::collections::HashMap<DeviceId, WireSink>,
     epoch: Instant,
     lease: Lease,
@@ -199,6 +215,7 @@ impl<S: CheckpointStore + Send + 'static> CoordinatorActor<S> {
             coordinator,
             active: None,
             master: None,
+            telemetry: None,
             device_replies: std::collections::HashMap::new(),
             // fl-lint: allow(wall-clock): the live topology stamps protocol
             // events with real elapsed time; the deterministic state
@@ -215,6 +232,14 @@ impl<S: CheckpointStore + Send + 'static> CoordinatorActor<S> {
     /// The fenced lease this incarnation holds.
     pub fn lease(&self) -> &Lease {
         &self.lease
+    }
+
+    /// Attaches shared overload telemetry: SecAgg shard aborts observed
+    /// when a round finalizes are recorded next to the Selector layer's
+    /// accept/shed/evict counters.
+    pub fn with_telemetry(mut self, telemetry: SharedOverloadMetrics) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     fn now_ms(&self) -> u64 {
@@ -243,37 +268,67 @@ impl<S: CheckpointStore + Send + 'static> CoordinatorActor<S> {
 
     /// Closes the round's Master Aggregator subtree and collects its
     /// merged aggregate — a framed `ShardFinalize`/`ShardMerged`
-    /// exchange over the Selector↔Aggregator wire boundary. A master
-    /// that died mid-round (its mailbox or reply channel is gone)
-    /// surfaces as an error: the round is lost, nothing reaches storage,
-    /// and the next round restarts from the committed checkpoint —
-    /// Sec. 4.2's Master Aggregator loss semantics.
+    /// exchange (SecAgg rounds use `SecAggFinalize` with stage-tagged
+    /// dropout lists) over the Selector↔Aggregator wire boundary. The
+    /// reply stream carries one framed `ShardAbort` per SecAgg shard
+    /// whose group fell below threshold before the final `ShardMerged`;
+    /// the abort count is returned for telemetry. A master that died
+    /// mid-round (its mailbox or reply channel is gone) surfaces as an
+    /// error: the round is lost, nothing reaches storage, and the next
+    /// round restarts from the committed checkpoint — Sec. 4.2's Master
+    /// Aggregator loss semantics.
     fn finalize_external(
         master: &ActorRef<MasterMsg>,
         round: &ActiveRound,
-    ) -> Result<(Vec<f32>, usize), CoreError> {
+    ) -> Result<(Vec<f32>, usize, usize), CoreError> {
         let dead =
             || CoreError::InvariantViolated("master aggregator died mid-round".into());
+        let frame = if round.task.secagg_group_size.is_some() {
+            fl_wire::encode(&WireMessage::SecAggFinalize {
+                current_params: round.checkpoint.params().to_vec(),
+                // One SecAggUpdate frame was streamed per accepted
+                // report; the master holds its shards open until all of
+                // them are staged, so a masked contribution overtaken
+                // in delivery by this finalize cannot vanish from the
+                // sum (or strand its group below threshold).
+                expected_contributors: round.state.counters().0 as u64,
+                advertise_dropouts: round.advertise_dropouts().to_vec(),
+                share_dropouts: round.share_dropouts().to_vec(),
+            })
+        } else {
+            fl_wire::encode(&WireMessage::ShardFinalize {
+                current_params: round.checkpoint.params().to_vec(),
+                dropouts: round.share_dropouts().to_vec(),
+            })
+        }
+        // The only encode failure is an over-long string, which these
+        // frames cannot carry; an empty frame still fails the round
+        // cleanly at the master.
+        .unwrap_or_default();
         let (tx, rx) = unbounded();
         master
-            .send(MasterMsg::Finalize {
-                frame: fl_wire::encode(&WireMessage::ShardFinalize {
-                    current_params: round.checkpoint.params().to_vec(),
-                    dropouts: round.dropouts().to_vec(),
-                }),
-                reply: tx,
-            })
+            .send(MasterMsg::Finalize { frame, reply: tx })
             .map_err(|_| dead())?;
-        match rx.recv() {
-            Ok(frame) => match fl_wire::decode(&frame) {
-                Ok(WireMessage::ShardMerged { merged }) => merged
-                    .map(|(params, n)| (params, n as usize))
-                    .map_err(CoreError::MalformedCheckpoint),
-                _ => Err(CoreError::InvariantViolated(
-                    "master aggregator replied with a non-ShardMerged frame".into(),
-                )),
-            },
-            Err(_) => Err(dead()),
+        let mut shard_aborts = 0usize;
+        loop {
+            match rx.recv() {
+                Ok(frame) => match fl_wire::decode(&frame) {
+                    // One abort announcement per below-threshold shard
+                    // precedes the merged result.
+                    Ok(WireMessage::ShardAbort) => shard_aborts += 1,
+                    Ok(WireMessage::ShardMerged { merged }) => {
+                        return merged
+                            .map(|(params, n)| (params, n as usize, shard_aborts))
+                            .map_err(CoreError::MalformedCheckpoint);
+                    }
+                    _ => {
+                        return Err(CoreError::InvariantViolated(
+                            "master aggregator replied with a non-ShardMerged frame".into(),
+                        ));
+                    }
+                },
+                Err(_) => return Err(dead()),
+            }
         }
     }
 
@@ -351,46 +406,95 @@ impl<S: CheckpointStore + Send + 'static> Actor for CoordinatorActor<S> {
                 Flow::Continue
             }
             CoordMsg::Report { frame, conn } => {
-                // Decode at the wire boundary; a frame that is not an
-                // `UpdateReport` (stream desync, protocol drift) is
-                // answered with a rejecting ack rather than a panic.
-                let Ok(WireMessage::UpdateReport {
-                    device,
-                    update_bytes,
-                    weight,
-                    loss,
-                    accuracy,
-                }) = fl_wire::decode(&frame)
-                else {
-                    let _ = conn.send(&WireMessage::ReportAck { accepted: false });
-                    return Flow::Continue;
-                };
+                // Decode at the wire boundary; a frame that is neither an
+                // `UpdateReport` nor a `SecAggReport` (stream desync,
+                // protocol drift) is answered with a rejecting ack rather
+                // than a panic.
                 let now = self.now_ms();
-                let accepted = if let Some(round) = &mut self.active {
-                    // The round does the protocol accounting (participant
-                    // check, lateness, goal count, session logs); accepted
-                    // bytes stream on to the round's Aggregator shard via
-                    // the Master Aggregator subtree as a framed
-                    // `ShardUpdate`.
-                    match round.on_report(device, now, &update_bytes, weight, loss, accuracy) {
-                        Ok(ReportResponse::Accepted) => {
-                            if let Some(master) = &self.master {
-                                let _ = master.send(MasterMsg::Update {
-                                    frame: fl_wire::encode(&WireMessage::ShardUpdate {
-                                        device,
-                                        update_bytes,
-                                        weight,
-                                    }),
-                                });
+                let accepted = match fl_wire::decode(&frame) {
+                    Ok(WireMessage::UpdateReport {
+                        device,
+                        update_bytes,
+                        weight,
+                        loss,
+                        accuracy,
+                    }) => {
+                        if let Some(round) = &mut self.active {
+                            // The round does the protocol accounting
+                            // (participant check, lateness, goal count,
+                            // session logs); accepted bytes stream on to the
+                            // round's Aggregator shard via the Master
+                            // Aggregator subtree as a framed `ShardUpdate`.
+                            match round.on_report(
+                                device,
+                                now,
+                                &update_bytes,
+                                weight,
+                                loss,
+                                accuracy,
+                            ) {
+                                Ok(ReportResponse::Accepted) => {
+                                    if let Some(master) = &self.master {
+                                        let _ = master.send(MasterMsg::Update {
+                                            frame: fl_wire::encode(&WireMessage::ShardUpdate {
+                                                device,
+                                                update_bytes,
+                                                weight,
+                                            })
+                                            .unwrap_or_default(),
+                                        });
+                                    }
+                                    true
+                                }
+                                _ => false,
                             }
-                            true
+                        } else {
+                            false
                         }
-                        _ => false,
                     }
-                } else {
-                    false
+                    Ok(WireMessage::SecAggReport {
+                        device,
+                        field_vector,
+                        weight,
+                        loss,
+                        accuracy,
+                    }) => {
+                        if let Some(round) = &mut self.active {
+                            // Masked contributions take the same accounting
+                            // path but stay in the field: the shard sums
+                            // them without ever seeing a cleartext update.
+                            match round
+                                .on_secagg_report(device, now, &field_vector, weight, loss, accuracy)
+                            {
+                                Ok(ReportResponse::Accepted) => {
+                                    if let Some(master) = &self.master {
+                                        let _ = master.send(MasterMsg::Update {
+                                            frame: fl_wire::encode(&WireMessage::SecAggUpdate {
+                                                device,
+                                                field_vector,
+                                                weight,
+                                            })
+                                            .unwrap_or_default(),
+                                        });
+                                    }
+                                    true
+                                }
+                                _ => false,
+                            }
+                        } else {
+                            false
+                        }
+                    }
+                    _ => false,
                 };
                 let _ = conn.send(&WireMessage::ReportAck { accepted });
+                Flow::Continue
+            }
+            CoordMsg::DeviceDropped { device, stage } => {
+                let now = self.now_ms();
+                if let Some(round) = &mut self.active {
+                    round.on_dropout_staged(device, now, stage);
+                }
                 Flow::Continue
             }
             CoordMsg::SetPopulationEstimate(estimate) => {
@@ -422,7 +526,7 @@ impl<S: CheckpointStore + Send + 'static> Actor for CoordinatorActor<S> {
                     let master = self.master.take();
                     let committed = round.state.outcome().is_some_and(|o| o.is_committed());
                     let aggregate = if committed && round.task.kind == TaskKind::Training {
-                        Some(match &master {
+                        let merged = match &master {
                             Some(master) => Self::finalize_external(master, &round),
                             // Unreachable by construction (`ensure_round`
                             // always detaches for training), but a missing
@@ -430,7 +534,22 @@ impl<S: CheckpointStore + Send + 'static> Actor for CoordinatorActor<S> {
                             None => Err(CoreError::InvariantViolated(
                                 "committed training round has no aggregator subtree".into(),
                             )),
-                        })
+                        };
+                        Some(merged.map(|(params, contributors, shard_aborts)| {
+                            // Per-shard SecAgg aborts are telemetry, not
+                            // round failures: the commit proceeds from the
+                            // surviving shards and the aborts are counted.
+                            if shard_aborts > 0 {
+                                if let Some(telemetry) = &self.telemetry {
+                                    let now = self.now_ms();
+                                    let mut metrics = telemetry.lock();
+                                    for _ in 0..shard_aborts {
+                                        metrics.record_secagg_abort(now);
+                                    }
+                                }
+                            }
+                            (params, contributors)
+                        }))
                     } else {
                         // Nothing to merge: tell the subtree (if any) to
                         // tear itself down with the abandoned round.
@@ -675,7 +794,7 @@ impl DeviceConn {
     fn pump(&self) -> Result<(), WireError> {
         while let Some(frame) = self.gateway.try_recv_frame()? {
             let target_ok = match fl_wire::peek_tag(&frame) {
-                Ok(fl_wire::tag::UPDATE_REPORT) => self
+                Ok(fl_wire::tag::UPDATE_REPORT | fl_wire::tag::SECAGG_REPORT) => self
                     .coordinator
                     .send(CoordMsg::Report {
                         frame,
@@ -719,6 +838,26 @@ impl DeviceConn {
         self.client.send(&WireMessage::UpdateReport {
             device: self.device,
             update_bytes,
+            weight,
+            loss,
+            accuracy,
+        })?;
+        self.pump()
+    }
+
+    /// Sends a [`WireMessage::SecAggReport`] carrying this device's
+    /// masked field-element vector — the SecAgg analogue of [`Self::report`],
+    /// paying the 8-bytes-per-coordinate wire premium.
+    pub fn report_secagg(
+        &self,
+        field_vector: Vec<u64>,
+        weight: u64,
+        loss: f64,
+        accuracy: f64,
+    ) -> Result<(), WireError> {
+        self.client.send(&WireMessage::SecAggReport {
+            device: self.device,
+            field_vector,
             weight,
             loss,
             accuracy,
@@ -1066,7 +1205,8 @@ mod tests {
             .unwrap();
         selector_refs[0]
             .send(SelectorMsg::Checkin {
-                frame: fl_wire::encode(&WireMessage::ReportAck { accepted: true }),
+                frame: fl_wire::encode(&WireMessage::ReportAck { accepted: true })
+                    .expect("test frame encodes"),
                 conn: gateway.sink(),
             })
             .unwrap();

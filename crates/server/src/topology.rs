@@ -217,6 +217,12 @@ pub fn spawn_topology<S: CheckpointStore + Send + 'static>(
             OverloadMetrics::new(config, 0),
         ))
     });
+    let coordinator = match &telemetry {
+        // The coordinator shares the same metric sink as the Selectors so
+        // SecAgg shard aborts land next to the admission telemetry.
+        Some(telemetry) => coordinator.with_telemetry(telemetry.clone()),
+        None => coordinator,
+    };
     let coord_ref = system.spawn("coordinator", coordinator);
     let selectors = blueprint
         .build_selectors(budget.as_ref())

@@ -38,6 +38,7 @@ use fl_core::population::{TaskGroup, TaskSelectionStrategy};
 use fl_core::round::{RoundConfig, RoundOutcome};
 use fl_core::{CoreError, DeviceId, FlPlan, FlTask};
 use fl_ml::rng;
+use fl_server::aggregator::DropStage;
 use fl_server::coordinator::{ActiveRound, Coordinator, CoordinatorConfig};
 use fl_server::pace::PaceSteering;
 use fl_server::pipeline::SelectionPool;
@@ -232,6 +233,13 @@ pub struct ChaosConfig {
     /// How many watchers race to respawn a crashed Coordinator; exactly
     /// one must win.
     pub respawn_racers: u64,
+    /// When set, the run trains under Secure Aggregation with this group
+    /// threshold `k` (Sec. 6): devices report fixed-point *field vectors*
+    /// over [`WireMessage::SecAggReport`] frames, dropouts are tagged with
+    /// the protocol stage they hit (advertise vs. share), and a shard
+    /// whose surviving group falls below the protocol threshold aborts
+    /// without poisoning the commit.
+    pub secagg_k: Option<usize>,
 }
 
 impl Default for ChaosConfig {
@@ -254,6 +262,7 @@ impl Default for ChaosConfig {
             shards: 3,
             selectors: 2,
             respawn_racers: 4,
+            secagg_k: None,
         }
     }
 }
@@ -280,6 +289,12 @@ pub struct ChaosReport {
     pub idempotent_checkins: u64,
     /// Final checkpoint write count (must equal `1 + committed`).
     pub final_write_count: u64,
+    /// SecAgg shards that aborted below threshold while their round still
+    /// committed from the surviving shards (0 on non-SecAgg runs).
+    pub secagg_shard_aborts: u64,
+    /// Rounds lost entirely because *every* SecAgg shard fell below
+    /// threshold; nothing reaches storage and the round restarts.
+    pub secagg_round_aborts: u64,
     /// Bytes-on-wire counters from the device end of the harness's
     /// in-memory transport: every check-in, configuration download, update
     /// report, and ack crossed it as a framed [`WireMessage`].
@@ -301,7 +316,7 @@ impl ChaosReport {
         let mut out = format!(
             "seed={}\ncommitted={} abandoned={} lost_to_storage={} master_restarts={}\n\
              respawns={} lease_reacquisitions={} idempotent_checkins={}\n\
-             write_count={}\n\
+             write_count={} secagg_shard_aborts={} secagg_round_aborts={}\n\
              wire up_frames={} up_bytes={} down_frames={} down_bytes={}\n\
              violations={}\n",
             self.seed,
@@ -313,6 +328,8 @@ impl ChaosReport {
             self.lease_reacquisitions,
             self.idempotent_checkins,
             self.final_write_count,
+            self.secagg_shard_aborts,
+            self.secagg_round_aborts,
             self.wire.frames_sent,
             self.wire.bytes_sent,
             self.wire.frames_received,
@@ -334,6 +351,21 @@ impl ChaosReport {
 /// tests.
 pub fn default_seeds() -> Vec<u64> {
     vec![11, 23, 47, 61, 83, 97, 131, 151]
+}
+
+/// The fixed seed set for SecAgg chaos sweeps (`scripts/check.sh`
+/// `secagg-live` step and the tier-1 chaos tests).
+pub fn default_secagg_seeds() -> Vec<u64> {
+    vec![13, 29, 53, 71]
+}
+
+/// The default chaos topology with Secure Aggregation enabled at group
+/// threshold `k`.
+pub fn secagg_config(k: usize) -> ChaosConfig {
+    ChaosConfig {
+        secagg_k: Some(k),
+        ..ChaosConfig::default()
+    }
 }
 
 /// Runs [`run_chaos`] over a set of fault-plan seeds with one shared
@@ -427,12 +459,13 @@ pub fn run_chaos_with_schedule(
     };
     let dim = spec.num_params();
     let store = FaultyCheckpointStore::new(InMemoryCheckpointStore::new(), plan.storage_failures());
+    let mut task = FlTask::training(TASK_NAME, POPULATION).with_round(config.round);
+    if let Some(k) = config.secagg_k {
+        task = task.with_secagg(k);
+    }
     let deployment = DeploymentSpec {
         config: CoordinatorConfig::new(POPULATION, plan.seed),
-        group: TaskGroup::new(
-            vec![FlTask::training(TASK_NAME, POPULATION).with_round(config.round)],
-            TaskSelectionStrategy::Single,
-        ),
+        group: TaskGroup::new(vec![task], TaskSelectionStrategy::Single),
         plans: vec![FlPlan::standard_training(spec, 1, 8, 0.1, CodecSpec::Identity)],
         initial_params: vec![0.0f32; dim],
     };
@@ -478,6 +511,8 @@ pub fn run_chaos_with_schedule(
             lease_reacquisitions: 0,
             idempotent_checkins: 0,
             final_write_count: 0,
+            secagg_shard_aborts: 0,
+            secagg_round_aborts: 0,
             wire: WireStats::default(),
             violations: Vec::new(),
             log: FaultLog::new(),
@@ -715,12 +750,63 @@ impl Harness<'_> {
             return;
         }
         let update = vec![0.1 + (device % 5) as f32 * 0.01; self.dim];
+        let weight = 1 + device % 7;
+        let loss = 0.9 - (device % 10) as f64 * 0.02;
+        let accuracy = 0.5 + (device % 10) as f64 * 0.03;
+        if self.config.secagg_k.is_some() {
+            // SecAgg rounds upload the fixed-point *field vector* — 8
+            // bytes per coordinate, the Sec. 6 bandwidth premium — over
+            // the same framed wire as cleartext reports.
+            let field = match fl_ml::fixedpoint::FixedPointEncoder::default_for_updates()
+                .encode(&update)
+            {
+                Ok(field) => field,
+                Err(e) => {
+                    self.report
+                        .violations
+                        .push(format!("t={now}: fixed-point encode failed: {e}"));
+                    return;
+                }
+            };
+            let report_msg = WireMessage::SecAggReport {
+                device: DeviceId(device),
+                field_vector: field,
+                weight,
+                loss,
+                accuracy,
+            };
+            let Some(WireMessage::SecAggReport {
+                device: wired,
+                field_vector,
+                weight,
+                loss,
+                accuracy,
+            }) = self.wire_uplink(now, &report_msg)
+            else {
+                return;
+            };
+            let Some(round) = self.active.as_mut() else {
+                return;
+            };
+            match round.on_secagg_report(wired, now, &field_vector, weight, loss, accuracy) {
+                Ok(response) => {
+                    let accepted = matches!(response, ReportResponse::Accepted);
+                    let _ = self.server_wire.send(&WireMessage::ReportAck { accepted });
+                    self.drain_downlink();
+                }
+                Err(e) => self
+                    .report
+                    .violations
+                    .push(format!("secagg report aggregation failed: {e}")),
+            }
+            return;
+        }
         let report_msg = WireMessage::UpdateReport {
             device: DeviceId(device),
             update_bytes: CodecSpec::Identity.build().encode(&update),
-            weight: 1 + device % 7,
-            loss: 0.9 - (device % 10) as f64 * 0.02,
-            accuracy: 0.5 + (device % 10) as f64 * 0.03,
+            weight,
+            loss,
+            accuracy,
         };
         let Some(WireMessage::UpdateReport {
             device: wired,
@@ -824,6 +910,24 @@ impl Harness<'_> {
                         .push(format!("t={now}: abandoned round touched storage"));
                 }
             }
+            Err(CoreError::MalformedCheckpoint(why)) if why.contains("below threshold") => {
+                // Every SecAgg shard fell below its protocol threshold:
+                // the round is lost whole — like a Master crash, nothing
+                // reaches storage and the next round restarts from the
+                // committed checkpoint.
+                self.report.secagg_round_aborts += 1;
+                self.report.log.record(now, "secagg.round-abort", why);
+                self.report.log.record(
+                    now,
+                    "recover.round-restart",
+                    format!("from checkpoint r={pre_round:?}"),
+                );
+                if self.write_count() != pre_writes || self.latest_round() != pre_round {
+                    self.report
+                        .violations
+                        .push(format!("t={now}: aborted secagg round touched storage"));
+                }
+            }
             Err(CoreError::StorageFailure(why)) => {
                 self.report.lost_to_storage += 1;
                 self.report.log.record(now, "inject.storage-write-failure", why);
@@ -886,9 +990,17 @@ impl Harness<'_> {
                     "inject.selector-crash",
                     format!("selector={selector} victims={}", victims.len()),
                 );
+                let secagg = self.config.secagg_k.is_some();
                 if let Some(round) = self.active.as_mut() {
                     for d in victims {
-                        round.on_dropout(DeviceId(d), now);
+                        if secagg {
+                            // A dead Selector takes its devices out before
+                            // they share anything: cheap advertise-stage
+                            // exclusion, no mask recovery.
+                            round.on_dropout_staged(DeviceId(d), now, DropStage::Advertise);
+                        } else {
+                            round.on_dropout(DeviceId(d), now);
+                        }
                     }
                 }
                 self.report.log.record(
@@ -947,9 +1059,23 @@ impl Harness<'_> {
                     "inject.dropout-burst",
                     format!("per_mille={per_mille} dropped={k}"),
                 );
+                let secagg = self.config.secagg_k.is_some();
                 if let Some(round) = self.active.as_mut() {
-                    for d in participants.into_iter().take(k) {
-                        round.on_dropout(DeviceId(d), now);
+                    for (i, d) in participants.into_iter().take(k).enumerate() {
+                        if secagg {
+                            // Alternate the SecAgg stage the burst hits so
+                            // one burst exercises both recovery paths:
+                            // advertise-stage exclusion and share-stage
+                            // mask reconstruction.
+                            let stage = if i % 2 == 0 {
+                                DropStage::Advertise
+                            } else {
+                                DropStage::Share
+                            };
+                            round.on_dropout_staged(DeviceId(d), now, stage);
+                        } else {
+                            round.on_dropout(DeviceId(d), now);
+                        }
                     }
                 }
             }
@@ -986,6 +1112,8 @@ impl Harness<'_> {
         let lost_round = self.active.take().map(|r| r.state.round.0);
         let pre_params = dead.global_params(TASK_NAME).ok();
         let pre_writes = dead.store().write_count();
+        // The dead incarnation's abort tally would reset with it; bank it.
+        self.report.secagg_shard_aborts += dead.secagg_shard_aborts();
         let store = dead.into_store();
         self.report.log.record(
             now,
@@ -1081,6 +1209,11 @@ impl Harness<'_> {
 
     fn finish(mut self) -> ChaosReport {
         self.report.final_write_count = self.write_count();
+        self.report.secagg_shard_aborts += self
+            .coordinator
+            .as_ref()
+            .map(|c| c.secagg_shard_aborts())
+            .unwrap_or(0);
         self.report.wire = self.device_wire.stats();
         // The paper's storage audit: one write at deployment plus one per
         // committed round; per-device updates are never persisted.
@@ -1107,7 +1240,8 @@ impl Harness<'_> {
         let progress = self.report.committed
             + self.report.abandoned
             + self.report.lost_to_storage
-            + self.report.master_restarts;
+            + self.report.master_restarts
+            + self.report.secagg_round_aborts;
         if progress == 0 {
             self.report
                 .violations
@@ -1157,6 +1291,70 @@ mod tests {
         assert!(report.committed >= 3, "report: {}", report.render());
         assert_eq!(report.final_write_count, 1 + report.committed);
         assert_eq!(report.respawns, 0);
+    }
+
+    #[test]
+    fn secagg_fault_free_run_commits_and_pays_the_wire_premium() {
+        let plan = FaultPlan {
+            seed: 5,
+            faults: vec![],
+        };
+        let plain = run_chaos(&plan, &ChaosConfig::default());
+        let secagg = run_chaos(&plan, &secagg_config(2));
+        assert!(secagg.is_clean(), "violations: {:?}", secagg.violations);
+        assert!(secagg.committed >= 3, "report: {}", secagg.render());
+        assert_eq!(secagg.final_write_count, 1 + secagg.committed);
+        assert_eq!(secagg.secagg_shard_aborts, 0);
+        assert_eq!(secagg.secagg_round_aborts, 0);
+        // Field vectors are 8 bytes per coordinate vs. 4 for f32 updates:
+        // the SecAgg premium must show in the measured uplink bytes.
+        assert!(
+            secagg.wire.bytes_sent > plain.wire.bytes_sent,
+            "secagg uplink {} <= plain uplink {}",
+            secagg.wire.bytes_sent,
+            plain.wire.bytes_sent
+        );
+    }
+
+    #[test]
+    fn secagg_heavy_dropout_burst_aborts_cleanly() {
+        // A 90% burst mid-reporting strands SecAgg groups below their
+        // protocol thresholds; the run must stay clean — aborted shards
+        // (or whole rounds) never poison storage and progress continues.
+        let plan = FaultPlan {
+            seed: 9,
+            faults: vec![
+                Fault::DropoutBurst {
+                    at_ms: 14_000,
+                    per_mille: 900,
+                },
+                Fault::DropoutBurst {
+                    at_ms: 44_000,
+                    per_mille: 900,
+                },
+            ],
+        };
+        let report = run_chaos(&plan, &secagg_config(2));
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert_eq!(report.final_write_count, 1 + report.committed);
+        assert!(
+            report.secagg_shard_aborts + report.secagg_round_aborts >= 1,
+            "bursts never stranded a group below threshold: {}",
+            report.render()
+        );
+        assert!(report.committed >= 1, "report: {}", report.render());
+    }
+
+    #[test]
+    fn secagg_sweep_replays_byte_identically() {
+        let config = secagg_config(2);
+        for seed in default_secagg_seeds() {
+            let plan = FaultPlan::generate(seed, config.horizon_ms);
+            let a = run_chaos(&plan, &config);
+            let b = run_chaos(&plan, &config);
+            assert!(a.is_clean(), "seed {seed}: {:?}", a.violations);
+            assert_eq!(a.render(), b.render(), "seed {seed} replay diverged");
+        }
     }
 
     #[test]

@@ -120,8 +120,25 @@ enum DeviceOutcome {
 /// subject to seeded delivery reordering, and audits the standing
 /// invariants. See the module docs for the list.
 pub fn explore_live_round(schedule_seed: u64) -> ExploreReport {
+    explore_round("live-round", schedule_seed, None)
+}
+
+/// [`explore_live_round`] with Secure Aggregation enabled (Sec. 6 over
+/// the Sec. 4 tree): devices report fixed-point field vectors, the
+/// round's single shard runs the four-round protocol at finalize, and a
+/// scripted share-stage dropout forces mask reconstruction — all under
+/// the same seeded mailbox reordering, holding the same invariants.
+pub fn explore_secagg_live_round(schedule_seed: u64) -> ExploreReport {
+    explore_round("secagg-live-round", schedule_seed, Some(2))
+}
+
+fn explore_round(
+    scenario: &'static str,
+    schedule_seed: u64,
+    secagg_k: Option<usize>,
+) -> ExploreReport {
     let mut report = ExploreReport {
-        scenario: "live-round",
+        scenario,
         schedule_seed,
         committed: 0,
         write_count: 0,
@@ -146,7 +163,10 @@ pub fn explore_live_round(schedule_seed: u64) -> ExploreReport {
         report_window_ms: 10_000,
         device_cap_ms: 10_000,
     };
-    let task = FlTask::training(TASK_NAME, POPULATION).with_round(round);
+    let mut task = FlTask::training(TASK_NAME, POPULATION).with_round(round);
+    if let Some(k) = secagg_k {
+        task = task.with_secagg(k);
+    }
     let plan = FlPlan::standard_training(spec, 1, 8, 0.1, CodecSpec::Identity);
     let group = TaskGroup::new(vec![task], TaskSelectionStrategy::Single);
 
@@ -209,8 +229,22 @@ pub fn explore_live_round(schedule_seed: u64) -> ExploreReport {
                                 ));
                             }
                             let update = vec![0.25f32; dim];
-                            let bytes = CodecSpec::Identity.build().encode(&update);
-                            if conn.report(bytes, 4, 0.5, 0.8).is_err() {
+                            let sent = if secagg_k.is_some() {
+                                match fl_ml::fixedpoint::FixedPointEncoder::default_for_updates()
+                                    .encode(&update)
+                                {
+                                    Ok(field) => conn.report_secagg(field, 4, 0.5, 0.8),
+                                    Err(e) => {
+                                        return DeviceOutcome::Failed(format!(
+                                            "device {i}: fixed-point encode failed: {e}"
+                                        ))
+                                    }
+                                }
+                            } else {
+                                let bytes = CodecSpec::Identity.build().encode(&update);
+                                conn.report(bytes, 4, 0.5, 0.8)
+                            };
+                            if sent.is_err() {
                                 return DeviceOutcome::Failed(format!(
                                     "device {i}: coordinator gone"
                                 ));
@@ -240,6 +274,16 @@ pub fn explore_live_round(schedule_seed: u64) -> ExploreReport {
             Ok(DeviceOutcome::Failed(why)) => report.violations.push(why),
             Err(_) => report.violations.push("device thread panicked".into()),
         }
+    }
+
+    // SecAgg: one device vanishes *after* its masked contribution is
+    // staged — the expensive recovery path (Shamir mask reconstruction
+    // from the survivors' shares) must also hold under every schedule.
+    if secagg_k.is_some() {
+        let _ = coord_ref.send(CoordMsg::DeviceDropped {
+            device: DeviceId(DEVICES - 1),
+            stage: fl_server::aggregator::DropStage::Share,
+        });
     }
 
     // Poll for completion off the timer wheel, never with a raw sleep;
@@ -371,5 +415,14 @@ mod tests {
     #[test]
     fn report_is_byte_identical_per_seed() {
         assert_eq!(explore_live_round(5).render(), explore_live_round(5).render());
+    }
+
+    #[test]
+    fn explored_secagg_round_reconstructs_masks_and_commits_once() {
+        let report = explore_secagg_live_round(3);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert_eq!(report.committed, 1);
+        assert_eq!(report.write_count, 2);
+        assert_eq!(report.obituaries.len(), EXPECTED_OBITUARIES.len());
     }
 }

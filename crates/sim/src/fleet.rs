@@ -53,7 +53,8 @@ pub fn measured_payload_sizes(model: ModelSpec, codec: CodecSpec) -> (usize, usi
     let download_frame = fl_server::wire::encode(&WireMessage::PlanAndCheckpoint {
         plan: Box::new(plan),
         checkpoint: Box::new(checkpoint),
-    });
+    })
+    .expect("plan frame encodes");
     let plan_bytes = download_frame.len().saturating_sub(checkpoint_bytes);
     let update_frame = fl_server::wire::encode(&WireMessage::UpdateReport {
         device: DeviceId(0),
@@ -61,7 +62,8 @@ pub fn measured_payload_sizes(model: ModelSpec, codec: CodecSpec) -> (usize, usi
         weight: 1,
         loss: 0.0,
         accuracy: 0.0,
-    });
+    })
+    .expect("update frame encodes");
     (plan_bytes, checkpoint_bytes, update_frame.len())
 }
 

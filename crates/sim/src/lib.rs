@@ -39,7 +39,7 @@ pub mod training;
 
 pub use availability::DiurnalAvailability;
 pub use chaos::{run_chaos_with_schedule, ChaosConfig, ChaosReport, Fault, FaultPlan};
-pub use explore::{explore_chaos, explore_live_round, ExploreReport};
+pub use explore::{explore_chaos, explore_live_round, explore_secagg_live_round, ExploreReport};
 pub use fleet::{FleetConfig, FleetReport};
 pub use overload::{OverloadConfig, OverloadReport, OverloadScenario};
 pub use training::{TrainingRunConfig, TrainingRunReport};

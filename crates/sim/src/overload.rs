@@ -31,7 +31,9 @@ use fl_core::plan::{CodecSpec, ModelSpec};
 use fl_core::round::{RoundConfig, RoundOutcome};
 use fl_core::{DeviceId, FlCheckpoint, FlPlan, RetryPolicy, RoundId};
 use fl_device::connectivity::{ConnectivityManager, RetryDecision};
+use fl_ml::fixedpoint::FixedPointEncoder;
 use fl_ml::rng;
+use fl_server::aggregator::{AggregationPlan, MasterAggregator};
 use fl_server::pace::PaceSteering;
 use fl_server::round::{CheckinResponse, Phase, RoundEvent, RoundState};
 use fl_server::selector::{CheckinDecision, Selector};
@@ -126,6 +128,14 @@ pub struct OverloadConfig {
     pub seed: u64,
     /// Windows allowed between onset and shed-rate convergence.
     pub convergence_budget_windows: u64,
+    /// When set, every round aggregates through a real
+    /// [`MasterAggregator`] under Secure Aggregation with this group
+    /// threshold `k`: reports upload fixed-point field vectors over
+    /// [`WireMessage::SecAggReport`] frames (the Sec. 6 bandwidth
+    /// premium), and a storm that strands a cohort's group below `k`
+    /// surfaces as per-shard aborts — or a whole-round abort — instead of
+    /// a silent mis-sum.
+    pub secagg_k: Option<usize>,
 }
 
 impl OverloadConfig {
@@ -166,6 +176,7 @@ impl OverloadConfig {
             scenario,
             seed,
             convergence_budget_windows: 5,
+            secagg_k: None,
         }
     }
 
@@ -192,6 +203,17 @@ impl OverloadConfig {
             },
             seed,
         )
+    }
+
+    /// The flash-crowd scenario under Secure Aggregation: the 10×
+    /// population step while every round runs masked aggregation with
+    /// group threshold `k = 18`. Storm-degraded cohorts (rounds that
+    /// commit at the minimum goal fraction) spread too thin across the
+    /// Aggregator groups and must abort per shard, never mis-sum.
+    pub fn secagg_flash_crowd(seed: u64) -> Self {
+        let mut config = OverloadConfig::flash_crowd(seed);
+        config.secagg_k = Some(18);
+        config
     }
 
     /// The diurnal-ramp scenario: a full swing over a 20-window period.
@@ -267,6 +289,12 @@ pub struct OverloadReport {
     pub population_estimate_peak: u64,
     /// Monitor alerts raised (deviation + ceiling).
     pub alerts: usize,
+    /// SecAgg Aggregator groups stranded below threshold in rounds that
+    /// still committed from the surviving groups (0 on plain runs).
+    pub secagg_shard_aborts: u64,
+    /// Committed-by-the-state-machine rounds whose aggregate was lost
+    /// because *every* SecAgg group fell below threshold.
+    pub secagg_round_aborts: u64,
     /// Bytes-on-wire counters from the device end of the harness's
     /// in-memory [`ChannelTransport`]: every check-in and update report
     /// crosses the wire as a framed `WireMessage`, and every rejection,
@@ -291,6 +319,7 @@ impl OverloadReport {
              max_queue_depth={} queue_bound={}\n\
              rounds_started={} rounds_terminal={} committed={} abandoned={}\n\
              population_estimate_final={} population_estimate_peak={} alerts={}\n\
+             secagg_shard_aborts={} secagg_round_aborts={}\n\
              wire up_frames={} up_bytes={} down_frames={} down_bytes={}\n\
              convergence_windows={}\n",
             self.seed,
@@ -312,6 +341,8 @@ impl OverloadReport {
             self.population_estimate_final,
             self.population_estimate_peak,
             self.alerts,
+            self.secagg_shard_aborts,
+            self.secagg_round_aborts,
             self.wire.frames_sent,
             self.wire.bytes_sent,
             self.wire.frames_received,
@@ -498,6 +529,23 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
     let mut rounds_terminal: u64 = 0;
     let mut committed: u64 = 0;
     let mut abandoned: u64 = 0;
+    let mut secagg_shard_aborts: u64 = 0;
+    let mut secagg_round_aborts: u64 = 0;
+    // SecAgg runs aggregate through a real MasterAggregator (one fresh
+    // subtree per round, like the live topology); plain runs carry none.
+    let secagg_dim = 4usize;
+    let fixedpoint = FixedPointEncoder::default_for_updates();
+    let make_master = |seq: u64| {
+        config.secagg_k.map(|k| {
+            MasterAggregator::new(
+                AggregationPlan::with_secagg(secagg_dim, 33, k),
+                CodecSpec::Identity,
+                target as usize,
+                config.seed.wrapping_add(seq),
+            )
+        })
+    };
+    let mut master = make_master(0);
     let mut max_queue_depth: usize = 0;
     let mut devices_exhausted: u64 = 0;
     let mut population_estimate_peak: u64 = 0;
@@ -676,22 +724,62 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
                 // fields deterministic per device, so frame bytes replay
                 // identically); the server acts on the decoded device id
                 // and always answers with a framed ack.
-                let report_msg = WireMessage::UpdateReport {
-                    device: DeviceId(device),
-                    update_bytes: vec![0u8; 4],
-                    weight: 1 + device % 7,
-                    loss: 0.9 - (device % 10) as f64 * 0.02,
-                    accuracy: 0.5 + (device % 10) as f64 * 0.03,
+                let weight = 1 + device % 7;
+                let loss = 0.9 - (device % 10) as f64 * 0.02;
+                let accuracy = 0.5 + (device % 10) as f64 * 0.03;
+                let accepted = if config.secagg_k.is_some() {
+                    // SecAgg upload: the fixed-point field vector, 8 bytes
+                    // per coordinate on the measured wire.
+                    let update = vec![0.1 + (device % 5) as f32 * 0.01; secagg_dim];
+                    let Ok(field) = fixedpoint.encode(&update) else {
+                        violations.push(format!("t={now}: fixed-point encode failed"));
+                        continue;
+                    };
+                    let report_msg = WireMessage::SecAggReport {
+                        device: DeviceId(device),
+                        field_vector: field,
+                        weight,
+                        loss,
+                        accuracy,
+                    };
+                    let Some(WireMessage::SecAggReport {
+                        device: wired,
+                        field_vector,
+                        weight: wired_weight,
+                        ..
+                    }) = wire_uplink!(now, &report_msg)
+                    else {
+                        continue;
+                    };
+                    let accepted = seq == active.seq;
+                    if accepted {
+                        let _ = active.state.on_report(wired, now);
+                        if let Some(m) = master.as_mut() {
+                            // Drop-not-crash: a malformed contribution
+                            // costs only itself.
+                            let _ = m.accept_field(wired, &field_vector, wired_weight);
+                        }
+                    }
+                    accepted
+                } else {
+                    let report_msg = WireMessage::UpdateReport {
+                        device: DeviceId(device),
+                        update_bytes: vec![0u8; 4],
+                        weight,
+                        loss,
+                        accuracy,
+                    };
+                    let Some(WireMessage::UpdateReport { device: wired, .. }) =
+                        wire_uplink!(now, &report_msg)
+                    else {
+                        continue;
+                    };
+                    let accepted = seq == active.seq;
+                    if accepted {
+                        let _ = active.state.on_report(wired, now);
+                    }
+                    accepted
                 };
-                let Some(WireMessage::UpdateReport { device: wired, .. }) =
-                    wire_uplink!(now, &report_msg)
-                else {
-                    continue;
-                };
-                let accepted = seq == active.seq;
-                if accepted {
-                    let _ = active.state.on_report(wired, now);
-                }
                 wire_downlink!(&WireMessage::ReportAck { accepted });
                 // The next natural participation is the device's periodic
                 // FL job, a population-scaled horizon away (Sec. 3: jobs
@@ -768,6 +856,23 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
                     } else {
                         abandoned += 1;
                     }
+                    if let Some(m) = master.take() {
+                        if outcome.is_committed() {
+                            // A storm-degraded cohort spreads too thin
+                            // across the groups: shards below k abort,
+                            // surviving shards still merge. If nothing
+                            // survives the aggregate is lost whole.
+                            match m.finalize(&vec![0.0; secagg_dim], &[], &[]) {
+                                Ok(out) => {
+                                    secagg_shard_aborts += out.shard_aborts as u64;
+                                    for _ in 0..out.shard_aborts {
+                                        metrics.record_secagg_abort(at_ms);
+                                    }
+                                }
+                                Err(_) => secagg_round_aborts += 1,
+                            }
+                        }
+                    }
                     if let RoundOutcome::AbandonedInSelection { .. } = outcome {
                         // Forwarded-but-unconfigured devices retry.
                         let orphans: Vec<u64> = active.pending.drain(..).collect();
@@ -790,6 +895,7 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
                         open_at + config.round.selection_timeout_ms,
                         Event::RoundTick { round_seq },
                     );
+                    master = make_master(round_seq);
                 }
             }
         }
@@ -815,6 +921,14 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
                     committed += 1;
                 } else {
                     abandoned += 1;
+                }
+                if let Some(m) = master.take() {
+                    if outcome.is_committed() {
+                        match m.finalize(&vec![0.0; secagg_dim], &[], &[]) {
+                            Ok(out) => secagg_shard_aborts += out.shard_aborts as u64,
+                            Err(_) => secagg_round_aborts += 1,
+                        }
+                    }
                 }
             }
         }
@@ -888,6 +1002,8 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
         population_estimate_final,
         population_estimate_peak,
         alerts: metrics.alerts().len(),
+        secagg_shard_aborts,
+        secagg_round_aborts,
         wire: device_wire.stats(),
         violations,
     }
@@ -955,6 +1071,36 @@ mod tests {
     fn replay_is_byte_identical() {
         let a = run_overload(&OverloadConfig::thundering_herd(53)).render();
         let b = run_overload(&OverloadConfig::thundering_herd(53)).render();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn secagg_flash_crowd_strands_cohorts_below_k_cleanly() {
+        let plain = run_overload(&OverloadConfig::flash_crowd(17));
+        let report = run_overload(&OverloadConfig::secagg_flash_crowd(17));
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(report.committed >= 1, "{}", report.render());
+        // The storm must have pushed at least one cohort's group below k
+        // — surfaced as a typed abort, never a silent mis-sum.
+        assert!(
+            report.secagg_shard_aborts + report.secagg_round_aborts >= 1,
+            "no group ever fell below threshold:\n{}",
+            report.render()
+        );
+        // Field vectors are 8 bytes per coordinate vs. the plain run's
+        // 4-byte blob: the SecAgg premium shows in measured uplink bytes.
+        assert!(
+            report.wire.bytes_sent > plain.wire.bytes_sent,
+            "secagg uplink {} <= plain uplink {}",
+            report.wire.bytes_sent,
+            plain.wire.bytes_sent
+        );
+    }
+
+    #[test]
+    fn secagg_flash_crowd_replays_byte_identically() {
+        let a = run_overload(&OverloadConfig::secagg_flash_crowd(29)).render();
+        let b = run_overload(&OverloadConfig::secagg_flash_crowd(29)).render();
         assert_eq!(a, b);
     }
 

@@ -71,6 +71,16 @@ pub enum WireError {
         /// What was wrong.
         what: &'static str,
     },
+    /// A string field is longer than the wire's `u16` length prefix can
+    /// carry. Encoding refuses rather than truncating: a silently
+    /// clipped string would round-trip to a *different* message than
+    /// was sent, defeating the golden-bytes determinism guarantee.
+    StringTooLong {
+        /// Byte length of the offending string.
+        len: usize,
+        /// The maximum encodable length (`u16::MAX`).
+        max: usize,
+    },
     /// The peer endpoint is gone (channel disconnected / TCP closed).
     Closed,
     /// No frame arrived within the receive timeout.
@@ -99,6 +109,9 @@ impl fmt::Display for WireError {
                 write!(f, "{extra} trailing bytes after frame")
             }
             WireError::Malformed { what } => write!(f, "malformed body: {what}"),
+            WireError::StringTooLong { len, max } => {
+                write!(f, "string of {len} bytes exceeds wire limit of {max}")
+            }
             WireError::Closed => write!(f, "transport closed"),
             WireError::Timeout => write!(f, "receive timed out"),
             WireError::Io(e) => write!(f, "i/o error: {e}"),
@@ -109,15 +122,20 @@ impl fmt::Display for WireError {
 impl std::error::Error for WireError {}
 
 /// Encodes a message into one complete frame (header + body).
-pub fn encode(msg: &WireMessage) -> Vec<u8> {
-    let body = msg.encode_body();
+///
+/// # Errors
+///
+/// [`WireError::StringTooLong`] if a string field exceeds the `u16`
+/// length prefix — the encoder refuses rather than silently truncating.
+pub fn encode(msg: &WireMessage) -> Result<Vec<u8>, WireError> {
+    let body = msg.encode_body()?;
     let mut out = Vec::with_capacity(HEADER_LEN + body.len());
     out.extend_from_slice(&MAGIC);
     out.push(PROTOCOL_VERSION);
     out.push(msg.tag());
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
     out.extend_from_slice(&body);
-    out
+    Ok(out)
 }
 
 /// Size of the frame [`encode`] would produce, without encoding it.
@@ -288,6 +306,17 @@ impl<'a> Reader<'a> {
         })
     }
 
+    /// `u32` count-prefixed `u64` vector (SecAgg field elements).
+    pub(crate) fn u64s(&mut self) -> Result<Vec<u64>, WireError> {
+        let n = self.u32()? as usize;
+        let b = self.take(n.checked_mul(8).ok_or(WireError::Malformed {
+            what: "u64 count overflow",
+        })?)?;
+        Ok(b.chunks_exact(8)
+            .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+            .collect())
+    }
+
     /// `u32` count-prefixed `f32` vector.
     pub(crate) fn f32s(&mut self) -> Result<Vec<f32>, WireError> {
         let n = self.u32()? as usize;
@@ -314,25 +343,43 @@ impl<'a> Reader<'a> {
 /// Body-writer counterparts to [`Reader`], kept as free functions so the
 /// encoders read as a flat layout description.
 pub(crate) mod put {
+    use super::WireError;
+
     /// Appends a `u32` length-prefixed byte string.
     pub(crate) fn bytes(out: &mut Vec<u8>, b: &[u8]) {
         out.extend_from_slice(&(b.len() as u32).to_le_bytes());
         out.extend_from_slice(b);
     }
 
-    /// Appends a `u16` length-prefixed UTF-8 string; anything past 64 KiB
-    /// is dropped at a char boundary rather than corrupting the frame.
-    pub(crate) fn string(out: &mut Vec<u8>, s: &str) {
-        let mut end = s.len().min(u16::MAX as usize);
-        while !s.is_char_boundary(end) {
-            end -= 1;
+    /// Appends a `u16` length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::StringTooLong`] past 65535 bytes — refusing beats the
+    /// old silent char-boundary truncation, which made an oversized
+    /// string round-trip to a different message than was sent.
+    pub(crate) fn string(out: &mut Vec<u8>, s: &str) -> Result<(), WireError> {
+        if s.len() > u16::MAX as usize {
+            return Err(WireError::StringTooLong {
+                len: s.len(),
+                max: u16::MAX as usize,
+            });
         }
-        out.extend_from_slice(&(end as u16).to_le_bytes());
-        out.extend_from_slice(&s.as_bytes()[..end]);
+        out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+        out.extend_from_slice(s.as_bytes());
+        Ok(())
     }
 
     /// Appends a `u32` count-prefixed `f32` vector.
     pub(crate) fn f32s(out: &mut Vec<u8>, v: &[f32]) {
+        out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        for x in v {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    /// Appends a `u32` count-prefixed `u64` vector (SecAgg field elements).
+    pub(crate) fn u64s(out: &mut Vec<u8>, v: &[u64]) {
         out.extend_from_slice(&(v.len() as u32).to_le_bytes());
         for x in v {
             out.extend_from_slice(&x.to_le_bytes());

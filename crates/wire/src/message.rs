@@ -42,6 +42,12 @@ pub mod tag {
     pub const SHARD_MERGED: u8 = 9;
     /// [`crate::WireMessage::ShardAbort`]
     pub const SHARD_ABORT: u8 = 10;
+    /// [`crate::WireMessage::SecAggReport`]
+    pub const SECAGG_REPORT: u8 = 11;
+    /// [`crate::WireMessage::SecAggUpdate`]
+    pub const SECAGG_UPDATE: u8 = 12;
+    /// [`crate::WireMessage::SecAggFinalize`]
+    pub const SECAGG_FINALIZE: u8 = 13;
 }
 
 /// One protocol message. The first six variants are the device↔Selector
@@ -122,7 +128,56 @@ pub enum WireMessage {
     },
     /// Coordinator → Master Aggregator: abandon the round; shards
     /// discard partial aggregates (nothing is persisted, Sec. 4.2).
+    /// Also sent Master → Coordinator on the finalize reply stream, one
+    /// per SecAgg shard whose group fell below `k` — the shard's
+    /// contribution is aborted, the round commits from the rest.
     ShardAbort,
+    /// Device → Coordinator: a Secure Aggregation report (Sec. 6) — the
+    /// update as fixed-point field elements rather than codec bytes.
+    /// The 8 B/coordinate field vector *is* SecAgg's bandwidth premium
+    /// (≈2× the 4 B/param f32 upload), paid on the wire so FIG9 measures
+    /// it.
+    SecAggReport {
+        /// The reporting device.
+        device: DeviceId,
+        /// The update encoded into `Z_p` (one `u64` per parameter).
+        field_vector: Vec<u64>,
+        /// Update weight (number of local examples).
+        weight: u64,
+        /// Mean training loss (NaN if the plan computed none).
+        loss: f64,
+        /// Top-1 accuracy (NaN if the plan computed none).
+        accuracy: f64,
+    },
+    /// Coordinator → Master Aggregator: stream one device's SecAgg
+    /// field vector into the round's aggregation tree (Sec. 4.2 + 6).
+    SecAggUpdate {
+        /// The contributing device (used for sticky shard routing).
+        device: DeviceId,
+        /// The update encoded into `Z_p`.
+        field_vector: Vec<u64>,
+        /// Update weight.
+        weight: u64,
+    },
+    /// Coordinator → Master Aggregator: close a SecAgg round — run the
+    /// masked protocol per shard with dropouts attributed to the stage
+    /// they died at (advertise-stage exclusions are cheap; share-stage
+    /// losses force mask-key reconstruction).
+    SecAggFinalize {
+        /// The committed global parameters the merge starts from.
+        current_params: Vec<f32>,
+        /// How many `SecAggUpdate` frames this finalize covers (the
+        /// count of accepted reports). The master must not close its
+        /// shards until it has drained this many updates — without the
+        /// barrier, an update overtaken in delivery by the finalize
+        /// would silently vanish from the masked sum, or strand a
+        /// group below threshold.
+        expected_contributors: u64,
+        /// Devices lost before sharing keys (excluded outright).
+        advertise_dropouts: Vec<DeviceId>,
+        /// Devices lost after sharing keys (masks reconstructed).
+        share_dropouts: Vec<DeviceId>,
+    },
 }
 
 impl WireMessage {
@@ -139,11 +194,18 @@ impl WireMessage {
             WireMessage::ShardFinalize { .. } => tag::SHARD_FINALIZE,
             WireMessage::ShardMerged { .. } => tag::SHARD_MERGED,
             WireMessage::ShardAbort => tag::SHARD_ABORT,
+            WireMessage::SecAggReport { .. } => tag::SECAGG_REPORT,
+            WireMessage::SecAggUpdate { .. } => tag::SECAGG_UPDATE,
+            WireMessage::SecAggFinalize { .. } => tag::SECAGG_FINALIZE,
         }
     }
 
     /// Encodes the body (everything after the 8-byte header).
-    pub(crate) fn encode_body(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::StringTooLong`] for a string field past 65535 bytes.
+    pub(crate) fn encode_body(&self) -> Result<Vec<u8>, WireError> {
         let mut out = Vec::with_capacity(self.body_len());
         match self {
             WireMessage::CheckinRequest { device } => {
@@ -199,12 +261,49 @@ impl WireMessage {
                 }
                 Err(reason) => {
                     out.push(0);
-                    put::string(&mut out, reason);
+                    put::string(&mut out, reason)?;
                 }
             },
             WireMessage::ShardAbort => {}
+            WireMessage::SecAggReport {
+                device,
+                field_vector,
+                weight,
+                loss,
+                accuracy,
+            } => {
+                out.extend_from_slice(&device.0.to_le_bytes());
+                out.extend_from_slice(&weight.to_le_bytes());
+                out.extend_from_slice(&loss.to_le_bytes());
+                out.extend_from_slice(&accuracy.to_le_bytes());
+                put::u64s(&mut out, field_vector);
+            }
+            WireMessage::SecAggUpdate {
+                device,
+                field_vector,
+                weight,
+            } => {
+                out.extend_from_slice(&device.0.to_le_bytes());
+                out.extend_from_slice(&weight.to_le_bytes());
+                put::u64s(&mut out, field_vector);
+            }
+            WireMessage::SecAggFinalize {
+                current_params,
+                expected_contributors,
+                advertise_dropouts,
+                share_dropouts,
+            } => {
+                put::f32s(&mut out, current_params);
+                out.extend_from_slice(&expected_contributors.to_le_bytes());
+                for list in [advertise_dropouts, share_dropouts] {
+                    out.extend_from_slice(&(list.len() as u32).to_le_bytes());
+                    for d in list {
+                        out.extend_from_slice(&d.0.to_le_bytes());
+                    }
+                }
+            }
         }
-        out
+        Ok(out)
     }
 
     /// Body size in bytes, without encoding.
@@ -225,9 +324,26 @@ impl WireMessage {
             } => 4 + current_params.len() * 4 + 4 + dropouts.len() * 8,
             WireMessage::ShardMerged { merged } => match merged {
                 Ok((params, _)) => 1 + 4 + params.len() * 4 + 8,
-                Err(reason) => 1 + 2 + reason.len().min(u16::MAX as usize),
+                Err(reason) => 1 + 2 + reason.len(),
             },
             WireMessage::ShardAbort => 0,
+            WireMessage::SecAggReport { field_vector, .. } => {
+                8 + 8 + 8 + 8 + 4 + field_vector.len() * 8
+            }
+            WireMessage::SecAggUpdate { field_vector, .. } => 8 + 8 + 4 + field_vector.len() * 8,
+            WireMessage::SecAggFinalize {
+                current_params,
+                advertise_dropouts,
+                share_dropouts,
+                ..
+            } => {
+                4 + current_params.len() * 4
+                    + 8
+                    + 4
+                    + advertise_dropouts.len() * 8
+                    + 4
+                    + share_dropouts.len() * 8
+            }
         }
     }
 
@@ -295,6 +411,37 @@ impl WireMessage {
                 WireMessage::ShardMerged { merged }
             }
             tag::SHARD_ABORT => WireMessage::ShardAbort,
+            tag::SECAGG_REPORT => WireMessage::SecAggReport {
+                device: DeviceId(r.u64()?),
+                weight: r.u64()?,
+                loss: r.f64()?,
+                accuracy: r.f64()?,
+                field_vector: r.u64s()?,
+            },
+            tag::SECAGG_UPDATE => WireMessage::SecAggUpdate {
+                device: DeviceId(r.u64()?),
+                weight: r.u64()?,
+                field_vector: r.u64s()?,
+            },
+            tag::SECAGG_FINALIZE => {
+                let current_params = r.f32s()?;
+                let expected_contributors = r.u64()?;
+                let mut lists = [Vec::new(), Vec::new()];
+                for list in &mut lists {
+                    let n = r.u32()? as usize;
+                    list.reserve(n.min(1 << 20));
+                    for _ in 0..n {
+                        list.push(DeviceId(r.u64()?));
+                    }
+                }
+                let [advertise_dropouts, share_dropouts] = lists;
+                WireMessage::SecAggFinalize {
+                    current_params,
+                    expected_contributors,
+                    advertise_dropouts,
+                    share_dropouts,
+                }
+            }
             other => return Err(WireError::UnknownMessage { tag: other }),
         };
         r.finish()?;

@@ -198,7 +198,7 @@ impl ChannelTransport {
 
 impl Transport for ChannelTransport {
     fn send(&self, msg: &WireMessage) -> Result<usize, WireError> {
-        let frame = encode(msg);
+        let frame = encode(msg)?;
         let n = frame.len();
         self.tx.send(frame).map_err(|_| WireError::Closed)?;
         self.counters.note_sent(n);
@@ -308,7 +308,7 @@ impl TcpTransport {
 
 impl Transport for TcpTransport {
     fn send(&self, msg: &WireMessage) -> Result<usize, WireError> {
-        let frame = encode(msg);
+        let frame = encode(msg)?;
         let stream = self.write.lock();
         (&*stream).write_all(&frame).map_err(io_err)?;
         self.counters.note_sent(frame.len());
@@ -398,14 +398,14 @@ impl WireSink {
         match &self.inner {
             SinkInner::Null => Ok(0),
             SinkInner::Channel { tx, counters } => {
-                let frame = encode(msg);
+                let frame = encode(msg)?;
                 let n = frame.len();
                 tx.send(frame).map_err(|_| WireError::Closed)?;
                 counters.note_sent(n);
                 Ok(n)
             }
             SinkInner::Tcp { write, counters } => {
-                let frame = encode(msg);
+                let frame = encode(msg)?;
                 let stream = write.lock();
                 (&*stream).write_all(&frame).map_err(io_err)?;
                 counters.note_sent(frame.len());

@@ -1,13 +1,18 @@
 //! Golden-bytes fixture: the exact frame bytes of one canonical message
 //! per tag, pinned in `golden_frames.txt`.
 //!
-//! If this test fails you changed the wire layout. That is only legal
-//! together with a `PROTOCOL_VERSION` bump and a deliberate fixture
-//! regeneration:
+//! If this test fails you changed the wire layout. Changing an
+//! *existing* frame's bytes is only legal together with a
+//! `PROTOCOL_VERSION` bump; *appending* a new tag's canonical frame is
+//! legal within a version (new messages append, old bodies never
+//! change). Either way the fixture is regenerated deliberately:
 //!
 //! ```text
 //! cargo test -p fl-wire --test golden -- --ignored regenerate
 //! ```
+//!
+//! When only appending, diff the regenerated fixture and verify every
+//! pre-existing line is byte-identical.
 
 use fl_core::plan::{CodecSpec, FlPlan, ModelSpec};
 use fl_core::{DeviceId, FlCheckpoint, RoundId};
@@ -64,6 +69,24 @@ fn canonical_messages() -> Vec<WireMessage> {
             merged: Ok((vec![0.25, 0.5], 31)),
         },
         WireMessage::ShardAbort,
+        WireMessage::SecAggReport {
+            device: DeviceId(42),
+            field_vector: vec![1, 2, (1u64 << 61) - 2],
+            weight: 17,
+            loss: 0.125,
+            accuracy: 0.75,
+        },
+        WireMessage::SecAggUpdate {
+            device: DeviceId(42),
+            field_vector: vec![3, 5, 7],
+            weight: 5,
+        },
+        WireMessage::SecAggFinalize {
+            current_params: vec![1.0, 2.0],
+            expected_contributors: 4,
+            advertise_dropouts: vec![DeviceId(9)],
+            share_dropouts: vec![DeviceId(11), DeviceId(13)],
+        },
     ]
 }
 
@@ -80,11 +103,12 @@ fn fixture_path() -> PathBuf {
 fn render_fixture() -> String {
     let mut out = String::from(
         "# Golden wire frames, one hex-encoded frame per line, in tag order.\n\
-         # Regenerate ONLY with a PROTOCOL_VERSION bump:\n\
+         # Existing lines change ONLY with a PROTOCOL_VERSION bump; new tags\n\
+         # append. Regenerate deliberately:\n\
          #   cargo test -p fl-wire --test golden -- --ignored regenerate\n",
     );
     for msg in canonical_messages() {
-        out.push_str(&hex(&encode(&msg)));
+        out.push_str(&hex(&encode(&msg).expect("canonical frame encodes")));
         out.push('\n');
     }
     out

@@ -26,7 +26,7 @@ fn build_message(
     text: String,
 ) -> WireMessage {
     let frac = (frac_bits % 1_000_000) as f64 / 997.0;
-    match variant % 10 {
+    match variant % 13 {
         0 => WireMessage::CheckinRequest {
             device: DeviceId(a),
         },
@@ -106,7 +106,33 @@ fn build_message(
                 Err(text)
             },
         },
-        _ => WireMessage::ShardAbort,
+        9 => WireMessage::ShardAbort,
+        10 => WireMessage::SecAggReport {
+            device: DeviceId(a),
+            field_vector: blob.iter().map(|&x| u64::from(x).wrapping_mul(b)).collect(),
+            weight: b,
+            loss: frac,
+            accuracy: frac / 2.0,
+        },
+        11 => WireMessage::SecAggUpdate {
+            device: DeviceId(a),
+            field_vector: blob.iter().map(|&x| u64::from(x) ^ a).collect(),
+            weight: b,
+        },
+        _ => WireMessage::SecAggFinalize {
+            current_params: params,
+            expected_contributors: b,
+            advertise_dropouts: blob
+                .iter()
+                .filter(|&&x| x % 2 == 0)
+                .map(|&x| DeviceId(u64::from(x)))
+                .collect(),
+            share_dropouts: blob
+                .iter()
+                .filter(|&&x| x % 2 == 1)
+                .map(|&x| DeviceId(u64::from(x)))
+                .collect(),
+        },
     }
 }
 
@@ -126,14 +152,14 @@ proptest! {
         text in "[a-z]{0,12}",
     ) {
         let msg = build_message(variant, a, b, frac_bits, blob, params, text);
-        let frame = encode(&msg);
+        let frame = encode(&msg).unwrap();
         prop_assert_eq!(frame.len(), encoded_len(&msg));
         prop_assert_eq!(peek_tag(&frame).unwrap(), msg.tag());
         let back = decode(&frame).unwrap();
         prop_assert_eq!(&back, &msg);
         // The codec is canonical: re-encoding the decode reproduces the
         // exact bytes (`encode ∘ decode` identity on valid frames).
-        prop_assert_eq!(encode(&back), frame);
+        prop_assert_eq!(encode(&back).unwrap(), frame);
     }
 
     /// Streamed frames concatenate: `decode_prefix` walks a buffer of
@@ -149,9 +175,9 @@ proptest! {
     ) {
         let first = build_message(variant, a, b, 7, blob.clone(), vec![1.0], "x".to_string());
         let second = WireMessage::ReportAck { accepted: a % 2 == 1 };
-        let mut buf = encode(&first);
+        let mut buf = encode(&first).unwrap();
         let first_len = buf.len();
-        buf.extend_from_slice(&encode(&second));
+        buf.extend_from_slice(&encode(&second).unwrap());
 
         let (m1, used1) = decode_prefix(&buf).unwrap();
         prop_assert_eq!(&m1, &first);
@@ -162,7 +188,7 @@ proptest! {
 
         // Any strict prefix of a single frame is Truncated.
         let cut = (cut_sel % first_len as u64) as usize;
-        match decode(&encode(&first)[..cut]) {
+        match decode(&encode(&first).unwrap()[..cut]) {
             Err(WireError::Truncated { .. }) => {}
             other => prop_assert!(false, "prefix of {cut} bytes gave {other:?}"),
         }
@@ -184,7 +210,7 @@ proptest! {
             loss: 0.5,
             accuracy: 0.25,
         };
-        let mut frame = encode(&msg);
+        let mut frame = encode(&msg).unwrap();
         let pos = (pos_sel % frame.len() as u64) as usize;
         frame[pos] ^= xor;
         let _ = decode(&frame);
@@ -195,7 +221,7 @@ proptest! {
 
 #[test]
 fn rejects_bad_magic() {
-    let mut frame = encode(&WireMessage::ShardAbort);
+    let mut frame = encode(&WireMessage::ShardAbort).unwrap();
     frame[0] = b'X';
     assert_eq!(
         decode(&frame),
@@ -207,7 +233,7 @@ fn rejects_bad_magic() {
 
 #[test]
 fn rejects_version_skew() {
-    let mut frame = encode(&WireMessage::ShardAbort);
+    let mut frame = encode(&WireMessage::ShardAbort).unwrap();
     frame[2] = PROTOCOL_VERSION + 1;
     assert_eq!(
         decode(&frame),
@@ -220,14 +246,14 @@ fn rejects_version_skew() {
 
 #[test]
 fn rejects_unknown_tag_for_forward_compat() {
-    let mut frame = encode(&WireMessage::ShardAbort);
+    let mut frame = encode(&WireMessage::ShardAbort).unwrap();
     frame[3] = 0xEE;
     assert_eq!(decode(&frame), Err(WireError::UnknownMessage { tag: 0xEE }));
 }
 
 #[test]
 fn rejects_oversized_length_prefix() {
-    let mut frame = encode(&WireMessage::ShardAbort);
+    let mut frame = encode(&WireMessage::ShardAbort).unwrap();
     frame[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
     match decode(&frame) {
         Err(WireError::OversizedFrame { len, max }) => {
@@ -240,7 +266,7 @@ fn rejects_oversized_length_prefix() {
 
 #[test]
 fn rejects_trailing_bytes() {
-    let mut frame = encode(&WireMessage::ReportAck { accepted: true });
+    let mut frame = encode(&WireMessage::ReportAck { accepted: true }).unwrap();
     frame.push(0);
     assert_eq!(decode(&frame), Err(WireError::TrailingBytes { extra: 1 }));
 }
@@ -259,7 +285,7 @@ fn rejects_truncated_header() {
 #[test]
 fn rejects_malformed_body_values() {
     // A ReportAck whose bool byte is neither 0 nor 1.
-    let mut frame = encode(&WireMessage::ReportAck { accepted: false });
+    let mut frame = encode(&WireMessage::ReportAck { accepted: false }).unwrap();
     frame[HEADER_LEN] = 2;
     assert_eq!(
         decode(&frame),
@@ -270,10 +296,41 @@ fn rejects_malformed_body_values() {
 }
 
 #[test]
+fn rejects_overlong_string_instead_of_truncating() {
+    // One byte past the u16 length prefix: the old encoder silently
+    // clipped this at a char boundary, so the frame round-tripped to a
+    // *different* message than was sent. It must now be a typed error.
+    let reason = "x".repeat(u16::MAX as usize + 1);
+    let msg = WireMessage::ShardMerged {
+        merged: Err(reason),
+    };
+    assert_eq!(
+        encode(&msg),
+        Err(WireError::StringTooLong {
+            len: u16::MAX as usize + 1,
+            max: u16::MAX as usize,
+        })
+    );
+}
+
+#[test]
+fn string_at_exactly_u16_max_bytes_round_trips() {
+    // The boundary itself is legal: exactly 65535 bytes fills the
+    // length prefix and must survive encode → decode unchanged.
+    let reason = "y".repeat(u16::MAX as usize);
+    let msg = WireMessage::ShardMerged {
+        merged: Err(reason),
+    };
+    let frame = encode(&msg).unwrap();
+    assert_eq!(frame.len(), encoded_len(&msg));
+    assert_eq!(decode(&frame).unwrap(), msg);
+}
+
+#[test]
 fn rejects_body_longer_than_layout() {
     // Declare a 2-byte body for a 1-byte message: decode must notice the
     // leftover rather than silently ignoring it.
-    let mut frame = encode(&WireMessage::ReportAck { accepted: true });
+    let mut frame = encode(&WireMessage::ReportAck { accepted: true }).unwrap();
     frame[4..8].copy_from_slice(&2u32.to_le_bytes());
     frame.push(1);
     assert_eq!(

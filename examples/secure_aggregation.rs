@@ -107,9 +107,11 @@ fn main() {
     for i in 0..12u64 {
         master.accept(DeviceId(i), &encoded, 10).unwrap();
     }
-    let (params, contributors) = master.finalize(&vec![0.0; dim], &[DeviceId(7)]).unwrap();
+    let outcome = master
+        .finalize(&vec![0.0; dim], &[], &[DeviceId(7)])
+        .unwrap();
     println!(
-        "master merged {} contributors (1 dropout); mean delta {:.4} (expected 0.05)",
-        contributors, params[0]
+        "master merged {} contributors (1 share-stage dropout); mean delta {:.4} (expected 0.05)",
+        outcome.contributors, outcome.params[0]
     );
 }

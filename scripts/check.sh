@@ -41,6 +41,12 @@ run_step "lock-audit" cargo test -q --test lock_audit
 # Schedule exploration: K=64 seeded delivery/timing permutations of the
 # live round and a chaos plan, invariants checked per seed.
 run_step "schedule-explore" cargo test -q --test schedule_explore
+# SecAgg through the live tree: scripted advertise/share dropouts must
+# commit the exact unmasked sum (or abort a stranded shard cleanly), and
+# the bench step regression-gates the per-group quadratic-cost
+# mitigation, regenerating BENCH_secagg.json.
+run_step "secagg-live" cargo test -q --test secagg_live
+run_step "secagg-bench" cargo run --release -q -p fl-bench --bin bench_secagg
 
 echo
 echo "release gate summary"

@@ -4,7 +4,8 @@
 //! (Sec. 4.2, 4.4) per failure mode and as properties over random plans.
 
 use federated::sim::chaos::{
-    default_seeds, run_chaos, sweep, ChaosConfig, Fault, FaultPlan,
+    default_secagg_seeds, default_seeds, run_chaos, secagg_config, sweep, ChaosConfig, Fault,
+    FaultPlan,
 };
 use proptest::prelude::*;
 
@@ -36,6 +37,52 @@ fn fixed_seed_sweep_is_clean() {
         .map(|r| r.log.with_prefix("inject.").count())
         .sum();
     assert!(injected >= 10, "sweep injected only {injected} faults");
+}
+
+/// The SecAgg leg of the sweep (Sec. 6 through the same fault
+/// schedules): masked rounds must hold every recovery guarantee, never
+/// hang, and keep the storage audit — a shard whose group is stranded
+/// below `k` aborts without poisoning the commit, and a round whose
+/// every group aborts restarts cleanly with nothing persisted.
+#[test]
+fn secagg_fixed_seed_sweep_is_clean() {
+    let config = secagg_config(2);
+    let reports = sweep(&default_secagg_seeds(), &config);
+    assert_eq!(reports.len(), default_secagg_seeds().len());
+    for report in &reports {
+        assert!(
+            report.is_clean(),
+            "secagg seed {} violated recovery guarantees:\n{}",
+            report.seed,
+            report.render()
+        );
+        assert!(
+            report.committed >= 1,
+            "secagg seed {} never committed a round:\n{}",
+            report.seed,
+            report.render()
+        );
+        assert_eq!(report.final_write_count, 1 + report.committed);
+    }
+}
+
+/// A SecAgg Aggregator crash loses its whole group's masked
+/// contributions, not just some updates — the round still commits on the
+/// surviving groups and the storage audit holds (Sec. 4.2 × Sec. 6).
+#[test]
+fn secagg_aggregator_loss_costs_only_its_group() {
+    let config = secagg_config(2);
+    let plan = FaultPlan {
+        seed: 1,
+        faults: vec![Fault::AggregatorCrash {
+            at_ms: 12_000,
+            shard: 0,
+        }],
+    };
+    let report = run_chaos(&plan, &config);
+    assert!(report.is_clean(), "{}", report.render());
+    assert!(report.committed >= 1, "{}", report.render());
+    assert_eq!(report.final_write_count, 1 + report.committed);
 }
 
 /// Determinism is the whole point: the same seed must reproduce the same

@@ -13,7 +13,10 @@
 use fl_actors::{
     audit_exactly_once, Actor, ActorSystem, Context, FaultAction, Flow, ScriptedFaults,
 };
-use fl_sim::{explore_live_round, run_chaos_with_schedule, ChaosConfig, FaultPlan};
+use fl_sim::chaos::secagg_config;
+use fl_sim::{
+    explore_live_round, explore_secagg_live_round, run_chaos_with_schedule, ChaosConfig, FaultPlan,
+};
 use std::sync::Arc;
 
 /// How many seeded schedules each scenario is explored under.
@@ -41,6 +44,52 @@ fn live_round_reports_replay_byte_identically() {
             explore_live_round(seed).render(),
             "schedule seed {seed} replay diverged"
         );
+    }
+}
+
+/// The SecAgg live round — masked reports, a post-staging share dropout,
+/// Shamir mask reconstruction at finalize — under the same K mailbox
+/// schedules: never hangs, commits exactly once, and the reconstruction
+/// path is schedule-invariant.
+#[test]
+fn secagg_live_round_invariants_hold_across_k_schedules() {
+    for seed in 0..K {
+        let report = explore_secagg_live_round(seed);
+        assert!(
+            report.is_clean(),
+            "secagg schedule seed {seed} violations: {:?}",
+            report.violations
+        );
+        assert_eq!(report.committed, 1, "secagg schedule seed {seed}");
+        assert_eq!(report.write_count, 2, "secagg schedule seed {seed}");
+    }
+}
+
+#[test]
+fn secagg_live_round_reports_replay_byte_identically() {
+    for seed in [0u64, 31] {
+        assert_eq!(
+            explore_secagg_live_round(seed).render(),
+            explore_secagg_live_round(seed).render(),
+            "secagg schedule seed {seed} replay diverged"
+        );
+    }
+}
+
+/// A SecAgg chaos plan under permuted virtual-clock timing schedules:
+/// the masked rounds' recovery guarantees are timing-invariant too.
+#[test]
+fn secagg_chaos_recovery_holds_across_timing_schedules() {
+    let config = secagg_config(2);
+    let plan = FaultPlan::generate(11, config.horizon_ms);
+    for schedule in 0..16 {
+        let report = run_chaos_with_schedule(&plan, &config, schedule);
+        assert!(
+            report.is_clean(),
+            "secagg schedule seed {schedule} violations: {:?}",
+            report.violations
+        );
+        assert_eq!(report.final_write_count, 1 + report.committed);
     }
 }
 
