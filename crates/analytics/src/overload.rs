@@ -50,6 +50,9 @@ pub struct OverloadMetrics {
     retries: TimeSeries,
     evictions: TimeSeries,
     secagg_aborts: TimeSeries,
+    dup_reports: TimeSeries,
+    report_rejects: TimeSeries,
+    corrupt_frames: TimeSeries,
     monitor: DeviationMonitor,
     /// Index of the bucket currently accumulating.
     open_bucket: usize,
@@ -71,6 +74,17 @@ impl OverloadMetrics {
             retries: TimeSeries::new("device.retries", config.bucket_ms, origin_ms),
             evictions: TimeSeries::new("selector.evictions", config.bucket_ms, origin_ms),
             secagg_aborts: TimeSeries::new("aggregator.secagg_aborts", config.bucket_ms, origin_ms),
+            dup_reports: TimeSeries::new("coordinator.dup_reports", config.bucket_ms, origin_ms),
+            report_rejects: TimeSeries::new(
+                "coordinator.report_rejects",
+                config.bucket_ms,
+                origin_ms,
+            ),
+            corrupt_frames: TimeSeries::new(
+                "coordinator.corrupt_frames",
+                config.bucket_ms,
+                origin_ms,
+            ),
             monitor: DeviationMonitor::new(
                 "selector.shed_fraction",
                 config.baseline_window,
@@ -159,6 +173,31 @@ impl OverloadMetrics {
         self.secagg_aborts.increment(now_ms);
     }
 
+    /// Records a retried upload answered from the ack-replay cache: the
+    /// `(device, round, attempt)` key had already been decided, so the
+    /// contribution was *not* summed a second time. Dupes are expected
+    /// under lossy links (a lost `ReportAck` looks like a lost report to
+    /// the device) and stay out of the shed-fraction monitors.
+    pub fn record_duplicate_report(&mut self, now_ms: u64) {
+        self.roll(now_ms);
+        self.dup_reports.increment(now_ms);
+    }
+
+    /// Records a report the round refused (late, unknown participant, no
+    /// active round) — the `accepted: false` ack path.
+    pub fn record_rejected_report(&mut self, now_ms: u64) {
+        self.roll(now_ms);
+        self.report_rejects.increment(now_ms);
+    }
+
+    /// Records a frame the wire codec rejected at an endpoint (byte rot,
+    /// truncation, stream desync) — the frame never reached protocol
+    /// accounting.
+    pub fn record_corrupt_frame(&mut self, now_ms: u64) {
+        self.roll(now_ms);
+        self.corrupt_frames.increment(now_ms);
+    }
+
     /// Closes every fully-elapsed bucket as of `now_ms` (end of run /
     /// dashboard flush). The bucket containing `now_ms` stays open — a
     /// partial bucket would read as an artificial lull.
@@ -199,6 +238,21 @@ impl OverloadMetrics {
     /// The SecAgg below-threshold shard-abort series.
     pub fn secagg_aborts(&self) -> &TimeSeries {
         &self.secagg_aborts
+    }
+
+    /// The deduplicated retried-upload series.
+    pub fn dup_reports(&self) -> &TimeSeries {
+        &self.dup_reports
+    }
+
+    /// The refused-report series.
+    pub fn report_rejects(&self) -> &TimeSeries {
+        &self.report_rejects
+    }
+
+    /// The codec-rejected-frame series.
+    pub fn corrupt_frames(&self) -> &TimeSeries {
+        &self.corrupt_frames
     }
 }
 
@@ -299,6 +353,22 @@ mod tests {
         assert_eq!(m.accepts().sums(), vec![1.0]);
         assert_eq!(m.sheds().sums(), vec![1.0]);
         assert_eq!(m.retries().sums(), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn wire_fault_series_stay_out_of_the_shed_fraction() {
+        let mut m = OverloadMetrics::new(config(), 0);
+        m.record_accept(0);
+        m.record_duplicate_report(100);
+        m.record_rejected_report(150);
+        m.record_corrupt_frame(200);
+        m.record_duplicate_report(1_100);
+        m.finalize(2_000);
+        assert_eq!(m.dup_reports().sums(), vec![1.0, 1.0]);
+        assert_eq!(m.report_rejects().sums(), vec![1.0]);
+        assert_eq!(m.corrupt_frames().sums(), vec![1.0]);
+        // A lossy wire is not admission pressure.
+        assert_eq!(m.shed_fractions(), &[0.0, 0.0]);
     }
 
     #[test]

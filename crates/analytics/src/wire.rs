@@ -76,7 +76,8 @@ impl WireTraffic {
         format!(
             "wire endpoints={}\n\
              sent: {} frames / {} bytes (mean {:.1} B/frame)\n\
-             received: {} frames / {} bytes (mean {:.1} B/frame)\n",
+             received: {} frames / {} bytes (mean {:.1} B/frame)\n\
+             corrupt: {} frames rejected by the codec\n",
             self.endpoints,
             self.totals.frames_sent,
             self.totals.bytes_sent,
@@ -84,6 +85,7 @@ impl WireTraffic {
             self.totals.frames_received,
             self.totals.bytes_received,
             self.mean_received_frame_bytes(),
+            self.totals.frames_corrupt,
         )
     }
 }
@@ -98,7 +100,23 @@ mod tests {
             bytes_sent: bs,
             frames_received: fr,
             bytes_received: br,
+            frames_corrupt: 0,
         }
+    }
+
+    #[test]
+    fn corrupt_frames_accumulate_and_render() {
+        let mut t = WireTraffic::new();
+        t.observe(WireStats {
+            frames_corrupt: 2,
+            ..stats(4, 100, 3, 80)
+        });
+        t.observe(WireStats {
+            frames_corrupt: 1,
+            ..stats(1, 30, 1, 20)
+        });
+        assert_eq!(t.totals().frames_corrupt, 3);
+        assert!(t.render().contains("corrupt: 3 frames"));
     }
 
     #[test]

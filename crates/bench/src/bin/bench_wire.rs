@@ -11,8 +11,9 @@
 //! worst-case upload), so the numbers bound how much CPU a Selector
 //! burns framing/deframing the FIG9 upload path.
 
-use fl_core::DeviceId;
+use fl_core::{DeviceId, RoundId};
 use fl_server::wire::{self, WireMessage};
+use fl_wire::{ChannelTransport, FaultScript, FaultyTransport, Transport};
 use std::time::Instant;
 
 struct Case {
@@ -30,6 +31,8 @@ fn bench_case(params: usize, iters: u32) -> Case {
     let update_bytes: Vec<u8> = (0..params * 4).map(|i| (i % 251) as u8).collect();
     let msg = WireMessage::UpdateReport {
         device: DeviceId(7),
+        round: RoundId(1),
+        attempt: 1,
         update_bytes,
         weight: 42,
         loss: 0.25,
@@ -64,6 +67,54 @@ fn bench_case(params: usize, iters: u32) -> Case {
         encode_mb_per_s: mb_per_s(encode_ns),
         decode_ns_per_frame: decode_ns,
         decode_mb_per_s: mb_per_s(decode_ns),
+    }
+}
+
+struct FaultyOverhead {
+    params: usize,
+    iters: u32,
+    plain_ns_per_send: f64,
+    faulty_ns_per_send: f64,
+    overhead_ns_per_send: f64,
+}
+
+/// Measures what the [`FaultyTransport`] wrapper costs on the send
+/// path when its script is clean (every frame delivered): the price a
+/// chaos harness pays per frame just for the seeded fault bookkeeping.
+fn bench_faulty_overhead(params: usize, iters: u32) -> FaultyOverhead {
+    let update_bytes: Vec<u8> = (0..params * 4).map(|i| (i % 251) as u8).collect();
+    let msg = WireMessage::UpdateReport {
+        device: DeviceId(7),
+        round: RoundId(1),
+        attempt: 1,
+        update_bytes,
+        weight: 42,
+        loss: 0.25,
+        accuracy: 0.75,
+    };
+
+    let bench_send = |t: &dyn Transport| {
+        let start = Instant::now();
+        let mut sink = 0usize;
+        for _ in 0..iters {
+            sink = sink.wrapping_add(t.send(&msg).expect("bench send"));
+        }
+        assert!(sink > 0, "keep the work observable");
+        start.elapsed().as_nanos() as f64 / f64::from(iters)
+    };
+
+    let (plain, _drain_plain) = ChannelTransport::pair();
+    let plain_ns = bench_send(&plain);
+    let (inner, _drain_faulty) = ChannelTransport::pair();
+    let faulty = FaultyTransport::new(inner, FaultScript::clean());
+    let faulty_ns = bench_send(&faulty);
+
+    FaultyOverhead {
+        params,
+        iters,
+        plain_ns_per_send: plain_ns,
+        faulty_ns_per_send: faulty_ns,
+        overhead_ns_per_send: faulty_ns - plain_ns,
     }
 }
 
@@ -104,7 +155,26 @@ fn main() {
             if i + 1 == cases.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n}\n");
+    // One warm-up pass, then the measured pass — same discipline as the
+    // codec cases above.
+    let _ = bench_faulty_overhead(1_000, 8);
+    let faulty = bench_faulty_overhead(1_000, 4_000);
+    println!(
+        "FaultyTransport (clean script) {:>6} params: plain {:>8.1} ns/send, faulty {:>8.1} ns/send ({:+.1} ns overhead)",
+        faulty.params, faulty.plain_ns_per_send, faulty.faulty_ns_per_send, faulty.overhead_ns_per_send
+    );
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"faulty_transport_overhead\": {{\"params\": {}, \"iters\": {}, \
+         \"plain_ns_per_send\": {:.0}, \"faulty_ns_per_send\": {:.0}, \
+         \"overhead_ns_per_send\": {:.0}}}\n",
+        faulty.params,
+        faulty.iters,
+        faulty.plain_ns_per_send,
+        faulty.faulty_ns_per_send,
+        faulty.overhead_ns_per_send
+    ));
+    json.push_str("}\n");
 
     // Anchor at the workspace root regardless of the invocation cwd.
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wire.json");

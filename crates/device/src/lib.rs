@@ -25,6 +25,6 @@ pub mod runtime;
 pub mod scheduler;
 
 pub use conditions::DeviceConditions;
-pub use connectivity::{ConnectivityManager, RetryDecision};
+pub use connectivity::{ConnectivityManager, RetryDecision, UploadSession};
 pub use runtime::{ExecutionOutcome, FlRuntime, Interruption};
 pub use scheduler::{JobScheduler, TrainingQueue};

@@ -29,7 +29,7 @@ use fl_actors::{Actor, ActorRef, ActorSystem, Context, Flow, Lease, LockingServi
 use fl_analytics::overload::OverloadMetrics;
 use fl_core::plan::FlPlan;
 use fl_core::population::{TaskGroup, TaskKind};
-use fl_core::{CoreError, DeviceId, RoundOutcome};
+use fl_core::{CoreError, DeviceId, RoundId, RoundOutcome};
 use fl_wire::{ChannelTransport, Transport, WireError, WireMessage, WireSink, WireStats};
 use crossbeam::channel::{unbounded, Sender};
 use std::sync::Arc;
@@ -114,6 +114,14 @@ pub struct CoordinatorActor<S: CheckpointStore + Send + 'static = InMemoryCheckp
     /// accept/shed counters.
     telemetry: Option<SharedOverloadMetrics>,
     device_replies: std::collections::HashMap<DeviceId, WireSink>,
+    /// At-most-once report ledger: the final ack decision for every
+    /// `(device, round, attempt)` key seen this round. A retried upload
+    /// whose key is already here (its first ack was lost on the wire)
+    /// gets the *original* decision replayed and never reaches the
+    /// round's accounting — so a report is summed at most once no
+    /// matter how often the device re-sends it. Cleared at round
+    /// completion.
+    report_acks: std::collections::HashMap<(DeviceId, RoundId, u32), bool>,
     epoch: Instant,
     lease: Lease,
     locks: LockingService<String>,
@@ -217,6 +225,7 @@ impl<S: CheckpointStore + Send + 'static> CoordinatorActor<S> {
             master: None,
             telemetry: None,
             device_replies: std::collections::HashMap::new(),
+            report_acks: std::collections::HashMap::new(),
             // fl-lint: allow(wall-clock): the live topology stamps protocol
             // events with real elapsed time; the deterministic state
             // machines only ever see the derived `now_ms` offsets.
@@ -244,6 +253,41 @@ impl<S: CheckpointStore + Send + 'static> CoordinatorActor<S> {
 
     fn now_ms(&self) -> u64 {
         self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// The at-most-once gate every decoded report passes through: a key
+    /// already in the ledger replays its original ack (the duplicate is
+    /// telemetry, never accounting input); a fresh key runs `evaluate`
+    /// once and pins the outcome for any retry that follows.
+    fn admit_report(
+        &mut self,
+        now: u64,
+        key: (DeviceId, RoundId, u32),
+        evaluate: impl FnOnce(&mut Self) -> bool,
+    ) -> WireMessage {
+        let (_, round, attempt) = key;
+        if let Some(&prior) = self.report_acks.get(&key) {
+            if let Some(telemetry) = &self.telemetry {
+                telemetry.lock().record_duplicate_report(now);
+            }
+            return WireMessage::ReportAck {
+                accepted: prior,
+                round,
+                attempt,
+            };
+        }
+        let accepted = evaluate(self);
+        if !accepted {
+            if let Some(telemetry) = &self.telemetry {
+                telemetry.lock().record_rejected_report(now);
+            }
+        }
+        self.report_acks.insert(key, accepted);
+        WireMessage::ReportAck {
+            accepted,
+            round,
+            attempt,
+        }
     }
 
     fn ensure_round(&mut self, ctx: &Context<CoordMsg>) {
@@ -408,24 +452,28 @@ impl<S: CheckpointStore + Send + 'static> Actor for CoordinatorActor<S> {
             CoordMsg::Report { frame, conn } => {
                 // Decode at the wire boundary; a frame that is neither an
                 // `UpdateReport` nor a `SecAggReport` (stream desync,
-                // protocol drift) is answered with a rejecting ack rather
-                // than a panic.
+                // protocol drift, byte rot) is answered with a rejecting
+                // ack rather than a panic, and counted as corrupt. Valid
+                // reports pass through the at-most-once ledger before any
+                // accounting.
                 let now = self.now_ms();
-                let accepted = match fl_wire::decode(&frame) {
+                let ack = match fl_wire::decode(&frame) {
                     Ok(WireMessage::UpdateReport {
                         device,
+                        round,
+                        attempt,
                         update_bytes,
                         weight,
                         loss,
                         accuracy,
-                    }) => {
-                        if let Some(round) = &mut self.active {
+                    }) => self.admit_report(now, (device, round, attempt), |actor| {
+                        if let Some(active) = &mut actor.active {
                             // The round does the protocol accounting
                             // (participant check, lateness, goal count,
-                            // session logs); accepted bytes stream on to the
-                            // round's Aggregator shard via the Master
+                            // session logs); accepted bytes stream on to
+                            // the round's Aggregator shard via the Master
                             // Aggregator subtree as a framed `ShardUpdate`.
-                            match round.on_report(
+                            match active.on_report(
                                 device,
                                 now,
                                 &update_bytes,
@@ -434,7 +482,7 @@ impl<S: CheckpointStore + Send + 'static> Actor for CoordinatorActor<S> {
                                 accuracy,
                             ) {
                                 Ok(ReportResponse::Accepted) => {
-                                    if let Some(master) = &self.master {
+                                    if let Some(master) = &actor.master {
                                         let _ = master.send(MasterMsg::Update {
                                             frame: fl_wire::encode(&WireMessage::ShardUpdate {
                                                 device,
@@ -451,23 +499,30 @@ impl<S: CheckpointStore + Send + 'static> Actor for CoordinatorActor<S> {
                         } else {
                             false
                         }
-                    }
+                    }),
                     Ok(WireMessage::SecAggReport {
                         device,
+                        round,
+                        attempt,
                         field_vector,
                         weight,
                         loss,
                         accuracy,
-                    }) => {
-                        if let Some(round) = &mut self.active {
+                    }) => self.admit_report(now, (device, round, attempt), |actor| {
+                        if let Some(active) = &mut actor.active {
                             // Masked contributions take the same accounting
                             // path but stay in the field: the shard sums
                             // them without ever seeing a cleartext update.
-                            match round
-                                .on_secagg_report(device, now, &field_vector, weight, loss, accuracy)
-                            {
+                            match active.on_secagg_report(
+                                device,
+                                now,
+                                &field_vector,
+                                weight,
+                                loss,
+                                accuracy,
+                            ) {
                                 Ok(ReportResponse::Accepted) => {
-                                    if let Some(master) = &self.master {
+                                    if let Some(master) = &actor.master {
                                         let _ = master.send(MasterMsg::Update {
                                             frame: fl_wire::encode(&WireMessage::SecAggUpdate {
                                                 device,
@@ -484,10 +539,22 @@ impl<S: CheckpointStore + Send + 'static> Actor for CoordinatorActor<S> {
                         } else {
                             false
                         }
+                    }),
+                    _ => {
+                        // No key to echo: the device's retry discipline
+                        // treats the rejecting ack as a refusal and backs
+                        // off.
+                        if let Some(telemetry) = &self.telemetry {
+                            telemetry.lock().record_corrupt_frame(now);
+                        }
+                        WireMessage::ReportAck {
+                            accepted: false,
+                            round: RoundId(0),
+                            attempt: 0,
+                        }
                     }
-                    _ => false,
                 };
-                let _ = conn.send(&WireMessage::ReportAck { accepted });
+                let _ = conn.send(&ack);
                 Flow::Continue
             }
             CoordMsg::DeviceDropped { device, stage } => {
@@ -522,6 +589,10 @@ impl<S: CheckpointStore + Send + 'static> Actor for CoordinatorActor<S> {
                     .as_ref()
                     .is_some_and(|r| r.state.outcome().is_some());
                 if let Some(mut round) = if finished { self.active.take() } else { None } {
+                    // The round's report keys die with it; a straggler
+                    // retry from a completed round re-evaluates against
+                    // no active round and is refused.
+                    self.report_acks.clear();
                     round.record_participation_metrics();
                     let master = self.master.take();
                     let committed = round.state.outcome().is_some_and(|o| o.is_committed());
@@ -827,9 +898,14 @@ impl DeviceConn {
         self.pump()
     }
 
-    /// Sends a [`WireMessage::UpdateReport`] with the given payload.
+    /// Sends a [`WireMessage::UpdateReport`] with the given payload
+    /// under the `(round, attempt)` at-most-once key — a retry of the
+    /// same upload must pass the same key to get the original ack
+    /// replayed instead of a second evaluation.
     pub fn report(
         &self,
+        round: RoundId,
+        attempt: u32,
         update_bytes: Vec<u8>,
         weight: u64,
         loss: f64,
@@ -837,6 +913,8 @@ impl DeviceConn {
     ) -> Result<(), WireError> {
         self.client.send(&WireMessage::UpdateReport {
             device: self.device,
+            round,
+            attempt,
             update_bytes,
             weight,
             loss,
@@ -850,6 +928,8 @@ impl DeviceConn {
     /// paying the 8-bytes-per-coordinate wire premium.
     pub fn report_secagg(
         &self,
+        round: RoundId,
+        attempt: u32,
         field_vector: Vec<u64>,
         weight: u64,
         loss: f64,
@@ -857,6 +937,8 @@ impl DeviceConn {
     ) -> Result<(), WireError> {
         self.client.send(&WireMessage::SecAggReport {
             device: self.device,
+            round,
+            attempt,
             field_vector,
             weight,
             loss,
@@ -1043,11 +1125,12 @@ mod tests {
                             WireMessage::PlanAndCheckpoint { plan, checkpoint } => {
                                 let dim = plan.server.expected_dim;
                                 assert_eq!(checkpoint.len(), dim);
+                                let round = checkpoint.round;
                                 let update = vec![0.25f32; dim];
                                 let bytes = CodecSpec::Identity.build().encode(&update);
-                                conn.report(bytes, 4, 0.5, 0.8).unwrap();
+                                conn.report(round, 1, bytes, 4, 0.5, 0.8).unwrap();
                             }
-                            WireMessage::ReportAck { accepted } => {
+                            WireMessage::ReportAck { accepted, .. } => {
                                 // The round trip moved real frames: the
                                 // device's own counters saw both
                                 // directions.
@@ -1175,6 +1258,103 @@ mod tests {
     /// dropped silently — not crash the selector, not earn a reply —
     /// and the connection must keep working for well-formed traffic.
     #[test]
+    fn retried_report_is_acked_twice_but_summed_once() {
+        // The at-most-once contract (satellite of the network-fault PR):
+        // a device whose `ReportAck` was lost re-sends the *same*
+        // `(round, attempt)` key; the coordinator answers both uploads
+        // with the original accepting ack but incorporates exactly one
+        // contribution.
+        let system = ActorSystem::new();
+        let locks = LockingService::new();
+        let task = FlTask::training("t", "pop-dedup").with_round(quick_round(1));
+        let plan = FlPlan::standard_training(spec(), 1, 8, 0.1, CodecSpec::Identity);
+        let group = TaskGroup::new(vec![task], TaskSelectionStrategy::Single);
+        let coordinator = CoordinatorActor::new(
+            CoordinatorConfig::new("pop-dedup", 7),
+            group,
+            vec![plan],
+            vec![0.0; spec().num_params()],
+            locks.clone(),
+        );
+        let blueprint = TopologyBlueprint::new(vec![SelectorSpec::new(
+            PaceSteering::new(1_000, 10),
+            100,
+            1,
+            10,
+        )])
+        .with_telemetry(fl_analytics::overload::OverloadMonitorConfig::default());
+        let topology = spawn_topology(&system, coordinator, &blueprint);
+
+        let conn = DeviceConn::connect(
+            DeviceId(0),
+            topology.selectors[0].clone(),
+            topology.coordinator.clone(),
+        );
+        conn.check_in().unwrap();
+        let (round, dim) = loop {
+            if let WireMessage::PlanAndCheckpoint { plan, checkpoint } =
+                conn.recv(Duration::from_secs(5)).unwrap()
+            {
+                break (checkpoint.round, plan.server.expected_dim);
+            }
+        };
+
+        let update = vec![0.25f32; dim];
+        let bytes = CodecSpec::Identity.build().encode(&update);
+        // The upload, then its retry under the same attempt key — as a
+        // device would after losing the first ack on the wire.
+        conn.report(round, 1, bytes.clone(), 4, 0.5, 0.8).unwrap();
+        conn.report(round, 1, bytes, 4, 0.5, 0.8).unwrap();
+
+        let mut acks = Vec::new();
+        while acks.len() < 2 {
+            if let WireMessage::ReportAck {
+                accepted,
+                round: r,
+                attempt,
+            } = conn.recv(Duration::from_secs(5)).unwrap()
+            {
+                acks.push((accepted, r, attempt));
+            }
+        }
+        assert_eq!(acks, vec![(true, round, 1), (true, round, 1)]);
+
+        let wheel = fl_actors::timer::TimerWheel::new();
+        let outcome = loop {
+            let (tx, rx) = unbounded();
+            topology
+                .coordinator
+                .send(CoordMsg::TryCompleteRound { reply: tx })
+                .unwrap();
+            if let Some(outcome) = rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+                break outcome;
+            }
+            topology.coordinator.send(CoordMsg::Tick).unwrap();
+            let (poll_tx, poll_rx) = unbounded::<()>();
+            wheel.schedule(Duration::from_millis(20), move || {
+                let _ = poll_tx.send(());
+            });
+            let _ = poll_rx.recv();
+        };
+        wheel.shutdown();
+        match outcome {
+            RoundOutcome::Committed { incorporated, .. } => assert_eq!(incorporated, 1),
+            other => panic!("expected a committed round, got {other:?}"),
+        }
+
+        // The duplicate shows up as telemetry, not as accounting.
+        let telemetry = topology.telemetry.clone().expect("telemetry configured");
+        let dupes: f64 = telemetry.lock().dup_reports().sums().iter().sum();
+        assert_eq!(dupes, 1.0);
+
+        for s in &topology.selectors {
+            s.send(SelectorMsg::Shutdown).unwrap();
+        }
+        topology.coordinator.send(CoordMsg::Shutdown).unwrap();
+        system.join();
+    }
+
+    #[test]
     fn garbage_checkin_frame_is_dropped_silently() {
         let system = ActorSystem::new();
         let locks = LockingService::new();
@@ -1205,8 +1385,12 @@ mod tests {
             .unwrap();
         selector_refs[0]
             .send(SelectorMsg::Checkin {
-                frame: fl_wire::encode(&WireMessage::ReportAck { accepted: true })
-                    .expect("test frame encodes"),
+                frame: fl_wire::encode(&WireMessage::ReportAck {
+                    accepted: true,
+                    round: RoundId(0),
+                    attempt: 0,
+                })
+                .expect("test frame encodes"),
                 conn: gateway.sink(),
             })
             .unwrap();

@@ -753,6 +753,12 @@ impl Harness<'_> {
         let weight = 1 + device % 7;
         let loss = 0.9 - (device % 10) as f64 * 0.02;
         let accuracy = 0.5 + (device % 10) as f64 * 0.03;
+        // The DES devices upload first attempts only (retry scheduling is
+        // the live harness's concern); the key still rides the frame.
+        let round_key = match self.active.as_ref() {
+            Some(round) => round.state.round,
+            None => return,
+        };
         if self.config.secagg_k.is_some() {
             // SecAgg rounds upload the fixed-point *field vector* — 8
             // bytes per coordinate, the Sec. 6 bandwidth premium — over
@@ -770,6 +776,8 @@ impl Harness<'_> {
             };
             let report_msg = WireMessage::SecAggReport {
                 device: DeviceId(device),
+                round: round_key,
+                attempt: 1,
                 field_vector: field,
                 weight,
                 loss,
@@ -777,6 +785,8 @@ impl Harness<'_> {
             };
             let Some(WireMessage::SecAggReport {
                 device: wired,
+                round: wired_round,
+                attempt: wired_attempt,
                 field_vector,
                 weight,
                 loss,
@@ -791,7 +801,11 @@ impl Harness<'_> {
             match round.on_secagg_report(wired, now, &field_vector, weight, loss, accuracy) {
                 Ok(response) => {
                     let accepted = matches!(response, ReportResponse::Accepted);
-                    let _ = self.server_wire.send(&WireMessage::ReportAck { accepted });
+                    let _ = self.server_wire.send(&WireMessage::ReportAck {
+                        accepted,
+                        round: wired_round,
+                        attempt: wired_attempt,
+                    });
                     self.drain_downlink();
                 }
                 Err(e) => self
@@ -803,6 +817,8 @@ impl Harness<'_> {
         }
         let report_msg = WireMessage::UpdateReport {
             device: DeviceId(device),
+            round: round_key,
+            attempt: 1,
             update_bytes: CodecSpec::Identity.build().encode(&update),
             weight,
             loss,
@@ -810,6 +826,8 @@ impl Harness<'_> {
         };
         let Some(WireMessage::UpdateReport {
             device: wired,
+            round: wired_round,
+            attempt: wired_attempt,
             update_bytes,
             weight,
             loss,
@@ -824,7 +842,11 @@ impl Harness<'_> {
         match round.on_report(wired, now, &update_bytes, weight, loss, accuracy) {
             Ok(response) => {
                 let accepted = matches!(response, ReportResponse::Accepted);
-                let _ = self.server_wire.send(&WireMessage::ReportAck { accepted });
+                let _ = self.server_wire.send(&WireMessage::ReportAck {
+                    accepted,
+                    round: wired_round,
+                    attempt: wired_attempt,
+                });
                 self.drain_downlink();
             }
             Err(e) => self

@@ -229,11 +229,12 @@ fn explore_round(
                                 ));
                             }
                             let update = vec![0.25f32; dim];
+                            let round = checkpoint.round;
                             let sent = if secagg_k.is_some() {
                                 match fl_ml::fixedpoint::FixedPointEncoder::default_for_updates()
                                     .encode(&update)
                                 {
-                                    Ok(field) => conn.report_secagg(field, 4, 0.5, 0.8),
+                                    Ok(field) => conn.report_secagg(round, 1, field, 4, 0.5, 0.8),
                                     Err(e) => {
                                         return DeviceOutcome::Failed(format!(
                                             "device {i}: fixed-point encode failed: {e}"
@@ -242,7 +243,7 @@ fn explore_round(
                                 }
                             } else {
                                 let bytes = CodecSpec::Identity.build().encode(&update);
-                                conn.report(bytes, 4, 0.5, 0.8)
+                                conn.report(round, 1, bytes, 4, 0.5, 0.8)
                             };
                             if sent.is_err() {
                                 return DeviceOutcome::Failed(format!(
@@ -250,7 +251,7 @@ fn explore_round(
                                 ));
                             }
                         }
-                        Ok(WireMessage::ReportAck { accepted: true }) => {
+                        Ok(WireMessage::ReportAck { accepted: true, .. }) => {
                             return DeviceOutcome::Accepted
                         }
                         Ok(other) => {

@@ -58,6 +58,8 @@ pub fn measured_payload_sizes(model: ModelSpec, codec: CodecSpec) -> (usize, usi
     let plan_bytes = download_frame.len().saturating_sub(checkpoint_bytes);
     let update_frame = fl_server::wire::encode(&WireMessage::UpdateReport {
         device: DeviceId(0),
+        round: RoundId(1),
+        attempt: 1,
         update_bytes: codec.build().encode(&params),
         weight: 1,
         loss: 0.0,

@@ -12,6 +12,10 @@
 //! * [`des`] — the virtual-clock event queue,
 //! * [`chaos`] — seeded, replayable fault injection against the real
 //!   server stack, auditing the Sec. 4.2/4.4 recovery guarantees,
+//! * [`netchaos`] — network chaos at the wire boundary: seeded
+//!   `FaultyTransport` scripts mangle device report frames in flight
+//!   through the live sharded topology, auditing the at-most-once
+//!   report accounting and the device reconnect/resume protocol,
 //! * [`explore`] — seeded schedule exploration: the live actor tree
 //!   under permuted mailbox delivery (via the `fl-actors`
 //!   `ScheduleExplorer`) and chaos plans under permuted device timing,
@@ -33,6 +37,7 @@ pub mod chaos;
 pub mod des;
 pub mod explore;
 pub mod fleet;
+pub mod netchaos;
 pub mod network;
 pub mod overload;
 pub mod training;
@@ -41,6 +46,7 @@ pub use availability::DiurnalAvailability;
 pub use chaos::{run_chaos_with_schedule, ChaosConfig, ChaosReport, Fault, FaultPlan};
 pub use explore::{explore_chaos, explore_live_round, explore_secagg_live_round, ExploreReport};
 pub use fleet::{FleetConfig, FleetReport};
+pub use netchaos::{run_wire_chaos, run_wire_chaos_secagg, WireChaosReport};
 pub use overload::{OverloadConfig, OverloadReport, OverloadScenario};
 pub use training::{TrainingRunConfig, TrainingRunReport};
 

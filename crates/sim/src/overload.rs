@@ -727,6 +727,7 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
                 let weight = 1 + device % 7;
                 let loss = 0.9 - (device % 10) as f64 * 0.02;
                 let accuracy = 0.5 + (device % 10) as f64 * 0.03;
+                let round_key = active.state.round;
                 let accepted = if config.secagg_k.is_some() {
                     // SecAgg upload: the fixed-point field vector, 8 bytes
                     // per coordinate on the measured wire.
@@ -737,6 +738,8 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
                     };
                     let report_msg = WireMessage::SecAggReport {
                         device: DeviceId(device),
+                        round: round_key,
+                        attempt: 1,
                         field_vector: field,
                         weight,
                         loss,
@@ -764,6 +767,8 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
                 } else {
                     let report_msg = WireMessage::UpdateReport {
                         device: DeviceId(device),
+                        round: round_key,
+                        attempt: 1,
                         update_bytes: vec![0u8; 4],
                         weight,
                         loss,
@@ -780,7 +785,11 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
                     }
                     accepted
                 };
-                wire_downlink!(&WireMessage::ReportAck { accepted });
+                wire_downlink!(&WireMessage::ReportAck {
+                    accepted,
+                    round: round_key,
+                    attempt: 1,
+                });
                 // The next natural participation is the device's periodic
                 // FL job, a population-scaled horizon away (Sec. 3: jobs
                 // fire when idle, charging, unmetered — hours apart), not

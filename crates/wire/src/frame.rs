@@ -12,7 +12,13 @@ use std::fmt;
 /// Version byte carried in every frame. Bump when the frame layout or
 /// any message body layout changes incompatibly; decoders reject any
 /// other value with [`WireError::VersionSkew`].
-pub const PROTOCOL_VERSION: u8 = 1;
+///
+/// v2: report frames ([`WireMessage::UpdateReport`],
+/// [`WireMessage::SecAggReport`]) carry a `(round, attempt)` key and
+/// [`WireMessage::ReportAck`] echoes it — the at-most-once report
+/// contract (a retried upload is answered with the original ack, never
+/// summed twice).
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Two-byte frame magic ("FW" — framed wire).
 pub const MAGIC: [u8; 2] = *b"FW";

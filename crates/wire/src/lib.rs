@@ -33,14 +33,24 @@
 //! protocol is *refused*, never misparsed), and oversized length
 //! prefixes. The golden-bytes fixture in `tests/golden.rs` pins the
 //! exact layout; any accidental change fails loudly.
+//!
+//! Because real device links corrupt, drop, and replay frames (Sec.
+//! 2.2), the crate also ships its own adversary: [`FaultyTransport`]
+//! wraps either transport and mangles outbound frames per a seeded
+//! [`FaultScript`] — the byte-layer analogue of `fl-actors`'
+//! `ScriptedFaults`. Report frames carry a `(device, round, attempt)`
+//! key so the server can keep upload handling at-most-once under
+//! retries; see `WireMessage::UpdateReport`.
 
 #![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
+mod fault;
 mod frame;
 mod message;
 mod transport;
 
+pub use fault::{FaultScript, FaultStats, FaultyTransport, FrameFault};
 pub use frame::{
     decode, decode_prefix, encode, encoded_len, peek_tag, WireError, HEADER_LEN, MAGIC,
     MAX_BODY_LEN, PROTOCOL_VERSION,

@@ -17,7 +17,7 @@
 
 use crate::frame::{put, Reader, WireError};
 use fl_core::plan::{CodecSpec, DevicePlan, ModelSpec, PlanOp, ServerPlan};
-use fl_core::{DeviceId, FlCheckpoint, FlPlan};
+use fl_core::{DeviceId, FlCheckpoint, FlPlan, RoundId};
 
 /// Message tag bytes. Frozen: new messages append, existing values
 /// never change (the golden fixture enforces this).
@@ -84,9 +84,20 @@ pub enum WireMessage {
     },
     /// Device → Coordinator: the Reporting upload (Sec. 3) — the
     /// codec-compressed model update plus training metrics.
+    ///
+    /// `(device, round, attempt)` is the at-most-once key: a retried
+    /// upload (lost ack, transport error) re-sends the *same* key and
+    /// the Coordinator replays the original [`WireMessage::ReportAck`]
+    /// instead of summing the update twice. `round` is the device's
+    /// configuration checkpoint round — an opaque dedup key to the
+    /// server, not the server's own round counter.
     UpdateReport {
         /// The reporting device.
         device: DeviceId,
+        /// The round key from the configuration checkpoint.
+        round: RoundId,
+        /// 1-based upload attempt; retries of one payload keep it.
+        attempt: u32,
         /// Codec-encoded update (see `CodecSpec`); opaque at this layer.
         update_bytes: Vec<u8>,
         /// Update weight (number of local examples).
@@ -97,10 +108,17 @@ pub enum WireMessage {
         accuracy: f64,
     },
     /// Coordinator → device: the report was received; `accepted` is
-    /// false when it arrived too late or the round had moved on.
+    /// false when it arrived too late or the round had moved on. Echoes
+    /// the report's `(round, attempt)` key so a device with several
+    /// in-flight attempts can match the ack to the upload it answers
+    /// (0/0 when the report was too mangled to carry a key).
     ReportAck {
         /// Whether the update entered the aggregate.
         accepted: bool,
+        /// Echo of the report's round key.
+        round: RoundId,
+        /// Echo of the report's attempt number.
+        attempt: u32,
     },
     /// Coordinator → Master Aggregator: stream one device's update into
     /// the round's aggregation tree (Sec. 4.2).
@@ -140,6 +158,11 @@ pub enum WireMessage {
     SecAggReport {
         /// The reporting device.
         device: DeviceId,
+        /// The round key from the configuration checkpoint (same
+        /// at-most-once contract as [`WireMessage::UpdateReport`]).
+        round: RoundId,
+        /// 1-based upload attempt; retries of one payload keep it.
+        attempt: u32,
         /// The update encoded into `Z_p` (one `u64` per parameter).
         field_vector: Vec<u64>,
         /// Update weight (number of local examples).
@@ -220,19 +243,29 @@ impl WireMessage {
             }
             WireMessage::UpdateReport {
                 device,
+                round,
+                attempt,
                 update_bytes,
                 weight,
                 loss,
                 accuracy,
             } => {
                 out.extend_from_slice(&device.0.to_le_bytes());
+                out.extend_from_slice(&round.0.to_le_bytes());
+                out.extend_from_slice(&attempt.to_le_bytes());
                 out.extend_from_slice(&weight.to_le_bytes());
                 out.extend_from_slice(&loss.to_le_bytes());
                 out.extend_from_slice(&accuracy.to_le_bytes());
                 put::bytes(&mut out, update_bytes);
             }
-            WireMessage::ReportAck { accepted } => {
+            WireMessage::ReportAck {
+                accepted,
+                round,
+                attempt,
+            } => {
                 out.push(u8::from(*accepted));
+                out.extend_from_slice(&round.0.to_le_bytes());
+                out.extend_from_slice(&attempt.to_le_bytes());
             }
             WireMessage::ShardUpdate {
                 device,
@@ -267,12 +300,16 @@ impl WireMessage {
             WireMessage::ShardAbort => {}
             WireMessage::SecAggReport {
                 device,
+                round,
+                attempt,
                 field_vector,
                 weight,
                 loss,
                 accuracy,
             } => {
                 out.extend_from_slice(&device.0.to_le_bytes());
+                out.extend_from_slice(&round.0.to_le_bytes());
+                out.extend_from_slice(&attempt.to_le_bytes());
                 out.extend_from_slice(&weight.to_le_bytes());
                 out.extend_from_slice(&loss.to_le_bytes());
                 out.extend_from_slice(&accuracy.to_le_bytes());
@@ -315,8 +352,10 @@ impl WireMessage {
             WireMessage::PlanAndCheckpoint { plan, checkpoint } => {
                 plan_encoded_len(plan) + 4 + checkpoint.encoded_size()
             }
-            WireMessage::UpdateReport { update_bytes, .. } => 8 + 8 + 8 + 8 + 4 + update_bytes.len(),
-            WireMessage::ReportAck { .. } => 1,
+            WireMessage::UpdateReport { update_bytes, .. } => {
+                8 + 8 + 4 + 8 + 8 + 8 + 4 + update_bytes.len()
+            }
+            WireMessage::ReportAck { .. } => 1 + 8 + 4,
             WireMessage::ShardUpdate { update_bytes, .. } => 8 + 8 + 4 + update_bytes.len(),
             WireMessage::ShardFinalize {
                 current_params,
@@ -328,7 +367,7 @@ impl WireMessage {
             },
             WireMessage::ShardAbort => 0,
             WireMessage::SecAggReport { field_vector, .. } => {
-                8 + 8 + 8 + 8 + 4 + field_vector.len() * 8
+                8 + 8 + 4 + 8 + 8 + 8 + 4 + field_vector.len() * 8
             }
             WireMessage::SecAggUpdate { field_vector, .. } => 8 + 8 + 4 + field_vector.len() * 8,
             WireMessage::SecAggFinalize {
@@ -375,6 +414,8 @@ impl WireMessage {
             }
             tag::UPDATE_REPORT => WireMessage::UpdateReport {
                 device: DeviceId(r.u64()?),
+                round: RoundId(r.u64()?),
+                attempt: r.u32()?,
                 weight: r.u64()?,
                 loss: r.f64()?,
                 accuracy: r.f64()?,
@@ -382,6 +423,8 @@ impl WireMessage {
             },
             tag::REPORT_ACK => WireMessage::ReportAck {
                 accepted: r.bool()?,
+                round: RoundId(r.u64()?),
+                attempt: r.u32()?,
             },
             tag::SHARD_UPDATE => WireMessage::ShardUpdate {
                 device: DeviceId(r.u64()?),
@@ -413,6 +456,8 @@ impl WireMessage {
             tag::SHARD_ABORT => WireMessage::ShardAbort,
             tag::SECAGG_REPORT => WireMessage::SecAggReport {
                 device: DeviceId(r.u64()?),
+                round: RoundId(r.u64()?),
+                attempt: r.u32()?,
                 weight: r.u64()?,
                 loss: r.f64()?,
                 accuracy: r.f64()?,

@@ -24,7 +24,7 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Lock site for the read half of a TCP link (leaf; DESIGN.md §7.1).
 const TCP_READ_SITE: Site = Site::new("wire/transport.tcp_read", 70);
@@ -38,6 +38,7 @@ struct WireCounters {
     bytes_sent: AtomicU64,
     frames_received: AtomicU64,
     bytes_received: AtomicU64,
+    frames_corrupt: AtomicU64,
 }
 
 impl WireCounters {
@@ -51,12 +52,17 @@ impl WireCounters {
         self.bytes_received.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    fn note_corrupt(&self) {
+        self.frames_corrupt.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn snapshot(&self) -> WireStats {
         WireStats {
             frames_sent: self.frames_sent.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             frames_received: self.frames_received.load(Ordering::Relaxed),
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            frames_corrupt: self.frames_corrupt.load(Ordering::Relaxed),
         }
     }
 }
@@ -74,6 +80,10 @@ pub struct WireStats {
     pub frames_received: u64,
     /// Total frame bytes this endpoint received.
     pub bytes_received: u64,
+    /// Received frames (or headers) the codec rejected: bad magic,
+    /// version skew, truncated or over-length bodies. Counted once per
+    /// rejection; the typed [`WireError`] still reaches the caller.
+    pub frames_corrupt: u64,
 }
 
 impl std::ops::Add for WireStats {
@@ -84,6 +94,7 @@ impl std::ops::Add for WireStats {
             bytes_sent: self.bytes_sent + rhs.bytes_sent,
             frames_received: self.frames_received + rhs.frames_received,
             bytes_received: self.bytes_received + rhs.bytes_received,
+            frames_corrupt: self.frames_corrupt + rhs.frames_corrupt,
         }
     }
 }
@@ -98,6 +109,16 @@ pub trait Transport: fmt::Debug + Send {
     /// [`WireError::Closed`] if the peer is gone; [`WireError::Io`] on
     /// socket failure.
     fn send(&self, msg: &WireMessage) -> Result<usize, WireError>;
+
+    /// Transmits one already-encoded (or deliberately mangled) frame
+    /// verbatim; returns the byte count. This is the raw injection
+    /// primitive [`crate::FaultyTransport`] uses to put corrupted or
+    /// truncated bytes on the wire — the sender's codec never sees them.
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::send`].
+    fn send_frame_bytes(&self, frame: &[u8]) -> Result<usize, WireError>;
 
     /// Receives and decodes one message, waiting up to `timeout`.
     ///
@@ -199,20 +220,30 @@ impl ChannelTransport {
 impl Transport for ChannelTransport {
     fn send(&self, msg: &WireMessage) -> Result<usize, WireError> {
         let frame = encode(msg)?;
+        self.send_frame_bytes(&frame)
+    }
+
+    fn send_frame_bytes(&self, frame: &[u8]) -> Result<usize, WireError> {
         let n = frame.len();
-        self.tx.send(frame).map_err(|_| WireError::Closed)?;
+        self.tx.send(frame.to_vec()).map_err(|_| WireError::Closed)?;
         self.counters.note_sent(n);
         Ok(n)
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<WireMessage, WireError> {
         let frame = self.recv_frame_timeout(timeout)?;
-        decode(&frame)
+        decode(&frame).inspect_err(|_| self.counters.note_corrupt())
     }
 
     fn try_recv(&self) -> Result<Option<WireMessage>, WireError> {
         match self.try_recv_frame()? {
-            Some(frame) => Ok(Some(decode(&frame)?)),
+            Some(frame) => match decode(&frame) {
+                Ok(msg) => Ok(Some(msg)),
+                Err(e) => {
+                    self.counters.note_corrupt();
+                    Err(e)
+                }
+            },
             None => Ok(None),
         }
     }
@@ -236,14 +267,24 @@ impl Transport for ChannelTransport {
 /// Framed-TCP transport endpoint over a `std::net::TcpStream`.
 ///
 /// Reads and writes each take a site-tagged lock so concurrent callers
-/// keep frame atomicity; a receive timeout that fires mid-frame loses
-/// stream sync, so callers should use timeouts as liveness bounds, not
-/// as polling intervals (that is what [`Transport::try_recv`]'s short
-/// probe is for — it only probes between frames on an idle link).
+/// keep frame atomicity. Partial-frame reads are *resumable*: a receive
+/// timeout that fires mid-frame parks the bytes read so far in
+/// [`ReadHalf::partial`] and the next call picks up exactly where the
+/// stream left off, so short timeouts are safe as polling intervals. A
+/// frame whose header fails validation poisons the stream position and
+/// is surfaced as the typed envelope error after dropping the buffer —
+/// the caller should treat that as a connection reset.
 pub struct TcpTransport {
-    read: fl_race::Mutex<TcpStream>,
+    read: fl_race::Mutex<ReadHalf>,
     write: Arc<fl_race::Mutex<TcpStream>>,
     counters: Arc<WireCounters>,
+}
+
+/// The locked read side: the stream plus any prefix of the in-flight
+/// frame already pulled off the socket when a timeout fired.
+struct ReadHalf {
+    stream: TcpStream,
+    partial: Vec<u8>,
 }
 
 impl fmt::Debug for TcpTransport {
@@ -276,7 +317,13 @@ impl TcpTransport {
     pub fn new(stream: TcpStream) -> Result<TcpTransport, WireError> {
         let write_half = stream.try_clone().map_err(io_err)?;
         Ok(TcpTransport {
-            read: fl_race::Mutex::new(TCP_READ_SITE, stream),
+            read: fl_race::Mutex::new(
+                TCP_READ_SITE,
+                ReadHalf {
+                    stream,
+                    partial: Vec::new(),
+                },
+            ),
             write: Arc::new(fl_race::Mutex::new(TCP_WRITE_SITE, write_half)),
             counters: Arc::new(WireCounters::default()),
         })
@@ -285,39 +332,100 @@ impl TcpTransport {
     /// Receives one raw validated frame (header checked, body opaque) —
     /// the gateway primitive for routing by [`crate::peek_tag`].
     ///
+    /// A timeout mid-frame keeps the bytes read so far; the next call
+    /// resumes the same frame (no stream desync). A header that fails
+    /// validation drops the buffer and returns the envelope error — the
+    /// stream position is unrecoverable at that point, so the caller
+    /// should close the connection.
+    ///
     /// # Errors
     ///
     /// [`WireError::Timeout`] / [`WireError::Closed`] / envelope errors.
     pub fn recv_frame_timeout(&self, timeout: Duration) -> Result<Vec<u8>, WireError> {
-        let stream = self.read.lock();
-        stream
-            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))
-            .map_err(io_err)?;
-        let mut header = [0u8; HEADER_LEN];
-        (&*stream).read_exact(&mut header).map_err(io_err)?;
-        let (_, body_len) = parse_header(&header)?;
-        let mut frame = vec![0u8; HEADER_LEN + body_len];
-        frame[..HEADER_LEN].copy_from_slice(&header);
-        (&*stream)
-            .read_exact(&mut frame[HEADER_LEN..])
-            .map_err(io_err)?;
-        self.counters.note_received(frame.len());
-        Ok(frame)
+        let mut half = self.read.lock();
+        let deadline = Instant::now() + timeout;
+        loop {
+            if half.partial.len() < HEADER_LEN {
+                read_into_partial(&mut half, HEADER_LEN, deadline)?;
+                continue;
+            }
+            let mut header = [0u8; HEADER_LEN];
+            header.copy_from_slice(&half.partial[..HEADER_LEN]);
+            let total = match parse_header(&header) {
+                Ok((_, body_len)) => HEADER_LEN + body_len,
+                Err(e) => {
+                    // Past a bad header the frame boundary is lost for
+                    // good: discard and force the caller to reset the
+                    // connection.
+                    half.partial.clear();
+                    self.counters.note_corrupt();
+                    return Err(e);
+                }
+            };
+            if half.partial.len() >= total {
+                let frame = std::mem::take(&mut half.partial);
+                self.counters.note_received(frame.len());
+                return Ok(frame);
+            }
+            read_into_partial(&mut half, total, deadline)?;
+        }
+    }
+}
+
+/// Pulls at most `target - partial.len()` bytes into the partial-frame
+/// buffer, honouring `deadline`. Timeout leaves the buffer intact for a
+/// later resume; EOF mid-frame clears it and reports a closed peer.
+fn read_into_partial(
+    half: &mut ReadHalf,
+    target: usize,
+    deadline: Instant,
+) -> Result<(), WireError> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(WireError::Timeout);
+    }
+    half.stream
+        .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+        .map_err(io_err)?;
+    let filled = half.partial.len();
+    half.partial.resize(target, 0);
+    let (stream, partial) = (&half.stream, &mut half.partial);
+    match { stream }.read(&mut partial[filled..]) {
+        Ok(0) => {
+            half.partial.clear();
+            Err(WireError::Closed)
+        }
+        Ok(n) => {
+            half.partial.truncate(filled + n);
+            Ok(())
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+            half.partial.truncate(filled);
+            Ok(())
+        }
+        Err(e) => {
+            half.partial.truncate(filled);
+            Err(io_err(e))
+        }
     }
 }
 
 impl Transport for TcpTransport {
     fn send(&self, msg: &WireMessage) -> Result<usize, WireError> {
         let frame = encode(msg)?;
+        self.send_frame_bytes(&frame)
+    }
+
+    fn send_frame_bytes(&self, frame: &[u8]) -> Result<usize, WireError> {
         let stream = self.write.lock();
-        (&*stream).write_all(&frame).map_err(io_err)?;
+        (&*stream).write_all(frame).map_err(io_err)?;
         self.counters.note_sent(frame.len());
         Ok(frame.len())
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<WireMessage, WireError> {
         let frame = self.recv_frame_timeout(timeout)?;
-        decode(&frame)
+        decode(&frame).inspect_err(|_| self.counters.note_corrupt())
     }
 
     fn try_recv(&self) -> Result<Option<WireMessage>, WireError> {

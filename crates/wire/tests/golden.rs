@@ -50,12 +50,18 @@ fn canonical_messages() -> Vec<WireMessage> {
         },
         WireMessage::UpdateReport {
             device: DeviceId(42),
+            round: RoundId(7),
+            attempt: 2,
             update_bytes: vec![0xDE, 0xAD, 0xBE, 0xEF],
             weight: 17,
             loss: 0.125,
             accuracy: 0.75,
         },
-        WireMessage::ReportAck { accepted: true },
+        WireMessage::ReportAck {
+            accepted: true,
+            round: RoundId(7),
+            attempt: 2,
+        },
         WireMessage::ShardUpdate {
             device: DeviceId(42),
             update_bytes: vec![1, 2, 3],
@@ -71,6 +77,8 @@ fn canonical_messages() -> Vec<WireMessage> {
         WireMessage::ShardAbort,
         WireMessage::SecAggReport {
             device: DeviceId(42),
+            round: RoundId(7),
+            attempt: 2,
             field_vector: vec![1, 2, (1u64 << 61) - 2],
             weight: 17,
             loss: 0.125,

@@ -82,6 +82,8 @@ fn build_message(
         }
         4 => WireMessage::UpdateReport {
             device: DeviceId(a),
+            round: RoundId(b),
+            attempt: (a % 5) as u32 + 1,
             update_bytes: blob,
             weight: b,
             loss: frac,
@@ -89,6 +91,8 @@ fn build_message(
         },
         5 => WireMessage::ReportAck {
             accepted: a % 2 == 0,
+            round: RoundId(b),
+            attempt: (a % 5) as u32,
         },
         6 => WireMessage::ShardUpdate {
             device: DeviceId(a),
@@ -109,6 +113,8 @@ fn build_message(
         9 => WireMessage::ShardAbort,
         10 => WireMessage::SecAggReport {
             device: DeviceId(a),
+            round: RoundId(b ^ a),
+            attempt: (b % 4) as u32 + 1,
             field_vector: blob.iter().map(|&x| u64::from(x).wrapping_mul(b)).collect(),
             weight: b,
             loss: frac,
@@ -134,6 +140,24 @@ fn build_message(
                 .collect(),
         },
     }
+}
+
+/// Every pinned frame from the golden fixture, as raw bytes — the
+/// canonical corpus for the network-fault fuzz gate below.
+fn golden_frames() -> Vec<Vec<u8>> {
+    let fixture = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden_frames.txt");
+    let text = std::fs::read_to_string(fixture).expect("golden_frames.txt present");
+    text.lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .map(|line| {
+            (0..line.len())
+                .step_by(2)
+                .map(|i| u8::from_str_radix(&line[i..i + 2], 16).expect("fixture is hex"))
+                .collect()
+        })
+        .collect()
 }
 
 proptest! {
@@ -174,7 +198,11 @@ proptest! {
         cut_sel in any::<u64>(),
     ) {
         let first = build_message(variant, a, b, 7, blob.clone(), vec![1.0], "x".to_string());
-        let second = WireMessage::ReportAck { accepted: a % 2 == 1 };
+        let second = WireMessage::ReportAck {
+            accepted: a % 2 == 1,
+            round: RoundId(b),
+            attempt: 1,
+        };
         let mut buf = encode(&first).unwrap();
         let first_len = buf.len();
         buf.extend_from_slice(&encode(&second).unwrap());
@@ -194,6 +222,33 @@ proptest! {
         }
     }
 
+    /// Network-fault fuzz gate: random byte-flips and truncations of
+    /// every golden frame never panic the decoder — each outcome is
+    /// `Ok` (the flip landed on a don't-care bit pattern that decodes
+    /// to some message) or a typed `WireError`, and a *truncated*
+    /// frame in particular is always a typed error, never a misparse
+    /// that panics downstream.
+    #[test]
+    fn mangled_golden_frames_never_panic(
+        flip_pos in any::<u64>(),
+        xor in 1u8..=255,
+        cut_sel in any::<u64>(),
+    ) {
+        for frame in golden_frames() {
+            // One byte flipped anywhere in the frame.
+            let mut flipped = frame.clone();
+            let pos = (flip_pos % flipped.len() as u64) as usize;
+            flipped[pos] ^= xor;
+            let _ = decode(&flipped);
+            let _ = decode_prefix(&flipped);
+            let _ = peek_tag(&flipped);
+
+            // Any strict prefix: must be an error (typed), never Ok.
+            let cut = (cut_sel % frame.len() as u64) as usize;
+            prop_assert!(decode(&frame[..cut]).is_err());
+        }
+    }
+
     /// Arbitrary byte mutations never panic the decoder: every outcome
     /// is `Ok` or a typed `WireError`.
     #[test]
@@ -205,6 +260,8 @@ proptest! {
     ) {
         let msg = WireMessage::UpdateReport {
             device: DeviceId(a),
+            round: RoundId(a ^ 0xA5),
+            attempt: 1,
             update_bytes: blob,
             weight: 3,
             loss: 0.5,
@@ -266,7 +323,12 @@ fn rejects_oversized_length_prefix() {
 
 #[test]
 fn rejects_trailing_bytes() {
-    let mut frame = encode(&WireMessage::ReportAck { accepted: true }).unwrap();
+    let mut frame = encode(&WireMessage::ReportAck {
+        accepted: true,
+        round: RoundId(3),
+        attempt: 1,
+    })
+    .unwrap();
     frame.push(0);
     assert_eq!(decode(&frame), Err(WireError::TrailingBytes { extra: 1 }));
 }
@@ -285,7 +347,12 @@ fn rejects_truncated_header() {
 #[test]
 fn rejects_malformed_body_values() {
     // A ReportAck whose bool byte is neither 0 nor 1.
-    let mut frame = encode(&WireMessage::ReportAck { accepted: false }).unwrap();
+    let mut frame = encode(&WireMessage::ReportAck {
+        accepted: false,
+        round: RoundId(3),
+        attempt: 1,
+    })
+    .unwrap();
     frame[HEADER_LEN] = 2;
     assert_eq!(
         decode(&frame),
@@ -328,10 +395,16 @@ fn string_at_exactly_u16_max_bytes_round_trips() {
 
 #[test]
 fn rejects_body_longer_than_layout() {
-    // Declare a 2-byte body for a 1-byte message: decode must notice the
-    // leftover rather than silently ignoring it.
-    let mut frame = encode(&WireMessage::ReportAck { accepted: true }).unwrap();
-    frame[4..8].copy_from_slice(&2u32.to_le_bytes());
+    // Declare one byte more than the fixed ReportAck layout: decode must
+    // notice the leftover rather than silently ignoring it.
+    let mut frame = encode(&WireMessage::ReportAck {
+        accepted: true,
+        round: RoundId(3),
+        attempt: 1,
+    })
+    .unwrap();
+    let body_len = (frame.len() - HEADER_LEN + 1) as u32;
+    frame[4..8].copy_from_slice(&body_len.to_le_bytes());
     frame.push(1);
     assert_eq!(
         decode(&frame),

@@ -1,12 +1,24 @@
 //! Transport behavior: the channel pair, the TCP link, sinks, and the
 //! byte counters FIG9's measured bandwidth rests on.
 
-use fl_core::DeviceId;
-use fl_wire::{encoded_len, ChannelTransport, TcpTransport, Transport, WireError, WireMessage};
+use fl_core::{DeviceId, RoundId};
+use fl_wire::{
+    encode, encoded_len, ChannelTransport, FaultScript, FaultyTransport, FrameFault,
+    TcpTransport, Transport, WireError, WireMessage,
+};
+use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::time::Duration;
 
 const WAIT: Duration = Duration::from_secs(5);
+
+fn ack(accepted: bool) -> WireMessage {
+    WireMessage::ReportAck {
+        accepted,
+        round: RoundId(1),
+        attempt: 1,
+    }
+}
 
 #[test]
 fn channel_pair_duplex_roundtrip_with_stats() {
@@ -41,11 +53,11 @@ fn sink_counts_against_its_endpoint_and_survives_clone() {
     let (device, server) = ChannelTransport::pair();
     let sink = server.sink();
     let sink2 = sink.clone();
-    sink.send(&WireMessage::ReportAck { accepted: true }).unwrap();
-    sink2.send(&WireMessage::ReportAck { accepted: false }).unwrap();
+    sink.send(&ack(true)).unwrap();
+    sink2.send(&ack(false)).unwrap();
     assert_eq!(server.stats().frames_sent, 2);
-    assert_eq!(device.recv_timeout(WAIT).unwrap(), WireMessage::ReportAck { accepted: true });
-    assert_eq!(device.recv_timeout(WAIT).unwrap(), WireMessage::ReportAck { accepted: false });
+    assert_eq!(device.recv_timeout(WAIT).unwrap(), ack(true));
+    assert_eq!(device.recv_timeout(WAIT).unwrap(), ack(false));
 }
 
 #[test]
@@ -112,6 +124,165 @@ fn tcp_roundtrip_over_loopback() {
     assert_eq!(server_stats.bytes_received, sent as u64);
     assert_eq!(server_stats.frames_sent, 1);
     assert_eq!(client.stats().frames_received, 1);
+}
+
+#[test]
+fn tcp_split_write_resumes_mid_frame() {
+    // A frame that arrives in two TCP segments with a pause in between
+    // must survive an intervening receive timeout: the partial bytes are
+    // kept and the next call completes the same frame (no desync, no
+    // loss).
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let client = TcpTransport::new(TcpStream::connect(addr).unwrap()).unwrap();
+    let (mut raw, _) = listener.accept().unwrap();
+
+    let msg = WireMessage::CheckinRequest {
+        device: DeviceId(0xFEED),
+    };
+    let frame = encode(&msg).unwrap();
+    let split = frame.len() / 2;
+    raw.write_all(&frame[..split]).unwrap();
+    raw.flush().unwrap();
+
+    // Timeout lands mid-frame; the half-read bytes must not be thrown
+    // away or misparsed as a fresh header on the next call.
+    assert_eq!(
+        client
+            .recv_timeout(Duration::from_millis(50))
+            .unwrap_err(),
+        WireError::Timeout
+    );
+
+    raw.write_all(&frame[split..]).unwrap();
+    raw.flush().unwrap();
+    assert_eq!(client.recv_timeout(WAIT).unwrap(), msg);
+    assert_eq!(client.stats().frames_received, 1);
+    assert_eq!(client.stats().frames_corrupt, 0);
+}
+
+#[test]
+fn tcp_garbage_header_is_typed_and_counted() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let client = TcpTransport::new(TcpStream::connect(addr).unwrap()).unwrap();
+    let (mut raw, _) = listener.accept().unwrap();
+
+    // Eight bytes that are not a frame header: the read must fail with
+    // a typed error (the caller resets the connection), count one
+    // corrupt frame, and not poison a later clean frame.
+    raw.write_all(b"XXGARBAG").unwrap();
+    raw.flush().unwrap();
+    assert!(matches!(
+        client.recv_timeout(WAIT).unwrap_err(),
+        WireError::BadMagic { .. }
+    ));
+    assert_eq!(client.stats().frames_corrupt, 1);
+
+    let msg = WireMessage::ComeBackLater { retry_at_ms: 7 };
+    raw.write_all(&encode(&msg).unwrap()).unwrap();
+    raw.flush().unwrap();
+    assert_eq!(client.recv_timeout(WAIT).unwrap(), msg);
+}
+
+#[test]
+fn faulty_transport_drop_dup_delay_disconnect_semantics() {
+    let (device, server) = ChannelTransport::pair();
+    let faulty = FaultyTransport::new(
+        device,
+        FaultScript::scripted(
+            9,
+            vec![
+                FrameFault::Drop,
+                FrameFault::Duplicate,
+                FrameFault::Delay,
+                FrameFault::Deliver,
+                FrameFault::Disconnect,
+            ],
+        ),
+    );
+    let m = |id: u64| WireMessage::CheckinRequest { device: DeviceId(id) };
+
+    // Drop: the sender sees success, the peer sees nothing.
+    assert_eq!(faulty.send(&m(1)).unwrap(), encoded_len(&m(1)));
+    // Duplicate: one send, two arrivals.
+    faulty.send(&m(2)).unwrap();
+    // Delay: held until the next send, which overtakes it.
+    faulty.send(&m(3)).unwrap();
+    faulty.send(&m(4)).unwrap();
+    // Disconnect: this send and all later ones fail closed.
+    assert_eq!(faulty.send(&m(5)).unwrap_err(), WireError::Closed);
+    assert_eq!(faulty.send(&m(6)).unwrap_err(), WireError::Closed);
+
+    assert_eq!(server.recv_timeout(WAIT).unwrap(), m(2));
+    assert_eq!(server.recv_timeout(WAIT).unwrap(), m(2));
+    assert_eq!(server.recv_timeout(WAIT).unwrap(), m(4));
+    assert_eq!(server.recv_timeout(WAIT).unwrap(), m(3), "reordered past m(4)");
+    assert!(server.try_recv().unwrap().is_none());
+
+    let stats = faulty.fault_stats();
+    assert_eq!(stats.dropped, 1);
+    assert_eq!(stats.duplicated, 1);
+    assert_eq!(stats.delayed, 1);
+    assert_eq!(stats.delivered, 1);
+    assert_eq!(stats.disconnects, 2);
+}
+
+#[test]
+fn faulty_transport_corruption_is_typed_and_counted_at_the_peer() {
+    let (device, server) = ChannelTransport::pair();
+    let faulty = FaultyTransport::new(
+        device,
+        FaultScript::scripted(
+            77,
+            vec![FrameFault::Corrupt, FrameFault::Truncate, FrameFault::Deliver],
+        ),
+    );
+    for _ in 0..3 {
+        faulty.send(&ack(true)).unwrap();
+    }
+    // The mangled frames surface as typed errors or decode to some
+    // *other* valid message (a flipped byte can land on a don't-care
+    // bit) — never a panic — and the clean frame after them still
+    // arrives intact. The truncated frame in particular can never
+    // decode.
+    let mut typed_errors = 0;
+    let mut intact = 0;
+    let mut mutated = 0;
+    loop {
+        match server.try_recv() {
+            Ok(None) => break,
+            Ok(Some(msg)) if msg == ack(true) => intact += 1,
+            Ok(Some(_)) => mutated += 1,
+            Err(_) => typed_errors += 1,
+        }
+    }
+    assert_eq!(intact, 1, "the clean frame survives its mangled neighbors");
+    assert_eq!(typed_errors + mutated, 2);
+    assert!(typed_errors >= 1, "the truncated frame cannot decode");
+    assert_eq!(server.stats().frames_corrupt, typed_errors);
+}
+
+#[test]
+fn fault_scripts_replay_identically_per_seed() {
+    let run = |seed: u64| {
+        let (device, server) = ChannelTransport::pair();
+        let faulty = FaultyTransport::new(device, FaultScript::seeded(seed, 400));
+        for i in 0..64u64 {
+            let _ = faulty.send(&WireMessage::CheckinRequest { device: DeviceId(i) });
+        }
+        faulty.flush_delayed().unwrap();
+        let mut trace = Vec::new();
+        loop {
+            match server.try_recv() {
+                Ok(None) => break,
+                outcome => trace.push(format!("{outcome:?}")),
+            }
+        }
+        (faulty.fault_stats(), trace)
+    };
+    assert_eq!(run(1234), run(1234), "same seed, same mangling");
+    assert_ne!(run(1234).0, run(5678).0, "different seeds diverge");
 }
 
 #[test]

@@ -24,6 +24,7 @@ use federated::core::DeviceId;
 use federated::data::store::{InMemoryStore, StoreConfig};
 use federated::data::synth::classification::{generate, ClassificationConfig};
 use federated::device::runtime::{ExecutionOutcome, FlRuntime};
+use federated::device::UploadSession;
 use federated::ml::Example;
 use federated::server::live::{CoordMsg, CoordinatorActor, SelectorMsg};
 use federated::server::pace::PaceSteering;
@@ -54,29 +55,46 @@ fn serve(
             let Ok(transport) = TcpTransport::new(stream) else { continue };
             let selector = selector.clone();
             let coordinator = coordinator.clone();
-            std::thread::spawn(move || loop {
-                match transport.recv_frame_timeout(Duration::from_secs(60)) {
-                    Ok(frame) => {
-                        let routed = match federated::server::wire::peek_tag(&frame) {
-                            Ok(tag::UPDATE_REPORT) => coordinator
-                                .send(CoordMsg::Report {
-                                    frame,
-                                    conn: transport.sink(),
-                                })
-                                .is_ok(),
-                            Ok(_) => selector
-                                .send(SelectorMsg::Checkin {
-                                    frame,
-                                    conn: transport.sink(),
-                                })
-                                .is_ok(),
-                            Err(_) => true, // unframeable junk: drop it
-                        };
-                        if !routed {
-                            return; // actors gone: server is shutting down
+            // Per-connection supervision: short idle read timeouts so the
+            // gateway notices quiet peers, with a strike budget so a slow
+            // (but live) device is not reaped on its first silent window.
+            // The resumable transport reads make the short timeout safe: a
+            // timeout mid-frame keeps the partial bytes for the next poll.
+            std::thread::spawn(move || {
+                const IDLE_POLL: Duration = Duration::from_secs(5);
+                const MAX_IDLE_STRIKES: u32 = 6;
+                let mut idle_strikes = 0u32;
+                loop {
+                    match transport.recv_frame_timeout(IDLE_POLL) {
+                        Ok(frame) => {
+                            idle_strikes = 0;
+                            let routed = match federated::server::wire::peek_tag(&frame) {
+                                Ok(tag::UPDATE_REPORT) | Ok(tag::SECAGG_REPORT) => coordinator
+                                    .send(CoordMsg::Report {
+                                        frame,
+                                        conn: transport.sink(),
+                                    })
+                                    .is_ok(),
+                                Ok(_) => selector
+                                    .send(SelectorMsg::Checkin {
+                                        frame,
+                                        conn: transport.sink(),
+                                    })
+                                    .is_ok(),
+                                Err(_) => true, // unframeable junk: drop it
+                            };
+                            if !routed {
+                                return; // actors gone: server is shutting down
+                            }
                         }
+                        Err(federated::server::wire::WireError::Timeout) => {
+                            idle_strikes += 1;
+                            if idle_strikes >= MAX_IDLE_STRIKES {
+                                return; // idle connection reaped
+                            }
+                        }
+                        Err(_) => return, // peer hung up or sent garbage
                     }
-                    Err(_) => return, // peer hung up or went quiet
                 }
             });
         }
@@ -116,8 +134,17 @@ fn device_thread(
                         ..
                     } = outcome
                     {
+                        // The upload session pins the `(round, attempt)`
+                        // key: a lost ack is retried as a *resend* of the
+                        // same key, and the coordinator's at-most-once
+                        // ledger replays the original verdict instead of
+                        // summing the contribution twice.
+                        let mut session = UploadSession::new(checkpoint.round);
+                        let (round, attempt) = session.key();
                         let report = WireMessage::UpdateReport {
                             device: DeviceId(id),
+                            round,
+                            attempt,
                             update_bytes: update_bytes.unwrap_or_default(),
                             weight,
                             loss: if loss.is_nan() { 0.0 } else { loss },
@@ -126,9 +153,24 @@ fn device_thread(
                         if conn.send(&report).is_err() {
                             return (false, conn.stats());
                         }
+                        for _ in 0..3 {
+                            match conn.recv_timeout(Duration::from_secs(5)) {
+                                Ok(WireMessage::ReportAck { accepted, .. }) => {
+                                    return (accepted, conn.stats())
+                                }
+                                Ok(_) => {}
+                                Err(_) => {
+                                    let _ = session.key_for_resend();
+                                    if conn.send(&report).is_err() {
+                                        return (false, conn.stats());
+                                    }
+                                }
+                            }
+                        }
+                        return (false, conn.stats());
                     }
                 }
-                Ok(WireMessage::ReportAck { accepted }) => return (accepted, conn.stats()),
+                Ok(WireMessage::ReportAck { accepted, .. }) => return (accepted, conn.stats()),
                 Ok(WireMessage::ComeBackLater { .. }) | Ok(WireMessage::Shed { .. }) => {
                     std::thread::sleep(Duration::from_millis(50));
                 }

@@ -32,6 +32,12 @@ run_step "fl-lint" cargo run -q -p fl-lint
 # bench step regenerates BENCH_wire.json from the same build.
 run_step "wire-codec" cargo test -q -p fl-wire
 run_step "wire-bench" cargo run --release -q -p fl-bench --bin bench_wire
+# Network-chaos gate: seeded faulty-transport scripts mangle report
+# frames through the live sharded topology (plain + SecAgg); per seed
+# the run must commit exactly once, keep write_count == 1 + committed,
+# incorporate one contribution per accepted key, and render
+# byte-identically across replays.
+run_step "wire-chaos" cargo test -q --test wire_chaos
 run_step "chaos-sweep" cargo test -q --test chaos_sweep
 run_step "overload-sweep" cargo test -q --test overload_sweep
 run_step "live-topology" cargo test -q --test live_topology

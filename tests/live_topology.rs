@@ -82,13 +82,13 @@ fn round_commits_across_three_selectors() {
                 conn.check_in().unwrap();
                 loop {
                     match conn.recv(Duration::from_secs(10)).unwrap() {
-                        WireMessage::PlanAndCheckpoint { plan, .. } => {
+                        WireMessage::PlanAndCheckpoint { plan, checkpoint } => {
                             let dim = plan.server.expected_dim;
                             let bytes =
                                 CodecSpec::Identity.build().encode(&vec![0.5f32; dim]);
-                            conn.report(bytes, 3, 0.4, 0.9).unwrap();
+                            conn.report(checkpoint.round, 1, bytes, 3, 0.4, 0.9).unwrap();
                         }
-                        WireMessage::ReportAck { accepted } => return accepted,
+                        WireMessage::ReportAck { accepted, .. } => return accepted,
                         _ => return false,
                     }
                 }
@@ -255,7 +255,9 @@ fn global_budget_caps_admits_across_selectors() {
     let mut shed = 0;
     for (i, conn) in conns.iter().enumerate() {
         match conn.recv(Duration::from_secs(10)).unwrap() {
-            WireMessage::PlanAndCheckpoint { plan, .. } => configured.push((i, plan)),
+            WireMessage::PlanAndCheckpoint { plan, checkpoint } => {
+                configured.push((i, plan, checkpoint.round))
+            }
             // Admission-control rejections arrive as explicit `Shed`
             // frames, distinct from routine `ComeBackLater` pacing.
             WireMessage::Shed { .. } => shed += 1,
@@ -268,15 +270,15 @@ fn global_budget_caps_admits_across_selectors() {
     assert_eq!(budget.shed_total(), 2);
 
     // The four admitted devices report; the round commits on them.
-    for (i, plan) in &configured {
+    for (i, plan, round) in &configured {
         let dim = plan.server.expected_dim;
         let bytes = CodecSpec::Identity.build().encode(&vec![0.25f32; dim]);
-        conns[*i].report(bytes, 1, 0.3, 0.9).unwrap();
+        conns[*i].report(*round, 1, bytes, 1, 0.3, 0.9).unwrap();
     }
-    for (i, _) in &configured {
+    for (i, _, _) in &configured {
         assert!(matches!(
             conns[*i].recv(Duration::from_secs(5)).unwrap(),
-            WireMessage::ReportAck { accepted: true }
+            WireMessage::ReportAck { accepted: true, .. }
         ));
     }
     let outcome = loop {
@@ -343,10 +345,10 @@ fn aggregator_shard_crash_still_commits_the_round() {
         .collect();
     for conn in &conns {
         match conn.recv(Duration::from_secs(10)).unwrap() {
-            WireMessage::PlanAndCheckpoint { plan, .. } => {
+            WireMessage::PlanAndCheckpoint { plan, checkpoint } => {
                 let dim = plan.server.expected_dim;
                 let bytes = CodecSpec::Identity.build().encode(&vec![1.0f32; dim]);
-                conn.report(bytes, 1, 0.3, 0.9).unwrap();
+                conn.report(checkpoint.round, 1, bytes, 1, 0.3, 0.9).unwrap();
             }
             other => panic!("unexpected reply {other:?}"),
         }
@@ -356,7 +358,7 @@ fn aggregator_shard_crash_still_commits_the_round() {
     for conn in &conns {
         assert!(matches!(
             conn.recv(Duration::from_secs(5)).unwrap(),
-            WireMessage::ReportAck { accepted: true }
+            WireMessage::ReportAck { accepted: true, .. }
         ));
     }
 

@@ -86,14 +86,14 @@ fn run_secagg_round(population: &str, dropouts: &[(u64, DropStage)]) -> (Vec<f32
     let encoder = FixedPointEncoder::default_for_updates();
     for conn in &conns {
         match conn.recv(Duration::from_secs(10)).expect("configuration arrives") {
-            WireMessage::PlanAndCheckpoint { plan, .. } => {
+            WireMessage::PlanAndCheckpoint { plan, checkpoint } => {
                 let dim = plan.server.expected_dim;
                 let field = encoder
                     .encode(&vec![0.5f32; dim])
                     .expect("delta fits the fixed-point range");
                 // Weight 1 each: the committed average is sum(delta) /
                 // sum(weight) = 0.5 for any surviving cohort.
-                conn.report_secagg(field, 1, 0.4, 0.9)
+                conn.report_secagg(checkpoint.round, 1, field, 1, 0.4, 0.9)
                     .expect("secagg report frame sends");
             }
             other => panic!("unexpected reply {other:?}"),
@@ -105,7 +105,7 @@ fn run_secagg_round(population: &str, dropouts: &[(u64, DropStage)]) -> (Vec<f32
     for conn in &conns {
         assert!(matches!(
             conn.recv(Duration::from_secs(5)).expect("ack arrives"),
-            WireMessage::ReportAck { accepted: true }
+            WireMessage::ReportAck { accepted: true, .. }
         ));
     }
     for &(device, stage) in dropouts {
