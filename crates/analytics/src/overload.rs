@@ -13,6 +13,22 @@
 
 use crate::monitor::{Alert, DeviationMonitor};
 use crate::timeseries::TimeSeries;
+use fl_core::PopulationName;
+use std::collections::BTreeMap;
+
+/// Per-population accept/shed/retry series for a multi-tenant Selector
+/// layer (Sec. 2.1): the aggregate series answer "is the fleet
+/// overloaded", these answer "who is being shed" — a fairness regression
+/// (one population starving another) is invisible in the aggregate.
+#[derive(Debug, Clone)]
+pub struct PopulationSeries {
+    /// Accepted check-ins of this population.
+    pub accepts: TimeSeries,
+    /// Shed check-ins of this population.
+    pub sheds: TimeSeries,
+    /// Retry attempts pushed back to this population's devices.
+    pub retries: TimeSeries,
+}
 
 /// Thresholds for the overload monitors.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,6 +70,9 @@ pub struct OverloadMetrics {
     report_rejects: TimeSeries,
     corrupt_frames: TimeSeries,
     monitor: DeviationMonitor,
+    /// Per-population accept/shed/retry series (multi-tenant Selector
+    /// layer); the aggregate series above always include these counts.
+    by_population: BTreeMap<PopulationName, PopulationSeries>,
     /// Index of the bucket currently accumulating.
     open_bucket: usize,
     open_accepts: u64,
@@ -90,6 +109,7 @@ impl OverloadMetrics {
                 config.baseline_window,
                 config.threshold_sigmas,
             ),
+            by_population: BTreeMap::new(),
             open_bucket: 0,
             open_accepts: 0,
             open_sheds: 0,
@@ -154,6 +174,50 @@ impl OverloadMetrics {
     pub fn record_retry(&mut self, now_ms: u64) {
         self.roll(now_ms);
         self.retries.increment(now_ms);
+    }
+
+    /// Lazily creates the per-population series triple.
+    fn series_for(&mut self, population: &PopulationName) -> &mut PopulationSeries {
+        let (bucket_ms, origin_ms) = (self.config.bucket_ms, self.origin_ms);
+        self.by_population
+            .entry(population.clone())
+            .or_insert_with(|| PopulationSeries {
+                accepts: TimeSeries::new(
+                    format!("selector.accepts[{population}]"),
+                    bucket_ms,
+                    origin_ms,
+                ),
+                sheds: TimeSeries::new(
+                    format!("selector.sheds[{population}]"),
+                    bucket_ms,
+                    origin_ms,
+                ),
+                retries: TimeSeries::new(
+                    format!("device.retries[{population}]"),
+                    bucket_ms,
+                    origin_ms,
+                ),
+            })
+    }
+
+    /// Records an accepted check-in from `population`: counts in the
+    /// aggregate series *and* the population's own series.
+    pub fn record_accept_for(&mut self, population: &PopulationName, now_ms: u64) {
+        self.record_accept(now_ms);
+        self.series_for(population).accepts.increment(now_ms);
+    }
+
+    /// Records a shed check-in from `population` (aggregate + per-population).
+    pub fn record_shed_for(&mut self, population: &PopulationName, now_ms: u64) {
+        self.record_shed(now_ms);
+        self.series_for(population).sheds.increment(now_ms);
+    }
+
+    /// Records a retry pushed to a device of `population` (aggregate +
+    /// per-population).
+    pub fn record_retry_for(&mut self, population: &PopulationName, now_ms: u64) {
+        self.record_retry(now_ms);
+        self.series_for(population).retries.increment(now_ms);
     }
 
     /// Records a stale held connection evicted by a Selector. Evictions
@@ -253,6 +317,49 @@ impl OverloadMetrics {
     /// The codec-rejected-frame series.
     pub fn corrupt_frames(&self) -> &TimeSeries {
         &self.corrupt_frames
+    }
+
+    /// The accept/shed/retry series of one population, if any of its
+    /// check-ins have been recorded.
+    pub fn population_series(&self, population: &PopulationName) -> Option<&PopulationSeries> {
+        self.by_population.get(population)
+    }
+
+    /// Every population with recorded per-population telemetry, in name
+    /// order (deterministic for rendering).
+    pub fn populations(&self) -> Vec<&PopulationName> {
+        self.by_population.keys().collect()
+    }
+
+    /// Renders the per-population series as an ASCII dashboard panel
+    /// (Sec. 5's "aggregated and presented in dashboards" applied to the
+    /// multi-tenant Selector layer): one block per population in name
+    /// order, each with accept/shed/retry totals and a
+    /// [`crate::dashboard::sparkline`] of the bucketed series. The output
+    /// is a pure function of the recorded events, so seeded DES reports
+    /// can embed it and stay byte-identical across replays.
+    pub fn render_population_panel(&self) -> String {
+        let mut out = String::from("per-population check-in telemetry\n");
+        if self.by_population.is_empty() {
+            out.push_str("  (no per-population records)\n");
+            return out;
+        }
+        for (name, series) in &self.by_population {
+            out.push_str(&format!("  {name}\n"));
+            for (label, ts) in [
+                ("accepts", &series.accepts),
+                ("sheds", &series.sheds),
+                ("retries", &series.retries),
+            ] {
+                let sums = ts.sums();
+                out.push_str(&format!(
+                    "    {label:>7} {:>10.0} |{}|\n",
+                    sums.iter().sum::<f64>(),
+                    crate::dashboard::sparkline(&sums)
+                ));
+            }
+        }
+        out
     }
 }
 
@@ -384,6 +491,34 @@ mod tests {
     }
 
     #[test]
+    fn per_population_series_split_the_aggregate() {
+        let mut m = OverloadMetrics::new(config(), 0);
+        let a = PopulationName::new("pop/a");
+        let b = PopulationName::new("pop/b");
+        m.record_accept_for(&a, 0);
+        m.record_accept_for(&a, 10);
+        m.record_accept_for(&b, 20);
+        m.record_shed_for(&b, 30);
+        m.record_retry_for(&b, 40);
+        m.finalize(1_000);
+        // Aggregates include every per-population event.
+        assert_eq!(m.accepts().sums(), vec![3.0]);
+        assert_eq!(m.sheds().sums(), vec![1.0]);
+        assert_eq!(m.retries().sums(), vec![1.0]);
+        // The split is by claimed population.
+        let sa = m.population_series(&a).unwrap();
+        assert_eq!(sa.accepts.sums(), vec![2.0]);
+        assert!(sa.sheds.sums().iter().sum::<f64>() == 0.0);
+        let sb = m.population_series(&b).unwrap();
+        assert_eq!(sb.accepts.sums(), vec![1.0]);
+        assert_eq!(sb.sheds.sums(), vec![1.0]);
+        assert_eq!(sb.retries.sums(), vec![1.0]);
+        assert_eq!(m.populations(), vec![&a, &b]);
+        // The shed fraction is still computed over the whole fleet.
+        assert_eq!(m.shed_fractions(), &[0.25]);
+    }
+
+    #[test]
     fn evictions_do_not_move_the_shed_fraction() {
         let mut m = OverloadMetrics::new(config(), 0);
         m.record_accept(0);
@@ -393,5 +528,44 @@ mod tests {
         assert_eq!(m.evictions().sums(), vec![2.0]);
         // The only closed bucket saw one accept and no sheds.
         assert_eq!(m.shed_fractions(), &[0.0]);
+    }
+
+    #[test]
+    fn population_panel_renders_every_tenant_in_name_order() {
+        let mut m = OverloadMetrics::new(config(), 0);
+        let quiet = PopulationName::new("panel/quiet");
+        let storm = PopulationName::new("panel/storm");
+        for b in 0..4u64 {
+            m.record_accept_for(&quiet, b * 1_000);
+            for i in 0..(b + 1) {
+                m.record_shed_for(&storm, b * 1_000 + 10 + i);
+            }
+        }
+        m.record_retry_for(&storm, 3_500);
+        m.finalize(4_000);
+        let panel = m.render_population_panel();
+        let quiet_at = panel.find("panel/quiet").expect("quiet block rendered");
+        let storm_at = panel.find("panel/storm").expect("storm block rendered");
+        assert!(quiet_at < storm_at, "blocks must follow name order:\n{panel}");
+        // Totals line up with the recorded events.
+        for (label, total) in [("accepts", 4.0), ("sheds", 10.0), ("retries", 1.0)] {
+            let expect = format!("{label:>7} {total:>10.0} |");
+            assert!(panel.contains(&expect), "missing {expect:?} in:\n{panel}");
+        }
+        // The storm's ramp (1,2,3,4 sheds/bucket) spans the sparkline
+        // alphabet from floor to full block.
+        assert!(panel.contains('▁') && panel.contains('█'), "{panel}");
+        // Rendering twice is byte-identical (embeddable in seeded reports).
+        assert_eq!(panel, m.render_population_panel());
+    }
+
+    #[test]
+    fn population_panel_without_tenants_says_so() {
+        let mut m = OverloadMetrics::new(config(), 0);
+        m.record_accept(0);
+        m.finalize(1_000);
+        assert!(m
+            .render_population_panel()
+            .contains("(no per-population records)"));
     }
 }

@@ -11,7 +11,7 @@
 //! worst-case upload), so the numbers bound how much CPU a Selector
 //! burns framing/deframing the FIG9 upload path.
 
-use fl_core::{DeviceId, RoundId};
+use fl_core::{DeviceId, PopulationName, RoundId};
 use fl_server::wire::{self, WireMessage};
 use fl_wire::{ChannelTransport, FaultScript, FaultyTransport, Transport};
 use std::time::Instant;
@@ -37,6 +37,7 @@ fn bench_case(params: usize, iters: u32) -> Case {
         weight: 42,
         loss: 0.25,
         accuracy: 0.75,
+        population: PopulationName::new("bench/pop"),
     };
     let frame = wire::encode(&msg).expect("bench frame encodes");
     let frame_bytes = frame.len();
@@ -91,6 +92,7 @@ fn bench_faulty_overhead(params: usize, iters: u32) -> FaultyOverhead {
         weight: 42,
         loss: 0.25,
         accuracy: 0.75,
+        population: PopulationName::new("bench/pop"),
     };
 
     let bench_send = |t: &dyn Transport| {

@@ -213,8 +213,8 @@ impl ConnectivityManager {
         rng: &mut R,
     ) -> Option<RetryDecision> {
         match *reply {
-            fl_wire::WireMessage::ComeBackLater { retry_at_ms }
-            | fl_wire::WireMessage::Shed { retry_at_ms } => {
+            fl_wire::WireMessage::ComeBackLater { retry_at_ms, .. }
+            | fl_wire::WireMessage::Shed { retry_at_ms, .. } => {
                 Some(self.on_rejected(now_ms, Some(retry_at_ms), rng))
             }
             fl_wire::WireMessage::ReportAck {
@@ -426,18 +426,17 @@ mod tests {
 
     #[test]
     fn wire_replies_route_through_the_retry_discipline() {
-        use fl_wire::WireMessage;
         let mut m = ConnectivityManager::new(policy());
         let mut rng = seeded(7);
         // ComeBackLater and Shed are rejections: they honor the carried
         // server window and advance the backoff state.
         let d = m
-            .on_wire_reply(0, &WireMessage::ComeBackLater { retry_at_ms: 90_000 }, &mut rng)
+            .on_wire_reply(0, &cbl(90_000), &mut rng)
             .expect("a rejection");
         assert!(d.effective_at_ms() >= 90_000);
         assert_eq!(m.consecutive_failures(), 1);
         let d = m
-            .on_wire_reply(1_000, &WireMessage::Shed { retry_at_ms: 300_000 }, &mut rng)
+            .on_wire_reply(1_000, &shed(300_000), &mut rng)
             .expect("a rejection");
         assert!(d.effective_at_ms() >= 300_000);
         assert_eq!(m.consecutive_failures(), 2);
@@ -453,12 +452,26 @@ mod tests {
             accepted,
             round: fl_core::RoundId(1),
             attempt: 1,
+            population: fl_core::PopulationName::new("pop"),
+        }
+    }
+
+    fn cbl(retry_at_ms: u64) -> fl_wire::WireMessage {
+        fl_wire::WireMessage::ComeBackLater {
+            retry_at_ms,
+            population: fl_core::PopulationName::new("pop"),
+        }
+    }
+
+    fn shed(retry_at_ms: u64) -> fl_wire::WireMessage {
+        fl_wire::WireMessage::Shed {
+            retry_at_ms,
+            population: fl_core::PopulationName::new("pop"),
         }
     }
 
     #[test]
     fn rejected_report_ack_charges_backoff_like_any_failure() {
-        use fl_wire::WireMessage;
         let mut m = ConnectivityManager::new(policy());
         let mut rng = seeded(8);
         // Regression: `ReportAck { accepted: false }` used to fall through

@@ -16,15 +16,21 @@
 //!   genuine devices and applications participate");
 //! * [`runtime`] — the FL runtime itself: interprets the device portion of
 //!   an FL plan against the app's example store, computes updates and
-//!   metrics, and reports, emitting the session events of Table 1.
+//!   metrics, and reports, emitting the session events of Table 1;
+//! * [`tenancy`] — the multi-population front end: per-population
+//!   schedulers and retry budgets behind single-active-session
+//!   arbitration, so several FL populations share one device without
+//!   parallel training or cross-population interference.
 
 pub mod attestation;
 pub mod conditions;
 pub mod connectivity;
 pub mod runtime;
 pub mod scheduler;
+pub mod tenancy;
 
 pub use conditions::DeviceConditions;
 pub use connectivity::{ConnectivityManager, RetryDecision, UploadSession};
 pub use runtime::{ExecutionOutcome, FlRuntime, Interruption};
 pub use scheduler::{JobScheduler, TrainingQueue};
+pub use tenancy::{DeviceTenancy, PopulationLane};

@@ -107,12 +107,20 @@ pub const RULES: &[Rule] = &[
         // fl-wire and fl-secagg are linted in full (not just their
         // roots): the wire crate is the public protocol surface other
         // processes build against, and the secagg crate is the
-        // correctness contract the live shards lean on.
+        // correctness contract the live shards lean on. The
+        // multi-tenancy modules (device lane arbitration, selector
+        // demux, per-population telemetry, the multi-population DES)
+        // are the cross-population isolation contract and get the same
+        // treatment.
         include: &[
             "crates/core/src/lib.rs",
             "crates/server/src/lib.rs",
             "crates/wire/src/",
             "crates/secagg/src/",
+            "crates/device/src/tenancy.rs",
+            "crates/server/src/selector.rs",
+            "crates/analytics/src/overload.rs",
+            "crates/sim/src/multi.rs",
         ],
         exclude: &[],
         applies_to_tests: false,

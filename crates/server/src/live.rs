@@ -29,7 +29,8 @@ use fl_actors::{Actor, ActorRef, ActorSystem, Context, Flow, Lease, LockingServi
 use fl_analytics::overload::OverloadMetrics;
 use fl_core::plan::FlPlan;
 use fl_core::population::{TaskGroup, TaskKind};
-use fl_core::{CoreError, DeviceId, RoundId, RoundOutcome};
+use fl_core::{CoreError, DeviceId, PopulationName, RoundId, RoundOutcome};
+use std::collections::BTreeMap;
 use fl_wire::{ChannelTransport, Transport, WireError, WireMessage, WireSink, WireStats};
 use crossbeam::channel::{unbounded, Sender};
 use std::sync::Arc;
@@ -145,7 +146,7 @@ impl<S: CheckpointStore + Send + 'static> std::fmt::Debug for CoordinatorActor<S
 
 /// The locking-service name under which a population's coordinator
 /// registers (Sec. 4.2).
-pub fn coordinator_lease_name(population: &fl_core::PopulationName) -> String {
+pub fn coordinator_lease_name(population: &PopulationName) -> String {
     format!("coordinator/{population}")
 }
 
@@ -243,6 +244,13 @@ impl<S: CheckpointStore + Send + 'static> CoordinatorActor<S> {
         &self.lease
     }
 
+    /// The population this coordinator owns (Sec. 4.2: one Coordinator
+    /// per population). Every device-facing reply it frames carries this
+    /// name, and reports claiming any other population are refused.
+    pub fn population(&self) -> PopulationName {
+        self.coordinator.population().clone()
+    }
+
     /// Attaches shared overload telemetry: SecAgg shard aborts observed
     /// when a round finalizes are recorded next to the Selector layer's
     /// accept/shed/evict counters.
@@ -266,6 +274,7 @@ impl<S: CheckpointStore + Send + 'static> CoordinatorActor<S> {
         evaluate: impl FnOnce(&mut Self) -> bool,
     ) -> WireMessage {
         let (_, round, attempt) = key;
+        let population = self.population();
         if let Some(&prior) = self.report_acks.get(&key) {
             if let Some(telemetry) = &self.telemetry {
                 telemetry.lock().record_duplicate_report(now);
@@ -274,6 +283,7 @@ impl<S: CheckpointStore + Send + 'static> CoordinatorActor<S> {
                 accepted: prior,
                 round,
                 attempt,
+                population,
             };
         }
         let accepted = evaluate(self);
@@ -287,6 +297,31 @@ impl<S: CheckpointStore + Send + 'static> CoordinatorActor<S> {
             accepted,
             round,
             attempt,
+            population,
+        }
+    }
+
+    /// Multi-tenancy boundary check: a report claiming a population this
+    /// coordinator does not own is refused with a rejecting ack echoing
+    /// the *claimed* population (so the device's per-population retry
+    /// discipline sees the refusal), and never reaches the at-most-once
+    /// ledger or the round's accounting. Cross-tenant contributions must
+    /// not leak between models even if a gateway misroutes a frame.
+    fn refuse_foreign_report(
+        &mut self,
+        now: u64,
+        round: RoundId,
+        attempt: u32,
+        claimed: PopulationName,
+    ) -> WireMessage {
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.lock().record_rejected_report(now);
+        }
+        WireMessage::ReportAck {
+            accepted: false,
+            round,
+            attempt,
+            population: claimed,
         }
     }
 
@@ -386,11 +421,13 @@ impl<S: CheckpointStore + Send + 'static> CoordinatorActor<S> {
         }
         let plan = round.plan.clone();
         let checkpoint = round.checkpoint.clone();
+        let population = self.population();
         for d in round.state.participants() {
             if let Some(conn) = self.device_replies.get(&d) {
                 let _ = conn.send(&WireMessage::PlanAndCheckpoint {
                     plan: Box::new(plan.clone()),
                     checkpoint: Box::new(checkpoint.clone()),
+                    population: population.clone(),
                 });
             }
         }
@@ -424,10 +461,12 @@ impl<S: CheckpointStore + Send + 'static> Actor for CoordinatorActor<S> {
                             if round.state.phase() == crate::round::Phase::Reporting {
                                 let plan = round.plan.clone();
                                 let checkpoint = round.checkpoint.clone();
+                                let population = self.coordinator.population().clone();
                                 if let Some(c) = self.device_replies.get(&device) {
                                     let _ = c.send(&WireMessage::PlanAndCheckpoint {
                                         plan: Box::new(plan),
                                         checkpoint: Box::new(checkpoint),
+                                        population,
                                     });
                                 }
                             }
@@ -443,7 +482,10 @@ impl<S: CheckpointStore + Send + 'static> Actor for CoordinatorActor<S> {
                                 1.0,
                                 &mut self.pace_rng,
                             );
-                            let _ = conn.send(&WireMessage::ComeBackLater { retry_at_ms });
+                            let _ = conn.send(&WireMessage::ComeBackLater {
+                                retry_at_ms,
+                                population: self.coordinator.population().clone(),
+                            });
                         }
                     }
                 }
@@ -457,7 +499,24 @@ impl<S: CheckpointStore + Send + 'static> Actor for CoordinatorActor<S> {
                 // reports pass through the at-most-once ledger before any
                 // accounting.
                 let now = self.now_ms();
+                let own_population = self.population();
                 let ack = match fl_wire::decode(&frame) {
+                    Ok(WireMessage::UpdateReport {
+                        round,
+                        attempt,
+                        population,
+                        ..
+                    }) if population != own_population => {
+                        self.refuse_foreign_report(now, round, attempt, population)
+                    }
+                    Ok(WireMessage::SecAggReport {
+                        round,
+                        attempt,
+                        population,
+                        ..
+                    }) if population != own_population => {
+                        self.refuse_foreign_report(now, round, attempt, population)
+                    }
                     Ok(WireMessage::UpdateReport {
                         device,
                         round,
@@ -466,6 +525,7 @@ impl<S: CheckpointStore + Send + 'static> Actor for CoordinatorActor<S> {
                         weight,
                         loss,
                         accuracy,
+                        ..
                     }) => self.admit_report(now, (device, round, attempt), |actor| {
                         if let Some(active) = &mut actor.active {
                             // The round does the protocol accounting
@@ -508,6 +568,7 @@ impl<S: CheckpointStore + Send + 'static> Actor for CoordinatorActor<S> {
                         weight,
                         loss,
                         accuracy,
+                        ..
                     }) => self.admit_report(now, (device, round, attempt), |actor| {
                         if let Some(active) = &mut actor.active {
                             // Masked contributions take the same accounting
@@ -551,6 +612,7 @@ impl<S: CheckpointStore + Send + 'static> Actor for CoordinatorActor<S> {
                             accepted: false,
                             round: RoundId(0),
                             attempt: 0,
+                            population: own_population,
                         }
                     }
                 };
@@ -694,11 +756,21 @@ pub enum SelectorMsg {
 }
 
 /// A Selector as an actor: applies admission control, quota, and pace
-/// steering, forwards accepted devices to the Coordinator, and streams
-/// accept/shed/evict telemetry into shared [`OverloadMetrics`].
+/// steering, forwards accepted devices to the owning population's
+/// Coordinator, and streams accept/shed/evict telemetry into shared
+/// [`OverloadMetrics`].
+///
+/// Multi-tenancy (Sec. 2.1): check-ins are demultiplexed by the
+/// [`PopulationName`] carried in every v3 `CheckinRequest`. A population
+/// with a registered route ([`SelectorActor::with_route`]) forwards to
+/// its own Coordinator; everything else falls back to the default
+/// Coordinator passed at construction, which keeps the single-population
+/// topology byte-identical as the n=1 special case.
 pub struct SelectorActor {
     selector: Selector,
     coordinator: ActorRef<CoordMsg>,
+    /// Per-population Coordinator routes for the multi-tenant tree.
+    routes: BTreeMap<PopulationName, ActorRef<CoordMsg>>,
     telemetry: Option<SharedOverloadMetrics>,
     epoch: Instant,
 }
@@ -712,11 +784,12 @@ impl std::fmt::Debug for SelectorActor {
 }
 
 impl SelectorActor {
-    /// Creates the actor.
+    /// Creates the actor with a default Coordinator route.
     pub fn new(selector: Selector, coordinator: ActorRef<CoordMsg>) -> Self {
         SelectorActor {
             selector,
             coordinator,
+            routes: BTreeMap::new(),
             telemetry: None,
             // fl-lint: allow(wall-clock): live-mode event timestamps only.
             epoch: Instant::now(),
@@ -727,6 +800,21 @@ impl SelectorActor {
     /// recorded into the metrics from inside the `Checkin` path.
     pub fn with_telemetry(mut self, telemetry: SharedOverloadMetrics) -> Self {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Registers a per-population Coordinator route: accepted devices of
+    /// `population` are forwarded there instead of the default
+    /// Coordinator, with the population held against `quota` slots of
+    /// this selector.
+    pub fn with_route(
+        mut self,
+        population: PopulationName,
+        coordinator: ActorRef<CoordMsg>,
+        quota: usize,
+    ) -> Self {
+        self.selector.set_population_quota(population.clone(), quota);
+        self.routes.insert(population, coordinator);
         self
     }
 }
@@ -741,14 +829,15 @@ impl Actor for SelectorActor {
                 // (garbage, version skew, stream desync) is dropped
                 // silently: the peer is not speaking the protocol, so no
                 // protocol-level reply applies.
-                let Ok(WireMessage::CheckinRequest { device }) = fl_wire::decode(&frame)
+                let Ok(WireMessage::CheckinRequest { device, population }) =
+                    fl_wire::decode(&frame)
                 else {
                     return Flow::Continue;
                 };
                 let now = self.epoch.elapsed().as_millis() as u64;
                 let shed_before = self.selector.shed_total();
                 let evicted_before = self.selector.evicted_total();
-                let decision = self.selector.on_checkin(device, now, 1.0);
+                let decision = self.selector.on_checkin_for(&population, device, now, 1.0);
                 let shed = self.selector.shed_total() > shed_before;
                 if let Some(telemetry) = &self.telemetry {
                     let mut metrics = telemetry.lock();
@@ -756,36 +845,44 @@ impl Actor for SelectorActor {
                         metrics.record_evict(now);
                     }
                     match decision {
-                        CheckinDecision::Accept => metrics.record_accept(now),
+                        CheckinDecision::Accept => metrics.record_accept_for(&population, now),
                         CheckinDecision::Reject { .. } => {
                             if shed {
-                                metrics.record_shed(now);
+                                metrics.record_shed_for(&population, now);
                             }
                             // Every rejection sends the device into its
                             // retry discipline.
-                            metrics.record_retry(now);
+                            metrics.record_retry_for(&population, now);
                         }
                     }
                 }
                 match decision {
                     CheckinDecision::Accept => {
-                        // Forward to the Aggregator/Coordinator layer; the
+                        // Forward to the owning population's Coordinator
+                        // (default route when none is registered); the
                         // selector releases the device from its own set.
                         self.selector.on_disconnect(device);
-                        let _ = self
-                            .coordinator
-                            .send(CoordMsg::DeviceForwarded { device, conn });
+                        let route = self.routes.get(&population).unwrap_or(&self.coordinator);
+                        let _ = route.send(CoordMsg::DeviceForwarded { device, conn });
                     }
                     CheckinDecision::Reject { retry_at_ms } => {
                         // Admission-control sheds and ordinary pacing
                         // rejects are distinct wire messages: a `Shed`
                         // tells the device the server is over capacity
                         // (Sec. 5's load shedding), a `ComeBackLater` is
-                        // routine pace steering.
+                        // routine pace steering. Both echo the population
+                        // so the device's per-population retry budget
+                        // absorbs the backoff.
                         let msg = if shed {
-                            WireMessage::Shed { retry_at_ms }
+                            WireMessage::Shed {
+                                retry_at_ms,
+                                population,
+                            }
                         } else {
-                            WireMessage::ComeBackLater { retry_at_ms }
+                            WireMessage::ComeBackLater {
+                                retry_at_ms,
+                                population,
+                            }
                         };
                         let _ = conn.send(&msg);
                     }
@@ -827,6 +924,9 @@ impl Actor for SelectorActor {
 /// inside [`DeviceConn::recv`]).
 pub struct DeviceConn {
     device: DeviceId,
+    /// Population this connection checks in under and stamps on every
+    /// report (v3 multi-tenant wire contract).
+    population: PopulationName,
     client: ChannelTransport,
     gateway: ChannelTransport,
     selector: ActorRef<SelectorMsg>,
@@ -843,15 +943,18 @@ impl std::fmt::Debug for DeviceConn {
 
 impl DeviceConn {
     /// Opens an in-memory connection from `device` to the given selector,
-    /// with update reports routed to `coordinator`.
+    /// with update reports routed to `coordinator`. The connection checks
+    /// in under `population` and stamps it on every report.
     pub fn connect(
         device: DeviceId,
+        population: impl Into<PopulationName>,
         selector: ActorRef<SelectorMsg>,
         coordinator: ActorRef<CoordMsg>,
     ) -> Self {
         let (client, gateway) = ChannelTransport::pair();
         DeviceConn {
             device,
+            population: population.into(),
             client,
             gateway,
             selector,
@@ -891,10 +994,13 @@ impl DeviceConn {
         Ok(())
     }
 
-    /// Sends a [`WireMessage::CheckinRequest`] for this device.
+    /// Sends a [`WireMessage::CheckinRequest`] for this device under its
+    /// population.
     pub fn check_in(&self) -> Result<(), WireError> {
-        self.client
-            .send(&WireMessage::CheckinRequest { device: self.device })?;
+        self.client.send(&WireMessage::CheckinRequest {
+            device: self.device,
+            population: self.population.clone(),
+        })?;
         self.pump()
     }
 
@@ -919,6 +1025,7 @@ impl DeviceConn {
             weight,
             loss,
             accuracy,
+            population: self.population.clone(),
         })?;
         self.pump()
     }
@@ -943,6 +1050,7 @@ impl DeviceConn {
             weight,
             loss,
             accuracy,
+            population: self.population.clone(),
         })?;
         self.pump()
     }
@@ -1117,12 +1225,12 @@ mod tests {
                 let sel = selector_refs[0].clone();
                 let coord = coord_ref.clone();
                 std::thread::spawn(move || {
-                    let conn = DeviceConn::connect(DeviceId(i), sel, coord);
+                    let conn = DeviceConn::connect(DeviceId(i), "pop", sel, coord);
                     conn.check_in().unwrap();
                     // Wait to be configured.
                     loop {
                         match conn.recv(Duration::from_secs(5)).unwrap() {
-                            WireMessage::PlanAndCheckpoint { plan, checkpoint } => {
+                            WireMessage::PlanAndCheckpoint { plan, checkpoint, .. } => {
                                 let dim = plan.server.expected_dim;
                                 assert_eq!(checkpoint.len(), dim);
                                 let round = checkpoint.round;
@@ -1224,7 +1332,7 @@ mod tests {
         let (selector_refs, coord_ref) = (topology.selectors, topology.coordinator);
 
         // First device fills the goal; the round enters Reporting.
-        let first = DeviceConn::connect(DeviceId(0), selector_refs[0].clone(), coord_ref.clone());
+        let first = DeviceConn::connect(DeviceId(0), "pop3", selector_refs[0].clone(), coord_ref.clone());
         first.check_in().unwrap();
         assert!(matches!(
             first.recv(Duration::from_secs(5)).unwrap(),
@@ -1232,10 +1340,10 @@ mod tests {
         ));
 
         // Second device finds the round NotSelecting.
-        let second = DeviceConn::connect(DeviceId(1), selector_refs[0].clone(), coord_ref.clone());
+        let second = DeviceConn::connect(DeviceId(1), "pop3", selector_refs[0].clone(), coord_ref.clone());
         second.check_in().unwrap();
         match second.recv(Duration::from_secs(5)).unwrap() {
-            WireMessage::ComeBackLater { retry_at_ms } => {
+            WireMessage::ComeBackLater { retry_at_ms, .. } => {
                 // quick_round(1).selection_timeout_ms == 5_000: the next
                 // rendezvous tick lies at or beyond it, far beyond the old
                 // `now + 1_000` constant (the test runs well inside 4 s).
@@ -1287,12 +1395,13 @@ mod tests {
 
         let conn = DeviceConn::connect(
             DeviceId(0),
+            "pop-dedup",
             topology.selectors[0].clone(),
             topology.coordinator.clone(),
         );
         conn.check_in().unwrap();
         let (round, dim) = loop {
-            if let WireMessage::PlanAndCheckpoint { plan, checkpoint } =
+            if let WireMessage::PlanAndCheckpoint { plan, checkpoint, .. } =
                 conn.recv(Duration::from_secs(5)).unwrap()
             {
                 break (checkpoint.round, plan.server.expected_dim);
@@ -1312,6 +1421,7 @@ mod tests {
                 accepted,
                 round: r,
                 attempt,
+                ..
             } = conn.recv(Duration::from_secs(5)).unwrap()
             {
                 acks.push((accepted, r, attempt));
@@ -1389,6 +1499,7 @@ mod tests {
                     accepted: true,
                     round: RoundId(0),
                     attempt: 0,
+                    population: PopulationName::new("pop4"),
                 })
                 .expect("test frame encodes"),
                 conn: gateway.sink(),
@@ -1400,7 +1511,7 @@ mod tests {
             WireError::Timeout
         );
         // ...and the selector still serves a well-formed check-in.
-        let conn = DeviceConn::connect(DeviceId(5), selector_refs[0].clone(), coord_ref.clone());
+        let conn = DeviceConn::connect(DeviceId(5), "pop4", selector_refs[0].clone(), coord_ref.clone());
         conn.check_in().unwrap();
         assert!(matches!(
             conn.recv(Duration::from_secs(5)).unwrap(),

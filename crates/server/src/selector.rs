@@ -23,7 +23,7 @@ use crate::shedding::{
     AdmissionConfig, AdmissionController, AdmissionDecision, GlobalAdmissionBudget,
     PaceController, PaceControllerConfig,
 };
-use fl_core::DeviceId;
+use fl_core::{DeviceId, PopulationName};
 use fl_ml::rng;
 use rand::rngs::StdRng;
 use std::collections::BTreeMap;
@@ -40,15 +40,40 @@ pub enum CheckinDecision {
     },
 }
 
+/// A held device connection: when it was last seen, and (on the
+/// multi-tenant path) which population it checked in under.
+#[derive(Debug, Clone)]
+struct HeldConn {
+    last_seen_ms: u64,
+    /// Population the device checked in under. `None` on the legacy
+    /// single-population path, which predates multi-tenancy and keeps
+    /// its exact behavior as the n=1 special case.
+    population: Option<PopulationName>,
+}
+
 /// A Selector: accepts or rejects device check-ins against a quota and an
 /// optional admission controller, and forwards sampled subsets toward
 /// Aggregators on request.
+///
+/// Multi-tenancy (Sec. 2.1/4.2): one physical Selector serves several FL
+/// populations at once. Check-ins arrive demultiplexed by
+/// [`PopulationName`] via [`on_checkin_for`](Selector::on_checkin_for),
+/// each population is held against its own quota
+/// ([`set_population_quota`](Selector::set_population_quota)), and
+/// forwarding samples only within the requested population
+/// ([`forward_devices_for`](Selector::forward_devices_for)). Fleet-wide
+/// admission fairness across populations is delegated to the shared
+/// [`GlobalAdmissionBudget`]'s per-population reservations.
 #[derive(Debug)]
 pub struct Selector {
-    /// Quota of devices this selector may hold, set by the Coordinator.
+    /// Default quota of devices this selector may hold, set by the
+    /// Coordinator; populations without an explicit per-population quota
+    /// fall back to it.
     quota: usize,
-    /// Held connections with their last-seen times.
-    connected: BTreeMap<DeviceId, u64>,
+    /// Per-population quota overrides for the multi-tenant path.
+    population_quotas: BTreeMap<PopulationName, usize>,
+    /// Held connections with their last-seen times and populations.
+    connected: BTreeMap<DeviceId, HeldConn>,
     /// Held connections idle longer than this are considered disconnected
     /// and evicted before quota/admission checks. `None` disables
     /// eviction (a caller that forwards immediately never holds state
@@ -65,6 +90,11 @@ pub struct Selector {
     shed_total: u64,
     shed_global_total: u64,
     evicted_total: u64,
+    /// Per-population accepted/rejected/shed counters (multi-tenant path
+    /// only; the legacy path counts solely in the aggregate totals).
+    accepted_by_pop: BTreeMap<PopulationName, u64>,
+    rejected_by_pop: BTreeMap<PopulationName, u64>,
+    shed_by_pop: BTreeMap<PopulationName, u64>,
     rng: StdRng,
 }
 
@@ -77,6 +107,7 @@ impl Selector {
         let controller_config = PaceControllerConfig::for_pace(&pace);
         Selector {
             quota: 0,
+            population_quotas: BTreeMap::new(),
             connected: BTreeMap::new(),
             stale_after_ms: None,
             pace: PaceController::new(pace, population_estimate, controller_config),
@@ -87,6 +118,9 @@ impl Selector {
             shed_total: 0,
             shed_global_total: 0,
             evicted_total: 0,
+            accepted_by_pop: BTreeMap::new(),
+            rejected_by_pop: BTreeMap::new(),
+            shed_by_pop: BTreeMap::new(),
             rng: rng::seeded(seed),
         }
     }
@@ -115,9 +149,18 @@ impl Selector {
         self
     }
 
-    /// Coordinator instruction: how many devices to hold.
+    /// Coordinator instruction: how many devices to hold. On the
+    /// multi-tenant path this is the fallback for populations without an
+    /// explicit [`set_population_quota`](Selector::set_population_quota).
     pub fn set_quota(&mut self, quota: usize) {
         self.quota = quota;
+    }
+
+    /// Per-population Coordinator instruction: how many devices of
+    /// `population` to hold. Each population's quota is independent — one
+    /// tenant filling its slots never blocks another's accepts.
+    pub fn set_population_quota(&mut self, population: PopulationName, quota: usize) {
+        self.population_quotas.insert(population, quota);
     }
 
     /// Seeds/overrides the population-size estimate used for pace
@@ -145,7 +188,7 @@ impl Selector {
         };
         let before = self.connected.len();
         self.connected
-            .retain(|_, last_seen| now_ms.saturating_sub(*last_seen) < ttl);
+            .retain(|_, held| now_ms.saturating_sub(held.last_seen_ms) < ttl);
         let evicted = before - self.connected.len();
         self.evicted_total += evicted as u64;
         evicted
@@ -180,16 +223,91 @@ impl Selector {
                     return self.reject(now_ms, activity_factor);
                 }
             }
-            self.connected.insert(device, now_ms);
+            self.connected.insert(
+                device,
+                HeldConn {
+                    last_seen_ms: now_ms,
+                    population: None,
+                },
+            );
             self.accepted_total += 1;
             CheckinDecision::Accept
         } else {
             // A duplicate check-in still proves the device is alive.
-            if let Some(last_seen) = self.connected.get_mut(&device) {
-                *last_seen = now_ms;
+            if let Some(held) = self.connected.get_mut(&device) {
+                held.last_seen_ms = now_ms;
             }
             self.reject(now_ms, activity_factor)
         }
+    }
+
+    /// Handles a device check-in for a specific population at `now_ms`
+    /// (the multi-tenant path; Sec. 2.1). The arrival feeds the shared
+    /// pace loop and local admission controller like any other, but quota
+    /// is checked against the population's own allowance and the shared
+    /// global budget is consulted through its per-population fair-share
+    /// reservations ([`GlobalAdmissionBudget::try_admit_for`]), so a
+    /// flash crowd in one population cannot starve another's accepts.
+    pub fn on_checkin_for(
+        &mut self,
+        population: &PopulationName,
+        device: DeviceId,
+        now_ms: u64,
+        activity_factor: f64,
+    ) -> CheckinDecision {
+        self.pace.on_arrival(now_ms);
+        self.evict_stale(now_ms);
+
+        if let Some(admission) = &mut self.admission {
+            if let AdmissionDecision::Shed(_) = admission.offer(now_ms, self.connected.len()) {
+                self.shed_total += 1;
+                *self.shed_by_pop.entry(population.clone()).or_insert(0) += 1;
+                return self.reject_for(population, now_ms, activity_factor);
+            }
+        }
+
+        let quota = self
+            .population_quotas
+            .get(population)
+            .copied()
+            .unwrap_or(self.quota);
+        let held_for_pop = self.connected_count_for(population);
+        if held_for_pop < quota && !self.connected.contains_key(&device) {
+            if let Some(budget) = &self.global {
+                if !budget.try_admit_for(now_ms, population) {
+                    self.shed_total += 1;
+                    self.shed_global_total += 1;
+                    *self.shed_by_pop.entry(population.clone()).or_insert(0) += 1;
+                    return self.reject_for(population, now_ms, activity_factor);
+                }
+            }
+            self.connected.insert(
+                device,
+                HeldConn {
+                    last_seen_ms: now_ms,
+                    population: Some(population.clone()),
+                },
+            );
+            self.accepted_total += 1;
+            *self.accepted_by_pop.entry(population.clone()).or_insert(0) += 1;
+            CheckinDecision::Accept
+        } else {
+            // A duplicate check-in still proves the device is alive.
+            if let Some(held) = self.connected.get_mut(&device) {
+                held.last_seen_ms = now_ms;
+            }
+            self.reject_for(population, now_ms, activity_factor)
+        }
+    }
+
+    fn reject_for(
+        &mut self,
+        population: &PopulationName,
+        now_ms: u64,
+        activity_factor: f64,
+    ) -> CheckinDecision {
+        *self.rejected_by_pop.entry(population.clone()).or_insert(0) += 1;
+        self.reject(now_ms, activity_factor)
     }
 
     fn reject(&mut self, now_ms: u64, activity_factor: f64) -> CheckinDecision {
@@ -214,10 +332,34 @@ impl Selector {
         self.connected.len()
     }
 
+    /// Number of held devices that checked in under `population`.
+    pub fn connected_count_for(&self, population: &PopulationName) -> usize {
+        self.connected
+            .values()
+            .filter(|held| held.population.as_ref() == Some(population))
+            .count()
+    }
+
     /// Total accepted/rejected counters (for analytics). Rejections
     /// include shed check-ins.
     pub fn counters(&self) -> (u64, u64) {
         (self.accepted_total, self.rejected_total)
+    }
+
+    /// Per-population accepted/rejected counters (multi-tenant path).
+    /// Rejections include shed check-ins, mirroring
+    /// [`counters`](Selector::counters).
+    pub fn counters_for(&self, population: &PopulationName) -> (u64, u64) {
+        (
+            self.accepted_by_pop.get(population).copied().unwrap_or(0),
+            self.rejected_by_pop.get(population).copied().unwrap_or(0),
+        )
+    }
+
+    /// Check-ins shed (admission controller or global budget) while
+    /// checking in under `population`.
+    pub fn shed_total_for(&self, population: &PopulationName) -> u64 {
+        self.shed_by_pop.get(population).copied().unwrap_or(0)
     }
 
     /// Total check-ins shed by the admission controller or the global
@@ -255,6 +397,31 @@ impl Selector {
     /// clock: no staleness eviction is performed first.
     pub fn forward_devices(&mut self, k: usize) -> Vec<DeviceId> {
         let pool: Vec<DeviceId> = self.connected.keys().copied().collect();
+        self.sample_and_remove(pool, k)
+    }
+
+    /// Coordinator instruction on the multi-tenant path: forward up to
+    /// `k` devices held for `population` only. Stale connections are
+    /// evicted first; sampling is uniform (reservoir) within the
+    /// population's held set, so tenants never receive each other's
+    /// devices.
+    pub fn forward_devices_for(
+        &mut self,
+        population: &PopulationName,
+        k: usize,
+        now_ms: u64,
+    ) -> Vec<DeviceId> {
+        self.evict_stale(now_ms);
+        let pool: Vec<DeviceId> = self
+            .connected
+            .iter()
+            .filter(|(_, held)| held.population.as_ref() == Some(population))
+            .map(|(d, _)| *d)
+            .collect();
+        self.sample_and_remove(pool, k)
+    }
+
+    fn sample_and_remove(&mut self, pool: Vec<DeviceId>, k: usize) -> Vec<DeviceId> {
         if pool.is_empty() || k == 0 {
             return Vec::new();
         }
@@ -548,5 +715,96 @@ mod tests {
             "no back pressure: early {early_max} ms vs late {late_max} ms"
         );
         assert!(s.pace_controller().population_estimate() > 1_000);
+    }
+
+    #[test]
+    fn populations_are_demultiplexed_with_independent_quotas() {
+        let pop_a = PopulationName::new("tenant/a");
+        let pop_b = PopulationName::new("tenant/b");
+        let mut s = selector(0); // default quota 0: only explicit quotas admit
+        s.set_population_quota(pop_a.clone(), 2);
+        s.set_population_quota(pop_b.clone(), 1);
+        assert_eq!(
+            s.on_checkin_for(&pop_a, DeviceId(1), 0, 1.0),
+            CheckinDecision::Accept
+        );
+        assert_eq!(
+            s.on_checkin_for(&pop_a, DeviceId(2), 0, 1.0),
+            CheckinDecision::Accept
+        );
+        // Population A is full; its third device bounces even though B
+        // still has room, and vice versa B's accept is untouched by A.
+        assert!(matches!(
+            s.on_checkin_for(&pop_a, DeviceId(3), 0, 1.0),
+            CheckinDecision::Reject { .. }
+        ));
+        assert_eq!(
+            s.on_checkin_for(&pop_b, DeviceId(4), 0, 1.0),
+            CheckinDecision::Accept
+        );
+        assert!(matches!(
+            s.on_checkin_for(&pop_b, DeviceId(5), 0, 1.0),
+            CheckinDecision::Reject { .. }
+        ));
+        assert_eq!(s.connected_count(), 3);
+        assert_eq!(s.connected_count_for(&pop_a), 2);
+        assert_eq!(s.connected_count_for(&pop_b), 1);
+        assert_eq!(s.counters_for(&pop_a), (2, 1));
+        assert_eq!(s.counters_for(&pop_b), (1, 1));
+        assert_eq!(s.counters(), (3, 2));
+    }
+
+    #[test]
+    fn forwarding_stays_within_the_requested_population() {
+        let pop_a = PopulationName::new("tenant/a");
+        let pop_b = PopulationName::new("tenant/b");
+        let mut s = selector(0);
+        s.set_population_quota(pop_a.clone(), 8);
+        s.set_population_quota(pop_b.clone(), 8);
+        for i in 0..4 {
+            s.on_checkin_for(&pop_a, DeviceId(i), 0, 1.0);
+            s.on_checkin_for(&pop_b, DeviceId(100 + i), 0, 1.0);
+        }
+        let forwarded = s.forward_devices_for(&pop_a, 10, 0);
+        assert_eq!(forwarded.len(), 4);
+        assert!(forwarded.iter().all(|d| d.0 < 100), "leaked tenant B device");
+        // B's held set is untouched and forwards independently.
+        assert_eq!(s.connected_count_for(&pop_a), 0);
+        assert_eq!(s.connected_count_for(&pop_b), 4);
+        let forwarded_b = s.forward_devices_for(&pop_b, 2, 0);
+        assert_eq!(forwarded_b.len(), 2);
+        assert!(forwarded_b.iter().all(|d| d.0 >= 100));
+    }
+
+    #[test]
+    fn global_budget_fair_share_spans_selector_populations() {
+        use crate::shedding::{GlobalAdmissionBudget, GlobalAdmissionConfig};
+        let budget = GlobalAdmissionBudget::new(GlobalAdmissionConfig {
+            window_ms: 60_000,
+            max_admits_per_window: 6,
+        });
+        let greedy = PopulationName::new("tenant/greedy");
+        let steady = PopulationName::new("tenant/steady");
+        budget.register_population(&greedy);
+        budget.register_population(&steady);
+        let mut s = Selector::new(PaceSteering::new(60_000, 100), 500, 3)
+            .with_global_budget(budget.clone());
+        s.set_population_quota(greedy.clone(), 1_000);
+        s.set_population_quota(steady.clone(), 1_000);
+        // Greedy floods first: it may take its fair half (3) but cannot
+        // spend the slots reserved for steady.
+        for i in 0..20 {
+            s.on_checkin_for(&greedy, DeviceId(i), 0, 1.0);
+        }
+        assert_eq!(s.counters_for(&greedy).0, 3);
+        assert_eq!(s.shed_total_for(&greedy), 17);
+        // Steady arrives late and still gets its reserved share.
+        for i in 0..3 {
+            assert_eq!(
+                s.on_checkin_for(&steady, DeviceId(100 + i), 0, 1.0),
+                CheckinDecision::Accept
+            );
+        }
+        assert_eq!(s.counters_for(&steady), (3, 0));
     }
 }

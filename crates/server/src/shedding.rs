@@ -20,7 +20,9 @@
 //!   pressure the paper's production deployment relies on.
 
 use crate::pace::{PaceSteering, SMALL_POPULATION};
+use fl_core::PopulationName;
 use fl_ml::metrics::MetricSummary;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Why a check-in was shed rather than considered for admission.
@@ -211,6 +213,30 @@ struct GlobalBudgetState {
     admitted_in_window: u64,
     admitted_total: u64,
     shed_total: u64,
+    /// Populations contending on this budget (registered explicitly by
+    /// the topology or lazily on first [`GlobalAdmissionBudget::try_admit_for`]).
+    registered: BTreeSet<PopulationName>,
+    /// Admissions per population in the *current* window (cleared on
+    /// window roll) — the fair-share accounting.
+    admitted_by_pop: BTreeMap<PopulationName, u64>,
+    /// Lifetime admissions per population.
+    admitted_total_by_pop: BTreeMap<PopulationName, u64>,
+    /// Lifetime global-budget sheds per population.
+    shed_total_by_pop: BTreeMap<PopulationName, u64>,
+}
+
+impl GlobalBudgetState {
+    /// Jumps to the window containing `now_ms`; intervening empty
+    /// windows carry no budget forward.
+    fn roll(&mut self, now_ms: u64) {
+        let elapsed = now_ms.saturating_sub(self.window_start_ms);
+        if elapsed >= self.config.window_ms {
+            let windows = elapsed / self.config.window_ms;
+            self.window_start_ms += windows * self.config.window_ms;
+            self.admitted_in_window = 0;
+            self.admitted_by_pop.clear();
+        }
+    }
 }
 
 /// A shared, windowed cap on total admissions across every Selector in a
@@ -251,6 +277,10 @@ impl GlobalAdmissionBudget {
                 admitted_in_window: 0,
                 admitted_total: 0,
                 shed_total: 0,
+                registered: BTreeSet::new(),
+                admitted_by_pop: BTreeMap::new(),
+                admitted_total_by_pop: BTreeMap::new(),
+                shed_total_by_pop: BTreeMap::new(),
             })),
         }
     }
@@ -260,25 +290,76 @@ impl GlobalAdmissionBudget {
         self.inner.lock().config
     }
 
-    /// Tries to take one admission slot at `now_ms`. Returns `false` —
-    /// shed with [`ShedReason::GlobalBudget`] — when the current window's
-    /// budget is spent.
+    /// Tries to take one admission slot at `now_ms`, with no population
+    /// attribution — the single-tenant path. Returns `false` — shed with
+    /// [`ShedReason::GlobalBudget`] — when the current window's budget is
+    /// spent. Population-less admissions consume window budget but never
+    /// touch the fair-share reservations, so an n=1 topology behaves
+    /// exactly as it did before multi-tenancy existed.
     pub fn try_admit(&self, now_ms: u64) -> bool {
         let mut s = self.inner.lock();
-        let elapsed = now_ms.saturating_sub(s.window_start_ms);
-        if elapsed >= s.config.window_ms {
-            // Jump to the window containing `now_ms`; intervening empty
-            // windows carry no budget forward.
-            let windows = elapsed / s.config.window_ms;
-            s.window_start_ms += windows * s.config.window_ms;
-            s.admitted_in_window = 0;
-        }
+        s.roll(now_ms);
         if s.admitted_in_window < s.config.max_admits_per_window {
             s.admitted_in_window += 1;
             s.admitted_total += 1;
             true
         } else {
             s.shed_total += 1;
+            false
+        }
+    }
+
+    /// Pre-declares a population contending on this budget, so its
+    /// fair-share slots are reserved from the first window — before its
+    /// first check-in ever arrives. The topology registers every
+    /// population it spawns a Coordinator for.
+    pub fn register_population(&self, population: &PopulationName) {
+        self.inner
+            .lock()
+            .registered
+            .insert(population.clone());
+    }
+
+    /// Tries to take one admission slot at `now_ms` on behalf of
+    /// `population`, enforcing cross-population fairness: with `n`
+    /// registered populations each is reserved a fair share of
+    /// `max(1, max_admits_per_window / n)` slots per window, and may
+    /// exceed its share only out of slack no other population's
+    /// reservation still covers. A flash-crowd population therefore
+    /// cannot starve a steady one — the steady population's share stays
+    /// held for it all window — while an idle population's slots (beyond
+    /// the reservation) are not wasted. A population seen here for the
+    /// first time is registered automatically.
+    pub fn try_admit_for(&self, now_ms: u64, population: &PopulationName) -> bool {
+        let mut s = self.inner.lock();
+        s.roll(now_ms);
+        if !s.registered.contains(population) {
+            s.registered.insert(population.clone());
+        }
+        let max = s.config.max_admits_per_window;
+        let fair = (max / s.registered.len() as u64).max(1);
+        let mine = s.admitted_by_pop.get(population).copied().unwrap_or(0);
+        // Slots still owed to the *other* populations' reservations.
+        let others_reserved: u64 = s
+            .registered
+            .iter()
+            .filter(|p| *p != population)
+            .map(|p| fair.saturating_sub(s.admitted_by_pop.get(p).copied().unwrap_or(0)))
+            .sum();
+        let admit = s.admitted_in_window < max
+            && (mine < fair || s.admitted_in_window + others_reserved < max);
+        if admit {
+            s.admitted_in_window += 1;
+            s.admitted_total += 1;
+            *s.admitted_by_pop.entry(population.clone()).or_insert(0) += 1;
+            *s
+                .admitted_total_by_pop
+                .entry(population.clone())
+                .or_insert(0) += 1;
+            true
+        } else {
+            s.shed_total += 1;
+            *s.shed_total_by_pop.entry(population.clone()).or_insert(0) += 1;
             false
         }
     }
@@ -291,6 +372,31 @@ impl GlobalAdmissionBudget {
     /// Total admissions refused over the budget's lifetime.
     pub fn shed_total(&self) -> u64 {
         self.inner.lock().shed_total
+    }
+
+    /// Lifetime admissions attributed to `population`.
+    pub fn admitted_total_for(&self, population: &PopulationName) -> u64 {
+        self.inner
+            .lock()
+            .admitted_total_by_pop
+            .get(population)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Lifetime global-budget sheds attributed to `population`.
+    pub fn shed_total_for(&self, population: &PopulationName) -> u64 {
+        self.inner
+            .lock()
+            .shed_total_by_pop
+            .get(population)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The populations currently contending on this budget.
+    pub fn registered_populations(&self) -> Vec<PopulationName> {
+        self.inner.lock().registered.iter().cloned().collect()
     }
 }
 
@@ -707,6 +813,88 @@ mod tests {
         assert!(budget.try_admit(5_500));
         assert_eq!(budget.admitted_total(), 4);
         assert_eq!(clone.shed_total(), 2);
+    }
+
+    #[test]
+    fn fair_share_reserves_slots_for_the_quiet_population() {
+        let budget = GlobalAdmissionBudget::new(GlobalAdmissionConfig {
+            window_ms: 1_000,
+            max_admits_per_window: 10,
+        });
+        let greedy = PopulationName::new("pop/greedy");
+        let steady = PopulationName::new("pop/steady");
+        budget.register_population(&greedy);
+        budget.register_population(&steady);
+        // The greedy population floods first: it may take only its fair
+        // share (5) — the rest of the window is held for the other.
+        let admitted: u64 = (0..20)
+            .map(|i| u64::from(budget.try_admit_for(i, &greedy)))
+            .sum();
+        assert_eq!(admitted, 5);
+        // The steady population's reserved slots are all still there.
+        let admitted: u64 = (0..5)
+            .map(|i| u64::from(budget.try_admit_for(500 + i, &steady)))
+            .sum();
+        assert_eq!(admitted, 5);
+        assert_eq!(budget.admitted_total_for(&greedy), 5);
+        assert_eq!(budget.admitted_total_for(&steady), 5);
+        assert!(budget.shed_total_for(&greedy) > 0);
+        assert_eq!(budget.shed_total_for(&steady), 0);
+    }
+
+    #[test]
+    fn slack_beyond_reservations_is_work_conserving() {
+        let budget = GlobalAdmissionBudget::new(GlobalAdmissionConfig {
+            window_ms: 1_000,
+            max_admits_per_window: 10,
+        });
+        let a = PopulationName::new("pop/a");
+        let b = PopulationName::new("pop/b");
+        budget.register_population(&a);
+        budget.register_population(&b);
+        // B consumes its full share early; A may then run past its own
+        // share into the freed slack, up to the window cap.
+        for i in 0..5 {
+            assert!(budget.try_admit_for(i, &b));
+        }
+        let admitted: u64 = (0..20)
+            .map(|i| u64::from(budget.try_admit_for(100 + i, &a)))
+            .sum();
+        assert_eq!(admitted, 5);
+        assert_eq!(budget.admitted_total(), 10);
+    }
+
+    #[test]
+    fn lone_population_gets_the_full_window() {
+        let budget = GlobalAdmissionBudget::new(GlobalAdmissionConfig {
+            window_ms: 1_000,
+            max_admits_per_window: 4,
+        });
+        let only = PopulationName::new("pop/only");
+        // Lazy registration on first call; with no one else contending,
+        // fairness never binds and the behavior matches `try_admit`.
+        let admitted: u64 = (0..6)
+            .map(|i| u64::from(budget.try_admit_for(i, &only)))
+            .sum();
+        assert_eq!(admitted, 4);
+        assert_eq!(budget.registered_populations(), vec![only]);
+    }
+
+    #[test]
+    fn fair_share_resets_each_window() {
+        let budget = GlobalAdmissionBudget::new(GlobalAdmissionConfig {
+            window_ms: 1_000,
+            max_admits_per_window: 4,
+        });
+        let a = PopulationName::new("pop/a");
+        let b = PopulationName::new("pop/b");
+        budget.register_population(&a);
+        budget.register_population(&b);
+        for i in 0..4 {
+            let _ = budget.try_admit_for(i, &a);
+        }
+        // Next window: A's share is fresh again.
+        assert!(budget.try_admit_for(1_500, &a));
     }
 
     #[test]

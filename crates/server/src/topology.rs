@@ -22,7 +22,8 @@ use fl_actors::{ActorRef, ActorSystem};
 use fl_analytics::overload::{OverloadMetrics, OverloadMonitorConfig};
 use fl_core::plan::FlPlan;
 use fl_core::population::TaskGroup;
-use fl_core::CoreError;
+use fl_core::{CoreError, PopulationName};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Everything needed to build one Selector of the tree.
@@ -239,6 +240,130 @@ pub fn spawn_topology<S: CheckpointStore + Send + 'static>(
     LiveTopology {
         selectors,
         coordinator: coord_ref,
+        global_budget: budget,
+        telemetry,
+    }
+}
+
+/// Handles to a spawned multi-tenant live tree: one Coordinator per
+/// population, every Selector routing check-ins by the wire-carried
+/// [`PopulationName`].
+#[derive(Debug)]
+pub struct MultiTopology {
+    /// The Selector actors, in blueprint order.
+    pub selectors: Vec<ActorRef<SelectorMsg>>,
+    /// One Coordinator actor per population, keyed by its name.
+    pub coordinators: BTreeMap<PopulationName, ActorRef<CoordMsg>>,
+    /// The shared admission budget, when the blueprint configured one.
+    /// Every population is registered on it at spawn, so fair-share
+    /// reservations exist before the first check-in arrives.
+    pub global_budget: Option<GlobalAdmissionBudget>,
+    /// Shared overload telemetry, when the blueprint configured it; the
+    /// Selector layer records per-population accept/shed/retry series.
+    pub telemetry: Option<SharedOverloadMetrics>,
+}
+
+impl MultiTopology {
+    /// The Coordinator actor owning `population`, if it was spawned.
+    pub fn coordinator(&self, population: &PopulationName) -> Option<&ActorRef<CoordMsg>> {
+        self.coordinators.get(population)
+    }
+
+    /// Asks every actor in the tree to stop. Idempotent send-or-ignore
+    /// like [`LiveTopology::shutdown`].
+    pub fn shutdown(&self) {
+        for s in &self.selectors {
+            let _ = s.send(SelectorMsg::Shutdown);
+        }
+        for c in self.coordinators.values() {
+            let _ = c.send(CoordMsg::Shutdown);
+        }
+    }
+}
+
+/// Spawns the multi-tenant live tree (Sec. 2.1/4.2: "Each population of
+/// devices corresponds to a different learning problem" and "The
+/// Coordinators are the top-level actors, one per population"): one
+/// `"coordinator-<population>"` actor per entry — each already holding
+/// its own lease on the shared locking service — plus the blueprint's
+/// `"selector-<i>"` layer, with every Selector routing check-ins to the
+/// owning population's Coordinator and holding that population against
+/// the paired per-selector quota. All populations are registered on the
+/// blueprint's shared [`GlobalAdmissionBudget`], so cross-population
+/// admission fairness is in force from the first check-in.
+///
+/// # Panics
+///
+/// Panics when `coordinators` is empty: a tree with no population has no
+/// default route.
+pub fn spawn_multi_topology<S: CheckpointStore + Send + 'static>(
+    system: &ActorSystem,
+    coordinators: Vec<(CoordinatorActor<S>, usize)>,
+    blueprint: &TopologyBlueprint,
+) -> MultiTopology {
+    assert!(
+        !coordinators.is_empty(),
+        "multi-tenant topology needs at least one population coordinator"
+    );
+    let budget = blueprint.build_global_budget();
+    let telemetry: Option<SharedOverloadMetrics> = blueprint.telemetry.map(|config| {
+        Arc::new(fl_race::Mutex::new(
+            crate::live::OVERLOAD_METRICS,
+            OverloadMetrics::new(config, 0),
+        ))
+    });
+    let mut coord_refs: BTreeMap<PopulationName, ActorRef<CoordMsg>> = BTreeMap::new();
+    let mut quotas: Vec<(PopulationName, usize)> = Vec::new();
+    for (actor, quota) in coordinators {
+        let population = actor.population();
+        if let Some(budget) = &budget {
+            budget.register_population(&population);
+        }
+        let actor = match &telemetry {
+            Some(telemetry) => actor.with_telemetry(telemetry.clone()),
+            None => actor,
+        };
+        let coord_ref = system.spawn(format!("coordinator-{population}"), actor);
+        coord_refs.insert(population.clone(), coord_ref);
+        quotas.push((population, quota));
+    }
+    // Deterministic default route (first population in name order); every
+    // known population has an explicit route, so the default only catches
+    // check-ins for populations this tree does not serve.
+    let default_route = match coord_refs.values().next() {
+        Some(route) => route.clone(),
+        // Unreachable: the entry assert guarantees one coordinator.
+        None => {
+            return MultiTopology {
+                selectors: Vec::new(),
+                coordinators: coord_refs,
+                global_budget: budget,
+                telemetry,
+            }
+        }
+    };
+    let selectors = blueprint
+        .build_selectors(budget.as_ref())
+        .into_iter()
+        .enumerate()
+        .map(|(i, selector)| {
+            let mut actor = SelectorActor::new(selector, default_route.clone());
+            for (population, quota) in &quotas {
+                actor = actor.with_route(
+                    population.clone(),
+                    coord_refs[population].clone(),
+                    *quota,
+                );
+            }
+            if let Some(telemetry) = &telemetry {
+                actor = actor.with_telemetry(telemetry.clone());
+            }
+            system.spawn(format!("selector-{i}"), actor)
+        })
+        .collect();
+    MultiTopology {
+        selectors,
+        coordinators: coord_refs,
         global_budget: budget,
         telemetry,
     }

@@ -36,7 +36,7 @@ use fl_analytics::FaultLog;
 use fl_core::plan::{CodecSpec, ModelSpec};
 use fl_core::population::{TaskGroup, TaskSelectionStrategy};
 use fl_core::round::{RoundConfig, RoundOutcome};
-use fl_core::{CoreError, DeviceId, FlPlan, FlTask};
+use fl_core::{CoreError, DeviceId, FlPlan, FlTask, PopulationName};
 use fl_ml::rng;
 use fl_server::aggregator::DropStage;
 use fl_server::coordinator::{ActiveRound, Coordinator, CoordinatorConfig};
@@ -692,10 +692,11 @@ impl Harness<'_> {
         }
         // The check-in crosses the wire as a framed request; the server
         // side acts only on what it decoded.
-        let Some(WireMessage::CheckinRequest { device: wired }) = self.wire_uplink(
+        let Some(WireMessage::CheckinRequest { device: wired, .. }) = self.wire_uplink(
             now,
             &WireMessage::CheckinRequest {
                 device: DeviceId(device),
+                population: PopulationName::new(POPULATION),
             },
         ) else {
             return;
@@ -708,9 +709,10 @@ impl Harness<'_> {
         match selector.on_checkin(wired, now, 1.0) {
             CheckinDecision::Accept => selector.on_disconnect(wired),
             CheckinDecision::Reject { retry_at_ms } => {
-                let _ = self
-                    .server_wire
-                    .send(&WireMessage::ComeBackLater { retry_at_ms });
+                let _ = self.server_wire.send(&WireMessage::ComeBackLater {
+                    retry_at_ms,
+                    population: PopulationName::new(POPULATION),
+                });
                 self.drain_downlink();
                 self.pool.add(wired, now);
                 return;
@@ -724,6 +726,7 @@ impl Harness<'_> {
                     let _ = self.server_wire.send(&WireMessage::PlanAndCheckpoint {
                         plan: Box::new(round.plan.clone()),
                         checkpoint: Box::new(round.checkpoint.clone()),
+                        population: PopulationName::new(POPULATION),
                     });
                     self.schedule_report(now, wired.0);
                 }
@@ -782,6 +785,7 @@ impl Harness<'_> {
                 weight,
                 loss,
                 accuracy,
+                population: PopulationName::new(POPULATION),
             };
             let Some(WireMessage::SecAggReport {
                 device: wired,
@@ -791,6 +795,7 @@ impl Harness<'_> {
                 weight,
                 loss,
                 accuracy,
+                ..
             }) = self.wire_uplink(now, &report_msg)
             else {
                 return;
@@ -805,6 +810,7 @@ impl Harness<'_> {
                         accepted,
                         round: wired_round,
                         attempt: wired_attempt,
+                        population: PopulationName::new(POPULATION),
                     });
                     self.drain_downlink();
                 }
@@ -823,6 +829,7 @@ impl Harness<'_> {
             weight,
             loss,
             accuracy,
+            population: PopulationName::new(POPULATION),
         };
         let Some(WireMessage::UpdateReport {
             device: wired,
@@ -832,6 +839,7 @@ impl Harness<'_> {
             weight,
             loss,
             accuracy,
+            ..
         }) = self.wire_uplink(now, &report_msg)
         else {
             return;
@@ -846,6 +854,7 @@ impl Harness<'_> {
                     accepted,
                     round: wired_round,
                     attempt: wired_attempt,
+                    population: PopulationName::new(POPULATION),
                 });
                 self.drain_downlink();
             }

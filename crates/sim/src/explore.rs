@@ -214,13 +214,15 @@ fn explore_round(
             let sel = selector_refs[0].clone();
             let coord = coord_ref.clone();
             std::thread::spawn(move || -> DeviceOutcome {
-                let conn = DeviceConn::connect(DeviceId(i), sel, coord);
+                let conn = DeviceConn::connect(DeviceId(i), POPULATION, sel, coord);
                 if conn.check_in().is_err() {
                     return DeviceOutcome::Failed(format!("device {i}: selector gone"));
                 }
                 loop {
                     match conn.recv(WAIT) {
-                        Ok(WireMessage::PlanAndCheckpoint { plan, checkpoint }) => {
+                        Ok(WireMessage::PlanAndCheckpoint {
+                            plan, checkpoint, ..
+                        }) => {
                             let dim = plan.server.expected_dim;
                             if checkpoint.len() != dim {
                                 return DeviceOutcome::Failed(format!(

@@ -53,6 +53,7 @@ pub fn measured_payload_sizes(model: ModelSpec, codec: CodecSpec) -> (usize, usi
     let download_frame = fl_server::wire::encode(&WireMessage::PlanAndCheckpoint {
         plan: Box::new(plan),
         checkpoint: Box::new(checkpoint),
+        population: fl_core::PopulationName::new("fleet/train"),
     })
     .expect("plan frame encodes");
     let plan_bytes = download_frame.len().saturating_sub(checkpoint_bytes);
@@ -64,6 +65,7 @@ pub fn measured_payload_sizes(model: ModelSpec, codec: CodecSpec) -> (usize, usi
         weight: 1,
         loss: 0.0,
         accuracy: 0.0,
+        population: fl_core::PopulationName::new("fleet/train"),
     })
     .expect("update frame encodes");
     (plan_bytes, checkpoint_bytes, update_frame.len())

@@ -24,6 +24,11 @@
 //! * [`overload`] — flash-crowd / thundering-herd / diurnal-ramp stress
 //!   scenarios auditing the Sec. 2.3 flow-control loop (admission
 //!   shedding, closed-loop pace steering, device retry budgets),
+//! * [`multi`] — multi-population (multi-tenant) scenarios: several FL
+//!   populations sharing one fleet and one Selector layer, auditing
+//!   cross-population fairness under asymmetric load (a flash crowd in
+//!   one tenant must not starve another's accepts or commits) and the
+//!   device-side single-active-session arbitration (Sec. 2.1/3),
 //! * [`fleet`] — the fleet-dynamics scenario driving the real
 //!   `fl-server` round state machines with tens of thousands of simulated
 //!   devices over simulated days (regenerates Figs. 5–9 and Table 1),
@@ -37,6 +42,7 @@ pub mod chaos;
 pub mod des;
 pub mod explore;
 pub mod fleet;
+pub mod multi;
 pub mod netchaos;
 pub mod network;
 pub mod overload;
@@ -46,6 +52,7 @@ pub use availability::DiurnalAvailability;
 pub use chaos::{run_chaos_with_schedule, ChaosConfig, ChaosReport, Fault, FaultPlan};
 pub use explore::{explore_chaos, explore_live_round, explore_secagg_live_round, ExploreReport};
 pub use fleet::{FleetConfig, FleetReport};
+pub use multi::{run_multi_tenant, MultiTenantConfig, MultiTenantReport};
 pub use netchaos::{run_wire_chaos, run_wire_chaos_secagg, WireChaosReport};
 pub use overload::{OverloadConfig, OverloadReport, OverloadScenario};
 pub use training::{TrainingRunConfig, TrainingRunReport};

@@ -38,7 +38,7 @@ use fl_analytics::overload::OverloadMonitorConfig;
 use fl_core::plan::{CodecSpec, FlPlan, ModelSpec};
 use fl_core::population::{FlTask, TaskGroup, TaskSelectionStrategy};
 use fl_core::round::{RoundConfig, RoundOutcome};
-use fl_core::DeviceId;
+use fl_core::{DeviceId, PopulationName};
 use fl_device::UploadSession;
 use fl_server::coordinator::CoordinatorConfig;
 use fl_server::live::{coordinator_lease_name, CoordMsg, CoordinatorActor, SelectorMsg};
@@ -233,10 +233,9 @@ pub struct WireChaosReport {
     pub faults: FaultStats,
     /// Per-device `(accepted attempt, total sends)`, indexed by device.
     pub device_attempts: Vec<(u32, u32)>,
-    /// The committed model parameters — with no byte-flip faults in the
-    /// run they must be exactly the cohort average; with byte-flips they
-    /// are whatever deterministic value the mangled-but-decodable frames
-    /// produced.
+    /// The committed model parameters — always exactly the cohort
+    /// average: the frame integrity trailer guarantees a byte-flipped
+    /// frame dies as a typed decode error instead of reaching the sum.
     pub params: Vec<f32>,
     /// Invariant violations; empty on a clean run.
     pub violations: Vec<String>,
@@ -310,12 +309,21 @@ fn run_device(
     index: u64,
     secagg_k: Option<usize>,
 ) -> DeviceOutcome {
-    if conn.send(&WireMessage::CheckinRequest { device }).is_err() {
+    let population = PopulationName::new(POPULATION);
+    if conn
+        .send(&WireMessage::CheckinRequest {
+            device,
+            population: population.clone(),
+        })
+        .is_err()
+    {
         return DeviceOutcome::Failed(format!("device {index}: selector gone"));
     }
     let (plan, checkpoint) = loop {
         match conn.recv(WAIT) {
-            Ok(WireMessage::PlanAndCheckpoint { plan, checkpoint }) => break (plan, checkpoint),
+            Ok(WireMessage::PlanAndCheckpoint {
+                plan, checkpoint, ..
+            }) => break (plan, checkpoint),
             Ok(other) => {
                 return DeviceOutcome::Failed(format!(
                     "device {index}: unexpected pre-config reply {other:?}"
@@ -342,6 +350,7 @@ fn run_device(
                 weight: 1,
                 loss: 0.4,
                 accuracy: 0.9,
+                population: population.clone(),
             },
             None => WireMessage::UpdateReport {
                 device,
@@ -351,6 +360,7 @@ fn run_device(
                 weight: 1,
                 loss: 0.4,
                 accuracy: 0.9,
+                population: population.clone(),
             },
         })
     };
@@ -380,6 +390,7 @@ fn run_device(
                     accepted,
                     round: r,
                     attempt: a,
+                    ..
                 }) if r == round && a == attempt => {
                     if accepted {
                         return DeviceOutcome::Accepted { attempt, sends };
@@ -397,10 +408,10 @@ fn run_device(
                     attempt = a2;
                     continue 'send;
                 }
-                // Ghost acks (a corrupted frame evaluated under a
-                // mangled key, or the coordinator's reject of an
-                // undecodable frame) and re-pushed configurations:
-                // not ours, keep waiting for the real verdict.
+                // Stray replies (the coordinator's keyless reject of a
+                // frame the integrity trailer killed, or a re-pushed
+                // configuration): not ours, keep waiting for the real
+                // verdict.
                 Ok(_) => {
                     strays += 1;
                     if strays > 64 {
@@ -636,20 +647,18 @@ fn run(scenario: &'static str, seed: u64, secagg_k: Option<usize>) -> WireChaosR
             report.faults.disconnects
         ));
     }
-    // With no byte-mangling faults the committed model must be the
-    // exact cohort average (every accepted frame was the one built by
-    // its device). With byte-flips, a mangled-but-decodable frame may
-    // legitimately pollute the sum — deterministically, which the
-    // render captures.
-    if report.faults.corrupted == 0 && report.faults.truncated == 0 {
-        for p in &report.params {
-            if (p - 0.5).abs() > 1e-3 {
-                report.violations.push(format!(
-                    "fault-free payloads but committed params drifted: {:?}",
-                    report.params
-                ));
-                break;
-            }
+    // The committed model must be the exact cohort average no matter
+    // what the scripts did: the frame integrity trailer kills every
+    // byte-flipped or truncated frame at decode, so only frames built
+    // by a device (all reporting 0.5 per coordinate) can ever reach the
+    // sum.
+    for p in &report.params {
+        if (p - 0.5).abs() > 1e-3 {
+            report.violations.push(format!(
+                "a mangled frame polluted the committed params: {:?}",
+                report.params
+            ));
+            break;
         }
     }
     if locks.lookup(&lease_name).is_some() {

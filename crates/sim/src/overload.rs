@@ -29,7 +29,7 @@ use crate::des::EventQueue;
 use fl_analytics::overload::{OverloadMetrics, OverloadMonitorConfig};
 use fl_core::plan::{CodecSpec, ModelSpec};
 use fl_core::round::{RoundConfig, RoundOutcome};
-use fl_core::{DeviceId, FlCheckpoint, FlPlan, RetryPolicy, RoundId};
+use fl_core::{DeviceId, FlCheckpoint, FlPlan, PopulationName, RetryPolicy, RoundId};
 use fl_device::connectivity::{ConnectivityManager, RetryDecision};
 use fl_ml::fixedpoint::FixedPointEncoder;
 use fl_ml::rng;
@@ -557,6 +557,9 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
     // front door speak. Frames are pure functions of the messages, so the
     // byte counters replay identically per seed.
     let (device_wire, server_wire) = ChannelTransport::pair();
+    // The overload harness drives a single population; every v3 frame
+    // carries its name (the multi-population sweep lives in `multi`).
+    let population = PopulationName::new("overload/train");
     // One shared Configuration payload (the overload harness models flow
     // control, not learning, so every selected device downloads the same
     // small plan + checkpoint).
@@ -573,6 +576,7 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
             CodecSpec::Identity,
         )),
         checkpoint: Box::new(FlCheckpoint::new("overload/train", RoundId(1), vec![0.0; 10])),
+        population: population.clone(),
     };
 
     // Sends `msg` up the in-memory wire and decodes what the server side
@@ -645,9 +649,12 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
                 let activity = scenario_activity(&config.scenario, now);
                 // The check-in crosses the wire as a framed request; the
                 // Selector acts only on what it decoded.
-                let Some(WireMessage::CheckinRequest { device: wired }) = wire_uplink!(
+                let Some(WireMessage::CheckinRequest { device: wired, .. }) = wire_uplink!(
                     now,
-                    &WireMessage::CheckinRequest { device: DeviceId(device) }
+                    &WireMessage::CheckinRequest {
+                        device: DeviceId(device),
+                        population: population.clone(),
+                    }
                 ) else {
                     continue;
                 };
@@ -670,9 +677,15 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
                         let shed = selector.shed_total() > shed_before;
                         if shed {
                             metrics.record_shed(now);
-                            wire_downlink!(&WireMessage::Shed { retry_at_ms });
+                            wire_downlink!(&WireMessage::Shed {
+                                retry_at_ms,
+                                population: population.clone(),
+                            });
                         } else {
-                            wire_downlink!(&WireMessage::ComeBackLater { retry_at_ms });
+                            wire_downlink!(&WireMessage::ComeBackLater {
+                                retry_at_ms,
+                                population: population.clone(),
+                            });
                         }
                         handle_rejection!(device, now, Some(retry_at_ms));
                     }
@@ -704,7 +717,8 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
                                 CheckinResponse::AlreadySelected => {}
                                 CheckinResponse::NotSelecting => {
                                     wire_downlink!(&WireMessage::ComeBackLater {
-                                        retry_at_ms: now
+                                        retry_at_ms: now,
+                                        population: population.clone(),
                                     });
                                     devices[d.0 as usize].phase = DevPhase::Idle;
                                     handle_rejection!(d.0, now, None);
@@ -744,6 +758,7 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
                         weight,
                         loss,
                         accuracy,
+                        population: population.clone(),
                     };
                     let Some(WireMessage::SecAggReport {
                         device: wired,
@@ -773,6 +788,7 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
                         weight,
                         loss,
                         accuracy,
+                        population: population.clone(),
                     };
                     let Some(WireMessage::UpdateReport { device: wired, .. }) =
                         wire_uplink!(now, &report_msg)
@@ -789,6 +805,7 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
                     accepted,
                     round: round_key,
                     attempt: 1,
+                    population: population.clone(),
                 });
                 // The next natural participation is the device's periodic
                 // FL job, a population-scaled horizon away (Sec. 3: jobs

@@ -18,13 +18,28 @@ use std::fmt;
 /// [`WireMessage::ReportAck`] echoes it — the at-most-once report
 /// contract (a retried upload is answered with the original ack, never
 /// summed twice).
-pub const PROTOCOL_VERSION: u8 = 2;
+///
+/// v3: the device↔server exchange is multi-tenant —
+/// [`WireMessage::CheckinRequest`], [`WireMessage::PlanAndCheckpoint`],
+/// the report frames, and the reject/ack replies all carry a
+/// `PopulationName` (appended as a `u16` length-prefixed string at the
+/// end of each body), so one Selector can demultiplex check-ins by
+/// population and a Coordinator can refuse cross-tenant reports. v3
+/// frames also end in an integrity trailer: an FNV-1a 64 checksum over
+/// header + body (see [`checksum`]), so in-flight bit rot dies as a
+/// typed [`WireError::ChecksumMismatch`] instead of forging a
+/// decodable frame under a ghost report key.
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Two-byte frame magic ("FW" — framed wire).
 pub const MAGIC: [u8; 2] = *b"FW";
 
 /// Fixed header size: magic (2) + version (1) + tag (1) + body length (4).
 pub const HEADER_LEN: usize = 8;
+
+/// Integrity trailer size: the FNV-1a 64 [`checksum`] of header + body,
+/// little-endian, appended after the body.
+pub const TRAILER_LEN: usize = 8;
 
 /// Upper bound on a frame body. The largest legitimate payload is a
 /// [`WireMessage::PlanAndCheckpoint`] for a Gboard-scale model (plan
@@ -77,6 +92,16 @@ pub enum WireError {
         /// What was wrong.
         what: &'static str,
     },
+    /// The integrity trailer does not match the header + body bytes —
+    /// the frame was mangled in flight. Every single-byte flip is
+    /// guaranteed to land here: each FNV-1a step is a bijection on the
+    /// 64-bit state, so one differing byte always changes the digest.
+    ChecksumMismatch {
+        /// The checksum recomputed over the received header + body.
+        expected: u64,
+        /// The checksum carried in the frame's trailer.
+        found: u64,
+    },
     /// A string field is longer than the wire's `u16` length prefix can
     /// carry. Encoding refuses rather than truncating: a silently
     /// clipped string would round-trip to a *different* message than
@@ -115,6 +140,9 @@ impl fmt::Display for WireError {
                 write!(f, "{extra} trailing bytes after frame")
             }
             WireError::Malformed { what } => write!(f, "malformed body: {what}"),
+            WireError::ChecksumMismatch { expected, found } => {
+                write!(f, "checksum mismatch: computed {expected:016x}, frame says {found:016x}")
+            }
             WireError::StringTooLong { len, max } => {
                 write!(f, "string of {len} bytes exceeds wire limit of {max}")
             }
@@ -127,7 +155,20 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-/// Encodes a message into one complete frame (header + body).
+/// FNV-1a 64 over `bytes` — the frame integrity digest. Not
+/// cryptographic (SecAgg handles adversaries; this is against bit rot),
+/// but every step is a bijection on the 64-bit state, so any
+/// single-byte difference is detected with certainty, not probability.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Encodes a message into one complete frame (header + body + trailer).
 ///
 /// # Errors
 ///
@@ -135,18 +176,20 @@ impl std::error::Error for WireError {}
 /// length prefix — the encoder refuses rather than silently truncating.
 pub fn encode(msg: &WireMessage) -> Result<Vec<u8>, WireError> {
     let body = msg.encode_body()?;
-    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len() + TRAILER_LEN);
     out.extend_from_slice(&MAGIC);
     out.push(PROTOCOL_VERSION);
     out.push(msg.tag());
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
     out.extend_from_slice(&body);
+    let digest = checksum(&out);
+    out.extend_from_slice(&digest.to_le_bytes());
     Ok(out)
 }
 
 /// Size of the frame [`encode`] would produce, without encoding it.
 pub fn encoded_len(msg: &WireMessage) -> usize {
-    HEADER_LEN + msg.body_len()
+    HEADER_LEN + msg.body_len() + TRAILER_LEN
 }
 
 /// Decodes exactly one frame; trailing bytes are an error.
@@ -174,14 +217,27 @@ pub fn decode(frame: &[u8]) -> Result<WireMessage, WireError> {
 /// otherwise the same envelope/body errors as [`decode`].
 pub fn decode_prefix(buf: &[u8]) -> Result<(WireMessage, usize), WireError> {
     let (tag, body_len) = parse_header(buf)?;
-    let total = HEADER_LEN + body_len;
+    let total = HEADER_LEN + body_len + TRAILER_LEN;
     if buf.len() < total {
         return Err(WireError::Truncated {
             needed: total,
             have: buf.len(),
         });
     }
-    let msg = WireMessage::decode_body(tag, &buf[HEADER_LEN..total])?;
+    // Verify the integrity trailer before trusting a single body byte:
+    // a bit-flipped frame must die here, not decode into a plausible
+    // message under a mangled key.
+    let content_end = HEADER_LEN + body_len;
+    let expected = checksum(&buf[..content_end]);
+    let found = u64::from_le_bytes(
+        buf[content_end..total]
+            .try_into()
+            .unwrap_or([0; TRAILER_LEN]),
+    );
+    if expected != found {
+        return Err(WireError::ChecksumMismatch { expected, found });
+    }
+    let msg = WireMessage::decode_body(tag, &buf[HEADER_LEN..content_end])?;
     Ok((msg, total))
 }
 

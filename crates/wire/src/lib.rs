@@ -25,14 +25,17 @@
 //! 3       1     message tag (see `tag`)
 //! 4       4     body length, u32 little-endian (<= MAX_BODY_LEN)
 //! 8       n     body (per-message layout, see DESIGN.md §8)
+//! 8+n     8     FNV-1a 64 checksum of header + body, little-endian
 //! ```
 //!
 //! Decoding rejects, with a typed [`WireError`], every malformed input
 //! class: truncation (of header or body), bad magic, version skew, an
 //! unknown message tag (forward compatibility: a frame from a newer
-//! protocol is *refused*, never misparsed), and oversized length
-//! prefixes. The golden-bytes fixture in `tests/golden.rs` pins the
-//! exact layout; any accidental change fails loudly.
+//! protocol is *refused*, never misparsed), oversized length prefixes,
+//! and integrity-trailer mismatches (any single flipped byte is caught
+//! with certainty — see [`checksum`]). The golden-bytes fixture in
+//! `tests/golden.rs` pins the exact layout; any accidental change fails
+//! loudly.
 //!
 //! Because real device links corrupt, drop, and replay frames (Sec.
 //! 2.2), the crate also ships its own adversary: [`FaultyTransport`]
@@ -52,8 +55,8 @@ mod transport;
 
 pub use fault::{FaultScript, FaultStats, FaultyTransport, FrameFault};
 pub use frame::{
-    decode, decode_prefix, encode, encoded_len, peek_tag, WireError, HEADER_LEN, MAGIC,
-    MAX_BODY_LEN, PROTOCOL_VERSION,
+    checksum, decode, decode_prefix, encode, encoded_len, peek_tag, WireError, HEADER_LEN, MAGIC,
+    MAX_BODY_LEN, PROTOCOL_VERSION, TRAILER_LEN,
 };
 pub use message::{tag, WireMessage};
 pub use transport::{ChannelTransport, TcpTransport, Transport, WireSink, WireStats};

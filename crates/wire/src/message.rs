@@ -17,7 +17,7 @@
 
 use crate::frame::{put, Reader, WireError};
 use fl_core::plan::{CodecSpec, DevicePlan, ModelSpec, PlanOp, ServerPlan};
-use fl_core::{DeviceId, FlCheckpoint, FlPlan, RoundId};
+use fl_core::{DeviceId, FlCheckpoint, FlPlan, PopulationName, RoundId};
 
 /// Message tag bytes. Frozen: new messages append, existing values
 /// never change (the golden fixture enforces this).
@@ -55,16 +55,23 @@ pub mod tag {
 /// Selector↔Aggregator traffic behind it (Sec. 4.2).
 #[derive(Debug, Clone, PartialEq)]
 pub enum WireMessage {
-    /// Device → Selector: "device checks in" (Sec. 2.3).
+    /// Device → Selector: "device checks in" (Sec. 2.3), naming the FL
+    /// population it wants work for (Sec. 2.1) so one Selector can
+    /// demultiplex a multi-tenant fleet.
     CheckinRequest {
         /// The device identity.
         device: DeviceId,
+        /// The population the device is checking in for.
+        population: PopulationName,
     },
     /// Selector → device: not selected; "reconnect at a later point in
     /// time" (Sec. 2.3). The retry window is the pace-steering output.
     ComeBackLater {
         /// Absolute epoch-ms the device should try again at.
         retry_at_ms: u64,
+        /// Echo of the check-in's population, so a multi-tenant device
+        /// runtime charges the retry to the right population's budget.
+        population: PopulationName,
     },
     /// Selector → device: turned away by admission control / the global
     /// shed budget (overload, Sec. 2.3's flow control under load) rather
@@ -72,6 +79,9 @@ pub enum WireMessage {
     Shed {
         /// Absolute epoch-ms the device should try again at.
         retry_at_ms: u64,
+        /// Echo of the check-in's population (see
+        /// [`WireMessage::ComeBackLater`]).
+        population: PopulationName,
     },
     /// Coordinator → device: the Configuration download (Sec. 3) — the
     /// FL plan plus the current global model checkpoint.
@@ -81,6 +91,9 @@ pub enum WireMessage {
         plan: Box<FlPlan>,
         /// The global model checkpoint.
         checkpoint: Box<FlCheckpoint>,
+        /// The population this configuration belongs to; the device runs
+        /// the session under this population's scheduler slot.
+        population: PopulationName,
     },
     /// Device → Coordinator: the Reporting upload (Sec. 3) — the
     /// codec-compressed model update plus training metrics.
@@ -106,6 +119,10 @@ pub enum WireMessage {
         loss: f64,
         /// Top-1 accuracy (NaN if the plan computed none).
         accuracy: f64,
+        /// The population whose Coordinator this report is for; a
+        /// Coordinator refuses (typed, acked-rejected) a report naming
+        /// a population other than its own.
+        population: PopulationName,
     },
     /// Coordinator → device: the report was received; `accepted` is
     /// false when it arrived too late or the round had moved on. Echoes
@@ -119,6 +136,9 @@ pub enum WireMessage {
         round: RoundId,
         /// Echo of the report's attempt number.
         attempt: u32,
+        /// Echo of the report's population (the ack answers that
+        /// population's upload session on a multi-tenant device).
+        population: PopulationName,
     },
     /// Coordinator → Master Aggregator: stream one device's update into
     /// the round's aggregation tree (Sec. 4.2).
@@ -171,6 +191,9 @@ pub enum WireMessage {
         loss: f64,
         /// Top-1 accuracy (NaN if the plan computed none).
         accuracy: f64,
+        /// The population whose Coordinator this report is for (same
+        /// cross-tenant refusal contract as [`WireMessage::UpdateReport`]).
+        population: PopulationName,
     },
     /// Coordinator → Master Aggregator: stream one device's SecAgg
     /// field vector into the round's aggregation tree (Sec. 4.2 + 6).
@@ -231,15 +254,29 @@ impl WireMessage {
     pub(crate) fn encode_body(&self) -> Result<Vec<u8>, WireError> {
         let mut out = Vec::with_capacity(self.body_len());
         match self {
-            WireMessage::CheckinRequest { device } => {
+            WireMessage::CheckinRequest { device, population } => {
                 out.extend_from_slice(&device.0.to_le_bytes());
+                put::string(&mut out, population.as_str())?;
             }
-            WireMessage::ComeBackLater { retry_at_ms } | WireMessage::Shed { retry_at_ms } => {
+            WireMessage::ComeBackLater {
+                retry_at_ms,
+                population,
+            }
+            | WireMessage::Shed {
+                retry_at_ms,
+                population,
+            } => {
                 out.extend_from_slice(&retry_at_ms.to_le_bytes());
+                put::string(&mut out, population.as_str())?;
             }
-            WireMessage::PlanAndCheckpoint { plan, checkpoint } => {
+            WireMessage::PlanAndCheckpoint {
+                plan,
+                checkpoint,
+                population,
+            } => {
                 encode_plan(&mut out, plan);
                 put::bytes(&mut out, &checkpoint.to_bytes());
+                put::string(&mut out, population.as_str())?;
             }
             WireMessage::UpdateReport {
                 device,
@@ -249,6 +286,7 @@ impl WireMessage {
                 weight,
                 loss,
                 accuracy,
+                population,
             } => {
                 out.extend_from_slice(&device.0.to_le_bytes());
                 out.extend_from_slice(&round.0.to_le_bytes());
@@ -257,15 +295,18 @@ impl WireMessage {
                 out.extend_from_slice(&loss.to_le_bytes());
                 out.extend_from_slice(&accuracy.to_le_bytes());
                 put::bytes(&mut out, update_bytes);
+                put::string(&mut out, population.as_str())?;
             }
             WireMessage::ReportAck {
                 accepted,
                 round,
                 attempt,
+                population,
             } => {
                 out.push(u8::from(*accepted));
                 out.extend_from_slice(&round.0.to_le_bytes());
                 out.extend_from_slice(&attempt.to_le_bytes());
+                put::string(&mut out, population.as_str())?;
             }
             WireMessage::ShardUpdate {
                 device,
@@ -306,6 +347,7 @@ impl WireMessage {
                 weight,
                 loss,
                 accuracy,
+                population,
             } => {
                 out.extend_from_slice(&device.0.to_le_bytes());
                 out.extend_from_slice(&round.0.to_le_bytes());
@@ -314,6 +356,7 @@ impl WireMessage {
                 out.extend_from_slice(&loss.to_le_bytes());
                 out.extend_from_slice(&accuracy.to_le_bytes());
                 put::u64s(&mut out, field_vector);
+                put::string(&mut out, population.as_str())?;
             }
             WireMessage::SecAggUpdate {
                 device,
@@ -346,16 +389,20 @@ impl WireMessage {
     /// Body size in bytes, without encoding.
     pub(crate) fn body_len(&self) -> usize {
         match self {
-            WireMessage::CheckinRequest { .. }
-            | WireMessage::ComeBackLater { .. }
-            | WireMessage::Shed { .. } => 8,
-            WireMessage::PlanAndCheckpoint { plan, checkpoint } => {
-                plan_encoded_len(plan) + 4 + checkpoint.encoded_size()
-            }
-            WireMessage::UpdateReport { update_bytes, .. } => {
-                8 + 8 + 4 + 8 + 8 + 8 + 4 + update_bytes.len()
-            }
-            WireMessage::ReportAck { .. } => 1 + 8 + 4,
+            WireMessage::CheckinRequest { population, .. }
+            | WireMessage::ComeBackLater { population, .. }
+            | WireMessage::Shed { population, .. } => 8 + pop_len(population),
+            WireMessage::PlanAndCheckpoint {
+                plan,
+                checkpoint,
+                population,
+            } => plan_encoded_len(plan) + 4 + checkpoint.encoded_size() + pop_len(population),
+            WireMessage::UpdateReport {
+                update_bytes,
+                population,
+                ..
+            } => 8 + 8 + 4 + 8 + 8 + 8 + 4 + update_bytes.len() + pop_len(population),
+            WireMessage::ReportAck { population, .. } => 1 + 8 + 4 + pop_len(population),
             WireMessage::ShardUpdate { update_bytes, .. } => 8 + 8 + 4 + update_bytes.len(),
             WireMessage::ShardFinalize {
                 current_params,
@@ -366,9 +413,11 @@ impl WireMessage {
                 Err(reason) => 1 + 2 + reason.len(),
             },
             WireMessage::ShardAbort => 0,
-            WireMessage::SecAggReport { field_vector, .. } => {
-                8 + 8 + 4 + 8 + 8 + 8 + 4 + field_vector.len() * 8
-            }
+            WireMessage::SecAggReport {
+                field_vector,
+                population,
+                ..
+            } => 8 + 8 + 4 + 8 + 8 + 8 + 4 + field_vector.len() * 8 + pop_len(population),
             WireMessage::SecAggUpdate { field_vector, .. } => 8 + 8 + 4 + field_vector.len() * 8,
             WireMessage::SecAggFinalize {
                 current_params,
@@ -392,12 +441,15 @@ impl WireMessage {
         let msg = match tag_byte {
             tag::CHECKIN_REQUEST => WireMessage::CheckinRequest {
                 device: DeviceId(r.u64()?),
+                population: read_population(&mut r)?,
             },
             tag::COME_BACK_LATER => WireMessage::ComeBackLater {
                 retry_at_ms: r.u64()?,
+                population: read_population(&mut r)?,
             },
             tag::SHED => WireMessage::Shed {
                 retry_at_ms: r.u64()?,
+                population: read_population(&mut r)?,
             },
             tag::PLAN_AND_CHECKPOINT => {
                 let plan = decode_plan(&mut r)?;
@@ -410,6 +462,7 @@ impl WireMessage {
                 WireMessage::PlanAndCheckpoint {
                     plan: Box::new(plan),
                     checkpoint: Box::new(checkpoint),
+                    population: read_population(&mut r)?,
                 }
             }
             tag::UPDATE_REPORT => WireMessage::UpdateReport {
@@ -420,11 +473,13 @@ impl WireMessage {
                 loss: r.f64()?,
                 accuracy: r.f64()?,
                 update_bytes: r.bytes()?,
+                population: read_population(&mut r)?,
             },
             tag::REPORT_ACK => WireMessage::ReportAck {
                 accepted: r.bool()?,
                 round: RoundId(r.u64()?),
                 attempt: r.u32()?,
+                population: read_population(&mut r)?,
             },
             tag::SHARD_UPDATE => WireMessage::ShardUpdate {
                 device: DeviceId(r.u64()?),
@@ -462,6 +517,7 @@ impl WireMessage {
                 loss: r.f64()?,
                 accuracy: r.f64()?,
                 field_vector: r.u64s()?,
+                population: read_population(&mut r)?,
             },
             tag::SECAGG_UPDATE => WireMessage::SecAggUpdate {
                 device: DeviceId(r.u64()?),
@@ -492,6 +548,24 @@ impl WireMessage {
         r.finish()?;
         Ok(msg)
     }
+}
+
+/// Wire size of a population name field: `u16` length prefix + bytes.
+fn pop_len(population: &PopulationName) -> usize {
+    2 + population.as_str().len()
+}
+
+/// Decodes a population name field. [`PopulationName`] forbids the empty
+/// string, so an empty field is a typed decode error rather than a panic
+/// inside the constructor — a hostile frame never panics the decoder.
+fn read_population(r: &mut Reader<'_>) -> Result<PopulationName, WireError> {
+    let name = r.string()?;
+    if name.is_empty() {
+        return Err(WireError::Malformed {
+            what: "empty population name",
+        });
+    }
+    Ok(PopulationName::new(name))
 }
 
 // --- plan codec -----------------------------------------------------------

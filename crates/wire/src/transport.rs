@@ -15,7 +15,7 @@
 //! cloneable, send-only handle that can ride inside an actor mailbox
 //! message and outlive the request that carried it.
 
-use crate::frame::{decode, encode, parse_header, WireError, HEADER_LEN};
+use crate::frame::{decode, encode, parse_header, WireError, HEADER_LEN, TRAILER_LEN};
 use crate::message::WireMessage;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use fl_race::Site;
@@ -352,7 +352,7 @@ impl TcpTransport {
             let mut header = [0u8; HEADER_LEN];
             header.copy_from_slice(&half.partial[..HEADER_LEN]);
             let total = match parse_header(&header) {
-                Ok((_, body_len)) => HEADER_LEN + body_len,
+                Ok((_, body_len)) => HEADER_LEN + body_len + TRAILER_LEN,
                 Err(e) => {
                     // Past a bad header the frame boundary is lost for
                     // good: discard and force the caller to reset the

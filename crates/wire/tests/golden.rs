@@ -15,7 +15,7 @@
 //! pre-existing line is byte-identical.
 
 use fl_core::plan::{CodecSpec, FlPlan, ModelSpec};
-use fl_core::{DeviceId, FlCheckpoint, RoundId};
+use fl_core::{DeviceId, FlCheckpoint, PopulationName, RoundId};
 use fl_wire::{decode, encode, WireMessage};
 use std::path::PathBuf;
 
@@ -34,19 +34,24 @@ fn canonical_messages() -> Vec<WireMessage> {
     );
     plan.device.graph_payload_bytes = 32;
     let checkpoint = FlCheckpoint::new("golden-task", RoundId(7), vec![0.5, -1.25, 3.0]);
+    let population = PopulationName::new("golden/population");
     vec![
         WireMessage::CheckinRequest {
             device: DeviceId(0x0123_4567_89AB_CDEF),
+            population: population.clone(),
         },
         WireMessage::ComeBackLater {
             retry_at_ms: 86_400_000,
+            population: population.clone(),
         },
         WireMessage::Shed {
             retry_at_ms: 12_345,
+            population: population.clone(),
         },
         WireMessage::PlanAndCheckpoint {
             plan: Box::new(plan),
             checkpoint: Box::new(checkpoint),
+            population: population.clone(),
         },
         WireMessage::UpdateReport {
             device: DeviceId(42),
@@ -56,11 +61,13 @@ fn canonical_messages() -> Vec<WireMessage> {
             weight: 17,
             loss: 0.125,
             accuracy: 0.75,
+            population: population.clone(),
         },
         WireMessage::ReportAck {
             accepted: true,
             round: RoundId(7),
             attempt: 2,
+            population: population.clone(),
         },
         WireMessage::ShardUpdate {
             device: DeviceId(42),
@@ -83,6 +90,7 @@ fn canonical_messages() -> Vec<WireMessage> {
             weight: 17,
             loss: 0.125,
             accuracy: 0.75,
+            population,
         },
         WireMessage::SecAggUpdate {
             device: DeviceId(42),

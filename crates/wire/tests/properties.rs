@@ -7,12 +7,21 @@
 //! oversized length prefix, trailing bytes.
 
 use fl_core::plan::{CodecSpec, FlPlan, ModelSpec, PlanOp};
-use fl_core::{DeviceId, FlCheckpoint, RoundId};
+use fl_core::{DeviceId, FlCheckpoint, PopulationName, RoundId};
 use fl_wire::{
-    decode, decode_prefix, encode, encoded_len, peek_tag, WireError, WireMessage, HEADER_LEN,
-    PROTOCOL_VERSION,
+    checksum, decode, decode_prefix, encode, encoded_len, peek_tag, WireError, WireMessage,
+    HEADER_LEN, PROTOCOL_VERSION, TRAILER_LEN,
 };
 use proptest::prelude::*;
+
+/// Recomputes the integrity trailer after a test hand-mangles header or
+/// body bytes, so the mangled content (not the stale checksum) is what
+/// the decoder judges.
+fn reseal(frame: &mut Vec<u8>) {
+    let content_end = frame.len() - TRAILER_LEN;
+    let digest = checksum(&frame[..content_end]);
+    frame[content_end..].copy_from_slice(&digest.to_le_bytes());
+}
 
 /// Deterministically builds one message of each shape from primitive
 /// draws (the vendored proptest has no recursive enum strategies).
@@ -26,12 +35,20 @@ fn build_message(
     text: String,
 ) -> WireMessage {
     let frac = (frac_bits % 1_000_000) as f64 / 997.0;
+    let population = prop_population(a ^ b);
     match variant % 13 {
         0 => WireMessage::CheckinRequest {
             device: DeviceId(a),
+            population,
         },
-        1 => WireMessage::ComeBackLater { retry_at_ms: a },
-        2 => WireMessage::Shed { retry_at_ms: a },
+        1 => WireMessage::ComeBackLater {
+            retry_at_ms: a,
+            population,
+        },
+        2 => WireMessage::Shed {
+            retry_at_ms: a,
+            population,
+        },
         3 => {
             let model = match a % 4 {
                 0 => ModelSpec::Linear {
@@ -78,6 +95,7 @@ fn build_message(
             WireMessage::PlanAndCheckpoint {
                 plan: Box::new(plan),
                 checkpoint: Box::new(checkpoint),
+                population,
             }
         }
         4 => WireMessage::UpdateReport {
@@ -88,11 +106,13 @@ fn build_message(
             weight: b,
             loss: frac,
             accuracy: frac / 2.0,
+            population,
         },
         5 => WireMessage::ReportAck {
             accepted: a % 2 == 0,
             round: RoundId(b),
             attempt: (a % 5) as u32,
+            population,
         },
         6 => WireMessage::ShardUpdate {
             device: DeviceId(a),
@@ -119,6 +139,7 @@ fn build_message(
             weight: b,
             loss: frac,
             accuracy: frac / 2.0,
+            population,
         },
         11 => WireMessage::SecAggUpdate {
             device: DeviceId(a),
@@ -140,6 +161,11 @@ fn build_message(
                 .collect(),
         },
     }
+}
+
+/// Deterministic non-empty population name from a primitive draw.
+fn prop_population(sel: u64) -> PopulationName {
+    PopulationName::new(format!("pop/{}", sel % 3))
 }
 
 /// Every pinned frame from the golden fixture, as raw bytes — the
@@ -202,6 +228,7 @@ proptest! {
             accepted: a % 2 == 1,
             round: RoundId(b),
             attempt: 1,
+            population: prop_population(b),
         };
         let mut buf = encode(&first).unwrap();
         let first_len = buf.len();
@@ -222,14 +249,14 @@ proptest! {
         }
     }
 
-    /// Network-fault fuzz gate: random byte-flips and truncations of
-    /// every golden frame never panic the decoder — each outcome is
-    /// `Ok` (the flip landed on a don't-care bit pattern that decodes
-    /// to some message) or a typed `WireError`, and a *truncated*
-    /// frame in particular is always a typed error, never a misparse
-    /// that panics downstream.
+    /// Network-fault fuzz gate: a byte flipped *anywhere* in a golden
+    /// frame — header, body, or trailer — must be refused with a typed
+    /// `WireError`, never decoded (the integrity trailer catches every
+    /// single-byte flip with certainty) and never a panic. A truncated
+    /// frame likewise is always a typed error, never a misparse that
+    /// panics downstream.
     #[test]
-    fn mangled_golden_frames_never_panic(
+    fn mangled_golden_frames_are_always_refused(
         flip_pos in any::<u64>(),
         xor in 1u8..=255,
         cut_sel in any::<u64>(),
@@ -239,9 +266,9 @@ proptest! {
             let mut flipped = frame.clone();
             let pos = (flip_pos % flipped.len() as u64) as usize;
             flipped[pos] ^= xor;
-            let _ = decode(&flipped);
-            let _ = decode_prefix(&flipped);
-            let _ = peek_tag(&flipped);
+            prop_assert!(decode(&flipped).is_err(), "flip at {pos} decoded");
+            prop_assert!(decode_prefix(&flipped).is_err());
+            let _ = peek_tag(&flipped); // header-only: may still peek Ok
 
             // Any strict prefix: must be an error (typed), never Ok.
             let cut = (cut_sel % frame.len() as u64) as usize;
@@ -266,6 +293,7 @@ proptest! {
             weight: 3,
             loss: 0.5,
             accuracy: 0.25,
+            population: prop_population(a),
         };
         let mut frame = encode(&msg).unwrap();
         let pos = (pos_sel % frame.len() as u64) as usize;
@@ -302,9 +330,56 @@ fn rejects_version_skew() {
 }
 
 #[test]
+fn rejects_v2_frames_with_typed_skew() {
+    // A frame recorded before the multi-tenant v3 bump (version byte 2,
+    // population-less CheckinRequest body) must be refused with the
+    // typed skew error naming both versions — never misparsed.
+    assert_eq!(PROTOCOL_VERSION, 3, "this regression pins the v2→v3 bump");
+    let mut v2_frame = vec![b'F', b'W', 2, 1];
+    v2_frame.extend_from_slice(&8u32.to_le_bytes());
+    v2_frame.extend_from_slice(&0x0123_4567_89AB_CDEFu64.to_le_bytes());
+    assert_eq!(
+        decode(&v2_frame),
+        Err(WireError::VersionSkew { ours: 3, theirs: 2 })
+    );
+    assert_eq!(
+        peek_tag(&v2_frame),
+        Err(WireError::VersionSkew { ours: 3, theirs: 2 })
+    );
+}
+
+#[test]
+fn rejects_empty_population_name() {
+    // PopulationName forbids the empty string; the decoder must surface
+    // that as a typed error, not a panic in the constructor.
+    let mut frame = encode(&WireMessage::CheckinRequest {
+        device: DeviceId(7),
+        population: prop_population(0),
+    })
+    .unwrap();
+    // Rewrite the population string to length 0, shrink the body, and
+    // reseal so the checksum vouches for the mangled bytes.
+    frame.truncate(HEADER_LEN + 8);
+    frame.extend_from_slice(&0u16.to_le_bytes());
+    let body_len = (frame.len() - HEADER_LEN) as u32;
+    frame[4..8].copy_from_slice(&body_len.to_le_bytes());
+    frame.extend_from_slice(&[0; TRAILER_LEN]);
+    reseal(&mut frame);
+    assert_eq!(
+        decode(&frame),
+        Err(WireError::Malformed {
+            what: "empty population name"
+        })
+    );
+}
+
+#[test]
 fn rejects_unknown_tag_for_forward_compat() {
+    // Reseal after the tag rewrite: this models a well-formed frame
+    // from a *newer* peer (checksum valid, tag unknown), not bit rot.
     let mut frame = encode(&WireMessage::ShardAbort).unwrap();
     frame[3] = 0xEE;
+    reseal(&mut frame);
     assert_eq!(decode(&frame), Err(WireError::UnknownMessage { tag: 0xEE }));
 }
 
@@ -327,6 +402,7 @@ fn rejects_trailing_bytes() {
         accepted: true,
         round: RoundId(3),
         attempt: 1,
+        population: prop_population(3),
     })
     .unwrap();
     frame.push(0);
@@ -351,9 +427,11 @@ fn rejects_malformed_body_values() {
         accepted: false,
         round: RoundId(3),
         attempt: 1,
+        population: prop_population(3),
     })
     .unwrap();
     frame[HEADER_LEN] = 2;
+    reseal(&mut frame);
     assert_eq!(
         decode(&frame),
         Err(WireError::Malformed {
@@ -401,11 +479,17 @@ fn rejects_body_longer_than_layout() {
         accepted: true,
         round: RoundId(3),
         attempt: 1,
+        population: prop_population(3),
     })
     .unwrap();
+    // Splice one extra body byte in ahead of the trailer, declare it in
+    // the length prefix, and reseal.
+    frame.truncate(frame.len() - TRAILER_LEN);
     let body_len = (frame.len() - HEADER_LEN + 1) as u32;
     frame[4..8].copy_from_slice(&body_len.to_le_bytes());
     frame.push(1);
+    frame.extend_from_slice(&[0; TRAILER_LEN]);
+    reseal(&mut frame);
     assert_eq!(
         decode(&frame),
         Err(WireError::Malformed {

@@ -1,7 +1,7 @@
 //! Transport behavior: the channel pair, the TCP link, sinks, and the
 //! byte counters FIG9's measured bandwidth rests on.
 
-use fl_core::{DeviceId, RoundId};
+use fl_core::{DeviceId, PopulationName, RoundId};
 use fl_wire::{
     encode, encoded_len, ChannelTransport, FaultScript, FaultyTransport, FrameFault,
     TcpTransport, Transport, WireError, WireMessage,
@@ -12,11 +12,16 @@ use std::time::Duration;
 
 const WAIT: Duration = Duration::from_secs(5);
 
+fn pop() -> PopulationName {
+    PopulationName::new("transport/pop")
+}
+
 fn ack(accepted: bool) -> WireMessage {
     WireMessage::ReportAck {
         accepted,
         round: RoundId(1),
         attempt: 1,
+        population: pop(),
     }
 }
 
@@ -25,6 +30,7 @@ fn channel_pair_duplex_roundtrip_with_stats() {
     let (device, server) = ChannelTransport::pair();
     let checkin = WireMessage::CheckinRequest {
         device: DeviceId(7),
+        population: pop(),
     };
     let sent = device.send(&checkin).unwrap();
     assert_eq!(sent, encoded_len(&checkin));
@@ -34,6 +40,7 @@ fn channel_pair_duplex_roundtrip_with_stats() {
 
     let reply = WireMessage::ComeBackLater {
         retry_at_ms: 60_000,
+        population: pop(),
     };
     server.send(&reply).unwrap();
     assert_eq!(device.recv_timeout(WAIT).unwrap(), reply);
@@ -78,7 +85,8 @@ fn channel_close_and_timeout_are_typed() {
     assert_eq!(
         device
             .send(&WireMessage::CheckinRequest {
-                device: DeviceId(1)
+                device: DeviceId(1),
+                population: pop(),
             })
             .unwrap_err(),
         WireError::Closed
@@ -98,12 +106,16 @@ fn tcp_roundtrip_over_loopback() {
         assert_eq!(
             msg,
             WireMessage::CheckinRequest {
-                device: DeviceId(99)
+                device: DeviceId(99),
+                population: pop(),
             }
         );
         // Reply through a sink, as the actor-side server code does.
         t.sink()
-            .send(&WireMessage::Shed { retry_at_ms: 500 })
+            .send(&WireMessage::Shed {
+                retry_at_ms: 500,
+                population: pop(),
+            })
             .unwrap();
         t.stats()
     });
@@ -112,11 +124,15 @@ fn tcp_roundtrip_over_loopback() {
     let sent = client
         .send(&WireMessage::CheckinRequest {
             device: DeviceId(99),
+            population: pop(),
         })
         .unwrap();
     assert_eq!(
         client.recv_timeout(WAIT).unwrap(),
-        WireMessage::Shed { retry_at_ms: 500 }
+        WireMessage::Shed {
+            retry_at_ms: 500,
+            population: pop(),
+        }
     );
 
     let server_stats = server_side.join().unwrap();
@@ -139,6 +155,7 @@ fn tcp_split_write_resumes_mid_frame() {
 
     let msg = WireMessage::CheckinRequest {
         device: DeviceId(0xFEED),
+        population: pop(),
     };
     let frame = encode(&msg).unwrap();
     let split = frame.len() / 2;
@@ -179,7 +196,10 @@ fn tcp_garbage_header_is_typed_and_counted() {
     ));
     assert_eq!(client.stats().frames_corrupt, 1);
 
-    let msg = WireMessage::ComeBackLater { retry_at_ms: 7 };
+    let msg = WireMessage::ComeBackLater {
+        retry_at_ms: 7,
+        population: pop(),
+    };
     raw.write_all(&encode(&msg).unwrap()).unwrap();
     raw.flush().unwrap();
     assert_eq!(client.recv_timeout(WAIT).unwrap(), msg);
@@ -201,7 +221,10 @@ fn faulty_transport_drop_dup_delay_disconnect_semantics() {
             ],
         ),
     );
-    let m = |id: u64| WireMessage::CheckinRequest { device: DeviceId(id) };
+    let m = |id: u64| WireMessage::CheckinRequest {
+        device: DeviceId(id),
+        population: pop(),
+    };
 
     // Drop: the sender sees success, the peer sees nothing.
     assert_eq!(faulty.send(&m(1)).unwrap(), encoded_len(&m(1)));
@@ -269,7 +292,10 @@ fn fault_scripts_replay_identically_per_seed() {
         let (device, server) = ChannelTransport::pair();
         let faulty = FaultyTransport::new(device, FaultScript::seeded(seed, 400));
         for i in 0..64u64 {
-            let _ = faulty.send(&WireMessage::CheckinRequest { device: DeviceId(i) });
+            let _ = faulty.send(&WireMessage::CheckinRequest {
+                device: DeviceId(i),
+                population: pop(),
+            });
         }
         faulty.flush_delayed().unwrap();
         let mut trace = Vec::new();

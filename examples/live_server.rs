@@ -115,13 +115,18 @@ fn device_thread(
             .expect("transport");
         loop {
             if conn
-                .send(&WireMessage::CheckinRequest { device: DeviceId(id) })
+                .send(&WireMessage::CheckinRequest {
+                    device: DeviceId(id),
+                    population: federated::core::PopulationName::new("live-pop"),
+                })
                 .is_err()
             {
                 return (false, conn.stats());
             }
             match conn.recv_timeout(Duration::from_secs(10)) {
-                Ok(WireMessage::PlanAndCheckpoint { plan, checkpoint }) => {
+                Ok(WireMessage::PlanAndCheckpoint {
+                    plan, checkpoint, ..
+                }) => {
                     // Real on-device plan execution.
                     let outcome = runtime
                         .execute(&plan.device, &checkpoint, &store, None)
@@ -149,6 +154,7 @@ fn device_thread(
                             weight,
                             loss: if loss.is_nan() { 0.0 } else { loss },
                             accuracy: if accuracy.is_nan() { 0.0 } else { accuracy },
+                            population: federated::core::PopulationName::new("live-pop"),
                         };
                         if conn.send(&report).is_err() {
                             return (false, conn.stats());

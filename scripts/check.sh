@@ -41,6 +41,14 @@ run_step "wire-chaos" cargo test -q --test wire_chaos
 run_step "chaos-sweep" cargo test -q --test chaos_sweep
 run_step "overload-sweep" cargo test -q --test overload_sweep
 run_step "live-topology" cargo test -q --test live_topology
+# Multi-tenant gate: several populations share one fleet and one
+# Selector layer, live (routed actor tree) and simulated (seeded flash
+# crowd); cross-population fairness, the per-device single-session
+# arbitration, and per-population accounting conservation must all
+# hold. The bench step regenerates BENCH_selector.json (the cost of
+# PopulationName threading on the check-in path).
+run_step "multi-tenant" cargo test -q --test multi_tenant
+run_step "selector-bench" cargo run --release -q -p fl-bench --bin bench_selector
 # Lock-graph deadlock gate: the workspace's observed lock-acquisition
 # graph must stay acyclic and rank-clean (fl-race).
 run_step "lock-audit" cargo test -q --test lock_audit

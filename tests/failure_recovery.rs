@@ -383,7 +383,12 @@ fn rewire_redelivers_quota_and_population_estimate() {
     let (selector, coord_ref) = (topology.selectors[0].clone(), topology.coordinator);
 
     let checkin = |device: u64| {
-        let conn = DeviceConn::connect(DeviceId(device), selector.clone(), coord_ref.clone());
+        let conn = DeviceConn::connect(
+            DeviceId(device),
+            "pop-rewire",
+            selector.clone(),
+            coord_ref.clone(),
+        );
         conn.check_in().unwrap();
         conn.recv(Duration::from_secs(5)).unwrap()
     };
@@ -391,7 +396,7 @@ fn rewire_redelivers_quota_and_population_estimate() {
     // Baseline: quota 0 rejects, with a reconnect sized for a population
     // of 100 against a target of 10 — a horizon of ~10 pace periods.
     let retry_small = match checkin(0) {
-        WireMessage::ComeBackLater { retry_at_ms } => retry_at_ms,
+        WireMessage::ComeBackLater { retry_at_ms, .. } => retry_at_ms,
         other => panic!("quota 0 must reject, got {other:?}"),
     };
 
@@ -405,7 +410,7 @@ fn rewire_redelivers_quota_and_population_estimate() {
         })
         .unwrap();
     let retry_large = match checkin(1) {
-        WireMessage::ComeBackLater { retry_at_ms } => retry_at_ms,
+        WireMessage::ComeBackLater { retry_at_ms, .. } => retry_at_ms,
         other => panic!("quota 0 must still reject, got {other:?}"),
     };
     assert!(

@@ -78,11 +78,13 @@ fn round_commits_across_three_selectors() {
             let sel = selector_refs[(i % 3) as usize].clone();
             let coord = coord_ref.clone();
             std::thread::spawn(move || {
-                let conn = DeviceConn::connect(DeviceId(i), sel, coord);
+                let conn = DeviceConn::connect(DeviceId(i), "multi-sel", sel, coord);
                 conn.check_in().unwrap();
                 loop {
                     match conn.recv(Duration::from_secs(10)).unwrap() {
-                        WireMessage::PlanAndCheckpoint { plan, checkpoint } => {
+                        WireMessage::PlanAndCheckpoint {
+                            plan, checkpoint, ..
+                        } => {
                             let dim = plan.server.expected_dim;
                             let bytes =
                                 CodecSpec::Identity.build().encode(&vec![0.5f32; dim]);
@@ -165,8 +167,12 @@ fn over_quota_devices_are_pace_steered() {
     // once its selection target of 2 is met), then collect replies.
     let conns: Vec<_> = (0..5u64)
         .map(|i| {
-            let conn =
-                DeviceConn::connect(DeviceId(i), selector_refs[0].clone(), coord_ref.clone());
+            let conn = DeviceConn::connect(
+                DeviceId(i),
+                "quota-pop",
+                selector_refs[0].clone(),
+                coord_ref.clone(),
+            );
             conn.check_in().unwrap();
             conn
         })
@@ -175,7 +181,7 @@ fn over_quota_devices_are_pace_steered() {
     let mut accepted = 0;
     for conn in &conns {
         match conn.recv(Duration::from_secs(5)).unwrap() {
-            WireMessage::ComeBackLater { retry_at_ms } => {
+            WireMessage::ComeBackLater { retry_at_ms, .. } => {
                 assert!(retry_at_ms > 0);
                 rejected += 1;
             }
@@ -244,6 +250,7 @@ fn global_budget_caps_admits_across_selectors() {
         .map(|i| {
             let conn = DeviceConn::connect(
                 DeviceId(i),
+                "global-budget",
                 selector_refs[(i % 3) as usize].clone(),
                 coord_ref.clone(),
             );
@@ -255,9 +262,9 @@ fn global_budget_caps_admits_across_selectors() {
     let mut shed = 0;
     for (i, conn) in conns.iter().enumerate() {
         match conn.recv(Duration::from_secs(10)).unwrap() {
-            WireMessage::PlanAndCheckpoint { plan, checkpoint } => {
-                configured.push((i, plan, checkpoint.round))
-            }
+            WireMessage::PlanAndCheckpoint {
+                plan, checkpoint, ..
+            } => configured.push((i, plan, checkpoint.round)),
             // Admission-control rejections arrive as explicit `Shed`
             // frames, distinct from routine `ComeBackLater` pacing.
             WireMessage::Shed { .. } => shed += 1,
@@ -337,15 +344,21 @@ fn aggregator_shard_crash_still_commits_the_round() {
 
     let conns: Vec<_> = (0..4u64)
         .map(|i| {
-            let conn =
-                DeviceConn::connect(DeviceId(i), selector_refs[0].clone(), coord_ref.clone());
+            let conn = DeviceConn::connect(
+                DeviceId(i),
+                "shard-crash",
+                selector_refs[0].clone(),
+                coord_ref.clone(),
+            );
             conn.check_in().unwrap();
             conn
         })
         .collect();
     for conn in &conns {
         match conn.recv(Duration::from_secs(10)).unwrap() {
-            WireMessage::PlanAndCheckpoint { plan, checkpoint } => {
+            WireMessage::PlanAndCheckpoint {
+                plan, checkpoint, ..
+            } => {
                 let dim = plan.server.expected_dim;
                 let bytes = CodecSpec::Identity.build().encode(&vec![1.0f32; dim]);
                 conn.report(checkpoint.round, 1, bytes, 1, 0.3, 0.9).unwrap();

@@ -1,0 +1,351 @@
+//! Multi-tenant populations end to end (the tentpole of the
+//! multi-tenancy PR): one Coordinator per population over a shared
+//! Selector layer (Sec. 2.1/4.2 — "The Coordinators are the top-level
+//! actors, one per population"), check-ins demultiplexed by the
+//! [`PopulationName`] every v3 frame carries, per-population quotas and
+//! telemetry, and the shared admission budget's per-population
+//! fair-share reservations — plus the seeded multi-population DES sweep
+//! (`fl-sim::multi`) that audits cross-population fairness under a
+//! flash crowd.
+
+use crossbeam::channel::unbounded;
+use federated::actors::{ActorSystem, LockingService};
+use federated::analytics::overload::OverloadMonitorConfig;
+use federated::core::plan::{CodecSpec, FlPlan, ModelSpec};
+use federated::core::population::{FlTask, TaskGroup, TaskSelectionStrategy};
+use federated::core::round::RoundConfig;
+use federated::core::{DeviceId, PopulationName};
+use federated::server::live::{CoordMsg, CoordinatorActor, DeviceConn};
+use federated::server::pace::PaceSteering;
+use federated::server::topology::{spawn_multi_topology, SelectorSpec, TopologyBlueprint};
+use federated::server::wire::WireMessage;
+use federated::server::{CoordinatorConfig, GlobalAdmissionConfig};
+use federated::sim::multi::{default_seeds, run_multi_tenant, sweep, MultiTenantConfig};
+use std::time::Duration;
+
+fn spec() -> ModelSpec {
+    ModelSpec::Logistic {
+        dim: 4,
+        classes: 2,
+        seed: 0,
+    }
+}
+
+fn coordinator_for(
+    population: &str,
+    round: RoundConfig,
+    locks: LockingService<String>,
+) -> CoordinatorActor<federated::server::storage::InMemoryCheckpointStore> {
+    let task = FlTask::training("t", population).with_round(round);
+    let plan = FlPlan::standard_training(spec(), 1, 8, 0.1, CodecSpec::Identity);
+    CoordinatorActor::new(
+        CoordinatorConfig::new(population, 7),
+        TaskGroup::new(vec![task], TaskSelectionStrategy::Single),
+        vec![plan],
+        vec![0.0; spec().num_params()],
+        locks,
+    )
+}
+
+fn round_with_goal(goal: usize) -> RoundConfig {
+    RoundConfig {
+        goal_count: goal,
+        overselection: 1.0,
+        min_goal_fraction: 1.0,
+        selection_timeout_ms: 5_000,
+        report_window_ms: 30_000,
+        device_cap_ms: 30_000,
+    }
+}
+
+fn drive_to_commit(coord: &federated::actors::ActorRef<CoordMsg>) -> bool {
+    loop {
+        let (tx, rx) = unbounded();
+        coord.send(CoordMsg::TryCompleteRound { reply: tx }).unwrap();
+        if let Some(outcome) = rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            return outcome.is_committed();
+        }
+        coord.send(CoordMsg::Tick).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Three populations, three Coordinators, one shared two-Selector layer:
+/// every tenant's devices check in under their own population name,
+/// route to their own Coordinator, and every tenant commits its round
+/// concurrently. The shared telemetry splits accept series per
+/// population, and the shared budget ledgers every admit to the right
+/// tenant.
+#[test]
+fn three_populations_commit_concurrently_through_one_selector_layer() {
+    let system = ActorSystem::new();
+    let locks: LockingService<String> = LockingService::new();
+    let populations = ["tenant/a", "tenant/b", "tenant/c"];
+    let coordinators = populations
+        .iter()
+        .map(|p| (coordinator_for(p, round_with_goal(4), locks.clone()), 8))
+        .collect();
+    let blueprint = TopologyBlueprint::new(
+        (0..2)
+            .map(|i| SelectorSpec::new(PaceSteering::new(1_000, 12), 100, i, 24))
+            .collect(),
+    )
+    .with_global_admission(GlobalAdmissionConfig {
+        window_ms: 600_000,
+        max_admits_per_window: 120,
+    })
+    .with_telemetry(OverloadMonitorConfig::default());
+    let multi = spawn_multi_topology(&system, coordinators, &blueprint);
+    assert_eq!(multi.selectors.len(), 2);
+    assert_eq!(multi.coordinators.len(), 3);
+
+    // Four devices per population, fanned across both selectors, all on
+    // their own threads — twelve concurrent check-ins, three concurrent
+    // rounds.
+    let handles: Vec<_> = populations
+        .iter()
+        .enumerate()
+        .flat_map(|(p, population)| {
+            (0..4u64).map(move |i| (p, *population, p as u64 * 100 + i))
+        })
+        .map(|(p, population, id)| {
+            let sel = multi.selectors[(id % 2) as usize].clone();
+            let coord = multi
+                .coordinator(&PopulationName::new(population))
+                .unwrap()
+                .clone();
+            std::thread::spawn(move || {
+                let conn = DeviceConn::connect(DeviceId(id), population, sel, coord);
+                conn.check_in().unwrap();
+                loop {
+                    match conn.recv(Duration::from_secs(10)).unwrap() {
+                        WireMessage::PlanAndCheckpoint {
+                            plan,
+                            checkpoint,
+                            population: wired,
+                        } => {
+                            // The Configuration is stamped with the
+                            // tenant's own population: no cross-tenant
+                            // plan ever reaches a device.
+                            assert_eq!(wired.as_str(), population);
+                            let dim = plan.server.expected_dim;
+                            let bytes =
+                                CodecSpec::Identity.build().encode(&vec![0.5f32; dim]);
+                            conn.report(checkpoint.round, 1, bytes, 3, 0.4, 0.9).unwrap();
+                        }
+                        WireMessage::ReportAck { accepted, .. } => return (p, accepted),
+                        other => panic!("unexpected reply {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut accepted_per_pop = [0usize; 3];
+    for h in handles {
+        let (p, ok) = h.join().unwrap();
+        if ok {
+            accepted_per_pop[p] += 1;
+        }
+    }
+    assert_eq!(accepted_per_pop, [4, 4, 4], "every tenant's devices contribute");
+
+    for population in &populations {
+        let coord = multi.coordinator(&PopulationName::new(*population)).unwrap();
+        assert!(
+            drive_to_commit(coord),
+            "population {population} failed to commit its round"
+        );
+    }
+
+    // The shared budget ledgered every admit to the owning tenant.
+    let budget = multi.global_budget.clone().expect("budget configured");
+    for population in &populations {
+        assert_eq!(
+            budget.admitted_total_for(&PopulationName::new(*population)),
+            4,
+            "budget ledger for {population}"
+        );
+    }
+    // The shared telemetry split the accept series per population.
+    let telemetry = multi.telemetry.clone().expect("telemetry configured");
+    let metrics = telemetry.lock();
+    for population in &populations {
+        let series = metrics
+            .population_series(&PopulationName::new(*population))
+            .unwrap_or_else(|| panic!("no series for {population}"));
+        assert_eq!(
+            series.accepts.sums().iter().sum::<f64>(),
+            4.0,
+            "accept series for {population}"
+        );
+    }
+    drop(metrics);
+
+    multi.shutdown();
+    system.join();
+    for population in &populations {
+        assert!(locks.lookup(&format!("coordinator/{population}")).is_none());
+    }
+}
+
+/// A storm of check-ins on one tenant runs into the shared budget's
+/// fair-share reservations while the quiet tenant's devices all admit
+/// and its round commits — live-threaded, the same guarantee the DES
+/// sweep audits at scale.
+#[test]
+fn fair_share_budget_shields_the_quiet_population_live() {
+    let system = ActorSystem::new();
+    let locks: LockingService<String> = LockingService::new();
+    let coordinators = vec![
+        (coordinator_for("fair/quiet", round_with_goal(3), locks.clone()), 16),
+        (coordinator_for("fair/storm", round_with_goal(3), locks.clone()), 16),
+    ];
+    // Budget of 6 per window over 2 tenants: fair share 3 each. The
+    // storm's 10 devices cannot take the quiet tenant's 3 reserved
+    // admits, however the threads interleave.
+    let blueprint = TopologyBlueprint::new(vec![SelectorSpec::new(
+        PaceSteering::new(1_000, 6),
+        100,
+        5,
+        32,
+    )])
+    .with_global_admission(GlobalAdmissionConfig {
+        window_ms: 600_000,
+        max_admits_per_window: 6,
+    });
+    let multi = spawn_multi_topology(&system, coordinators, &blueprint);
+    let quiet = PopulationName::new("fair/quiet");
+    let storm = PopulationName::new("fair/storm");
+
+    // The storm checks in first — all ten devices — then the quiet
+    // tenant's three. Even with the storm fully ahead in line, the
+    // quiet tenant must get its full fair share.
+    let storm_conns: Vec<_> = (0..10u64)
+        .map(|i| {
+            let conn = DeviceConn::connect(
+                DeviceId(100 + i),
+                "fair/storm",
+                multi.selectors[0].clone(),
+                multi.coordinator(&storm).unwrap().clone(),
+            );
+            conn.check_in().unwrap();
+            conn
+        })
+        .collect();
+    let quiet_conns: Vec<_> = (0..3u64)
+        .map(|i| {
+            let conn = DeviceConn::connect(
+                DeviceId(i),
+                "fair/quiet",
+                multi.selectors[0].clone(),
+                multi.coordinator(&quiet).unwrap().clone(),
+            );
+            conn.check_in().unwrap();
+            conn
+        })
+        .collect();
+
+    // Every quiet device is configured (none shed) and carries the
+    // round to a commit.
+    for conn in &quiet_conns {
+        match conn.recv(Duration::from_secs(10)).unwrap() {
+            WireMessage::PlanAndCheckpoint {
+                plan, checkpoint, ..
+            } => {
+                let dim = plan.server.expected_dim;
+                let bytes = CodecSpec::Identity.build().encode(&vec![0.25f32; dim]);
+                conn.report(checkpoint.round, 1, bytes, 1, 0.3, 0.9).unwrap();
+            }
+            other => panic!("quiet tenant was turned away: {other:?}"),
+        }
+    }
+    for conn in &quiet_conns {
+        assert!(matches!(
+            conn.recv(Duration::from_secs(5)).unwrap(),
+            WireMessage::ReportAck { accepted: true, .. }
+        ));
+    }
+    assert!(drive_to_commit(multi.coordinator(&quiet).unwrap()));
+
+    // The storm's overflow was shed by the budget, charged to the
+    // storm's own ledger — never the quiet tenant's.
+    let mut storm_shed = 0;
+    let mut storm_configured = 0;
+    for conn in &storm_conns {
+        match conn.recv(Duration::from_secs(10)).unwrap() {
+            WireMessage::Shed { population, .. } => {
+                assert_eq!(population, storm);
+                storm_shed += 1;
+            }
+            WireMessage::PlanAndCheckpoint { .. } => storm_configured += 1,
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert_eq!(storm_configured, 3, "the storm keeps its own fair share");
+    assert_eq!(storm_shed, 7, "the overflow is shed");
+    let budget = multi.global_budget.clone().expect("budget configured");
+    assert_eq!(budget.admitted_total_for(&quiet), 3);
+    assert_eq!(budget.admitted_total_for(&storm), 3);
+    assert_eq!(budget.shed_total_for(&quiet), 0);
+    assert_eq!(budget.shed_total_for(&storm), 7);
+
+    multi.shutdown();
+    system.join();
+}
+
+/// The fixed-seed multi-population DES sweep `scripts/check.sh` runs as
+/// a release gate: three tenants on one fleet, a 12 000-device flash
+/// crowd against one of them, and every fairness invariant — no starved
+/// tenant, conserved per-population ledgers, bounded queues, no wedged
+/// rounds — holding on every seed.
+#[test]
+fn fixed_seed_fairness_sweep_is_clean() {
+    let reports = sweep(&default_seeds(), MultiTenantConfig::flash_vs_steady);
+    assert_eq!(reports.len(), default_seeds().len());
+    for report in &reports {
+        assert!(
+            report.is_clean(),
+            "seed {} violated multi-tenant invariants:\n{}",
+            report.seed,
+            report.render()
+        );
+        let steady = report.outcome("multi/steady").unwrap();
+        let flash = report.outcome("multi/flash").unwrap();
+        assert!(
+            steady.committed >= 3,
+            "seed {}: steady tenant starved:\n{}",
+            report.seed,
+            report.render()
+        );
+        assert!(
+            flash.budget_sheds > 1_000,
+            "seed {}: the storm never hit the fair-share budget:\n{}",
+            report.seed,
+            report.render()
+        );
+        assert!(
+            steady.budget_sheds < flash.budget_sheds / 100,
+            "seed {}: fair-share cost leaked onto the steady tenant:\n{}",
+            report.seed,
+            report.render()
+        );
+        // The on-device half of multi-tenancy: single-session
+        // arbitration really arbitrated.
+        assert!(
+            report.arbitration_losses > 0,
+            "seed {}: no device arbitration:\n{}",
+            report.seed,
+            report.render()
+        );
+    }
+}
+
+/// Replaying a sweep seed renders byte-identically — a failing seed is
+/// a replayable bug report, same contract as the chaos harnesses.
+#[test]
+fn sweep_seed_replays_byte_identically() {
+    let seed = default_seeds()[0];
+    let a = run_multi_tenant(&MultiTenantConfig::flash_vs_steady(seed)).render();
+    let b = run_multi_tenant(&MultiTenantConfig::flash_vs_steady(seed)).render();
+    assert_eq!(a, b);
+}

@@ -77,8 +77,12 @@ fn run_secagg_round(population: &str, dropouts: &[(u64, DropStage)]) -> (Vec<f32
 
     let conns: Vec<_> = (0..8u64)
         .map(|i| {
-            let conn =
-                DeviceConn::connect(DeviceId(i), selector_refs[0].clone(), coord_ref.clone());
+            let conn = DeviceConn::connect(
+                DeviceId(i),
+                population,
+                selector_refs[0].clone(),
+                coord_ref.clone(),
+            );
             conn.check_in().expect("check-in frame sends");
             conn
         })
@@ -86,7 +90,9 @@ fn run_secagg_round(population: &str, dropouts: &[(u64, DropStage)]) -> (Vec<f32
     let encoder = FixedPointEncoder::default_for_updates();
     for conn in &conns {
         match conn.recv(Duration::from_secs(10)).expect("configuration arrives") {
-            WireMessage::PlanAndCheckpoint { plan, checkpoint } => {
+            WireMessage::PlanAndCheckpoint {
+                plan, checkpoint, ..
+            } => {
                 let dim = plan.server.expected_dim;
                 let field = encoder
                     .encode(&vec![0.5f32; dim])
@@ -141,8 +147,12 @@ fn run_secagg_round(population: &str, dropouts: &[(u64, DropStage)]) -> (Vec<f32
     // way a device would.
     let probes: Vec<_> = (10..18u64)
         .map(|i| {
-            let conn =
-                DeviceConn::connect(DeviceId(i), selector_refs[0].clone(), coord_ref.clone());
+            let conn = DeviceConn::connect(
+                DeviceId(i),
+                population,
+                selector_refs[0].clone(),
+                coord_ref.clone(),
+            );
             conn.check_in().expect("check-in frame sends");
             conn
         })
